@@ -1,0 +1,60 @@
+"""Benchmark: the first-order model's domain of validity.
+
+The analytical core behind Figure 7a's divergence: first-order vs exact
+overheads across platform scales, with the MTBF/W* regime indicator.
+Asserts the paper's qualitative claim -- the approximation is excellent
+while the MTBF dwarfs the period and degrades as the two converge.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import accuracy_sweep, render_accuracy_sweep
+from repro.core.builders import PatternKind
+
+NODES = (2**8, 2**10, 2**12, 2**14, 2**16)
+
+
+@pytest.mark.benchmark(group="accuracy")
+def test_first_order_validity_sweep(once):
+    def campaign():
+        return {
+            kind: accuracy_sweep(NODES, kind=kind)
+            for kind in (PatternKind.PD, PatternKind.PDMV)
+        }
+
+    results = once(campaign)
+    for kind, rows in results.items():
+        print()
+        print(render_accuracy_sweep(rows))
+        errors = [r["rel_error_fo_vs_exact"] for r in rows]
+        ratios = [r["mtbf_over_W"] for r in rows]
+        # Divergence grows monotonically as MTBF/W* shrinks.
+        assert errors == sorted(errors), kind
+        assert ratios == sorted(ratios, reverse=True), kind
+        # Accurate regime at small scale, broken at large scale.
+        assert errors[0] < 0.05
+        assert errors[-1] > 0.15
+
+
+@pytest.mark.benchmark(group="accuracy")
+def test_simulation_confirms_exact_model(once):
+    """The exact model, not the first-order one, matches simulation at
+    extreme scale."""
+    def campaign():
+        return accuracy_sweep(
+            (2**15,),
+            kind=PatternKind.PD,
+            simulate=True,
+            n_patterns=40,
+            n_runs=15,
+            seed=77,
+        )
+
+    rows = once(campaign)
+    row = rows[0]
+    print()
+    print(render_accuracy_sweep(rows))
+    # Simulation sides with the exact model against the first-order one.
+    gap_fo = abs(row["H_simulated"] - row["H_first_order"])
+    gap_exact = abs(row["H_simulated"] - row["H_exact"])
+    assert gap_exact < gap_fo

@@ -1,0 +1,79 @@
+"""Benchmark: regenerate Figure 6 (six patterns x four platforms).
+
+Covers all five panels (overheads, periods, checkpoint/verification
+frequencies, recovery frequencies) and asserts the paper's qualitative
+claims for each.
+"""
+
+import pytest
+
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.platforms.catalog import atlas, coastal, hera
+
+MC = dict(n_patterns=60, n_runs=25, seed=20160523)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_full_campaign(once):
+    rows = once(run_fig6, **MC)
+    print()
+    print(render_fig6(rows))
+
+    by = {(r["platform"], r["pattern"]): r for r in rows}
+    platforms = {r["platform"] for r in rows}
+
+    for plat in platforms:
+        # 6a: prediction accuracy -- within ~2 points everywhere.
+        for pattern in ("PD", "PDV*", "PDV", "PDM", "PDMV*", "PDMV"):
+            row = by[(plat, pattern)]
+            assert row["simulated"] == pytest.approx(
+                row["predicted"], abs=0.02
+            ), (plat, pattern)
+        # 6a: two-level beats single-level in simulation.
+        assert by[(plat, "PDMV")]["simulated"] <= by[(plat, "PD")][
+            "simulated"
+        ] + 0.005
+        # 6b: two-level periods are longer.
+        assert by[(plat, "PDM")]["W*_hours"] > by[(plat, "PD")]["W*_hours"]
+        # 6c: partial-verification patterns verify far more often.
+        assert (
+            by[(plat, "PDV")]["verifs_per_hour"]
+            > 3 * by[(plat, "PDV*")]["verifs_per_hour"]
+        )
+        # 6d: two-level patterns take fewer disk but more memory ckpts.
+        assert (
+            by[(plat, "PDMV")]["disk_ckpts_per_hour"]
+            < by[(plat, "PD")]["disk_ckpts_per_hour"]
+        )
+        assert (
+            by[(plat, "PDMV")]["mem_ckpts_per_hour"]
+            > by[(plat, "PD")]["mem_ckpts_per_hour"]
+        )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6e_recovery_rates_track_mtbf(once):
+    """Figure 6e: disk recoveries/day ~ lambda_f * 86400 per platform."""
+    def campaign():
+        return run_fig6(
+            platforms=[hera(), atlas(), coastal()],
+            n_patterns=80,
+            n_runs=25,
+            seed=99,
+        )
+
+    rows = once(campaign)
+    expected = {
+        "Hera": 86400 * hera().lambda_f,       # ~0.082/day (paper: 0.083)
+        "Atlas": 86400 * atlas().lambda_f,     # ~0.045/day (paper: 0.044)
+        "Coastal": 86400 * coastal().lambda_f, # ~0.035/day (paper: 0.034)
+    }
+    for plat, target in expected.items():
+        rates = [
+            r["disk_recoveries_per_day"]
+            for r in rows
+            if r["platform"] == plat
+        ]
+        mean = sum(rates) / len(rates)
+        print(f"{plat}: disk recoveries/day = {mean:.3f} (MTBF says {target:.3f})")
+        assert mean == pytest.approx(target, rel=0.35)

@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 7 (weak scaling, C_D = 300 s).
+
+Asserts the paper's trends: overheads grow drastically with the node
+count, PDMV's advantage over PD widens, the simulated overhead pulls away
+from the first-order prediction at extreme scale, and operation
+frequencies rise.
+"""
+
+import pytest
+
+from repro.experiments.fig7 import render_weak_scaling, run_weak_scaling
+
+NODES = [2**8, 2**12, 2**14, 2**16]
+MC = dict(n_patterns=40, n_runs=12, seed=20160607)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_weak_scaling(once):
+    rows = once(run_weak_scaling, NODES, **MC)
+    print()
+    print(render_weak_scaling(rows))
+
+    by = {(r["nodes"], r["pattern"]): r for r in rows}
+
+    # 7a: overhead grows with the node count for both patterns.
+    for pattern in ("PD", "PDMV"):
+        series = [by[(n, pattern)]["simulated"] for n in NODES]
+        assert series == sorted(series), pattern
+
+    # 7a: the two-level pattern wins, and the gap widens with scale.
+    gaps = [
+        by[(n, "PD")]["simulated"] - by[(n, "PDMV")]["simulated"]
+        for n in NODES
+    ]
+    assert gaps[-1] > gaps[0]
+    assert gaps[-1] > 0
+
+    # 7a: first-order prediction becomes optimistic at scale.
+    big = by[(2**16, "PD")]
+    assert big["simulated"] > big["predicted"] * 1.1
+
+    # 7b: periods shrink with the node count.
+    for pattern in ("PD", "PDMV"):
+        periods = [by[(n, pattern)]["W*_hours"] for n in NODES]
+        assert periods == sorted(periods, reverse=True), pattern
+
+    # 7d/7e: operation frequencies rise with scale for PDMV.
+    verifs = [by[(n, "PDMV")]["verifs_per_hour"] for n in NODES]
+    assert verifs[-1] > verifs[0]
+    mem = [by[(n, "PDMV")]["mem_ckpts_per_hour"] for n in NODES]
+    assert mem[-1] > mem[0]
+
+    # 7c/7f: recoveries per pattern / per day rise with scale.
+    rec = [by[(n, "PDMV")]["disk_recoveries_per_day"] for n in NODES]
+    assert rec[-1] > rec[0]

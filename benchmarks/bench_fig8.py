@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Figure 8 (weak scaling, C_D = 90 s).
+
+Same series as Figure 7 with a three-times-cheaper disk checkpoint;
+asserts the paper's comparison: shorter periods, higher checkpoint
+frequency, and markedly lower extreme-scale overheads than Figure 7.
+"""
+
+import pytest
+
+from repro.experiments.fig7 import run_weak_scaling
+from repro.experiments.fig8 import render_fig8, run_fig8
+
+NODES = [2**8, 2**12, 2**16]
+MC = dict(n_patterns=40, n_runs=12, seed=20160608)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_weak_scaling_cheap_disk(once):
+    def campaign():
+        return (
+            run_fig8(NODES, **MC),
+            run_weak_scaling(NODES, C_D=300.0, **MC),
+        )
+
+    rows8, rows7 = once(campaign)
+    print()
+    print(render_fig8(rows8))
+
+    by8 = {(r["nodes"], r["pattern"]): r for r in rows8}
+    by7 = {(r["nodes"], r["pattern"]): r for r in rows7}
+
+    for n in NODES:
+        for pattern in ("PD", "PDMV"):
+            # Cheaper disk ckpt -> shorter period and lower overhead.
+            assert (
+                by8[(n, pattern)]["W*_hours"] < by7[(n, pattern)]["W*_hours"]
+            )
+            assert (
+                by8[(n, pattern)]["predicted"]
+                < by7[(n, pattern)]["predicted"]
+            )
+        # ... and a higher disk-checkpoint frequency.
+        assert (
+            by8[(n, "PD")]["disk_ckpts_per_hour"]
+            > by7[(n, "PD")]["disk_ckpts_per_hour"]
+        )
+
+    # The paper's headline: at extreme scale the overhead roughly drops
+    # from ~5x to ~2x of the useful time; check a >= 35% reduction.
+    big8 = by8[(2**16, "PD")]["simulated"]
+    big7 = by7[(2**16, "PD")]["simulated"]
+    print(f"2^16-node PD overhead: C_D=300 -> {big7:.2f}, C_D=90 -> {big8:.2f}")
+    assert big8 < big7 * 0.65

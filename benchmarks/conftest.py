@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures (smaller
+Monte-Carlo sizes than the paper's 1000 x 1000, but the same series) and
+asserts the qualitative *shape* the paper reports: who wins, roughly by
+how much, where trends cross.  Timing is measured once per benchmark
+(``rounds=1``) since these are whole campaigns, not microkernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a campaign exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

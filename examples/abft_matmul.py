@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""ABFT-protected matrix multiplication under a resilience pattern.
+
+Algorithm-based fault tolerance is the paper's flagship example of an
+application-specific *guaranteed* verification: checksum rows/columns
+validate a matrix product at O(n^2) instead of O(n^3).  This example:
+
+1. runs a blocked checksummed matmul as a live workload;
+2. uses its ABFT check (recall 1) as the pattern's verification;
+3. injects bit flips; shows every corruption caught and the final
+   product bit-identical to a fault-free run;
+4. compares the optimal pattern sized for the cheap ABFT verification
+   against one sized for a replication-cost verification.
+
+Run: ``python examples/abft_matmul.py``
+"""
+
+import numpy as np
+
+from repro.application.abft import AbftMatMul
+from repro.application.executor import FaultPlan, ResilientExecutor
+from repro.core.builders import PatternKind
+from repro.core.formulas import optimal_pattern
+from repro.platforms.catalog import hera
+from repro.platforms.platform import Platform, default_costs
+
+
+def live_demo() -> None:
+    plat = Platform(
+        name="abft-demo", nodes=1, lambda_f=0.0, lambda_s=0.0,
+        costs=default_costs(C_D=5.0, C_M=1.0),
+    )
+    from repro.core.builders import build_pattern
+
+    pattern = build_pattern(PatternKind.PD, 16.0)
+    workload = AbftMatMul(n=64, n_blocks=16, seed=11)
+    executor = ResilientExecutor(workload, pattern, plat)
+    rng = np.random.default_rng(5)
+    # 7.0 strikes pattern 1's work [0, 16]; 45.0 strikes pattern 2's
+    # work [41, 57] (after pattern 1's rework + checkpoints).
+    plan = FaultPlan(silent_times=[7.0, 45.0])
+    report = executor.run(3, rng, fault_plan=plan)
+
+    reference = AbftMatMul(n=64, n_blocks=16, seed=11)
+    reference.step(48)
+    identical = np.array_equal(workload.product, reference.product)
+
+    print("ABFT matmul under a PD pattern with 2 injected bit flips:")
+    print(f"  blocks committed:  {report.steps_completed}")
+    print(f"  flips detected:    {report.silent_errors_detected} / "
+          f"{report.silent_errors_injected}")
+    print(f"  checksum valid:    {workload.verify()}")
+    print(f"  product == fault-free reference: {identical}")
+    assert identical
+    print()
+
+
+def sizing_comparison() -> None:
+    """How much the cheap ABFT verification buys at the pattern level."""
+    base = hera()
+    n = 20_000  # matrix dimension of the protected kernel (illustrative)
+    # Replication-style guaranteed verification: redo the O(n^3) work.
+    replication_cost = base.V_star * 100.0
+    # ABFT check: O(n^2) -- orders of magnitude cheaper.
+    abft_cost = base.V_star / 10.0
+
+    expensive = base.with_costs(V_star=replication_cost)
+    cheap = base.with_costs(V_star=abft_cost)
+
+    H_repl = optimal_pattern(PatternKind.PDMV_STAR, expensive).H_star
+    H_abft = optimal_pattern(PatternKind.PDMV_STAR, cheap).H_star
+    print("Pattern-level impact of the guaranteed-verification cost "
+          "(PDMV* on Hera):")
+    print(f"  replication-style V* = {replication_cost:7.1f}s -> "
+          f"H* = {100 * H_repl:.2f}%")
+    print(f"  ABFT-style        V* = {abft_cost:7.1f}s -> "
+          f"H* = {100 * H_abft:.2f}%")
+    print(f"  overhead reduction: "
+          f"{100 * (1 - H_abft / H_repl):.0f}%")
+
+
+def main() -> None:
+    live_demo()
+    sizing_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Live resilient execution: a real solver surviving injected faults.
+
+This goes beyond the paper's abstract simulation: a 1-D heat-equation
+stepper and a conjugate-gradient solver run under the optimal PDMV
+pattern schedule while *actual* bit flips corrupt their arrays and
+crash faults wipe their state.  The two-level checkpoint store and the
+verification layer recover everything -- the final states are verified
+bit-for-bit against fault-free reference runs.
+
+Run: ``python examples/resilient_solver.py``
+"""
+
+import numpy as np
+
+from repro.application.cg import ConjugateGradient
+from repro.application.executor import FaultPlan, ResilientExecutor
+from repro.application.heat import Heat1D
+from repro.core.builders import PatternKind, build_pattern
+from repro.platforms.platform import Platform, default_costs
+
+
+def make_platform() -> Platform:
+    """A deliberately hostile platform: MTBF ~ 8 minutes."""
+    return Platform(
+        name="hostile",
+        nodes=64,
+        lambda_f=8e-4,
+        lambda_s=1.2e-3,
+        costs=default_costs(C_D=15.0, C_M=1.5),
+    )
+
+
+def run_heat(platform: Platform) -> None:
+    pattern = build_pattern(PatternKind.PDMV, 120.0, n=2, m=3, r=platform.r)
+    workload = Heat1D(n=512)
+    executor = ResilientExecutor(workload, pattern, platform)
+    rng = np.random.default_rng(42)
+
+    n_patterns = 20
+    report = executor.run(n_patterns, rng)
+
+    reference = Heat1D(n=512)
+    reference.step(int(n_patterns * pattern.W))
+    identical = np.array_equal(workload.field, reference.field)
+
+    print("Heat1D under PDMV on the hostile platform:")
+    print(f"  steps committed:        {report.steps_completed}")
+    print(f"  fail-stop errors:       {report.fail_stop_errors}")
+    print(f"  silent errors injected: {report.silent_errors_injected} "
+          f"(detected: {report.silent_errors_detected})")
+    print(f"  recoveries:             {report.disk_recoveries} disk, "
+          f"{report.memory_recoveries} memory")
+    print(f"  simulated overhead:     {100 * report.overhead:.1f}%")
+    print(f"  final state == fault-free reference: {identical}")
+    assert identical, "resilience protocol failed to restore exact state!"
+    print()
+
+
+def run_cg(platform: Platform) -> None:
+    pattern = build_pattern(PatternKind.PDV, 60.0, m=4, r=platform.r)
+    workload = ConjugateGradient(n=24)
+    executor = ResilientExecutor(workload, pattern, platform)
+    rng = np.random.default_rng(7)
+
+    # A scripted fault plan: two bit flips and one crash at known times.
+    plan = FaultPlan(silent_times=[25.0, 140.0], fail_stop_times=[95.0])
+    report = executor.run(4, rng, fault_plan=plan)
+
+    reference = ConjugateGradient(n=24)
+    reference.step(240)
+    identical = np.array_equal(workload.solution, reference.solution)
+
+    print("ConjugateGradient under PDV with a scripted fault plan:")
+    print(f"  CG iterations committed: {report.steps_completed}")
+    print(f"  residual norm:           {workload.true_residual_norm:.3e}")
+    print(f"  faults: {report.fail_stop_errors} crash, "
+          f"{report.silent_errors_injected} bit-flips "
+          f"({report.silent_errors_detected} detected)")
+    print(f"  final iterate == fault-free reference: {identical}")
+    assert identical, "resilience protocol failed to restore exact state!"
+
+
+def main() -> None:
+    platform = make_platform()
+    print(f"Platform MTBF: {platform.mtbf / 60:.1f} minutes "
+          f"(fail-stop {platform.mtbf_fail_stop / 60:.1f}, "
+          f"silent {platform.mtbf_silent / 60:.1f})")
+    print()
+    run_heat(platform)
+    run_cg(platform)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Weak-scaling study: how overheads explode towards exascale (Figures 7-8).
+
+Scales the Hera-derived platform from 2^8 to 2^16 nodes (per-node MTBFs
+fixed, platform rates growing linearly) and compares the base pattern PD
+against the full pattern PDMV, for both the nominal disk-checkpoint cost
+(300 s, Figure 7) and the improved one (90 s, Figure 8).
+
+Run: ``python examples/weak_scaling.py [--max-exp 18]``
+"""
+
+import argparse
+
+from repro.experiments.fig7 import render_weak_scaling, run_weak_scaling
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-exp", type=int, default=8)
+    parser.add_argument("--max-exp", type=int, default=16)
+    parser.add_argument("--step", type=int, default=2)
+    parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument("--patterns", type=int, default=30)
+    args = parser.parse_args()
+
+    nodes = [2**k for k in range(args.min_exp, args.max_exp + 1, args.step)]
+
+    for C_D, fig in ((300.0, "Figure 7"), (90.0, "Figure 8")):
+        rows = run_weak_scaling(
+            nodes,
+            C_D=C_D,
+            n_patterns=args.patterns,
+            n_runs=args.runs,
+            seed=20160607,
+        )
+        print(f"=== {fig}: C_D = {C_D:g}s ===")
+        print(render_weak_scaling(rows, C_D=C_D))
+        print()
+        # Where does the overhead cross 100%?
+        for pattern in ("PD", "PDMV"):
+            crossed = [
+                r["nodes"]
+                for r in rows
+                if r["pattern"] == pattern and r["simulated"] > 1.0
+            ]
+            if crossed:
+                print(f"  {pattern}: simulated overhead exceeds 100% "
+                      f"from {crossed[0]} nodes")
+            else:
+                print(f"  {pattern}: overhead stays below 100% "
+                      f"up to {nodes[-1]} nodes")
+        print()
+
+
+if __name__ == "__main__":
+    main()

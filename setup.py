@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment ships setuptools 65 without the ``wheel`` package, so
+PEP-660 editable installs (``pip install -e .``) cannot generate dist-info
+metadata.  ``python setup.py develop`` (or ``pip install --no-build-isolation
+--no-use-pep517 -e .``) works; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro -- optimal resilience patterns for fail-stop and silent errors.
+
+A complete reproduction of Benoit, Cavelan, Robert & Sun, *Optimal
+resilience patterns to cope with fail-stop and silent errors* (RR-8786 /
+IPDPS 2016): the analytical pattern model, Table-1 closed-form optima, an
+exact (non-approximated) evaluator, a Monte-Carlo simulator reproducing
+the paper's evaluation (Figures 6-9), and a live resilient executor that
+runs real NumPy workloads under pattern schedules with injected faults.
+
+Quickstart
+----------
+>>> from repro import hera, PatternKind, optimal_pattern
+>>> opt = optimal_pattern(PatternKind.PDMV, hera())
+>>> opt.H_star < optimal_pattern(PatternKind.PD, hera()).H_star
+True
+"""
+
+from repro._version import __version__
+from repro.core import (
+    OptimalPattern,
+    Pattern,
+    PatternKind,
+    build_pattern,
+    decompose_overhead,
+    exact_expected_time,
+    exact_overhead,
+    numeric_optimal_pattern,
+    optimal_pattern,
+    optimize_all_patterns,
+)
+from repro.errors import (
+    ErrorEvent,
+    ErrorKind,
+    PoissonErrorProcess,
+    TwoErrorProcess,
+)
+from repro.platforms import (
+    Platform,
+    ResilienceCosts,
+    atlas,
+    coastal,
+    coastal_ssd,
+    get_platform,
+    hera,
+    weak_scaling_platform,
+)
+from repro.simulation import (
+    MonteCarloResult,
+    PatternSimulator,
+    SimulationStats,
+    simulate_pattern_overhead,
+)
+
+__all__ = [
+    "__version__",
+    # core
+    "Pattern",
+    "PatternKind",
+    "OptimalPattern",
+    "build_pattern",
+    "optimal_pattern",
+    "optimize_all_patterns",
+    "decompose_overhead",
+    "exact_expected_time",
+    "exact_overhead",
+    "numeric_optimal_pattern",
+    # errors
+    "ErrorKind",
+    "ErrorEvent",
+    "PoissonErrorProcess",
+    "TwoErrorProcess",
+    # platforms
+    "Platform",
+    "ResilienceCosts",
+    "hera",
+    "atlas",
+    "coastal",
+    "coastal_ssd",
+    "get_platform",
+    "weak_scaling_platform",
+    # simulation
+    "PatternSimulator",
+    "SimulationStats",
+    "MonteCarloResult",
+    "simulate_pattern_overhead",
+]

@@ -1,0 +1,29 @@
+"""Statistical analysis of Monte-Carlo campaigns and model accuracy.
+
+Goes one level deeper than the paper's mean-overhead plots:
+
+* :mod:`repro.analysis.distribution` -- per-run overhead distributions
+  (percentiles, tail risk, completion probabilities);
+* :mod:`repro.analysis.accuracy` -- quantifying where the first-order
+  approximation breaks, against both the exact model and simulation.
+"""
+
+from repro.analysis.distribution import (
+    OverheadDistribution,
+    collect_overhead_distribution,
+    pattern_success_probability,
+    expected_errors_per_pattern,
+)
+from repro.analysis.accuracy import (
+    accuracy_sweep,
+    render_accuracy_sweep,
+)
+
+__all__ = [
+    "OverheadDistribution",
+    "collect_overhead_distribution",
+    "pattern_success_probability",
+    "expected_errors_per_pattern",
+    "accuracy_sweep",
+    "render_accuracy_sweep",
+]

@@ -1,0 +1,147 @@
+"""Per-run overhead distributions and pattern-level probabilities.
+
+The paper reports mean overheads; production deployments also care about
+variability: what is the 95th-percentile slowdown?  How likely is a
+pattern to complete without any rollback?  These helpers answer both,
+one from Monte-Carlo samples, the other in closed form from the failure
+model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.errors.rng import RandomStreams, SeedLike
+from repro.platforms.platform import Platform
+from repro.simulation.engine import PatternSimulator
+
+
+@dataclass(frozen=True)
+class OverheadDistribution:
+    """Empirical distribution of per-run overheads.
+
+    Attributes
+    ----------
+    samples:
+        One simulated overhead per independent run (sorted ascending).
+    """
+
+    samples: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.sort(np.asarray(self.samples, dtype=np.float64))
+        if arr.size == 0:
+            raise ValueError("need at least one sample")
+        object.__setattr__(self, "samples", arr)
+
+    @property
+    def n(self) -> int:
+        """Number of runs."""
+        return int(self.samples.size)
+
+    @property
+    def mean(self) -> float:
+        """Mean overhead (the paper's headline number)."""
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0 for a single run)."""
+        if self.samples.size < 2:
+            return 0.0
+        return float(self.samples.std(ddof=1))
+
+    def percentile(self, q: float) -> float:
+        """Overhead percentile, ``q`` in [0, 100]."""
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def p50(self) -> float:
+        """Median overhead."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile overhead (tail risk)."""
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile overhead."""
+        return self.percentile(99.0)
+
+    def tail_probability(self, threshold: float) -> float:
+        """Fraction of runs whose overhead exceeded ``threshold``."""
+        return float(np.mean(self.samples > threshold))
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics as a dict (for tables and JSON)."""
+        return {
+            "n_runs": float(self.n),
+            "mean": self.mean,
+            "std": self.std,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": float(self.samples[0]),
+            "max": float(self.samples[-1]),
+        }
+
+
+def collect_overhead_distribution(
+    pattern: Pattern,
+    platform: Platform,
+    *,
+    n_patterns: int = 50,
+    n_runs: int = 200,
+    seed: SeedLike = None,
+    fail_stop_in_operations: bool = True,
+) -> OverheadDistribution:
+    """Simulate many independent runs, keeping each run's overhead."""
+    if n_runs <= 0:
+        raise ValueError(f"n_runs must be positive, got {n_runs}")
+    sim = PatternSimulator(
+        pattern, platform, fail_stop_in_operations=fail_stop_in_operations
+    )
+    streams = RandomStreams(seed)
+    samples = np.empty(n_runs)
+    for i in range(n_runs):
+        stats = sim.run(n_patterns, streams.next())
+        samples[i] = stats.overhead
+    return OverheadDistribution(samples=samples)
+
+
+def pattern_success_probability(
+    pattern: Pattern, platform: Platform
+) -> float:
+    """Probability one pattern attempt completes with no error at all.
+
+    Closed form: no fail-stop and no silent error across the whole
+    pattern's work, ``exp(-(lambda_f + lambda_s) W)`` -- resilience
+    operations excluded per the base model.  At the optimal
+    ``W* = Theta(lambda^{-1/2})`` this tends to 1 as ``lambda -> 0``,
+    which is exactly why the first-order analysis works.
+    """
+    return math.exp(-platform.lambda_total * pattern.W)
+
+
+def expected_errors_per_pattern(
+    pattern: Pattern, platform: Platform
+) -> Dict[str, float]:
+    """Expected fail-stop / silent strikes per single pattern attempt.
+
+    Poisson means over the pattern's work content: ``lambda_f W`` and
+    ``lambda_s W``.  (Re-executions multiply the realised counts; the
+    simulator's counters measure those.)
+    """
+    return {
+        "fail_stop": platform.lambda_f * pattern.W,
+        "silent": platform.lambda_s * pattern.W,
+    }

@@ -1,0 +1,133 @@
+"""Conjugate-gradient workload on a sparse Poisson system.
+
+Krylov solvers are the paper's canonical example of an application with
+cheap algorithm-specific verifications (orthogonality checks).  This
+workload runs plain CG on the standard 2-D five-point Laplacian; one
+"step" is one CG iteration.  The state exported to checkpoints is the
+full Krylov state ``(x, r, p)`` plus scalars, so a restore resumes the
+iteration exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.application.workload import Workload, WorkloadState
+
+
+def poisson2d(n: int) -> sparse.csr_matrix:
+    """The 2-D five-point Laplacian on an ``n x n`` grid (SPD, CSR)."""
+    if n < 2:
+        raise ValueError(f"grid too small: n={n}")
+    main = 4.0 * np.ones(n * n)
+    side = -np.ones(n * n - 1)
+    side[np.arange(1, n * n) % n == 0] = 0.0  # no wrap across rows
+    updown = -np.ones(n * n - n)
+    A = sparse.diags(
+        [main, side, side, updown, updown],
+        [0, -1, 1, -n, n],
+        format="csr",
+    )
+    return A
+
+
+class ConjugateGradient(Workload):
+    """Plain CG iterations on ``A x = b`` with exportable Krylov state.
+
+    Parameters
+    ----------
+    n:
+        Grid side; the system has ``n^2`` unknowns.
+    b:
+        Right-hand side (defaults to all ones).
+    seconds_per_step:
+        Work calibration (seconds of model work per CG iteration).
+    """
+
+    def __init__(
+        self,
+        n: int = 32,
+        b: Optional[np.ndarray] = None,
+        seconds_per_step: float = 1.0,
+    ):
+        self.n = n
+        self.A = poisson2d(n)
+        N = n * n
+        self.b = np.ones(N) if b is None else np.asarray(b, dtype=np.float64)
+        if self.b.shape != (N,):
+            raise ValueError(f"b must have shape ({N},), got {self.b.shape}")
+        self._x = np.zeros(N)
+        self._r = self.b - self.A @ self._x
+        self._p = self._r.copy()
+        self._rs = np.array([float(self._r @ self._r)])
+        self._steps = np.zeros(1, dtype=np.int64)
+        self.seconds_per_step = seconds_per_step
+
+    def step(self, n: int = 1) -> None:
+        """Run ``n`` CG iterations."""
+        if n < 0:
+            raise ValueError(f"cannot step a negative amount: {n}")
+        A = self.A
+        x, r, p = self._x, self._r, self._p
+        rs_old = float(self._rs[0])
+        for _ in range(n):
+            if rs_old <= 0.0:  # converged exactly; iterations are no-ops
+                break
+            Ap = A @ p
+            denom = float(p @ Ap)
+            if denom <= 0.0:
+                # numerical breakdown (possible after a corruption):
+                # freeze; the verification layer will catch the corruption.
+                break
+            alpha = rs_old / denom
+            x += alpha * p
+            r -= alpha * Ap
+            rs_new = float(r @ r)
+            p *= rs_new / rs_old
+            p += r
+            rs_old = rs_new
+        self._rs[0] = rs_old
+        self._steps[0] += n
+
+    @property
+    def residual_norm(self) -> float:
+        """Current residual two-norm (from the recurrence)."""
+        return float(np.sqrt(max(self._rs[0], 0.0)))
+
+    @property
+    def true_residual_norm(self) -> float:
+        """Explicitly recomputed ``||b - A x||`` (detects drift/corruption)."""
+        return float(np.linalg.norm(self.b - self.A @ self._x))
+
+    def export_state(self) -> WorkloadState:
+        return {
+            "x": self._x,
+            "r": self._r,
+            "p": self._p,
+            "rs": self._rs,
+            "steps": self._steps,
+        }
+
+    def import_state(self, state: WorkloadState) -> None:
+        self._x = np.array(state["x"], dtype=np.float64, copy=True)
+        self._r = np.array(state["r"], dtype=np.float64, copy=True)
+        self._p = np.array(state["p"], dtype=np.float64, copy=True)
+        self._rs = np.array(state["rs"], dtype=np.float64, copy=True)
+        self._steps = np.array(state["steps"], dtype=np.int64, copy=True)
+
+    @property
+    def steps_done(self) -> int:
+        return int(self._steps[0])
+
+    def corruptible_array(self) -> np.ndarray:
+        return self._x
+
+    @property
+    def solution(self) -> np.ndarray:
+        """Read-only view of the current iterate."""
+        v = self._x.view()
+        v.flags.writeable = False
+        return v

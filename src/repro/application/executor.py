@@ -1,0 +1,342 @@
+"""The live resilient executor: pattern schedules over real workloads.
+
+This is the end-to-end demonstration of the paper's machinery: a real
+NumPy workload advances under a pattern schedule; silent errors are
+*actual bit flips* in the live arrays; fail-stop errors destroy the live
+state; verifications and the two-level checkpoint store recover it.  At
+the end, the workload state is provably identical to a fault-free
+execution (tests assert this bit-for-bit).
+
+Timing model: the workload runs at unit speed (``seconds_per_step`` maps
+steps to simulated seconds); resilience operations consume their platform
+costs in simulated time.  Fault arrival times are drawn from the same
+exponential model as the abstract simulator, or supplied explicitly via a
+:class:`FaultPlan` for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.application.sdc import flip_random_bit
+from repro.application.workload import Workload
+from repro.core.pattern import Pattern
+from repro.errors.types import ErrorKind
+from repro.platforms.platform import Platform
+from repro.verification.checkpoint import TwoLevelCheckpointStore
+from repro.verification.detectors import Detector
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic fault schedule for the live executor.
+
+    Attributes
+    ----------
+    fail_stop_times:
+        Absolute simulated times at which fail-stop errors strike.
+    silent_times:
+        Absolute simulated times at which silent bit flips are injected.
+
+    Each fault fires at most once (the executor consumes them in order).
+    An empty plan runs fault-free.  For stochastic execution use
+    :meth:`sample` to draw a plan from platform rates over a horizon.
+    """
+
+    fail_stop_times: List[float] = field(default_factory=list)
+    silent_times: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.fail_stop_times = sorted(float(t) for t in self.fail_stop_times)
+        self.silent_times = sorted(float(t) for t in self.silent_times)
+        if any(t < 0 for t in self.fail_stop_times + self.silent_times):
+            raise ValueError("fault times must be non-negative")
+
+    @classmethod
+    def sample(
+        cls,
+        platform: Platform,
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> "FaultPlan":
+        """Draw a plan from the platform's Poisson rates over ``horizon``."""
+        from repro.errors.process import exponential_arrivals
+
+        fs = exponential_arrivals(platform.lambda_f, horizon, rng)
+        si = exponential_arrivals(platform.lambda_s, horizon, rng)
+        return cls(
+            fail_stop_times=[float(t) for t in fs],
+            silent_times=[float(t) for t in si],
+        )
+
+    def next_fail_stop(self, after: float, before: float) -> Optional[float]:
+        """First unconsumed fail-stop time in ``(after, before]``."""
+        for t in self.fail_stop_times:
+            if after < t <= before:
+                return t
+        return None
+
+    def consume_fail_stop(self, t: float) -> None:
+        """Remove a fired fail-stop fault from the plan."""
+        self.fail_stop_times.remove(t)
+
+    def silent_in(self, after: float, before: float) -> List[float]:
+        """Unconsumed silent-fault times in ``(after, before]``."""
+        return [t for t in self.silent_times if after < t <= before]
+
+    def consume_silent(self, t: float) -> None:
+        """Remove a fired silent fault from the plan."""
+        self.silent_times.remove(t)
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of a resilient execution.
+
+    Attributes
+    ----------
+    simulated_time:
+        Total simulated wall-clock, including rework and resilience costs.
+    useful_work:
+        Error-free work content executed (pattern work sum).
+    steps_completed:
+        Workload steps in the final committed state.
+    """
+
+    simulated_time: float = 0.0
+    useful_work: float = 0.0
+    steps_completed: int = 0
+    disk_checkpoints: int = 0
+    memory_checkpoints: int = 0
+    verifications: int = 0
+    disk_recoveries: int = 0
+    memory_recoveries: int = 0
+    fail_stop_errors: int = 0
+    silent_errors_injected: int = 0
+    silent_errors_detected: int = 0
+
+    @property
+    def overhead(self) -> float:
+        """Simulated overhead relative to the useful work content."""
+        if self.useful_work <= 0:
+            raise ValueError("no useful work recorded")
+        return self.simulated_time / self.useful_work - 1.0
+
+
+class ResilientExecutor:
+    """Run a workload under repeated pattern schedules with fault injection.
+
+    Parameters
+    ----------
+    workload:
+        The live computation; its state is checkpointed/restored for real.
+    pattern:
+        Pattern shape and period.  Work amounts are converted to step
+        counts via ``workload.seconds_per_step`` (fractional remainders
+        accumulate so long-run progress is exact).
+    platform:
+        Cost/rate parameters (costs consume simulated time).
+    partial_detector, guaranteed_detector:
+        Detection behaviour at chunk/segment boundaries.  Defaults use the
+        platform's ``V``/``r`` and ``V*``.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        pattern: Pattern,
+        platform: Platform,
+        *,
+        partial_detector: Optional[Detector] = None,
+        guaranteed_detector: Optional[Detector] = None,
+    ):
+        self.workload = workload
+        self.pattern = pattern
+        self.platform = platform
+        self.partial_detector = partial_detector or Detector(
+            "partial", platform.V, platform.r
+        )
+        self.guaranteed_detector = guaranteed_detector or Detector(
+            "guaranteed", platform.V_star, 1.0
+        )
+        if not self.guaranteed_detector.is_guaranteed:
+            raise ValueError("guaranteed_detector must have recall 1")
+        self.store = TwoLevelCheckpointStore()
+
+    # ------------------------------------------------------------------ #
+
+    def _steps_for(self, seconds: float, carry: float) -> Tuple[int, float]:
+        """Convert simulated work seconds to whole steps plus carry."""
+        sps = self.workload.seconds_per_step
+        total = seconds + carry
+        steps = int(total / sps + 1e-9)
+        return steps, total - steps * sps
+
+    def run(
+        self,
+        n_patterns: int,
+        rng: np.random.Generator,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> ExecutionReport:
+        """Execute ``n_patterns`` patterns; return the execution report.
+
+        When ``fault_plan`` is None, faults are sampled on the fly from the
+        platform rates (equivalent to the abstract simulator).  A supplied
+        plan makes the run fully deterministic given ``rng`` (the rng is
+        still used for partial-detection coin flips and flip positions).
+        """
+        if n_patterns <= 0:
+            raise ValueError(f"n_patterns must be positive, got {n_patterns}")
+        report = ExecutionReport()
+        plat = self.platform
+        wl = self.workload
+
+        # Initial disk checkpoint: the paper's "initial data for the first
+        # pattern" that the first disk recovery falls back to.
+        self.store.save_disk(wl.export_state(), time=0.0, meta={"pattern": -1})
+
+        plan = fault_plan
+        now = 0.0  # absolute simulated time
+
+        def sample_fail_stop(duration: float) -> Optional[float]:
+            """Relative time of the first fail-stop strike within the op."""
+            if plan is not None:
+                t_abs = plan.next_fail_stop(now, now + duration)
+                return None if t_abs is None else t_abs - now
+            if plat.lambda_f == 0.0 or duration == 0.0:
+                return None
+            t = rng.exponential(1.0 / plat.lambda_f)
+            return t if t < duration else None
+
+        def consume_fail_stop(rel: float) -> None:
+            if plan is not None:
+                plan.consume_fail_stop(now + rel)
+
+        def silent_strikes(duration: float) -> int:
+            """Number of silent errors striking within a work window."""
+            if plan is not None:
+                hits = plan.silent_in(now, now + duration)
+                for t in hits:
+                    plan.consume_silent(t)
+                return len(hits)
+            if plat.lambda_s == 0.0 or duration == 0.0:
+                return 0
+            return int(rng.poisson(plat.lambda_s * duration))
+
+        def crash_recover() -> None:
+            """Fail-stop handling: restore from disk, pay R_D + R_M."""
+            nonlocal now
+            report.fail_stop_errors += 1
+            self.store.crash()
+            now += plat.R_D + plat.R_M
+            report.simulated_time += plat.R_D + plat.R_M
+            report.disk_recoveries += 1
+            report.memory_recoveries += 1
+            wl.import_state(self.store.restore_disk())
+
+        for pattern_idx in range(n_patterns):
+            pattern_done = False
+            while not pattern_done:
+                restart_pattern = False
+                for seg in self.pattern.segments():
+                    segment_done = False
+                    while not segment_done:
+                        pending = 0
+                        rollback_segment = False
+                        carry = 0.0
+                        chunk_specs = list(seg.chunk_lengths)
+                        for j, w in enumerate(chunk_specs):
+                            # ---- work chunk -----------------------------
+                            t_fs = sample_fail_stop(w)
+                            if t_fs is not None:
+                                consume_fail_stop(t_fs)
+                                now += t_fs
+                                report.simulated_time += t_fs
+                                crash_recover()
+                                restart_pattern = True
+                                break
+                            n_silent = silent_strikes(w)
+                            steps, carry = self._steps_for(w, carry)
+                            wl.step(steps)
+                            now += w
+                            report.simulated_time += w
+                            if n_silent > 0:
+                                arr = wl.corruptible_array()
+                                for _ in range(n_silent):
+                                    flip_random_bit(arr, rng)
+                                pending += n_silent
+                                report.silent_errors_injected += n_silent
+                            # ---- verification ---------------------------
+                            last = j == len(chunk_specs) - 1
+                            det = (
+                                self.guaranteed_detector
+                                if last
+                                else self.partial_detector
+                            )
+                            t_fs = sample_fail_stop(det.cost)
+                            if t_fs is not None:
+                                consume_fail_stop(t_fs)
+                                now += t_fs
+                                report.simulated_time += t_fs
+                                crash_recover()
+                                restart_pattern = True
+                                break
+                            now += det.cost
+                            report.simulated_time += det.cost
+                            report.verifications += 1
+                            if det.detects(pending, rng):
+                                report.silent_errors_detected += pending
+                                now += plat.R_M
+                                report.simulated_time += plat.R_M
+                                report.memory_recoveries += 1
+                                wl.import_state(self.store.restore_memory())
+                                rollback_segment = True
+                                break
+                        if restart_pattern:
+                            break
+                        if rollback_segment:
+                            continue
+                        # ---- memory checkpoint ---------------------------
+                        t_fs = sample_fail_stop(plat.C_M)
+                        if t_fs is not None:
+                            consume_fail_stop(t_fs)
+                            now += t_fs
+                            report.simulated_time += t_fs
+                            crash_recover()
+                            restart_pattern = True
+                            break
+                        now += plat.C_M
+                        report.simulated_time += plat.C_M
+                        self.store.save_memory(
+                            wl.export_state(),
+                            time=now,
+                            meta={"pattern": pattern_idx, "segment": seg.index},
+                        )
+                        report.memory_checkpoints += 1
+                        segment_done = True
+                    if restart_pattern:
+                        break
+                if restart_pattern:
+                    continue
+                # ---- final disk checkpoint -------------------------------
+                t_fs = sample_fail_stop(plat.C_D)
+                if t_fs is not None:
+                    consume_fail_stop(t_fs)
+                    now += t_fs
+                    report.simulated_time += t_fs
+                    crash_recover()
+                    continue
+                now += plat.C_D
+                report.simulated_time += plat.C_D
+                self.store.save_disk(
+                    wl.export_state(), time=now, meta={"pattern": pattern_idx}
+                )
+                report.disk_checkpoints += 1
+                pattern_done = True
+            report.useful_work += self.pattern.W
+        report.steps_completed = wl.steps_done
+        return report

@@ -1,0 +1,170 @@
+"""Heat-equation workloads (explicit finite differences).
+
+Classic HPC kernels used as live workloads: 1-D and 2-D explicit heat
+diffusion with fixed boundary conditions.  Fully vectorised stencil
+updates (no Python-level loops over grid points), with preallocated
+double buffers -- the update writes into a scratch array and swaps, so no
+per-step allocation occurs (HPC-guide idiom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.application.workload import Workload, WorkloadState
+
+
+class Heat1D(Workload):
+    """Explicit 1-D heat diffusion ``u_t = alpha u_xx`` on a fixed grid.
+
+    Parameters
+    ----------
+    n:
+        Number of interior grid points.
+    alpha:
+        Diffusion coefficient; the scheme uses a stable CFL number
+        ``alpha * dt / dx^2 = 0.25``.
+    initial:
+        Optional initial temperature field of length ``n + 2`` (including
+        boundaries); defaults to a centred Gaussian bump.
+    seconds_per_step:
+        Calibration constant mapping one sweep to simulated work seconds.
+    """
+
+    def __init__(
+        self,
+        n: int = 1024,
+        alpha: float = 1.0,
+        initial: Optional[np.ndarray] = None,
+        seconds_per_step: float = 1.0,
+    ):
+        if n < 3:
+            raise ValueError(f"grid too small: n={n}")
+        self.n = n
+        self.alpha = alpha
+        self.cfl = 0.25  # alpha*dt/dx^2, stable for explicit Euler (<= 0.5)
+        if initial is not None:
+            u = np.asarray(initial, dtype=np.float64)
+            if u.shape != (n + 2,):
+                raise ValueError(
+                    f"initial field must have shape ({n + 2},), got {u.shape}"
+                )
+            self._u = u.copy()
+        else:
+            x = np.linspace(-1.0, 1.0, n + 2)
+            self._u = np.exp(-16.0 * x * x)
+        self._scratch = np.empty_like(self._u)
+        self._steps = np.zeros(1, dtype=np.int64)
+        self.seconds_per_step = seconds_per_step
+
+    def step(self, n: int = 1) -> None:
+        """Apply ``n`` explicit Euler sweeps (vectorised stencil)."""
+        if n < 0:
+            raise ValueError(f"cannot step a negative amount: {n}")
+        u, s, c = self._u, self._scratch, self.cfl
+        for _ in range(n):
+            # interior update: u + c*(u[i-1] - 2u[i] + u[i+1])
+            s[1:-1] = u[1:-1] + c * (u[:-2] - 2.0 * u[1:-1] + u[2:])
+            s[0], s[-1] = u[0], u[-1]  # Dirichlet boundaries
+            u, s = s, u
+        self._u, self._scratch = u, s
+        self._steps[0] += n
+
+    def export_state(self) -> WorkloadState:
+        return {"u": self._u, "steps": self._steps}
+
+    def import_state(self, state: WorkloadState) -> None:
+        self._u = np.array(state["u"], dtype=np.float64, copy=True)
+        self._scratch = np.empty_like(self._u)
+        self._steps = np.array(state["steps"], dtype=np.int64, copy=True)
+
+    @property
+    def steps_done(self) -> int:
+        return int(self._steps[0])
+
+    def corruptible_array(self) -> np.ndarray:
+        return self._u
+
+    @property
+    def field(self) -> np.ndarray:
+        """Read-only view of the current temperature field."""
+        v = self._u.view()
+        v.flags.writeable = False
+        return v
+
+
+class Heat2D(Workload):
+    """Explicit 2-D heat diffusion on an ``(n x n)`` interior grid.
+
+    Same scheme as :class:`Heat1D` with a five-point stencil and CFL
+    number 0.125 (stable for 2-D explicit Euler).
+    """
+
+    def __init__(
+        self,
+        n: int = 128,
+        initial: Optional[np.ndarray] = None,
+        seconds_per_step: float = 1.0,
+    ):
+        if n < 3:
+            raise ValueError(f"grid too small: n={n}")
+        self.n = n
+        self.cfl = 0.125
+        if initial is not None:
+            u = np.asarray(initial, dtype=np.float64)
+            if u.shape != (n + 2, n + 2):
+                raise ValueError(
+                    f"initial field must have shape ({n + 2}, {n + 2}), "
+                    f"got {u.shape}"
+                )
+            self._u = u.copy()
+        else:
+            x = np.linspace(-1.0, 1.0, n + 2)
+            xx, yy = np.meshgrid(x, x, indexing="ij")
+            self._u = np.exp(-16.0 * (xx * xx + yy * yy))
+        self._scratch = np.empty_like(self._u)
+        self._steps = np.zeros(1, dtype=np.int64)
+        self.seconds_per_step = seconds_per_step
+
+    def step(self, n: int = 1) -> None:
+        """Apply ``n`` five-point-stencil sweeps."""
+        if n < 0:
+            raise ValueError(f"cannot step a negative amount: {n}")
+        u, s, c = self._u, self._scratch, self.cfl
+        for _ in range(n):
+            s[1:-1, 1:-1] = u[1:-1, 1:-1] + c * (
+                u[:-2, 1:-1]
+                + u[2:, 1:-1]
+                + u[1:-1, :-2]
+                + u[1:-1, 2:]
+                - 4.0 * u[1:-1, 1:-1]
+            )
+            s[0, :], s[-1, :] = u[0, :], u[-1, :]
+            s[:, 0], s[:, -1] = u[:, 0], u[:, -1]
+            u, s = s, u
+        self._u, self._scratch = u, s
+        self._steps[0] += n
+
+    def export_state(self) -> WorkloadState:
+        return {"u": self._u, "steps": self._steps}
+
+    def import_state(self, state: WorkloadState) -> None:
+        self._u = np.array(state["u"], dtype=np.float64, copy=True)
+        self._scratch = np.empty_like(self._u)
+        self._steps = np.array(state["steps"], dtype=np.int64, copy=True)
+
+    @property
+    def steps_done(self) -> int:
+        return int(self._steps[0])
+
+    def corruptible_array(self) -> np.ndarray:
+        return self._u
+
+    @property
+    def field(self) -> np.ndarray:
+        """Read-only view of the current temperature field."""
+        v = self._u.view()
+        v.flags.writeable = False
+        return v

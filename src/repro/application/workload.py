@@ -1,0 +1,53 @@
+"""The abstract workload interface for the live executor.
+
+A workload is a steppable computation whose complete state can be
+exported/imported as a dict of NumPy arrays (the checkpoint payload).
+Progress is measured in *steps*; the executor maps pattern work amounts to
+step counts through the workload's ``seconds_per_step`` calibration.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+#: Checkpoint payload type: named arrays capturing the full state.
+WorkloadState = Dict[str, np.ndarray]
+
+
+class Workload(abc.ABC):
+    """A resumable numerical computation with exportable state."""
+
+    #: Simulated seconds of work one step represents (unit-speed work).
+    seconds_per_step: float = 1.0
+
+    @abc.abstractmethod
+    def step(self, n: int = 1) -> None:
+        """Advance the computation by ``n`` steps, mutating internal state."""
+
+    @abc.abstractmethod
+    def export_state(self) -> WorkloadState:
+        """Export the complete state as named arrays (no aliasing: the
+        returned arrays ARE the live buffers; callers must copy if they
+        need isolation -- the checkpoint store does)."""
+
+    @abc.abstractmethod
+    def import_state(self, state: WorkloadState) -> None:
+        """Replace the internal state with (a copy of) ``state``."""
+
+    @property
+    @abc.abstractmethod
+    def steps_done(self) -> int:
+        """Number of steps successfully applied since construction/import."""
+
+    @abc.abstractmethod
+    def corruptible_array(self) -> np.ndarray:
+        """The main data array that silent errors strike (mutated in place
+        by the fault injector)."""
+
+    def state_signature(self) -> float:
+        """A cheap scalar signature of the state (for tests/diagnostics)."""
+        arr = self.corruptible_array()
+        return float(np.sum(arr, dtype=np.float64))

@@ -1,0 +1,417 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-patterns table1 --platform hera
+    repro-patterns table2
+    repro-patterns fig6 --runs 50 --patterns 100
+    repro-patterns fig7 --runs 20
+    repro-patterns fig8 --runs 20
+    repro-patterns fig9 --sweep f
+    repro-patterns fig9 --grid
+
+Every command accepts ``--csv PATH`` / ``--json PATH`` to persist the rows
+and ``--full`` to use the paper-scale Monte-Carlo sizes (1000 patterns x
+1000 runs -- hours of CPU).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.experiments.fig7 import (
+    PAPER_NODE_COUNTS,
+    render_weak_scaling,
+    run_weak_scaling,
+)
+from repro.experiments.fig8 import FIG8_C_D, render_fig8, run_fig8
+from repro.experiments.fig9 import (
+    PAPER_FACTORS,
+    render_error_rate_sweep,
+    run_error_rate_grid,
+    run_error_rate_sweep,
+)
+from repro.experiments.io import write_csv, write_json
+from repro.experiments.report import format_table
+from repro.experiments.table1 import render_table1
+from repro.experiments.table2 import render_table2
+from repro.platforms.catalog import get_platform, platform_names
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--csv", help="write rows to a CSV file")
+    parser.add_argument("--json", help="write rows to a JSON file")
+    parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    parser.add_argument(
+        "--patterns", type=int, default=None, help="patterns per run"
+    )
+    parser.add_argument("--runs", type=int, default=None, help="Monte-Carlo runs")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale campaign (1000 patterns x 1000 runs; very slow)",
+    )
+
+
+def _mc_sizes(args: argparse.Namespace, default_patterns: int, default_runs: int):
+    if args.full:
+        return 1000, 1000
+    return (
+        args.patterns if args.patterns is not None else default_patterns,
+        args.runs if args.runs is not None else default_runs,
+    )
+
+
+def _emit(rows: List[Dict[str, Any]], text: str, args: argparse.Namespace) -> None:
+    print(text)
+    if args.csv:
+        write_csv(rows, args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.json:
+        write_json(rows, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-patterns",
+        description="Optimal resilience patterns: tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1 optima on one platform")
+    p.add_argument(
+        "--platform",
+        default="hera",
+        choices=platform_names(),
+        help="catalog platform",
+    )
+    p.add_argument(
+        "--numeric",
+        action="store_true",
+        help="also compute the numerically optimal period (slow)",
+    )
+    _add_common(p)
+
+    p = sub.add_parser("table2", help="platform parameter catalog")
+    _add_common(p)
+
+    p = sub.add_parser("fig6", help="patterns on the four real platforms")
+    _add_common(p)
+
+    p = sub.add_parser("fig7", help="weak scaling, C_D = 300")
+    p.add_argument(
+        "--paper-nodes",
+        action="store_true",
+        help="sweep the full 2^8..2^18 node range",
+    )
+    _add_common(p)
+
+    p = sub.add_parser("fig8", help="weak scaling, C_D = 90")
+    p.add_argument("--paper-nodes", action="store_true")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "optimize", help="Table-1 optima for a custom platform"
+    )
+    p.add_argument("--lambda-f", type=float, required=True,
+                   help="fail-stop error rate (1/s)")
+    p.add_argument("--lambda-s", type=float, required=True,
+                   help="silent error rate (1/s)")
+    p.add_argument("--cd", type=float, required=True,
+                   help="disk checkpoint cost (s)")
+    p.add_argument("--cm", type=float, required=True,
+                   help="memory checkpoint cost (s)")
+    p.add_argument("--v-star", type=float, default=None,
+                   help="guaranteed verification cost (default: C_M)")
+    p.add_argument("--v", type=float, default=None,
+                   help="partial verification cost (default: V*/100)")
+    p.add_argument("--recall", type=float, default=0.8,
+                   help="partial verification recall")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "simulate", help="Monte-Carlo one pattern family on one platform"
+    )
+    p.add_argument(
+        "--platform", default="hera", choices=platform_names()
+    )
+    p.add_argument(
+        "--pattern",
+        default="PDMV",
+        choices=["PD", "PDV*", "PDV", "PDM", "PDMV*", "PDMV"],
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "makespan", help="expected makespan of a job under each pattern"
+    )
+    p.add_argument(
+        "--platform", default="hera", choices=platform_names()
+    )
+    p.add_argument(
+        "--base-hours", type=float, default=100.0,
+        help="failure-free job duration in hours",
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "trace", help="trace one simulated pattern execution"
+    )
+    p.add_argument("--platform", default="hera", choices=platform_names())
+    p.add_argument(
+        "--pattern",
+        default="PDMV",
+        choices=["PD", "PDV*", "PDV", "PDM", "PDMV*", "PDMV"],
+    )
+    p.add_argument("--n-patterns", type=int, default=1,
+                   help="patterns to trace")
+    p.add_argument("--limit", type=int, default=60,
+                   help="max records to print")
+    p.add_argument(
+        "--scale", type=int, default=None,
+        help="weak-scale the platform to this many nodes first",
+    )
+    _add_common(p)
+
+    p = sub.add_parser(
+        "accuracy", help="first-order vs exact model across scales"
+    )
+    p.add_argument(
+        "--simulate", action="store_true",
+        help="also Monte-Carlo simulate each point (slower)",
+    )
+    _add_common(p)
+
+    p = sub.add_parser("fig9", help="error-rate sweeps at 100k nodes")
+    p.add_argument(
+        "--sweep",
+        choices=["f", "s"],
+        help="1-D sweep over lambda_f (9d-g) or lambda_s (9h-k)",
+    )
+    p.add_argument(
+        "--grid",
+        action="store_true",
+        help="2-D overhead surface (9a-c)",
+    )
+    p.add_argument(
+        "--paper-factors",
+        action="store_true",
+        help="use the full 0.2..2.0 factor grid",
+    )
+    _add_common(p)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        platform = get_platform(args.platform)
+        from repro.experiments.table1 import run_table1
+
+        rows = run_table1(platform, include_numeric=args.numeric)
+        _emit(rows, render_table1(platform, include_numeric=args.numeric), args)
+        return 0
+
+    if args.command == "table2":
+        from repro.experiments.table2 import run_table2
+
+        rows = run_table2()
+        _emit(rows, render_table2(), args)
+        return 0
+
+    if args.command == "optimize":
+        from repro.experiments.table1 import run_table1
+        from repro.platforms.platform import Platform, default_costs
+
+        platform = Platform(
+            name="custom",
+            nodes=1,
+            lambda_f=args.lambda_f,
+            lambda_s=args.lambda_s,
+            costs=default_costs(
+                C_D=args.cd,
+                C_M=args.cm,
+                V_star=args.v_star,
+                V=args.v,
+                r=args.recall,
+            ),
+        )
+        rows = run_table1(platform)
+        _emit(rows, render_table1(platform), args)
+        return 0
+
+    if args.command == "simulate":
+        from repro.core.builders import PatternKind
+        from repro.simulation.runner import simulate_optimal_pattern
+
+        kind = next(k for k in PatternKind if k.value == args.pattern)
+        platform = get_platform(args.platform)
+        n_pat, n_runs = _mc_sizes(args, 100, 50)
+        res = simulate_optimal_pattern(
+            kind,
+            platform,
+            n_patterns=n_pat,
+            n_runs=n_runs,
+            seed=args.seed if args.seed is not None else 20160601,
+        )
+        agg = res.aggregated
+        lo, hi = agg.overhead_ci95()
+        rows = [
+            {
+                "pattern": kind.value,
+                "platform": platform.name,
+                "predicted": res.predicted_overhead,
+                "simulated": agg.mean_overhead,
+                "ci95_low": lo,
+                "ci95_high": hi,
+                "disk_ckpts_per_hour": agg.rates_per_hour["disk_checkpoints"],
+                "mem_ckpts_per_hour": agg.rates_per_hour["memory_checkpoints"],
+                "verifs_per_hour": agg.rates_per_hour["verifications"],
+                "disk_recoveries_per_day": agg.rates_per_day["disk_recoveries"],
+                "mem_recoveries_per_day": agg.rates_per_day["memory_recoveries"],
+            }
+        ]
+        _emit(
+            rows,
+            format_table(
+                rows,
+                title=f"Simulation: {kind.value} on {platform.name} "
+                f"({n_runs} runs x {n_pat} patterns)",
+            ),
+            args,
+        )
+        return 0
+
+    if args.command == "makespan":
+        from repro.core.makespan import compare_makespans
+
+        platform = get_platform(args.platform)
+        rows = compare_makespans(platform, args.base_hours * 3600.0)
+        _emit(
+            rows,
+            format_table(
+                rows,
+                title=f"Expected makespan of a {args.base_hours:g}h job "
+                f"on {platform.name}",
+            ),
+            args,
+        )
+        return 0
+
+    if args.command == "fig6":
+        n_pat, n_runs = _mc_sizes(args, 100, 50)
+        rows = run_fig6(
+            n_patterns=n_pat,
+            n_runs=n_runs,
+            seed=args.seed if args.seed is not None else 20160523,
+        )
+        _emit(rows, render_fig6(rows), args)
+        return 0
+
+    if args.command in ("fig7", "fig8"):
+        n_pat, n_runs = _mc_sizes(args, 50, 20)
+        nodes = PAPER_NODE_COUNTS if args.paper_nodes else None
+        if args.command == "fig7":
+            rows = run_weak_scaling(
+                nodes,
+                n_patterns=n_pat,
+                n_runs=n_runs,
+                seed=args.seed if args.seed is not None else 20160607,
+            )
+            _emit(rows, render_weak_scaling(rows), args)
+        else:
+            rows = run_fig8(
+                nodes,
+                n_patterns=n_pat,
+                n_runs=n_runs,
+                seed=args.seed if args.seed is not None else 20160608,
+            )
+            _emit(rows, render_fig8(rows), args)
+        return 0
+
+    if args.command == "trace":
+        import numpy as np
+
+        from repro.core.builders import PatternKind
+        from repro.core.formulas import optimal_pattern, simulation_costs
+        from repro.platforms.scaling import scale_platform
+        from repro.simulation.engine import PatternSimulator
+        from repro.simulation.trace import TraceRecorder
+
+        kind = next(k for k in PatternKind if k.value == args.pattern)
+        platform = get_platform(args.platform)
+        if args.scale is not None:
+            platform = scale_platform(platform, args.scale)
+        opt = optimal_pattern(kind, platform)
+        recorder = TraceRecorder()
+        sim = PatternSimulator(
+            opt.pattern, simulation_costs(kind, platform), trace=recorder
+        )
+        rng = np.random.default_rng(
+            args.seed if args.seed is not None else 20160615
+        )
+        stats = sim.run(args.n_patterns, rng)
+        print(
+            f"Traced {args.n_patterns} pattern(s) of {kind.value} on "
+            f"{platform.name}: {len(recorder)} operations, "
+            f"{stats.total_time:.0f}s simulated, "
+            f"overhead {100 * stats.overhead:.1f}%"
+        )
+        print(recorder.render(limit=args.limit))
+        return 0
+
+    if args.command == "accuracy":
+        from repro.analysis.accuracy import accuracy_sweep, render_accuracy_sweep
+
+        n_pat, n_runs = _mc_sizes(args, 40, 15)
+        rows = accuracy_sweep(
+            simulate=args.simulate,
+            n_patterns=n_pat,
+            n_runs=n_runs,
+            seed=args.seed if args.seed is not None else 20160612,
+        )
+        _emit(rows, render_accuracy_sweep(rows), args)
+        return 0
+
+    if args.command == "fig9":
+        n_pat, n_runs = _mc_sizes(args, 20, 10)
+        factors = PAPER_FACTORS if args.paper_factors else None
+        if args.grid:
+            rows = run_error_rate_grid(
+                factors,
+                n_patterns=n_pat,
+                n_runs=n_runs,
+                seed=args.seed if args.seed is not None else 20160609,
+            )
+            _emit(
+                rows,
+                format_table(
+                    rows, title="Figure 9a-c -- overhead surfaces (100k nodes)"
+                ),
+                args,
+            )
+            return 0
+        sweep = args.sweep or "f"
+        rows = run_error_rate_sweep(
+            sweep,
+            factors,
+            n_patterns=n_pat,
+            n_runs=n_runs,
+            seed=args.seed if args.seed is not None else 20160610,
+        )
+        _emit(rows, render_error_rate_sweep(rows), args)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

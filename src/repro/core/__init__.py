@@ -1,0 +1,122 @@
+"""Core analytical model: patterns, first-order optimization, closed forms.
+
+This subpackage implements the paper's primary contribution:
+
+* :mod:`repro.core.pattern` -- the ``P(W, n, alpha, m, <beta_1..beta_n>)``
+  pattern structure and its resolved action schedule;
+* :mod:`repro.core.builders` -- the six canonical pattern families of
+  Table 1 (``PD``, ``PDV*``, ``PDV``, ``PDM``, ``PDMV*``, ``PDMV``);
+* :mod:`repro.core.matrices` -- the ``A(m)`` quadratic form governing
+  silent-error re-execution and its minimiser ``beta*``;
+* :mod:`repro.core.firstorder` -- the ``H = o_ef/W + o_rw*W`` overhead
+  decomposition for arbitrary pattern shapes;
+* :mod:`repro.core.formulas` -- Table-1 closed forms for the optimal
+  ``W*, n*, m*, H*`` of every family;
+* :mod:`repro.core.exact` -- exact (non-Taylor-expanded) expected
+  execution time of a fixed pattern, via the paper's recursions;
+* :mod:`repro.core.optimizer` -- scipy-based numerical optimisation that
+  cross-validates the closed forms.
+"""
+
+from repro.core.pattern import (
+    Action,
+    ActionType,
+    Pattern,
+    Segment,
+    pattern_signature,
+)
+from repro.core.builders import (
+    PatternKind,
+    build_pattern,
+    pattern_pd,
+    pattern_pdm,
+    pattern_pdmv,
+    pattern_pdmv_star,
+    pattern_pdv,
+    pattern_pdv_star,
+)
+from repro.core.matrices import (
+    quadratic_form,
+    recall_matrix,
+    minimize_quadratic_form,
+    optimal_beta,
+    optimal_quadratic_value,
+)
+from repro.core.firstorder import (
+    OverheadDecomposition,
+    decompose_overhead,
+    optimal_period_from_decomposition,
+)
+from repro.core.formulas import (
+    OptimalPattern,
+    optimal_pattern,
+    optimize_all_patterns,
+)
+from repro.core.exact import exact_expected_time, exact_overhead
+from repro.core.optimizer import (
+    numeric_optimal_pattern,
+    refine_integer_parameters,
+)
+from repro.core.faulty_ops import (
+    ExpectedOperationCosts,
+    expected_operation_costs,
+    refined_decomposition,
+    refined_platform,
+    relative_cost_inflation,
+)
+from repro.core.makespan import (
+    MakespanEstimate,
+    compare_makespans,
+    estimate_makespan,
+)
+from repro.core.baselines import (
+    BaselineComparison,
+    compare_with_classical,
+    daly_period,
+    silent_only_period,
+    young_period,
+)
+
+__all__ = [
+    "Action",
+    "ActionType",
+    "Pattern",
+    "Segment",
+    "pattern_signature",
+    "PatternKind",
+    "build_pattern",
+    "pattern_pd",
+    "pattern_pdv_star",
+    "pattern_pdv",
+    "pattern_pdm",
+    "pattern_pdmv_star",
+    "pattern_pdmv",
+    "recall_matrix",
+    "quadratic_form",
+    "minimize_quadratic_form",
+    "optimal_beta",
+    "optimal_quadratic_value",
+    "OverheadDecomposition",
+    "decompose_overhead",
+    "optimal_period_from_decomposition",
+    "OptimalPattern",
+    "optimal_pattern",
+    "optimize_all_patterns",
+    "exact_expected_time",
+    "exact_overhead",
+    "numeric_optimal_pattern",
+    "refine_integer_parameters",
+    "ExpectedOperationCosts",
+    "expected_operation_costs",
+    "refined_decomposition",
+    "refined_platform",
+    "relative_cost_inflation",
+    "MakespanEstimate",
+    "estimate_makespan",
+    "compare_makespans",
+    "BaselineComparison",
+    "compare_with_classical",
+    "young_period",
+    "daly_period",
+    "silent_only_period",
+]

@@ -1,0 +1,149 @@
+"""Classical baselines: Young's and Daly's checkpointing intervals.
+
+The paper's Theorem 1 generalises the classical single-error-source
+results; this module implements those baselines explicitly so the
+reductions can be tested and benchmarked:
+
+* **Young (1974)**: first-order optimal checkpoint interval for fail-stop
+  errors only, ``W* = sqrt(2 C mu)`` with ``mu = 1/lambda_f``.
+* **Daly (2006)**: higher-order estimate including the recovery cost and
+  finite-MTBF corrections.
+* **Silent-only limit**: with verification+memory checkpoint only,
+  ``W* = sqrt((V* + C_M)/lambda_s)`` (remark after Theorem 1).
+
+All are expressed in this library's conventions (rates per second, costs
+in seconds, unit-speed work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.platforms.platform import Platform
+
+
+def young_period(C: float, lambda_f: float) -> float:
+    """Young's first-order optimal interval ``sqrt(2 C / lambda_f)``.
+
+    Parameters
+    ----------
+    C:
+        Checkpoint cost (seconds).
+    lambda_f:
+        Fail-stop error rate (1/s).
+    """
+    if C < 0:
+        raise ValueError(f"checkpoint cost must be >= 0, got {C}")
+    if lambda_f <= 0:
+        raise ValueError(f"need a positive fail-stop rate, got {lambda_f}")
+    return math.sqrt(2.0 * C / lambda_f)
+
+
+def young_overhead(C: float, lambda_f: float) -> float:
+    """First-order overhead at Young's interval: ``sqrt(2 C lambda_f)``."""
+    return 2.0 * C / young_period(C, lambda_f)
+
+
+def daly_period(C: float, lambda_f: float) -> float:
+    """Daly's higher-order optimum for the restart-dump interval.
+
+    Daly (FGCS 2006): for ``C < 2 mu``::
+
+        W* = sqrt(2 C mu) * [1 + (1/3) sqrt(C / (2 mu)) + (1/9) (C / (2 mu))] - C
+
+    and ``W* = mu`` otherwise (checkpointing constantly).  The returned
+    value is the *compute* segment length between checkpoints.
+    """
+    if C < 0:
+        raise ValueError(f"checkpoint cost must be >= 0, got {C}")
+    if lambda_f <= 0:
+        raise ValueError(f"need a positive fail-stop rate, got {lambda_f}")
+    mu = 1.0 / lambda_f
+    if C >= 2.0 * mu:
+        return mu
+    x = C / (2.0 * mu)
+    return math.sqrt(2.0 * C * mu) * (
+        1.0 + math.sqrt(x) / 3.0 + x / 9.0
+    ) - C
+
+
+def silent_only_period(V_star: float, C_M: float, lambda_s: float) -> float:
+    """Optimal interval with silent errors only (remark after Theorem 1).
+
+    One verification + memory checkpoint per period:
+    ``W* = sqrt((V* + C_M) / lambda_s)``.
+    """
+    if V_star < 0 or C_M < 0:
+        raise ValueError("costs must be >= 0")
+    if lambda_s <= 0:
+        raise ValueError(f"need a positive silent rate, got {lambda_s}")
+    return math.sqrt((V_star + C_M) / lambda_s)
+
+
+def silent_only_overhead(V_star: float, C_M: float, lambda_s: float) -> float:
+    """First-order overhead at the silent-only optimum:
+    ``2 sqrt(lambda_s (V* + C_M))``."""
+    return 2.0 * math.sqrt(lambda_s * (V_star + C_M))
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """The paper's PD optimum next to the classical baselines.
+
+    Attributes
+    ----------
+    W_pd, H_pd:
+        Theorem-1 optimal period/overhead (both error sources).
+    W_young:
+        Young's interval treating *all* errors as fail-stop with the
+        combined checkpoint cost (the naive deployment of the classical
+        formula on a two-source platform).
+    W_daly:
+        Daly's higher-order interval under the same naive reading.
+    H_young_deployed:
+        First-order overhead actually paid (per the two-source model)
+        when the pattern length is set to ``W_young`` -- quantifies the
+        cost of ignoring silent errors when sizing the period.
+    """
+
+    W_pd: float
+    H_pd: float
+    W_young: float
+    W_daly: float
+    H_young_deployed: float
+
+    @property
+    def young_penalty(self) -> float:
+        """Relative extra overhead from using Young's interval: >= 0."""
+        return self.H_young_deployed / self.H_pd - 1.0
+
+
+def compare_with_classical(platform: Platform) -> BaselineComparison:
+    """Quantify the two-source optimum against the classical formulas.
+
+    Young/Daly are given the full end-of-pattern cost ``V* + C_M + C_D``
+    and the fail-stop rate only (their model is crash-only); the deployed
+    overhead of Young's interval is then evaluated under the true
+    two-source first-order model ``H(W) = o_ef/W + o_rw W``.
+    """
+    from repro.core.builders import PatternKind
+    from repro.core.firstorder import decompose_overhead
+    from repro.core.formulas import optimal_pattern
+    from repro.core.builders import pattern_pd
+
+    if platform.lambda_f <= 0:
+        raise ValueError("classical baselines need a fail-stop rate")
+    C_total = platform.V_star + platform.C_M + platform.C_D
+    opt = optimal_pattern(PatternKind.PD, platform)
+    W_young = young_period(C_total, platform.lambda_f)
+    W_daly = daly_period(C_total, platform.lambda_f)
+    decomp = decompose_overhead(pattern_pd(1.0), platform)
+    return BaselineComparison(
+        W_pd=opt.W_star,
+        H_pd=opt.H_star,
+        W_young=W_young,
+        W_daly=W_daly,
+        H_young_deployed=decomp.overhead_at(W_young),
+    )

@@ -1,0 +1,164 @@
+"""Builders for the six canonical pattern families of Table 1.
+
+============  =========  ===================  ======================
+family        segments   chunks per segment   intermediate verifs
+============  =========  ===================  ======================
+``PD``        1          1                    none
+``PDV*``      1          m (equal)            guaranteed
+``PDV``       1          m (1/r-weighted)     partial
+``PDM``       n (equal)  1                    none
+``PDMV*``     n (equal)  m (equal)            guaranteed
+``PDMV``      n (equal)  m (1/r-weighted)     partial
+============  =========  ===================  ======================
+
+For the starred families the "partial" verifications are in fact
+guaranteed (cost ``V*``, recall 1); we model that by building the pattern
+with recall-1 chunk weights (equal chunks) and letting the caller pass the
+guaranteed costs -- see :func:`repro.core.formulas.optimal_pattern`, which
+handles the cost substitution per family.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matrices import optimal_beta
+from repro.core.pattern import Pattern
+
+
+class PatternKind(enum.Enum):
+    """The six pattern families of Table 1, in the paper's order."""
+
+    PD = "PD"
+    PDV_STAR = "PDV*"
+    PDV = "PDV"
+    PDM = "PDM"
+    PDMV_STAR = "PDMV*"
+    PDMV = "PDMV"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def uses_memory_checkpoints(self) -> bool:
+        """True for the two-level families (n > 1 allowed)."""
+        return self in (
+            PatternKind.PDM,
+            PatternKind.PDMV_STAR,
+            PatternKind.PDMV,
+        )
+
+    @property
+    def uses_partial_verifications(self) -> bool:
+        """True when intermediate verifications are *partial* (recall < 1)."""
+        return self in (PatternKind.PDV, PatternKind.PDMV)
+
+    @property
+    def uses_intermediate_verifications(self) -> bool:
+        """True when chunks exist inside segments (m > 1 allowed)."""
+        return self in (
+            PatternKind.PDV_STAR,
+            PatternKind.PDV,
+            PatternKind.PDMV_STAR,
+            PatternKind.PDMV,
+        )
+
+
+#: Order of the families as displayed in the paper's plots.
+PATTERN_ORDER: Tuple[PatternKind, ...] = (
+    PatternKind.PD,
+    PatternKind.PDV_STAR,
+    PatternKind.PDV,
+    PatternKind.PDM,
+    PatternKind.PDMV_STAR,
+    PatternKind.PDMV,
+)
+
+
+def _equal(k: int) -> Tuple[float, ...]:
+    """k equal fractions summing to exactly 1 (last one fixed by fsum)."""
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    base = [1.0 / k] * k
+    base[-1] = 1.0 - sum(base[:-1])
+    return tuple(base)
+
+
+def pattern_pd(W: float) -> Pattern:
+    """``PD``: one segment, one chunk -- the Young/Daly-style base pattern."""
+    return Pattern(W=W, alpha=(1.0,), betas=((1.0,),))
+
+
+def pattern_pdv_star(W: float, m: int) -> Pattern:
+    """``PDV*``: one segment, ``m`` equal chunks with guaranteed verifications."""
+    if m < 1:
+        raise ValueError(f"need m >= 1, got {m}")
+    return Pattern(W=W, alpha=(1.0,), betas=(_equal(m),))
+
+
+def pattern_pdv(W: float, m: int, r: float) -> Pattern:
+    """``PDV``: one segment, ``m`` chunks with partial verifications.
+
+    Chunk sizes follow Theorem 3: first/last chunks larger by ``1/r``.
+    """
+    if m < 1:
+        raise ValueError(f"need m >= 1, got {m}")
+    beta = optimal_beta(m, r)
+    beta = beta / beta.sum()
+    return Pattern(W=W, alpha=(1.0,), betas=(tuple(beta.tolist()),))
+
+
+def pattern_pdm(W: float, n: int) -> Pattern:
+    """``PDM``: ``n`` equal one-chunk segments (memory ckpts, no extra verifs)."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    return Pattern(W=W, alpha=_equal(n), betas=tuple(((1.0,),) * n))
+
+
+def pattern_pdmv_star(W: float, n: int, m: int) -> Pattern:
+    """``PDMV*``: ``n`` equal segments, each with ``m`` equal chunks."""
+    if n < 1 or m < 1:
+        raise ValueError(f"need n, m >= 1, got n={n}, m={m}")
+    return Pattern(W=W, alpha=_equal(n), betas=tuple((_equal(m),) * n))
+
+
+def pattern_pdmv(W: float, n: int, m: int, r: float) -> Pattern:
+    """``PDMV``: the full pattern -- ``n`` equal segments of ``m`` chunks
+    with Theorem-4 chunk weights."""
+    if n < 1 or m < 1:
+        raise ValueError(f"need n, m >= 1, got n={n}, m={m}")
+    beta = optimal_beta(m, r)
+    beta = tuple((beta / beta.sum()).tolist())
+    return Pattern(W=W, alpha=_equal(n), betas=tuple((beta,) * n))
+
+
+def build_pattern(
+    kind: PatternKind,
+    W: float,
+    *,
+    n: int = 1,
+    m: int = 1,
+    r: float = 0.8,
+) -> Pattern:
+    """Build a canonical pattern of the given family.
+
+    Parameters irrelevant to the family are ignored (e.g. ``n`` for
+    single-level families), matching the paper's convention that those
+    are structurally fixed at 1.
+    """
+    if kind is PatternKind.PD:
+        return pattern_pd(W)
+    if kind is PatternKind.PDV_STAR:
+        return pattern_pdv_star(W, m)
+    if kind is PatternKind.PDV:
+        return pattern_pdv(W, m, r)
+    if kind is PatternKind.PDM:
+        return pattern_pdm(W, n)
+    if kind is PatternKind.PDMV_STAR:
+        return pattern_pdmv_star(W, n, m)
+    if kind is PatternKind.PDMV:
+        return pattern_pdmv(W, n, m, r)
+    raise ValueError(f"unknown pattern kind: {kind!r}")  # pragma: no cover

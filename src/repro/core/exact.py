@@ -1,0 +1,201 @@
+"""Exact (non-Taylor-expanded) expected execution time of a pattern.
+
+The paper derives first-order approximations by expanding exponentials up
+to second order.  This module evaluates the *exact* recursions instead
+(the right-hand sides of Equations (2), (17) and (23) before expansion),
+solving the linear self-references in closed form.  It serves three
+purposes:
+
+* cross-validate the first-order model (tests assert the two agree to
+  ``O(lambda)`` at optimal pattern lengths);
+* quantify where the first-order approximation breaks (large node counts,
+  Figure 7a's divergence);
+* provide an objective for numerical period optimisation
+  (:mod:`repro.core.optimizer`).
+
+The recursions follow the paper's assumptions: errors strike computations
+only (Section 5 shows that relaxing this leaves first-order behaviour
+unchanged), verifications/checkpoints/recoveries are error-free, and a
+re-execution always restores the memory checkpoint (plus the disk
+checkpoint after a fail-stop error).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.core.pattern import Pattern
+from repro.errors.process import expected_time_lost
+from repro.platforms.platform import Platform
+
+
+def _segment_expected_time(
+    chunk_lengths: Sequence[float],
+    verif_costs: Sequence[float],
+    *,
+    lambda_f: float,
+    lambda_s: float,
+    recall: Sequence[float],
+    C_end: float,
+    R_M: float,
+    R_D: float,
+    prior_work: float,
+) -> float:
+    """Exact expected time of one segment (Equation (17)/(23) solved).
+
+    Parameters
+    ----------
+    chunk_lengths:
+        Absolute chunk lengths ``w_j`` within the segment.
+    verif_costs:
+        Cost of the verification ending each chunk (partial costs, with the
+        last entry being the guaranteed verification ``V*``).
+    recall:
+        Recall of the verification ending each chunk (last entry 1.0).
+    C_end:
+        Checkpoint cost paid on success (``C_M`` for interior segments,
+        ``C_M + C_D`` handled by the caller via pattern-level assembly).
+    prior_work:
+        Expected time of the already-completed earlier segments
+        (``sum_{k<i} E_k``), re-executed after a fail-stop error.
+    """
+    m = len(chunk_lengths)
+    if m != len(verif_costs) or m != len(recall):
+        raise ValueError("chunk/verification arrays must have equal length")
+
+    pf = [-math.expm1(-lambda_f * w) for w in chunk_lengths]
+    ps = [-math.expm1(-lambda_s * w) for w in chunk_lengths]
+
+    # Probability chunk j gets executed in the current attempt: no fail-stop
+    # so far, and either no silent error so far or every silent error missed
+    # by the partial verifications in between (Eq. 17's q_j with g_j).
+    q: List[float] = []
+    for j in range(m):
+        no_fs = 1.0
+        for k in range(j):
+            no_fs *= 1.0 - pf[k]
+        no_silent = 1.0
+        for k in range(j):
+            no_silent *= 1.0 - ps[k]
+        g = 0.0
+        for ell in range(j):  # silent error strikes in chunk ell (0-based)
+            clean_before = 1.0
+            for k in range(ell):
+                clean_before *= 1.0 - ps[k]
+            missed = 1.0
+            for k in range(ell, j):
+                missed *= 1.0 - recall[k]
+            g += clean_before * ps[ell] * missed
+        q.append(no_fs * (no_silent + g))
+
+    # Probability the whole segment is clean (no error of either kind).
+    clean = 1.0
+    for j in range(m):
+        clean *= (1.0 - pf[j]) * (1.0 - ps[j])
+    if clean <= 0.0:
+        raise ValueError(
+            "segment so long that success probability underflowed to 0; "
+            "shorten the pattern"
+        )
+
+    # Expected one-attempt cost: executed chunks + their verifications, or
+    # the truncated chunk + disk recovery + earlier-segment re-execution
+    # when a fail-stop error interrupts.
+    attempt = 0.0
+    for j in range(m):
+        lost = expected_time_lost(lambda_f, chunk_lengths[j])
+        attempt += q[j] * (
+            pf[j] * (lost + R_D + prior_work)
+            + (1.0 - pf[j]) * (chunk_lengths[j] + verif_costs[j])
+        )
+
+    # E = clean * C_end + (1 - clean) * (R_M + E) + attempt
+    #  => E = (clean * C_end + (1 - clean) * R_M + attempt) / clean
+    numerator = clean * C_end + (1.0 - clean) * R_M + attempt
+    return numerator / clean
+
+
+def exact_expected_time(
+    pattern: Pattern,
+    platform: Platform,
+    *,
+    guaranteed_intermediate: bool = False,
+) -> float:
+    """Exact expected execution time ``E(P)`` of a given pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern (any shape).
+    platform:
+        Platform costs and rates.
+    guaranteed_intermediate:
+        When True, the intermediate verifications are guaranteed ones
+        (cost ``V*``, recall 1) -- used for the starred families
+        ``PDV*``/``PDMV*``.
+    """
+    V = platform.V_star if guaranteed_intermediate else platform.V
+    r = 1.0 if guaranteed_intermediate else platform.r
+    V_star = platform.V_star
+
+    total = 0.0
+    prior = 0.0
+    for seg in pattern.segments():
+        lengths = list(seg.chunk_lengths)
+        m = len(lengths)
+        verif_costs = [V] * (m - 1) + [V_star]
+        recalls = [r] * (m - 1) + [1.0]
+        E_i = _segment_expected_time(
+            lengths,
+            verif_costs,
+            lambda_f=platform.lambda_f,
+            lambda_s=platform.lambda_s,
+            recall=recalls,
+            C_end=platform.C_M,
+            R_M=platform.R_M,
+            R_D=platform.R_D,
+            prior_work=prior,
+        )
+        total += E_i
+        prior += E_i
+    return total + platform.C_D
+
+
+def exact_overhead(
+    pattern: Pattern,
+    platform: Platform,
+    *,
+    guaranteed_intermediate: bool = False,
+) -> float:
+    """Exact expected overhead ``E(P)/W - 1`` of a given pattern."""
+    E = exact_expected_time(
+        pattern, platform, guaranteed_intermediate=guaranteed_intermediate
+    )
+    return E / pattern.W - 1.0
+
+
+def exact_expected_time_pd(W: float, platform: Platform) -> float:
+    """Closed-form exact ``E(P)`` for the base pattern ``PD`` (Prop. 1 proof).
+
+    ``E = (e^{(lf+ls)W} - e^{ls W})/lf - W e^{ls W} + e^{ls W}(W + V*)
+    + C_D + C_M + (e^{(lf+ls)W} - e^{ls W}) R_D + (e^{(lf+ls)W} - 1) R_M``
+
+    Provided as an independent cross-check of the generic recursion.
+    Requires ``lambda_f > 0`` (the paper's expression divides by it);
+    use :func:`exact_expected_time` for the silent-only case.
+    """
+    lf, ls = platform.lambda_f, platform.lambda_s
+    if lf <= 0:
+        raise ValueError("closed form requires lambda_f > 0")
+    e_both = math.exp((lf + ls) * W)
+    e_s = math.exp(ls * W)
+    return (
+        (e_both - e_s) / lf
+        - W * e_s
+        + e_s * (W + platform.V_star)
+        + platform.C_D
+        + platform.C_M
+        + (e_both - e_s) * platform.R_D
+        + (e_both - 1.0) * platform.R_M
+    )

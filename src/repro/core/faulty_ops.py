@@ -1,0 +1,190 @@
+"""Section 5: expected costs when faults strike resilience operations.
+
+The base analysis (Sections 3-4) assumes checkpoints, recoveries and
+verifications are error-free.  Section 5 lifts that assumption for
+fail-stop errors by solving Equations (30)-(33)::
+
+    E(R_D) = p_RD (E[T^lost_RD] + E(R_D)) + (1 - p_RD) R_D
+    E(R_M) = p_RM (E[T^lost_RM] + E(R_D) + E(R_M) + E(T^rec)) + (1 - p_RM) R_M
+    E(C_D) = p_CD (E[T^lost_CD] + E(R_D) + E(R_M) + E(T^rec)
+                   + E(C_M) + E(C_D)) + (1 - p_CD) C_D
+    E(C_M) = p_CM (E[T^lost_CM] + E(R_D) + E(R_M) + E(T^rec)
+                   + E(C_M)) + (1 - p_CM) C_M
+
+where ``p_L = 1 - e^{-lambda_f L}`` and ``E(T^rec)`` is the expected
+re-execution triggered by the fault (upper-bounded by the expected
+pattern time, itself ``Theta(lambda^{-1/2})``).  Each equation is linear
+in its unknown, so the system solves in closed form by substitution.
+
+The punchline (verified by tests): every expected cost equals its
+original cost plus ``O(sqrt(lambda))``, so the first-order optimal
+patterns are unchanged.  :func:`refined_decomposition` substitutes the
+expected costs into the ``(o_ef, o_rw)`` decomposition to quantify the
+(tiny) shift.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.firstorder import OverheadDecomposition, decompose_overhead
+from repro.core.pattern import Pattern
+from repro.errors.process import expected_time_lost, probability_of_error
+from repro.platforms.platform import Platform
+
+
+@dataclass(frozen=True)
+class ExpectedOperationCosts:
+    """Expected durations of the four resilience operations under faults.
+
+    Attributes mirror the plain costs; ``t_rec`` records the re-execution
+    time assumed when a fault interrupts a checkpoint or memory recovery.
+    """
+
+    R_D: float
+    R_M: float
+    C_D: float
+    C_M: float
+    t_rec: float
+
+    def as_costs_update(self) -> dict:
+        """Keyword dict for :meth:`repro.platforms.platform.Platform.with_costs`."""
+        return {
+            "R_D": self.R_D,
+            "R_M": self.R_M,
+            "C_D": self.C_D,
+            "C_M": self.C_M,
+        }
+
+
+def _solve_retry(cost: float, lam_f: float) -> float:
+    """Expected time of an operation retried in place until fault-free.
+
+    ``E = p (T^lost + E) + (1 - p) cost  =>  E = (p T^lost + (1-p) cost)/(1-p)``
+    -- the Equation (30) shape (disk recovery restarts itself).
+    """
+    if lam_f == 0.0 or cost == 0.0:
+        return cost
+    p = probability_of_error(lam_f, cost)
+    if p >= 1.0:
+        raise ValueError(
+            f"operation of length {cost} cannot complete: fault probability is 1"
+        )
+    lost = expected_time_lost(lam_f, cost)
+    return (p * lost + (1.0 - p) * cost) / (1.0 - p)
+
+
+def _solve_with_overhead(
+    cost: float, lam_f: float, per_fault_overhead: float
+) -> float:
+    """Expected time when each fault additionally costs ``per_fault_overhead``.
+
+    ``E = p (T^lost + X + E) + (1 - p) cost`` with ``X`` the extra work
+    (recoveries + re-execution + partner checkpoints), the Equations
+    (31)-(33) shape.
+    """
+    if lam_f == 0.0 or cost == 0.0:
+        return cost
+    p = probability_of_error(lam_f, cost)
+    if p >= 1.0:
+        raise ValueError(
+            f"operation of length {cost} cannot complete: fault probability is 1"
+        )
+    lost = expected_time_lost(lam_f, cost)
+    return (p * (lost + per_fault_overhead) + (1.0 - p) * cost) / (1.0 - p)
+
+
+def expected_operation_costs(
+    platform: Platform,
+    t_rec: Optional[float] = None,
+) -> ExpectedOperationCosts:
+    """Solve Equations (30)-(33) for the expected operation costs.
+
+    Parameters
+    ----------
+    platform:
+        Rates and base costs.
+    t_rec:
+        Expected re-execution time after a fault during a checkpoint or a
+        memory recovery.  Defaults to the expected time of the optimal
+        ``PD`` pattern on this platform (the paper's upper bound:
+        ``E(T^rec) <= E(P) = Theta(lambda^{-1/2})``).
+    """
+    lam_f = platform.lambda_f
+    if t_rec is None:
+        from repro.core.builders import PatternKind
+        from repro.core.formulas import optimal_pattern
+
+        if platform.lambda_total == 0.0:
+            t_rec = 0.0
+        else:
+            opt = optimal_pattern(PatternKind.PD, platform)
+            t_rec = opt.expected_pattern_time
+    if t_rec < 0:
+        raise ValueError(f"t_rec must be >= 0, got {t_rec}")
+
+    # (30): E(R_D) -- self-contained retry loop.
+    E_RD = _solve_retry(platform.R_D, lam_f)
+
+    # (31): E(R_M) -- a fault escalates to a disk recovery + re-execution;
+    # the E(R_M) self-reference inside the fault branch is what
+    # _solve_with_overhead eliminates.
+    E_RM = _solve_with_overhead(platform.R_M, lam_f, E_RD + t_rec)
+
+    # (33): E(C_M) -- fault pays a full recovery, the re-execution and a
+    # fresh memory checkpoint (the self-reference).
+    E_CM = _solve_with_overhead(
+        platform.C_M, lam_f, E_RD + E_RM + t_rec
+    )
+
+    # (32): E(C_D) -- like C_M plus the partner memory checkpoint.
+    E_CD = _solve_with_overhead(
+        platform.C_D, lam_f, E_RD + E_RM + t_rec + E_CM
+    )
+
+    return ExpectedOperationCosts(
+        R_D=E_RD, R_M=E_RM, C_D=E_CD, C_M=E_CM, t_rec=t_rec
+    )
+
+
+def refined_platform(
+    platform: Platform, t_rec: Optional[float] = None
+) -> Platform:
+    """Platform view whose costs are the Section-5 expected costs."""
+    ops = expected_operation_costs(platform, t_rec)
+    return platform.with_costs(**ops.as_costs_update())
+
+
+def refined_decomposition(
+    pattern: Pattern, platform: Platform, t_rec: Optional[float] = None
+) -> OverheadDecomposition:
+    """``(o_ef, o_rw)`` with expected (fault-aware) operation costs.
+
+    The relative shift versus the plain decomposition is ``O(sqrt(lambda))``
+    -- the Section-5 result that faults during resilience operations do
+    not change the first-order optimal pattern.
+    """
+    return decompose_overhead(pattern, refined_platform(platform, t_rec))
+
+
+def relative_cost_inflation(
+    platform: Platform, t_rec: Optional[float] = None
+) -> dict:
+    """Per-operation relative inflation ``E(X)/X - 1`` (diagnostics).
+
+    Returns a dict keyed by operation name; all entries are
+    ``O(sqrt(lambda))`` under a large MTBF.
+    """
+    ops = expected_operation_costs(platform, t_rec)
+    out = {}
+    for name, base in (
+        ("R_D", platform.R_D),
+        ("R_M", platform.R_M),
+        ("C_D", platform.C_D),
+        ("C_M", platform.C_M),
+    ):
+        expected = getattr(ops, name)
+        out[name] = math.inf if base == 0.0 else expected / base - 1.0
+    return out

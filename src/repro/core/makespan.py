@@ -1,0 +1,97 @@
+"""Application-level makespan planning (Section 2.4).
+
+For a job with base (failure-free, resilience-free) duration ``W_base``
+executed as periodic patterns, the expected makespan is::
+
+    W_final ~ E(P)/W * W_base = (1 + H(P)) * W_base
+
+so pattern choice translates directly into wall-clock time and wasted
+core-hours.  These helpers turn Table-1 optima into deployment-facing
+numbers: expected makespan, wasted time, and number of patterns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.builders import PATTERN_ORDER, PatternKind
+from repro.core.formulas import OptimalPattern, optimal_pattern
+from repro.platforms.platform import Platform
+
+
+@dataclass(frozen=True)
+class MakespanEstimate:
+    """Expected makespan of a job under one optimised pattern.
+
+    Attributes
+    ----------
+    kind:
+        The pattern family used.
+    W_base:
+        Failure-free job duration (seconds).
+    overhead:
+        Expected pattern overhead ``H*``.
+    """
+
+    kind: PatternKind
+    W_base: float
+    overhead: float
+    W_star: float
+
+    @property
+    def makespan(self) -> float:
+        """Expected wall-clock completion time ``(1 + H*) W_base``."""
+        return (1.0 + self.overhead) * self.W_base
+
+    @property
+    def wasted_time(self) -> float:
+        """Expected time lost to resilience and rework."""
+        return self.overhead * self.W_base
+
+    @property
+    def n_patterns(self) -> float:
+        """Number of periodic patterns the job spans (``W_base / W*``)."""
+        return self.W_base / self.W_star
+
+    def wasted_node_hours(self, nodes: int) -> float:
+        """Wasted node-hours at the given machine size."""
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        return nodes * self.wasted_time / 3600.0
+
+
+def estimate_makespan(
+    kind: PatternKind, platform: Platform, W_base: float
+) -> MakespanEstimate:
+    """Makespan estimate for one family on one platform."""
+    if W_base <= 0:
+        raise ValueError(f"W_base must be positive, got {W_base}")
+    opt = optimal_pattern(kind, platform)
+    return MakespanEstimate(
+        kind=kind, W_base=W_base, overhead=opt.H_star, W_star=opt.W_star
+    )
+
+
+def compare_makespans(
+    platform: Platform,
+    W_base: float,
+    kinds: Optional[Iterable[PatternKind]] = None,
+) -> List[Dict[str, object]]:
+    """One row per family: makespan, waste, pattern count, saving vs PD."""
+    selected = tuple(kinds) if kinds is not None else PATTERN_ORDER
+    base = estimate_makespan(PatternKind.PD, platform, W_base)
+    rows: List[Dict[str, object]] = []
+    for kind in selected:
+        est = estimate_makespan(kind, platform, W_base)
+        rows.append(
+            {
+                "pattern": kind.value,
+                "makespan_hours": est.makespan / 3600.0,
+                "wasted_hours": est.wasted_time / 3600.0,
+                "n_patterns": est.n_patterns,
+                "saving_vs_PD_hours": (base.makespan - est.makespan) / 3600.0,
+            }
+        )
+    return rows

@@ -1,0 +1,34 @@
+"""Error processes for fail-stop and silent errors.
+
+This subpackage models the paper's failure model (Section 2.1): fail-stop
+errors and silent errors are independent Poisson processes with arrival
+rates ``lambda_f`` and ``lambda_s``.  It provides:
+
+* :mod:`repro.errors.types` -- error kinds and event records;
+* :mod:`repro.errors.rng` -- reproducible random stream management;
+* :mod:`repro.errors.process` -- Poisson arrival sampling (single draws,
+  batched/vectorised draws, merged two-kind streams).
+"""
+
+from repro.errors.types import ErrorKind, ErrorEvent
+from repro.errors.rng import RandomStreams, make_rng, spawn_rngs
+from repro.errors.process import (
+    PoissonErrorProcess,
+    TwoErrorProcess,
+    exponential_arrivals,
+    first_arrival,
+    probability_of_error,
+)
+
+__all__ = [
+    "ErrorKind",
+    "ErrorEvent",
+    "RandomStreams",
+    "make_rng",
+    "spawn_rngs",
+    "PoissonErrorProcess",
+    "TwoErrorProcess",
+    "exponential_arrivals",
+    "first_arrival",
+    "probability_of_error",
+]

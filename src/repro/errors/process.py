@@ -1,0 +1,261 @@
+"""Poisson error-arrival processes.
+
+Section 2.1 of the paper: fail-stop and silent errors are independent
+Poisson processes with rates ``lambda_f`` and ``lambda_s``.  The probability
+of at least one error of rate ``lam`` during a computation of length ``w``
+is ``1 - exp(-lam * w)``; inter-arrival times are exponential.
+
+The sampling helpers here are vectorised (batched exponential draws) per
+the HPC guides: the simulator asks for the *first* arrival in a window,
+which is a single exponential draw, and for whole-horizon arrival lists,
+which are generated in growing batches rather than one scalar draw per
+event.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors.types import ErrorEvent, ErrorKind
+
+
+def probability_of_error(lam: float, w: float) -> float:
+    """Probability of at least one error of rate ``lam`` in a window ``w``.
+
+    ``p = 1 - exp(-lam * w)`` (paper, Section 2.1).  Uses ``-expm1`` for
+    numerical accuracy when ``lam * w`` is tiny.
+    """
+    if lam < 0:
+        raise ValueError(f"negative error rate: {lam}")
+    if w < 0:
+        raise ValueError(f"negative window length: {w}")
+    return -math.expm1(-lam * w)
+
+
+def first_arrival(
+    lam: float, rng: np.random.Generator, horizon: Optional[float] = None
+) -> Optional[float]:
+    """Sample the first Poisson arrival time, or ``None`` if beyond horizon.
+
+    Parameters
+    ----------
+    lam:
+        Arrival rate.  A rate of zero never produces an arrival.
+    rng:
+        Random generator.
+    horizon:
+        If given, arrivals strictly after ``horizon`` are reported as
+        ``None`` (no arrival inside the window).
+    """
+    if lam < 0:
+        raise ValueError(f"negative error rate: {lam}")
+    if lam == 0.0:
+        return None
+    t = rng.exponential(1.0 / lam)
+    if horizon is not None and t > horizon:
+        return None
+    return t
+
+
+def exponential_arrivals(
+    lam: float, horizon: float, rng: np.random.Generator, batch: int = 16
+) -> np.ndarray:
+    """All Poisson arrival times in ``[0, horizon]``, as a sorted array.
+
+    Draws exponential gaps in batches (vectorised) and accumulates until the
+    horizon is passed -- this is the standard O(#events) generation scheme
+    without per-event Python overhead for dense processes.
+    """
+    if lam < 0:
+        raise ValueError(f"negative error rate: {lam}")
+    if horizon < 0:
+        raise ValueError(f"negative horizon: {horizon}")
+    if lam == 0.0 or horizon == 0.0:
+        return np.empty(0, dtype=np.float64)
+    times: List[np.ndarray] = []
+    t_last = 0.0
+    while True:
+        gaps = rng.exponential(1.0 / lam, size=batch)
+        arr = t_last + np.cumsum(gaps)
+        inside = arr[arr <= horizon]
+        times.append(inside)
+        if inside.size < arr.size:
+            break
+        t_last = float(arr[-1])
+        batch *= 2
+    if not times:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(times)
+
+
+@dataclass
+class PoissonErrorProcess:
+    """A single-kind Poisson error source.
+
+    Attributes
+    ----------
+    kind:
+        Which error kind this process produces.
+    rate:
+        Arrival rate (errors per unit time).
+    """
+
+    kind: ErrorKind
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"negative error rate: {self.rate}")
+
+    @property
+    def mtbf(self) -> float:
+        """Mean time between errors (``inf`` for a zero rate)."""
+        return math.inf if self.rate == 0.0 else 1.0 / self.rate
+
+    def p_error(self, w: float) -> float:
+        """Probability of at least one error within a window of length ``w``."""
+        return probability_of_error(self.rate, w)
+
+    def sample_first(
+        self, rng: np.random.Generator, horizon: Optional[float] = None
+    ) -> Optional[float]:
+        """Sample the first arrival (see :func:`first_arrival`)."""
+        return first_arrival(self.rate, rng, horizon)
+
+    def sample_all(
+        self, horizon: float, rng: np.random.Generator
+    ) -> List[ErrorEvent]:
+        """Sample every arrival in ``[0, horizon]`` as :class:`ErrorEvent`."""
+        ts = exponential_arrivals(self.rate, horizon, rng)
+        return [ErrorEvent(kind=self.kind, time=float(t)) for t in ts]
+
+
+@dataclass
+class TwoErrorProcess:
+    """The paper's combined failure model: fail-stop + silent Poisson sources.
+
+    The superposition of the two processes is itself Poisson with rate
+    ``lambda = lambda_f + lambda_s`` (platform MTBF ``mu = 1/lambda``), and a
+    given arrival is fail-stop with probability ``lambda_f / lambda``.
+    """
+
+    lambda_f: float
+    lambda_s: float
+
+    def __post_init__(self) -> None:
+        if self.lambda_f < 0 or self.lambda_s < 0:
+            raise ValueError(
+                f"negative rates: lambda_f={self.lambda_f}, lambda_s={self.lambda_s}"
+            )
+
+    @property
+    def lambda_total(self) -> float:
+        """Combined arrival rate ``lambda_f + lambda_s``."""
+        return self.lambda_f + self.lambda_s
+
+    @property
+    def mtbf(self) -> float:
+        """Platform MTBF accounting for both error types."""
+        lam = self.lambda_total
+        return math.inf if lam == 0.0 else 1.0 / lam
+
+    @property
+    def fail_stop(self) -> PoissonErrorProcess:
+        """The fail-stop component process."""
+        return PoissonErrorProcess(ErrorKind.FAIL_STOP, self.lambda_f)
+
+    @property
+    def silent(self) -> PoissonErrorProcess:
+        """The silent component process."""
+        return PoissonErrorProcess(ErrorKind.SILENT, self.lambda_s)
+
+    def p_fail_stop(self, w: float) -> float:
+        """Probability of >=1 fail-stop error during work of length ``w``."""
+        return probability_of_error(self.lambda_f, w)
+
+    def p_silent(self, w: float) -> float:
+        """Probability of >=1 silent error during work of length ``w``."""
+        return probability_of_error(self.lambda_s, w)
+
+    def p_any(self, w: float) -> float:
+        """Probability of >=1 error of either kind during ``w``."""
+        return probability_of_error(self.lambda_total, w)
+
+    def sample_window(
+        self, w: float, rng: np.random.Generator
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """Sample ``(t_fail_stop, t_silent)`` first-arrival times within ``w``.
+
+        Either entry is ``None`` when that error source does not strike
+        inside the window.  This is the core primitive used by the
+        pattern simulator: for a work chunk we only need the first
+        fail-stop arrival (it interrupts) and whether/when a silent error
+        struck (the first one suffices -- any corruption invalidates the
+        chunk output).
+        """
+        tf = first_arrival(self.lambda_f, rng, horizon=w)
+        ts = first_arrival(self.lambda_s, rng, horizon=w)
+        return tf, ts
+
+    def merged_arrivals(
+        self, horizon: float, rng: np.random.Generator
+    ) -> List[ErrorEvent]:
+        """Sample all arrivals of both kinds in ``[0, horizon]``, time-sorted.
+
+        Uses superposition + thinning: one merged Poisson stream at the
+        combined rate, with each event labelled fail-stop with probability
+        ``lambda_f / lambda``.
+        """
+        lam = self.lambda_total
+        if lam == 0.0:
+            return []
+        ts = exponential_arrivals(lam, horizon, rng)
+        if ts.size == 0:
+            return []
+        is_fs = rng.random(ts.size) < (self.lambda_f / lam)
+        return [
+            ErrorEvent(
+                kind=ErrorKind.FAIL_STOP if f else ErrorKind.SILENT,
+                time=float(t),
+            )
+            for t, f in zip(ts, is_fs)
+        ]
+
+    def expected_time_lost(self, w: float) -> float:
+        """Expected time lost when a fail-stop error strikes within ``w``.
+
+        Equation (3) of the paper::
+
+            E[T_lost] = 1/lambda_f - w / (exp(lambda_f * w) - 1)
+
+        i.e. the mean of the fail-stop arrival time conditioned on striking
+        before ``w``.  For ``lambda_f * w -> 0`` this tends to ``w/2``.
+        """
+        return expected_time_lost(self.lambda_f, w)
+
+
+def expected_time_lost(lam_f: float, w: float) -> float:
+    """Conditional mean arrival time, Equation (3): ``1/l - w/(e^{lw}-1)``.
+
+    Defined for ``lam_f > 0``; returns the well-defined small-rate limit
+    ``w / 2`` when ``lam_f * w`` underflows.
+    """
+    if lam_f < 0:
+        raise ValueError(f"negative fail-stop rate: {lam_f}")
+    if w < 0:
+        raise ValueError(f"negative window: {w}")
+    x = lam_f * w
+    if x < 1e-4:
+        # Series of w*(1/x - 1/(e^x - 1)) = w*(1/2 - x/12 + x^3/720 - ...).
+        # The direct formula subtracts two ~1/lam-sized terms and loses all
+        # precision for small x (catastrophic cancellation).
+        return w * (0.5 - x / 12.0 + x**3 / 720.0)
+    if x > 700.0:
+        # e^x overflows but w/(e^x - 1) is already below double precision;
+        # the conditional mean saturates at the unconditional 1/lam.
+        return 1.0 / lam_f
+    return 1.0 / lam_f - w / math.expm1(x)

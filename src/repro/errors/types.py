@@ -1,0 +1,78 @@
+"""Error kinds and event records.
+
+The paper distinguishes two independent error sources (Section 2.1):
+
+* **fail-stop errors**: hardware crashes that interrupt execution
+  immediately and destroy the whole memory content; recovery requires the
+  last *disk* checkpoint.
+* **silent errors** (silent data corruptions, SDCs): the data is corrupted
+  but execution continues; the error is only discovered by a subsequent
+  *verification*, and recovery can use the nearest *memory* checkpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ErrorKind(enum.Enum):
+    """The two error sources of the paper's failure model."""
+
+    #: Fail-stop (unrecoverable, crash) error: interrupts immediately,
+    #: destroys memory, forces a disk recovery.
+    FAIL_STOP = "fail-stop"
+
+    #: Silent data corruption: does not interrupt execution; only detected
+    #: by a verification; recovered from a memory checkpoint.
+    SILENT = "silent"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ErrorEvent:
+    """A single error occurrence on the simulated time line.
+
+    Attributes
+    ----------
+    kind:
+        Which error source produced the event.
+    time:
+        Absolute simulation time at which the error *struck* (for silent
+        errors this is the corruption time, not the detection time).
+    detected_at:
+        For silent errors, the absolute time at which a verification
+        detected the corruption (``None`` while undetected, and always
+        ``None`` for fail-stop errors, which are detected instantly).
+    """
+
+    kind: ErrorKind
+    time: float
+    detected_at: float | None = None
+
+    @property
+    def is_fail_stop(self) -> bool:
+        """True if this is a fail-stop error."""
+        return self.kind is ErrorKind.FAIL_STOP
+
+    @property
+    def is_silent(self) -> bool:
+        """True if this is a silent error."""
+        return self.kind is ErrorKind.SILENT
+
+    @property
+    def detection_latency(self) -> float | None:
+        """Delay between strike and detection, if detected."""
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.time
+
+    def detected(self, at: float) -> "ErrorEvent":
+        """Return a copy of this event marked as detected at time ``at``."""
+        if at < self.time:
+            raise ValueError(
+                f"detection time {at} precedes strike time {self.time}"
+            )
+        return ErrorEvent(kind=self.kind, time=self.time, detected_at=at)

@@ -1,0 +1,85 @@
+"""Figure 6: all six patterns on the four Table-2 platforms.
+
+Five panels, all produced from one Monte-Carlo campaign per
+(platform, pattern) cell:
+
+* 6a -- predicted vs simulated overhead;
+* 6b -- optimal period ``W*`` in hours;
+* 6c -- checkpoints + verifications per hour;
+* 6d -- disk/memory checkpoints per hour (zoom of 6c);
+* 6e -- disk/memory recoveries per day.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.builders import PATTERN_ORDER, PatternKind
+from repro.core.formulas import optimal_pattern
+from repro.errors.rng import SeedLike
+from repro.experiments.report import format_table
+from repro.platforms.catalog import PLATFORMS
+from repro.platforms.platform import Platform
+from repro.simulation.runner import simulate_optimal_pattern
+
+
+def run_fig6(
+    platforms: Optional[Iterable[Platform]] = None,
+    *,
+    kinds: Optional[Iterable[PatternKind]] = None,
+    n_patterns: int = 100,
+    n_runs: int = 50,
+    seed: SeedLike = 20160523,
+) -> List[Dict[str, Any]]:
+    """Run the Figure-6 campaign; one row per (platform, pattern).
+
+    Row keys cover every panel: ``predicted``/``simulated`` (6a),
+    ``W*_hours`` (6b), ``verifs_per_hour``/``*_ckpts_per_hour`` (6c, 6d)
+    and ``*_recoveries_per_day`` (6e).
+    """
+    plats = (
+        list(platforms)
+        if platforms is not None
+        else [factory() for factory in PLATFORMS.values()]
+    )
+    selected = tuple(kinds) if kinds is not None else PATTERN_ORDER
+    rows: List[Dict[str, Any]] = []
+    for plat in plats:
+        for kind in selected:
+            opt = optimal_pattern(kind, plat)
+            res = simulate_optimal_pattern(
+                kind,
+                plat,
+                n_patterns=n_patterns,
+                n_runs=n_runs,
+                seed=seed,
+            )
+            agg = res.aggregated
+            rows.append(
+                {
+                    "platform": plat.name,
+                    "pattern": kind.value,
+                    "predicted": opt.H_star,
+                    "simulated": agg.mean_overhead,
+                    "W*_hours": opt.W_star / 3600.0,
+                    "n*": opt.n,
+                    "m*": opt.m,
+                    "disk_ckpts_per_hour": agg.rates_per_hour["disk_checkpoints"],
+                    "mem_ckpts_per_hour": agg.rates_per_hour["memory_checkpoints"],
+                    "verifs_per_hour": agg.rates_per_hour["verifications"],
+                    "disk_recoveries_per_day": agg.rates_per_day["disk_recoveries"],
+                    "mem_recoveries_per_day": agg.rates_per_day["memory_recoveries"],
+                }
+            )
+    return rows
+
+
+def render_fig6(rows: List[Dict[str, Any]]) -> str:
+    """Render the Figure-6 rows as ASCII."""
+    return format_table(
+        rows,
+        title=(
+            "Figure 6 -- patterns on real platforms "
+            "(overheads, periods, operation frequencies)"
+        ),
+    )

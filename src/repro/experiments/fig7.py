@@ -1,0 +1,85 @@
+"""Figures 7 and 8: weak scaling on the Hera-derived platform.
+
+The node count sweeps powers of two; per-node MTBFs stay fixed (Hera's
+8.57 / 2.4 years), so platform rates grow linearly.  Figure 7 uses
+``C_D = 300``; Figure 8 reduces it to ``C_D = 90``.  Panels covered:
+
+* a -- predicted vs simulated overhead for ``PD`` and ``PDMV``;
+* b -- period in hours;
+* c -- disk/memory recoveries per pattern (``PDMV``);
+* d -- ckpts/verifs per hour (``PDMV``);
+* e -- disk/memory ckpts per hour (both patterns);
+* f -- recoveries per day (``PDMV``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.builders import PatternKind
+from repro.core.formulas import optimal_pattern
+from repro.errors.rng import SeedLike
+from repro.experiments.report import format_table
+from repro.platforms.scaling import weak_scaling_platform
+from repro.simulation.runner import simulate_optimal_pattern
+
+#: Node counts of the paper's sweep (2^8 .. 2^18).
+PAPER_NODE_COUNTS = tuple(2**k for k in range(8, 19))
+
+#: Reduced default sweep keeping CI runtimes sane (2^8 .. 2^16).
+DEFAULT_NODE_COUNTS = tuple(2**k for k in range(8, 17, 2))
+
+
+def run_weak_scaling(
+    node_counts: Optional[Sequence[int]] = None,
+    *,
+    C_D: float = 300.0,
+    C_M: float = 15.4,
+    kinds: Iterable[PatternKind] = (PatternKind.PD, PatternKind.PDMV),
+    n_patterns: int = 50,
+    n_runs: int = 20,
+    seed: SeedLike = 20160607,
+) -> List[Dict[str, Any]]:
+    """Run the weak-scaling campaign (Figure 7 with defaults; Figure 8
+    with ``C_D=90``); one row per (node count, pattern)."""
+    counts = tuple(node_counts) if node_counts is not None else DEFAULT_NODE_COUNTS
+    rows: List[Dict[str, Any]] = []
+    for nodes in counts:
+        plat = weak_scaling_platform(nodes, C_D=C_D, C_M=C_M)
+        for kind in kinds:
+            opt = optimal_pattern(kind, plat)
+            res = simulate_optimal_pattern(
+                kind,
+                plat,
+                n_patterns=n_patterns,
+                n_runs=n_runs,
+                seed=seed,
+            )
+            agg = res.aggregated
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "pattern": kind.value,
+                    "predicted": opt.H_star,
+                    "simulated": agg.mean_overhead,
+                    "W*_hours": opt.W_star / 3600.0,
+                    "n*": opt.n,
+                    "m*": opt.m,
+                    "disk_ckpts_per_hour": agg.rates_per_hour["disk_checkpoints"],
+                    "mem_ckpts_per_hour": agg.rates_per_hour["memory_checkpoints"],
+                    "verifs_per_hour": agg.rates_per_hour["verifications"],
+                    "disk_rec_per_pattern": agg.per_pattern["disk_recoveries"],
+                    "mem_rec_per_pattern": agg.per_pattern["memory_recoveries"],
+                    "disk_recoveries_per_day": agg.rates_per_day["disk_recoveries"],
+                    "mem_recoveries_per_day": agg.rates_per_day["memory_recoveries"],
+                }
+            )
+    return rows
+
+
+def render_weak_scaling(rows: List[Dict[str, Any]], *, C_D: float = 300.0) -> str:
+    """Render the weak-scaling rows as ASCII."""
+    return format_table(
+        rows,
+        title=f"Weak scaling on Hera-derived platform (C_D = {C_D:g}s)",
+    )

@@ -1,0 +1,142 @@
+"""Figure 9: impact of the error rates on Hera at 100,000 nodes.
+
+The nominal platform is Hera weak-scaled to ``10^5`` nodes; the sweeps
+multiply ``lambda_f`` and ``lambda_s`` by factors in ``[0.2, 2.0]``:
+
+* 9a-c -- simulated-overhead surfaces over the (factor_f, factor_s) grid
+  for ``PDMV``, ``PD``, and their difference;
+* 9d-g -- ``lambda_f`` sweep at nominal ``lambda_s``: period, verifs and
+  ckpts per hour, recoveries per day;
+* 9h-k -- ``lambda_s`` sweep at nominal ``lambda_f``: same series.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.builders import PatternKind
+from repro.core.formulas import optimal_pattern
+from repro.errors.rng import SeedLike
+from repro.experiments.report import format_table
+from repro.platforms.platform import Platform
+from repro.platforms.scaling import weak_scaling_platform
+
+#: Node count of the Figure-9 experiments.
+FIG9_NODES = 100_000
+
+#: The paper's factor range.
+PAPER_FACTORS = tuple(np.round(np.arange(0.2, 2.01, 0.2), 2).tolist())
+
+#: Reduced default grid for CI runtimes.
+DEFAULT_FACTORS = (0.2, 0.6, 1.0, 1.4, 2.0)
+
+
+def fig9_platform() -> Platform:
+    """Hera weak-scaled to 100,000 nodes with nominal costs."""
+    return weak_scaling_platform(FIG9_NODES, C_D=300.0, C_M=15.4)
+
+
+def _simulate(
+    kind: PatternKind,
+    plat: Platform,
+    n_patterns: int,
+    n_runs: int,
+    seed: SeedLike,
+):
+    from repro.simulation.runner import simulate_optimal_pattern
+
+    return simulate_optimal_pattern(
+        kind, plat, n_patterns=n_patterns, n_runs=n_runs, seed=seed
+    )
+
+
+def run_error_rate_grid(
+    factors: Optional[Sequence[float]] = None,
+    *,
+    kinds: Iterable[PatternKind] = (PatternKind.PDMV, PatternKind.PD),
+    n_patterns: int = 20,
+    n_runs: int = 10,
+    seed: SeedLike = 20160609,
+) -> List[Dict[str, Any]]:
+    """The 9a-c overhead surfaces: one row per (factor_f, factor_s).
+
+    Each row carries the simulated overhead of every requested pattern
+    plus the difference (first minus second when two kinds are given --
+    matching the paper's ``PD - PDMV`` "savings" panel when called with
+    the default order ``(PDMV, PD)`` the difference is ``PD - PDMV``).
+    """
+    fs = tuple(factors) if factors is not None else DEFAULT_FACTORS
+    base = fig9_platform()
+    kinds = tuple(kinds)
+    rows: List[Dict[str, Any]] = []
+    for ff in fs:
+        for fsil in fs:
+            plat = base.scaled_rates(factor_f=ff, factor_s=fsil)
+            row: Dict[str, Any] = {"factor_f": ff, "factor_s": fsil}
+            sims: List[float] = []
+            for kind in kinds:
+                res = _simulate(kind, plat, n_patterns, n_runs, seed)
+                row[f"simulated_{kind.value}"] = res.simulated_overhead
+                sims.append(res.simulated_overhead)
+            if len(sims) == 2:
+                row["difference"] = sims[1] - sims[0]
+            rows.append(row)
+    return rows
+
+
+def run_error_rate_sweep(
+    vary: str,
+    factors: Optional[Sequence[float]] = None,
+    *,
+    kinds: Iterable[PatternKind] = (PatternKind.PDMV, PatternKind.PD),
+    n_patterns: int = 20,
+    n_runs: int = 10,
+    seed: SeedLike = 20160610,
+) -> List[Dict[str, Any]]:
+    """The 1-D sweeps (9d-g for ``vary='f'``, 9h-k for ``vary='s'``).
+
+    One row per (factor, pattern) with period, operation frequencies and
+    recovery frequencies.
+    """
+    if vary not in ("f", "s"):
+        raise ValueError(f"vary must be 'f' or 's', got {vary!r}")
+    fs = tuple(factors) if factors is not None else DEFAULT_FACTORS
+    base = fig9_platform()
+    rows: List[Dict[str, Any]] = []
+    for factor in fs:
+        plat = (
+            base.scaled_rates(factor_f=factor)
+            if vary == "f"
+            else base.scaled_rates(factor_s=factor)
+        )
+        for kind in kinds:
+            opt = optimal_pattern(kind, plat)
+            res = _simulate(kind, plat, n_patterns, n_runs, seed)
+            agg = res.aggregated
+            rows.append(
+                {
+                    "vary": f"lambda_{vary}",
+                    "factor": factor,
+                    "pattern": kind.value,
+                    "predicted": opt.H_star,
+                    "simulated": agg.mean_overhead,
+                    "W*_minutes": opt.W_star / 60.0,
+                    "disk_ckpts_per_hour": agg.rates_per_hour["disk_checkpoints"],
+                    "mem_ckpts_per_hour": agg.rates_per_hour["memory_checkpoints"],
+                    "verifs_per_hour": agg.rates_per_hour["verifications"],
+                    "disk_recoveries_per_day": agg.rates_per_day["disk_recoveries"],
+                    "mem_recoveries_per_day": agg.rates_per_day["memory_recoveries"],
+                }
+            )
+    return rows
+
+
+def render_error_rate_sweep(rows: List[Dict[str, Any]]) -> str:
+    """Render a 1-D error-rate sweep as ASCII."""
+    vary = rows[0]["vary"] if rows else "?"
+    return format_table(
+        rows,
+        title=f"Figure 9 -- {vary} sweep on Hera x 100,000 nodes",
+    )

@@ -1,0 +1,45 @@
+"""Result writers: CSV and JSON."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def write_csv(
+    rows: Sequence[Dict[str, Any]],
+    path: str,
+    *,
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write rows of dicts to a CSV file (creating parent directories)."""
+    if not rows:
+        raise ValueError("refusing to write an empty CSV")
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def write_json(data: Any, path: str, *, indent: int = 2) -> None:
+    """Write any JSON-serialisable object (creating parent directories)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=indent, sort_keys=False, default=_coerce)
+        fh.write("\n")
+
+
+def _coerce(obj: Any) -> Any:
+    """Fallback encoder for NumPy scalars and similar."""
+    if hasattr(obj, "tolist"):  # NumPy arrays and scalars
+        return obj.tolist()
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)

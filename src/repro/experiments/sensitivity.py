@@ -1,0 +1,91 @@
+"""Sensitivity of the optimal patterns to the detector parameters.
+
+The paper fixes the partial verification at ``V = V*/100`` and
+``r = 0.8`` (Section 6.1) and notes that the accuracy-to-cost ratio is
+what makes partial detectors attractive (Section 2.3).  These sweeps
+quantify both knobs at the model level:
+
+* :func:`recall_sweep` -- how ``H*`` and the optimal chunk count respond
+  to the detector recall; as ``r -> 0`` the chunking degenerates
+  (``m* -> 1``) and ``PDMV`` collapses onto ``PDM``;
+* :func:`verification_cost_sweep` -- how ``H*`` responds to the detector
+  cost; as ``V -> V*`` the partial detector stops paying for itself and
+  ``PDMV`` meets ``PDMV*``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.core.builders import PatternKind
+from repro.core.formulas import optimal_pattern
+from repro.experiments.report import format_table
+from repro.platforms.platform import Platform
+
+#: Default recall grid.
+DEFAULT_RECALLS = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0)
+
+#: Default cost grid, as fractions of the guaranteed-verification cost.
+DEFAULT_COST_FRACTIONS = (0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+def recall_sweep(
+    platform: Platform,
+    recalls: Sequence[float] = DEFAULT_RECALLS,
+    *,
+    kind: PatternKind = PatternKind.PDMV,
+) -> List[Dict[str, Any]]:
+    """Sweep the partial-verification recall at fixed cost.
+
+    Returns one row per recall with the optimised shape and overhead,
+    plus the corresponding memory-checkpoint-only (``PDM``) and
+    guaranteed-verification (``PDMV*``) anchors for context.
+    """
+    anchor_pdm = optimal_pattern(PatternKind.PDM, platform).H_star
+    anchor_star = optimal_pattern(PatternKind.PDMV_STAR, platform).H_star
+    rows: List[Dict[str, Any]] = []
+    for r in recalls:
+        view = platform.with_costs(r=r)
+        opt = optimal_pattern(kind, view)
+        rows.append(
+            {
+                "recall": r,
+                "m*": opt.m,
+                "n*": opt.n,
+                "H*": opt.H_star,
+                "H*_PDM": anchor_pdm,
+                "H*_PDMV_star": anchor_star,
+            }
+        )
+    return rows
+
+
+def verification_cost_sweep(
+    platform: Platform,
+    cost_fractions: Sequence[float] = DEFAULT_COST_FRACTIONS,
+    *,
+    kind: PatternKind = PatternKind.PDMV,
+) -> List[Dict[str, Any]]:
+    """Sweep the partial-verification cost as a fraction of ``V*``."""
+    anchor_star = optimal_pattern(PatternKind.PDMV_STAR, platform).H_star
+    rows: List[Dict[str, Any]] = []
+    for frac in cost_fractions:
+        if frac <= 0:
+            raise ValueError(f"cost fraction must be positive, got {frac}")
+        view = platform.with_costs(V=frac * platform.V_star)
+        opt = optimal_pattern(kind, view)
+        rows.append(
+            {
+                "V_over_Vstar": frac,
+                "m*": opt.m,
+                "n*": opt.n,
+                "H*": opt.H_star,
+                "H*_PDMV_star": anchor_star,
+            }
+        )
+    return rows
+
+
+def render_sensitivity(rows: List[Dict[str, Any]], what: str) -> str:
+    """Render one sweep as ASCII."""
+    return format_table(rows, title=f"Sensitivity of PDMV to {what}")

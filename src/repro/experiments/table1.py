@@ -1,0 +1,67 @@
+"""Table 1: optimal parameters and overheads of the six pattern families.
+
+For a given platform, produces one row per family with the closed-form
+``W*``, integer ``n*``/``m*``, continuous relaxations, the predicted
+overhead ``H*`` and (optionally) the exact-model and numerically optimal
+overheads for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.builders import PATTERN_ORDER, PatternKind
+from repro.core.exact import exact_overhead
+from repro.core.formulas import continuous_overhead, optimal_pattern
+from repro.core.optimizer import numeric_optimal_pattern
+from repro.experiments.report import format_table
+from repro.platforms.platform import Platform
+
+
+def run_table1(
+    platform: Platform,
+    *,
+    include_exact: bool = True,
+    include_numeric: bool = False,
+) -> List[Dict[str, Any]]:
+    """Compute the Table-1 realisation on one platform.
+
+    Parameters
+    ----------
+    include_exact:
+        Add the exact-model overhead of the closed-form configuration.
+    include_numeric:
+        Add the numerically optimal period/overhead (slower).
+    """
+    rows: List[Dict[str, Any]] = []
+    for kind in PATTERN_ORDER:
+        opt = optimal_pattern(kind, platform)
+        row: Dict[str, Any] = {
+            "pattern": kind.value,
+            "W*_hours": opt.W_star / 3600.0,
+            "n*": opt.n,
+            "m*": opt.m,
+            "n_cont": opt.n_cont,
+            "m_cont": opt.m_cont,
+            "H*": opt.H_star,
+            "H*_continuous": continuous_overhead(kind, platform),
+        }
+        if include_exact:
+            guaranteed = kind in (PatternKind.PDV_STAR, PatternKind.PDMV_STAR)
+            row["H_exact"] = exact_overhead(
+                opt.pattern, platform, guaranteed_intermediate=guaranteed
+            )
+        if include_numeric:
+            num = numeric_optimal_pattern(kind, platform)
+            row["W_numeric_hours"] = num.W / 3600.0
+            row["H_numeric"] = num.overhead
+        rows.append(row)
+    return rows
+
+
+def render_table1(platform: Platform, **kwargs: Any) -> str:
+    """Render the Table-1 realisation as ASCII."""
+    rows = run_table1(platform, **kwargs)
+    return format_table(
+        rows, title=f"Table 1 -- optimal patterns on {platform.name}"
+    )

@@ -1,0 +1,41 @@
+"""Platform parameter catalog and scaling transforms.
+
+The paper instantiates its model on four real platforms (Table 2) whose
+error rates and checkpoint costs were measured by Moody et al. while
+evaluating the Scalable Checkpoint/Restart (SCR) library.  This subpackage
+provides the :class:`~repro.platforms.platform.Platform` parameter record,
+the Table-2 catalog, and the weak-scaling transform used in Section 6.3.
+"""
+
+from repro.platforms.platform import Platform, ResilienceCosts
+from repro.platforms.catalog import (
+    PLATFORMS,
+    atlas,
+    coastal,
+    coastal_ssd,
+    get_platform,
+    hera,
+    platform_names,
+)
+from repro.platforms.scaling import (
+    NodeReliability,
+    hera_node_reliability,
+    scale_platform,
+    weak_scaling_platform,
+)
+
+__all__ = [
+    "Platform",
+    "ResilienceCosts",
+    "PLATFORMS",
+    "hera",
+    "atlas",
+    "coastal",
+    "coastal_ssd",
+    "get_platform",
+    "platform_names",
+    "NodeReliability",
+    "hera_node_reliability",
+    "scale_platform",
+    "weak_scaling_platform",
+]

@@ -1,0 +1,92 @@
+"""Table-2 platform catalog.
+
+The four platforms used in the paper's evaluation (Section 6.2.1,
+Table 2).  Error rates and checkpoint costs originate from Moody et al.'s
+measurements for the SCR library; the remaining costs follow the paper's
+default derivations (``R_D = C_D``, ``R_M = C_M``, ``V* = C_M``,
+``V = V*/100``, ``r = 0.8``).
+
+==============  ======  =========  =========  ======  ======
+platform        nodes   lambda_f   lambda_s   C_D     C_M
+==============  ======  =========  =========  ======  ======
+Hera            256     9.46e-7    3.38e-6    300 s   15.4 s
+Atlas           512     5.19e-7    7.78e-6    439 s   9.1 s
+Coastal         1024    4.02e-7    2.01e-6    1051 s  4.5 s
+Coastal SSD     1024    4.02e-7    2.01e-6    2500 s  180 s
+==============  ======  =========  =========  ======  ======
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.platforms.platform import Platform, default_costs
+
+
+def hera() -> Platform:
+    """LLNL Hera: 256 nodes, cheapest checkpoints, worst error rates."""
+    return Platform(
+        name="Hera",
+        nodes=256,
+        lambda_f=9.46e-7,
+        lambda_s=3.38e-6,
+        costs=default_costs(C_D=300.0, C_M=15.4),
+    )
+
+
+def atlas() -> Platform:
+    """LLNL Atlas: 512 nodes, highest silent-error rate."""
+    return Platform(
+        name="Atlas",
+        nodes=512,
+        lambda_f=5.19e-7,
+        lambda_s=7.78e-6,
+        costs=default_costs(C_D=439.0, C_M=9.1),
+    )
+
+
+def coastal() -> Platform:
+    """LLNL Coastal: 1024 nodes, expensive disk, cheap memory checkpoints."""
+    return Platform(
+        name="Coastal",
+        nodes=1024,
+        lambda_f=4.02e-7,
+        lambda_s=2.01e-6,
+        costs=default_costs(C_D=1051.0, C_M=4.5),
+    )
+
+
+def coastal_ssd() -> Platform:
+    """Coastal with SSD-backed memory checkpoints: larger but slower C_M."""
+    return Platform(
+        name="Coastal SSD",
+        nodes=1024,
+        lambda_f=4.02e-7,
+        lambda_s=2.01e-6,
+        costs=default_costs(C_D=2500.0, C_M=180.0),
+    )
+
+
+#: Name -> factory for the four Table-2 platforms, in the paper's order.
+PLATFORMS: Dict[str, "type(hera)"] = {
+    "hera": hera,
+    "atlas": atlas,
+    "coastal": coastal,
+    "coastal_ssd": coastal_ssd,
+}
+
+
+def platform_names() -> List[str]:
+    """The catalog platform keys, in the paper's Table-2 order."""
+    return list(PLATFORMS.keys())
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a Table-2 platform by (case/space-insensitive) name."""
+    key = name.strip().lower().replace(" ", "_").replace("-", "_")
+    try:
+        return PLATFORMS[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {', '.join(PLATFORMS)}"
+        ) from None

@@ -1,0 +1,240 @@
+"""Platform parameter records.
+
+A :class:`Platform` bundles every scalar the paper's model consumes:
+
+* error rates ``lambda_f`` (fail-stop) and ``lambda_s`` (silent), per second;
+* resilience costs: disk checkpoint ``C_D``, memory checkpoint ``C_M``,
+  disk recovery ``R_D``, memory recovery ``R_M``, guaranteed verification
+  ``V*`` and partial verification ``V`` (seconds);
+* the partial-verification recall ``r``.
+
+Default derivations follow the paper's simulation setup (Section 6.1):
+``R_D = C_D``, ``R_M = C_M``, ``V* = C_M``, ``V = V*/100``, ``r = 0.8``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ResilienceCosts:
+    """The cost vector of the resilience operations, in seconds.
+
+    Attributes
+    ----------
+    C_D:
+        Disk checkpoint cost.
+    C_M:
+        Memory checkpoint cost.
+    R_D:
+        Disk recovery cost (reading back the disk checkpoint).
+    R_M:
+        Memory recovery cost (restoring the in-memory copy).
+    V_star:
+        Guaranteed-verification cost (detects every silent error).
+    V:
+        Partial-verification cost.
+    r:
+        Partial-verification recall, i.e. the fraction of silent errors it
+        detects; must lie in ``(0, 1]``.
+    """
+
+    C_D: float
+    C_M: float
+    R_D: float
+    R_M: float
+    V_star: float
+    V: float
+    r: float = 0.8
+
+    def __post_init__(self) -> None:
+        for name in ("C_D", "C_M", "R_D", "R_M", "V_star", "V"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if not (0.0 < self.r <= 1.0):
+            raise ValueError(f"recall r must be in (0, 1], got {self.r}")
+
+    @property
+    def accuracy_to_cost_partial(self) -> float:
+        """Accuracy-to-cost ratio of the partial verification.
+
+        Defined in Section 2.3 as ``(r / (2 - r)) / (V / (V* + C_M))``; a
+        higher ratio makes a detector more attractive.
+        """
+        return (self.r / (2.0 - self.r)) / (self.V / (self.V_star + self.C_M))
+
+    @property
+    def accuracy_to_cost_guaranteed(self) -> float:
+        """Accuracy-to-cost ratio of the guaranteed verification.
+
+        The guaranteed verification has recall 1, giving ratio
+        ``C_M / V* + 1`` (Section 2.3).
+        """
+        return self.C_M / self.V_star + 1.0
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A complete platform description for the resilience model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    nodes:
+        Number of compute nodes (bookkeeping only; the model consumes the
+        aggregated rates).
+    lambda_f:
+        Platform-wide fail-stop error rate (errors/second).
+    lambda_s:
+        Platform-wide silent error rate (errors/second).
+    costs:
+        Resilience operation costs.
+    """
+
+    name: str
+    nodes: int
+    lambda_f: float
+    lambda_s: float
+    costs: ResilienceCosts
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError(f"node count must be positive, got {self.nodes}")
+        if self.lambda_f < 0 or self.lambda_s < 0:
+            raise ValueError(
+                f"error rates must be non-negative, got "
+                f"lambda_f={self.lambda_f}, lambda_s={self.lambda_s}"
+            )
+
+    # -- convenient cost aliases ------------------------------------------
+    @property
+    def C_D(self) -> float:
+        """Disk checkpoint cost (seconds)."""
+        return self.costs.C_D
+
+    @property
+    def C_M(self) -> float:
+        """Memory checkpoint cost (seconds)."""
+        return self.costs.C_M
+
+    @property
+    def R_D(self) -> float:
+        """Disk recovery cost (seconds)."""
+        return self.costs.R_D
+
+    @property
+    def R_M(self) -> float:
+        """Memory recovery cost (seconds)."""
+        return self.costs.R_M
+
+    @property
+    def V_star(self) -> float:
+        """Guaranteed verification cost (seconds)."""
+        return self.costs.V_star
+
+    @property
+    def V(self) -> float:
+        """Partial verification cost (seconds)."""
+        return self.costs.V
+
+    @property
+    def r(self) -> float:
+        """Partial verification recall."""
+        return self.costs.r
+
+    # -- derived reliability quantities ------------------------------------
+    @property
+    def lambda_total(self) -> float:
+        """Combined error rate ``lambda_f + lambda_s``."""
+        return self.lambda_f + self.lambda_s
+
+    @property
+    def mtbf(self) -> float:
+        """Platform MTBF over both error sources, in seconds."""
+        lam = self.lambda_total
+        return math.inf if lam == 0.0 else 1.0 / lam
+
+    @property
+    def mtbf_fail_stop(self) -> float:
+        """Platform MTBF for fail-stop errors only, in seconds."""
+        return math.inf if self.lambda_f == 0.0 else 1.0 / self.lambda_f
+
+    @property
+    def mtbf_silent(self) -> float:
+        """Platform MTBF for silent errors only, in seconds."""
+        return math.inf if self.lambda_s == 0.0 else 1.0 / self.lambda_s
+
+    @property
+    def mtbf_fail_stop_days(self) -> float:
+        """Fail-stop MTBF in days (as quoted in the paper's Section 6.2.1)."""
+        return self.mtbf_fail_stop / 86400.0
+
+    @property
+    def mtbf_silent_days(self) -> float:
+        """Silent-error MTBF in days."""
+        return self.mtbf_silent / 86400.0
+
+    # -- transformations ----------------------------------------------------
+    def with_rates(self, lambda_f: float, lambda_s: float) -> "Platform":
+        """Copy of this platform with replaced error rates."""
+        return replace(self, lambda_f=lambda_f, lambda_s=lambda_s)
+
+    def scaled_rates(self, factor_f: float = 1.0, factor_s: float = 1.0) -> "Platform":
+        """Copy of this platform with error rates multiplied by factors.
+
+        Used by the Figure-9 sweeps, which vary ``lambda_f`` and ``lambda_s``
+        relative to their nominal values.
+        """
+        if factor_f < 0 or factor_s < 0:
+            raise ValueError("rate factors must be non-negative")
+        return replace(
+            self,
+            lambda_f=self.lambda_f * factor_f,
+            lambda_s=self.lambda_s * factor_s,
+        )
+
+    def with_costs(self, **changes: float) -> "Platform":
+        """Copy of this platform with some resilience costs replaced.
+
+        Accepts any field of :class:`ResilienceCosts` as keyword argument,
+        e.g. ``platform.with_costs(C_D=90.0)`` for the Figure-8 experiment.
+        """
+        return replace(self, costs=replace(self.costs, **changes))
+
+
+def default_costs(
+    C_D: float,
+    C_M: float,
+    *,
+    R_D: Optional[float] = None,
+    R_M: Optional[float] = None,
+    V_star: Optional[float] = None,
+    V: Optional[float] = None,
+    r: float = 0.8,
+    partial_cost_ratio: float = 100.0,
+) -> ResilienceCosts:
+    """Build a cost vector using the paper's default derivations.
+
+    Section 6.1: ``R_D = C_D`` (reading back costs the same as writing),
+    ``R_M = C_M``, ``V* = C_M`` (a guaranteed verification touches all of
+    memory), and ``V = V*/100`` with recall ``r = 0.8``.
+    """
+    if partial_cost_ratio <= 0:
+        raise ValueError(
+            f"partial_cost_ratio must be positive, got {partial_cost_ratio}"
+        )
+    V_star_val = C_M if V_star is None else V_star
+    return ResilienceCosts(
+        C_D=C_D,
+        C_M=C_M,
+        R_D=C_D if R_D is None else R_D,
+        R_M=C_M if R_M is None else R_M,
+        V_star=V_star_val,
+        V=V_star_val / partial_cost_ratio if V is None else V,
+        r=r,
+    )

@@ -1,0 +1,422 @@
+"""The pattern execution engine.
+
+Simulates one run (a sequence of patterns) under the paper's semantics:
+
+* **fail-stop errors** (rate ``lambda_f``) may strike during computations
+  and -- matching the paper's simulator, Section 6.1 -- during
+  verifications, checkpoints and recoveries.  A fail-stop error destroys
+  memory: the run rolls back to the start of the current pattern and pays
+  a disk recovery ``R_D`` followed by a memory restore ``R_M``.  Faults
+  during the recovery itself restart the affected recovery step
+  (Equations (30)-(33)).
+
+* **silent errors** (rate ``lambda_s``) strike computations only.  They do
+  not interrupt; they mark the data as corrupted.  A partial verification
+  detects a pending corruption with probability ``1 - (1-r)^k`` (each of
+  the ``k`` pending corruptions is caught independently with recall
+  ``r``); a guaranteed verification always detects.  On detection the run
+  pays a memory recovery ``R_M`` and rolls back to the start of the
+  current *segment* (the last memory checkpoint).  A fail-stop error
+  during the memory recovery escalates to a disk recovery and a pattern
+  restart.
+
+* checkpoints commit state: a memory checkpoint at the end of segment
+  ``i`` means later silent detections roll back only to that point; the
+  disk checkpoint at the end of the pattern makes progress permanent.
+
+The engine is deliberately event-sparse: per operation it draws at most
+one exponential variate per error source (memorylessness of the Poisson
+process makes this exact), using batched Exp(1) buffers to avoid
+per-operation NumPy call overhead (HPC-guide idiom).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.platforms.platform import Platform
+from repro.simulation.events import OperationKind
+from repro.simulation.stats import SimulationStats
+from repro.simulation.trace import OpOutcomeKind, TraceRecorder
+
+
+class _ExpSampler:
+    """Batched sampler of Exp(1) variates.
+
+    ``next()`` pops one standard-exponential value from a pre-filled
+    buffer, refilling in vectorised batches.  Scaling by ``1/rate`` gives
+    an exponential of any rate; thanks to memorylessness, drawing a fresh
+    time-to-next-error at the start of every operation is distributionally
+    exact.
+    """
+
+    __slots__ = ("_rng", "_buf", "_idx", "_size")
+
+    def __init__(self, rng: np.random.Generator, size: int = 4096):
+        self._rng = rng
+        self._size = size
+        self._buf = rng.standard_exponential(size)
+        self._idx = 0
+
+    def next(self) -> float:
+        if self._idx >= self._size:
+            self._buf = self._rng.standard_exponential(self._size)
+            self._idx = 0
+        v = self._buf[self._idx]
+        self._idx += 1
+        return float(v)
+
+
+@dataclass
+class _Segment:
+    """Pre-resolved segment: chunk lengths and per-chunk verification spec."""
+
+    chunks: Tuple[float, ...]
+    verif_costs: Tuple[float, ...]
+    verif_recalls: Tuple[float, ...]
+
+
+class PatternSimulator:
+    """Simulate repeated executions of one pattern on one platform.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern to execute (any shape).
+    platform:
+        Error rates and resilience costs.  For the starred families pass
+        the guaranteed-verification view (see
+        :func:`repro.core.formulas.simulation_costs`).
+    fail_stop_in_operations:
+        When True (default, the paper's simulator), fail-stop errors can
+        strike during verifications, checkpoints and recoveries; when
+        False only computations are vulnerable (the assumption of
+        Sections 3-4, useful for model-validation tests).
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        platform: Platform,
+        *,
+        fail_stop_in_operations: bool = True,
+        trace: "TraceRecorder" = None,
+    ):
+        self.pattern = pattern
+        self.platform = platform
+        self.fail_stop_in_operations = fail_stop_in_operations
+        self.trace = trace
+        self._segments = self._resolve_segments()
+        self._clock = 0.0  # absolute simulated time for trace timestamps
+        self._pattern_index = -1
+
+    def _emit(
+        self,
+        op,
+        elapsed: float,
+        outcome,
+        *,
+        segment: int = -1,
+        chunk: int = -1,
+    ) -> None:
+        """Record one operation attempt on the trace (no-op when untraced).
+
+        Also advances the absolute trace clock, which tiles the timeline
+        exactly because the engine performs one operation at a time.
+        """
+        if self.trace is not None:
+            self.trace.emit(
+                op,
+                self._clock,
+                elapsed,
+                outcome,
+                segment=segment,
+                chunk=chunk,
+                pattern_index=self._pattern_index,
+            )
+        self._clock += elapsed
+
+    def _resolve_segments(self) -> List[_Segment]:
+        p, plat = self.pattern, self.platform
+        segs: List[_Segment] = []
+        for seg in p.segments():
+            lengths = seg.chunk_lengths
+            m = len(lengths)
+            costs = tuple([plat.V] * (m - 1) + [plat.V_star])
+            recalls = tuple([plat.r] * (m - 1) + [1.0])
+            segs.append(
+                _Segment(chunks=lengths, verif_costs=costs, verif_recalls=recalls)
+            )
+        return segs
+
+    # ------------------------------------------------------------------ #
+    # primitive operations
+    # ------------------------------------------------------------------ #
+
+    def _attempt(
+        self, duration: float, exp_f: _ExpSampler, vulnerable: bool
+    ) -> Tuple[float, bool]:
+        """Attempt a timed operation; return ``(elapsed, interrupted)``.
+
+        ``vulnerable`` selects whether fail-stop errors can strike it.
+        """
+        lf = self.platform.lambda_f
+        if not vulnerable or lf == 0.0 or duration == 0.0:
+            return duration, False
+        t_fail = exp_f.next() / lf
+        if t_fail < duration:
+            return t_fail, True
+        return duration, False
+
+    def _disk_recovery(
+        self, exp_f: _ExpSampler, stats: SimulationStats
+    ) -> float:
+        """Perform ``R_D`` then ``R_M``, retrying steps hit by fail-stop.
+
+        Follows Equations (30)-(31): a fault during the disk-recovery step
+        restarts that step; a fault during the memory-restore step
+        restarts the *whole* recovery (disk + memory).  Returns elapsed
+        time.  Counts one disk recovery and one memory recovery (the
+        restore of the in-memory copy) regardless of retries, matching the
+        paper's "one recovery per fail-stop error" accounting.
+        """
+        plat = self.platform
+        vulnerable = self.fail_stop_in_operations
+        elapsed = 0.0
+        while True:
+            # Disk step: retry until it completes.
+            while True:
+                dt, hit = self._attempt(plat.R_D, exp_f, vulnerable)
+                elapsed += dt
+                self._emit(
+                    OperationKind.DISK_RECOVERY,
+                    dt,
+                    OpOutcomeKind.INTERRUPTED if hit else OpOutcomeKind.COMPLETED,
+                )
+                if not hit:
+                    break
+                stats.fail_stop_errors += 1
+            # Memory restore step: a hit restarts the full recovery.
+            dt, hit = self._attempt(plat.R_M, exp_f, vulnerable)
+            elapsed += dt
+            self._emit(
+                OperationKind.MEMORY_RECOVERY,
+                dt,
+                OpOutcomeKind.INTERRUPTED if hit else OpOutcomeKind.COMPLETED,
+            )
+            if not hit:
+                stats.disk_recoveries += 1
+                stats.memory_recoveries += 1
+                return elapsed
+            stats.fail_stop_errors += 1
+
+    def _memory_recovery(
+        self, exp_f: _ExpSampler, stats: SimulationStats
+    ) -> Tuple[float, bool]:
+        """Perform ``R_M`` after a silent detection.
+
+        Returns ``(elapsed, escalated)``: ``escalated`` is True when a
+        fail-stop error struck during the restore, which destroys memory
+        and forces a disk recovery + pattern restart (Equation (31)).
+        The escalation's own disk recovery is *not* performed here.
+        """
+        plat = self.platform
+        dt, hit = self._attempt(plat.R_M, exp_f, self.fail_stop_in_operations)
+        self._emit(
+            OperationKind.MEMORY_RECOVERY,
+            dt,
+            OpOutcomeKind.INTERRUPTED if hit else OpOutcomeKind.COMPLETED,
+        )
+        if hit:
+            stats.fail_stop_errors += 1
+            return dt, True
+        stats.memory_recoveries += 1
+        return dt, False
+
+    # ------------------------------------------------------------------ #
+    # pattern execution
+    # ------------------------------------------------------------------ #
+
+    def run_pattern(
+        self, rng: np.random.Generator, stats: Optional[SimulationStats] = None
+    ) -> SimulationStats:
+        """Execute one pattern to completion; accumulate into ``stats``.
+
+        The returned stats object records the elapsed wall-clock time
+        (including all recoveries and re-executions) and every counter.
+        """
+        if stats is None:
+            stats = SimulationStats()
+        plat = self.platform
+        lf, ls = plat.lambda_f, plat.lambda_s
+        exp_f = _ExpSampler(rng)
+        exp_s = _ExpSampler(rng)
+        vulnerable_ops = self.fail_stop_in_operations
+        self._pattern_index += 1
+
+        elapsed = 0.0
+        pattern_done = False
+        while not pattern_done:
+            restart_pattern = False
+            seg_idx = 0
+            while seg_idx < len(self._segments):
+                seg = self._segments[seg_idx]
+                # Attempt the segment until its memory checkpoint commits,
+                # or a fail-stop error forces a pattern restart.
+                segment_done = False
+                while not segment_done:
+                    pending_silent = 0
+                    chunk_idx = 0
+                    rollback_segment = False
+                    while chunk_idx < len(seg.chunks):
+                        w = seg.chunks[chunk_idx]
+                        # -- compute chunk (both error kinds possible) ----
+                        dt, hit = self._attempt(w, exp_f, True)
+                        self._emit(
+                            OperationKind.COMPUTE,
+                            dt,
+                            OpOutcomeKind.INTERRUPTED
+                            if hit
+                            else OpOutcomeKind.COMPLETED,
+                            segment=seg_idx,
+                            chunk=chunk_idx,
+                        )
+                        if hit:
+                            stats.fail_stop_errors += 1
+                            # A silent error may also have struck before the
+                            # crash, but the crash supersedes it.
+                            elapsed += dt
+                            elapsed += self._disk_recovery(exp_f, stats)
+                            restart_pattern = True
+                            break
+                        if ls > 0.0:
+                            t_silent = exp_s.next() / ls
+                            if t_silent < w:
+                                pending_silent += 1
+                                stats.silent_errors += 1
+                        elapsed += w
+                        # -- verification ending the chunk ----------------
+                        v_cost = seg.verif_costs[chunk_idx]
+                        recall = seg.verif_recalls[chunk_idx]
+                        guaranteed = recall >= 1.0
+                        v_op = (
+                            OperationKind.GUARANTEED_VERIFY
+                            if guaranteed
+                            else OperationKind.PARTIAL_VERIFY
+                        )
+                        dt, hit = self._attempt(v_cost, exp_f, vulnerable_ops)
+                        if hit:
+                            self._emit(
+                                v_op, dt, OpOutcomeKind.INTERRUPTED,
+                                segment=seg_idx, chunk=chunk_idx,
+                            )
+                            stats.fail_stop_errors += 1
+                            elapsed += dt
+                            elapsed += self._disk_recovery(exp_f, stats)
+                            restart_pattern = True
+                            break
+                        elapsed += v_cost
+                        if guaranteed:
+                            stats.guaranteed_verifications += 1
+                        else:
+                            stats.partial_verifications += 1
+                        detected = False
+                        if pending_silent > 0:
+                            if guaranteed:
+                                detected = True
+                            else:
+                                # each pending corruption caught w.p. r
+                                for _ in range(pending_silent):
+                                    if rng.random() < recall:
+                                        detected = True
+                                        break
+                        self._emit(
+                            v_op,
+                            v_cost,
+                            OpOutcomeKind.ALARM
+                            if detected
+                            else OpOutcomeKind.COMPLETED,
+                            segment=seg_idx,
+                            chunk=chunk_idx,
+                        )
+                        if detected:
+                            if guaranteed:
+                                stats.silent_detections_guaranteed += 1
+                            else:
+                                stats.silent_detections_partial += 1
+                            dt, escalated = self._memory_recovery(exp_f, stats)
+                            elapsed += dt
+                            if escalated:
+                                elapsed += self._disk_recovery(exp_f, stats)
+                                restart_pattern = True
+                            else:
+                                rollback_segment = True
+                            break
+                        chunk_idx += 1
+                    if restart_pattern:
+                        break
+                    if rollback_segment:
+                        continue  # retry this segment from its start
+                    # -- memory checkpoint committing the segment ---------
+                    dt, hit = self._attempt(plat.C_M, exp_f, vulnerable_ops)
+                    self._emit(
+                        OperationKind.MEMORY_CHECKPOINT,
+                        dt,
+                        OpOutcomeKind.INTERRUPTED
+                        if hit
+                        else OpOutcomeKind.COMPLETED,
+                        segment=seg_idx,
+                    )
+                    if hit:
+                        stats.fail_stop_errors += 1
+                        elapsed += dt
+                        elapsed += self._disk_recovery(exp_f, stats)
+                        restart_pattern = True
+                        break
+                    elapsed += plat.C_M
+                    stats.memory_checkpoints += 1
+                    segment_done = True
+                if restart_pattern:
+                    break
+                seg_idx += 1
+            if restart_pattern:
+                continue  # redo the pattern from segment 0
+            # -- final disk checkpoint ------------------------------------
+            dt, hit = self._attempt(plat.C_D, exp_f, vulnerable_ops)
+            self._emit(
+                OperationKind.DISK_CHECKPOINT,
+                dt,
+                OpOutcomeKind.INTERRUPTED if hit else OpOutcomeKind.COMPLETED,
+                segment=len(self._segments) - 1,
+            )
+            if hit:
+                stats.fail_stop_errors += 1
+                elapsed += dt
+                elapsed += self._disk_recovery(exp_f, stats)
+                continue  # restart the whole pattern (Equation (32))
+            elapsed += plat.C_D
+            stats.disk_checkpoints += 1
+            pattern_done = True
+
+        stats.total_time += elapsed
+        stats.useful_work += self.pattern.W
+        stats.patterns_completed += 1
+        return stats
+
+    def run(
+        self,
+        n_patterns: int,
+        rng: np.random.Generator,
+    ) -> SimulationStats:
+        """Execute ``n_patterns`` consecutive patterns (one run)."""
+        if n_patterns <= 0:
+            raise ValueError(f"n_patterns must be positive, got {n_patterns}")
+        stats = SimulationStats()
+        for _ in range(n_patterns):
+            self.run_pattern(rng, stats)
+        return stats

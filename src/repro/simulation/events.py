@@ -1,0 +1,38 @@
+"""Operation kinds and outcomes used by the simulation engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OperationKind(enum.Enum):
+    """What the simulated processor is doing at a given moment."""
+
+    COMPUTE = "compute"
+    PARTIAL_VERIFY = "partial-verify"
+    GUARANTEED_VERIFY = "guaranteed-verify"
+    MEMORY_CHECKPOINT = "memory-checkpoint"
+    DISK_CHECKPOINT = "disk-checkpoint"
+    MEMORY_RECOVERY = "memory-recovery"
+    DISK_RECOVERY = "disk-recovery"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpOutcome:
+    """Outcome of attempting one timed operation.
+
+    Attributes
+    ----------
+    elapsed:
+        Wall-clock time consumed by the attempt (full duration on
+        success, time-to-failure when interrupted).
+    interrupted:
+        True when a fail-stop error struck during the operation.
+    """
+
+    elapsed: float
+    interrupted: bool

@@ -1,0 +1,158 @@
+"""Vectorised batch simulation of the base pattern ``PD``.
+
+The step-by-step engine handles arbitrary pattern shapes; for the
+single-segment, single-chunk ``PD`` family the per-attempt outcome has a
+simple three-way structure that can be sampled for *thousands of
+patterns at once* with NumPy (the HPC-guide vectorisation idiom):
+
+* fail-stop within the work (prob ``1 - exp(-lf W)``): pay the lost time
+  plus ``R_D + R_M``, retry;
+* otherwise silent error within the work (prob ``1 - exp(-ls W)``): pay
+  ``W + V* + R_M``, retry (the guaranteed verification always detects);
+* otherwise: pay ``W + V* + C_M + C_D``, done.
+
+Semantics match the engine with ``fail_stop_in_operations=False`` (the
+base-model assumption of Sections 3-4), which the tests assert: the mean
+batch time agrees with both the exact recursion (Prop. 1) and the
+step engine.  Throughput is one-to-two orders of magnitude above the
+step engine, enabling paper-scale (1000 x 1000) PD campaigns in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.platforms.platform import Platform
+
+
+@dataclass(frozen=True)
+class PdBatchResult:
+    """Result of a vectorised PD campaign.
+
+    Attributes
+    ----------
+    times:
+        Wall-clock time of each simulated pattern (shape ``(n,)``).
+    fail_stop_errors, silent_errors:
+        Total error strikes across the batch.
+    """
+
+    times: np.ndarray
+    fail_stop_errors: int
+    silent_errors: int
+
+    @property
+    def n(self) -> int:
+        """Number of simulated patterns."""
+        return int(self.times.size)
+
+    def mean_time(self) -> float:
+        """Mean pattern execution time."""
+        return float(self.times.mean())
+
+    def overhead(self, W: float) -> float:
+        """Batch overhead ``mean(times)/W - 1``."""
+        if W <= 0:
+            raise ValueError(f"W must be positive, got {W}")
+        return self.mean_time() / W - 1.0
+
+
+def simulate_pd_batch(
+    W: float,
+    platform: Platform,
+    n_patterns: int,
+    rng: np.random.Generator,
+    *,
+    max_attempts: int = 10_000,
+) -> PdBatchResult:
+    """Simulate ``n_patterns`` independent PD patterns, fully vectorised.
+
+    Parameters
+    ----------
+    W:
+        Pattern work length.
+    platform:
+        Rates and costs (resilience operations are error-free, matching
+        the Sections 3-4 model).
+    n_patterns:
+        Batch size; all patterns are independent (each pattern's retries
+        use fresh draws -- the Poisson process is memoryless).
+    max_attempts:
+        Safety bound on retry rounds (a pattern surviving this many
+        failed attempts raises, indicating ``W`` is absurdly long for
+        the platform MTBF).
+    """
+    if W <= 0:
+        raise ValueError(f"W must be positive, got {W}")
+    if n_patterns <= 0:
+        raise ValueError(f"n_patterns must be positive, got {n_patterns}")
+    lf, ls = platform.lambda_f, platform.lambda_s
+    success_cost = W + platform.V_star + platform.C_M + platform.C_D
+    silent_cost = W + platform.V_star + platform.R_M
+    crash_extra = platform.R_D + platform.R_M
+
+    times = np.zeros(n_patterns)
+    active = np.arange(n_patterns)
+    n_fs = 0
+    n_silent = 0
+    attempts = 0
+    while active.size:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"{active.size} patterns still retrying after "
+                f"{max_attempts} attempts; W={W} is far beyond the MTBF"
+            )
+        k = active.size
+        # Time-to-fail-stop within this attempt (inf when lf == 0).
+        if lf > 0.0:
+            t_fail = rng.exponential(1.0 / lf, size=k)
+        else:
+            t_fail = np.full(k, np.inf)
+        crashed = t_fail < W
+        if ls > 0.0:
+            t_silent = rng.exponential(1.0 / ls, size=k)
+        else:
+            t_silent = np.full(k, np.inf)
+        corrupted = ~crashed & (t_silent < W)
+        ok = ~crashed & ~corrupted
+
+        n_fs += int(crashed.sum())
+        n_silent += int((t_silent < W).sum())  # strikes even when crashed
+
+        # Accumulate this attempt's cost per outcome.
+        cost = np.empty(k)
+        cost[crashed] = t_fail[crashed] + crash_extra
+        cost[corrupted] = silent_cost
+        cost[ok] = success_cost
+        np.add.at(times, active, cost)
+
+        active = active[~ok]
+    return PdBatchResult(
+        times=times, fail_stop_errors=n_fs, silent_errors=n_silent
+    )
+
+
+def pd_overhead_batch(
+    platform: Platform,
+    *,
+    n_patterns: int = 100_000,
+    seed: Optional[int] = None,
+    W: Optional[float] = None,
+) -> float:
+    """Convenience: simulated PD overhead at the Theorem-1 optimal period.
+
+    Uses the batch sampler for throughput; ``W`` overrides the optimal
+    period when given.
+    """
+    from repro.core.builders import PatternKind
+    from repro.core.formulas import optimal_pattern
+
+    if W is None:
+        W = optimal_pattern(PatternKind.PD, platform).W_star
+    rng = np.random.default_rng(seed)
+    result = simulate_pd_batch(W, platform, n_patterns, rng)
+    return result.overhead(W)

@@ -1,0 +1,169 @@
+"""Execution traces: a timeline of every simulated operation.
+
+A :class:`TraceRecorder` can be attached to the engine or to the live
+executor to capture one record per attempted operation -- what ran, when,
+for how long, and how it ended (completed / interrupted / alarm raised).
+Traces make failure scenarios auditable and are used by tests to verify
+scheduling semantics the aggregate counters cannot distinguish.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.simulation.events import OperationKind
+
+
+class OpOutcomeKind(enum.Enum):
+    """How one attempted operation ended."""
+
+    COMPLETED = "completed"
+    INTERRUPTED = "interrupted"  # fail-stop struck mid-operation
+    ALARM = "alarm"              # verification detected a silent error
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One attempted operation on the simulated timeline.
+
+    Attributes
+    ----------
+    op:
+        The operation kind.
+    start:
+        Absolute simulated start time.
+    elapsed:
+        Time actually consumed (< planned duration when interrupted).
+    outcome:
+        How the attempt ended.
+    segment, chunk:
+        Position in the pattern (``-1`` when not applicable).
+    pattern_index:
+        Which pattern instance (0-based) was being executed.
+    """
+
+    op: OperationKind
+    start: float
+    elapsed: float
+    outcome: OpOutcomeKind
+    segment: int = -1
+    chunk: int = -1
+    pattern_index: int = -1
+
+    @property
+    def end(self) -> float:
+        """Absolute simulated end time."""
+        return self.start + self.elapsed
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` entries, with bounded memory.
+
+    Parameters
+    ----------
+    max_records:
+        Hard cap; beyond it the earliest records are dropped (the counter
+        :attr:`dropped` tracks how many).  Keeps long campaigns safe.
+    """
+
+    def __init__(self, max_records: int = 100_000):
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        self.max_records = max_records
+        self._records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, rec: TraceRecord) -> None:
+        """Append one record (evicting the oldest beyond the cap)."""
+        self._records.append(rec)
+        if len(self._records) > self.max_records:
+            self._records.pop(0)
+            self.dropped += 1
+
+    def emit(
+        self,
+        op: OperationKind,
+        start: float,
+        elapsed: float,
+        outcome: OpOutcomeKind,
+        *,
+        segment: int = -1,
+        chunk: int = -1,
+        pattern_index: int = -1,
+    ) -> None:
+        """Convenience constructor + record."""
+        self.record(
+            TraceRecord(
+                op=op,
+                start=start,
+                elapsed=elapsed,
+                outcome=outcome,
+                segment=segment,
+                chunk=chunk,
+                pattern_index=pattern_index,
+            )
+        )
+
+    # -- inspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> Sequence[TraceRecord]:
+        """The recorded timeline, oldest first."""
+        return tuple(self._records)
+
+    def by_op(self, op: OperationKind) -> List[TraceRecord]:
+        """All records of one operation kind."""
+        return [r for r in self._records if r.op is op]
+
+    def by_outcome(self, outcome: OpOutcomeKind) -> List[TraceRecord]:
+        """All records with one outcome."""
+        return [r for r in self._records if r.outcome is outcome]
+
+    def counts(self) -> Dict[str, int]:
+        """Record counts per (op, outcome) pair, keyed ``'op/outcome'``."""
+        out: Dict[str, int] = {}
+        for r in self._records:
+            key = f"{r.op.value}/{r.outcome.value}"
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def total_time(self) -> float:
+        """Sum of elapsed time across all records."""
+        return sum(r.elapsed for r in self._records)
+
+    def validate_contiguous(self, tol: float = 1e-6) -> bool:
+        """Check that records tile the timeline without gaps or overlaps.
+
+        The engine performs exactly one operation at a time, so each
+        record must start where the previous one ended.
+        """
+        for prev, cur in zip(self._records, self._records[1:]):
+            if abs(cur.start - prev.end) > tol:
+                return False
+        return True
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable timeline (first ``limit`` records)."""
+        lines = [
+            f"{'start':>12}  {'dur':>10}  {'op':<20} {'outcome':<12} "
+            f"{'pat':>4} {'seg':>4} {'chk':>4}"
+        ]
+        for r in self._records[:limit]:
+            lines.append(
+                f"{r.start:12.2f}  {r.elapsed:10.2f}  {r.op.value:<20} "
+                f"{r.outcome.value:<12} {r.pattern_index:>4} "
+                f"{r.segment:>4} {r.chunk:>4}"
+            )
+        if len(self._records) > limit:
+            lines.append(f"... ({len(self._records) - limit} more records)")
+        return "\n".join(lines)

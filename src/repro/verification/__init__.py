@@ -1,0 +1,46 @@
+"""Verification detectors and two-level checkpoint stores.
+
+These are the *operational* counterparts of the model's scalar costs: a
+:class:`~repro.verification.detectors.Detector` decides whether corrupted
+application state is flagged, and a
+:class:`~repro.verification.checkpoint.TwoLevelCheckpointStore` holds real
+byte-level snapshots at the memory and disk levels.  The live resilient
+executor (:mod:`repro.application.executor`) uses both to run actual NumPy
+workloads under pattern schedules.
+"""
+
+from repro.verification.detectors import (
+    ChecksumDetector,
+    Detector,
+    GuaranteedDetector,
+    PartialDetector,
+    best_detector,
+)
+from repro.verification.checkpoint import (
+    Checkpoint,
+    CheckpointLevel,
+    TwoLevelCheckpointStore,
+)
+from repro.verification.portfolio import (
+    PortfolioChoice,
+    optimize_with_portfolio,
+    platform_with_detector,
+    portfolio_report,
+    rank_detectors,
+)
+
+__all__ = [
+    "Detector",
+    "GuaranteedDetector",
+    "PartialDetector",
+    "ChecksumDetector",
+    "best_detector",
+    "Checkpoint",
+    "CheckpointLevel",
+    "TwoLevelCheckpointStore",
+    "PortfolioChoice",
+    "rank_detectors",
+    "platform_with_detector",
+    "optimize_with_portfolio",
+    "portfolio_report",
+]

@@ -1,0 +1,171 @@
+"""Two-level checkpoint store with real byte-level snapshots.
+
+The model treats checkpoints as scalar costs; the live executor needs
+actual state preservation.  :class:`TwoLevelCheckpointStore` keeps exactly
+one memory checkpoint and one disk checkpoint at any time (the paper's
+single-checkpoint invariant, guaranteed by the verification-before-
+checkpoint property), with fail-stop semantics: :meth:`crash` destroys
+the memory level but not the disk level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+class CheckpointLevel(enum.Enum):
+    """The two checkpoint levels of the paper."""
+
+    MEMORY = "memory"
+    DISK = "disk"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One committed snapshot.
+
+    Attributes
+    ----------
+    level:
+        Where the snapshot lives.
+    time:
+        Simulated time at which it was committed.
+    payload:
+        Deep-copied application state (arrays are copied, so later
+        mutation of live state cannot corrupt the snapshot).
+    meta:
+        Free-form metadata (step counters etc.).
+    """
+
+    level: CheckpointLevel
+    time: float
+    payload: Dict[str, np.ndarray]
+    meta: Dict[str, Any]
+
+
+def _deep_copy_state(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Copy every array so the snapshot is isolated from live state."""
+    return {k: np.array(v, copy=True) for k, v in state.items()}
+
+
+class TwoLevelCheckpointStore:
+    """Holds at most one memory and one disk checkpoint.
+
+    Mirrors the paper's protocol invariants:
+
+    * a memory checkpoint is always taken immediately before a disk
+      checkpoint (:meth:`save_disk` snapshots both levels);
+    * checkpoints are only written after a passed guaranteed verification,
+      so they are always valid -- the store never needs to keep history;
+    * a fail-stop error (:meth:`crash`) wipes the memory level; recovery
+      then requires :meth:`restore_disk`, which also repopulates the
+      memory level (the paper's ``R_D + R_M``).
+    """
+
+    def __init__(self) -> None:
+        self._memory: Optional[Checkpoint] = None
+        self._disk: Optional[Checkpoint] = None
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def memory_checkpoint(self) -> Optional[Checkpoint]:
+        """The current memory checkpoint, if any."""
+        return self._memory
+
+    @property
+    def disk_checkpoint(self) -> Optional[Checkpoint]:
+        """The current disk checkpoint, if any."""
+        return self._disk
+
+    @property
+    def has_memory(self) -> bool:
+        """True when a memory checkpoint is available."""
+        return self._memory is not None
+
+    @property
+    def has_disk(self) -> bool:
+        """True when a disk checkpoint is available."""
+        return self._disk is not None
+
+    # -- committing -----------------------------------------------------------
+    def save_memory(
+        self,
+        state: Dict[str, np.ndarray],
+        *,
+        time: float,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Checkpoint:
+        """Commit a memory checkpoint (replacing the previous one)."""
+        ckpt = Checkpoint(
+            level=CheckpointLevel.MEMORY,
+            time=time,
+            payload=_deep_copy_state(state),
+            meta=dict(meta or {}),
+        )
+        self._memory = ckpt
+        return ckpt
+
+    def save_disk(
+        self,
+        state: Dict[str, np.ndarray],
+        *,
+        time: float,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Checkpoint:
+        """Commit a disk checkpoint; also refreshes the memory level.
+
+        The paper's first pattern property: a memory checkpoint is always
+        taken immediately before each disk checkpoint.
+        """
+        self.save_memory(state, time=time, meta=meta)
+        ckpt = Checkpoint(
+            level=CheckpointLevel.DISK,
+            time=time,
+            payload=_deep_copy_state(state),
+            meta=dict(meta or {}),
+        )
+        self._disk = ckpt
+        return ckpt
+
+    # -- failures and recovery --------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop semantics: the memory checkpoint is lost, disk survives."""
+        self._memory = None
+
+    def restore_memory(self) -> Dict[str, np.ndarray]:
+        """Return a fresh copy of the memory-checkpoint state.
+
+        Raises
+        ------
+        RuntimeError
+            If no memory checkpoint exists (e.g. after a crash); callers
+            must fall back to :meth:`restore_disk`.
+        """
+        if self._memory is None:
+            raise RuntimeError(
+                "no memory checkpoint available (crashed?); use restore_disk"
+            )
+        return _deep_copy_state(self._memory.payload)
+
+    def restore_disk(self) -> Dict[str, np.ndarray]:
+        """Return a fresh copy of the disk state; repopulate the memory level.
+
+        Matches the paper: a disk recovery also restores the in-memory
+        copy that was destroyed by the fail-stop error.
+        """
+        if self._disk is None:
+            raise RuntimeError("no disk checkpoint available")
+        self._memory = Checkpoint(
+            level=CheckpointLevel.MEMORY,
+            time=self._disk.time,
+            payload=_deep_copy_state(self._disk.payload),
+            meta=dict(self._disk.meta),
+        )
+        return _deep_copy_state(self._disk.payload)

@@ -1,0 +1,124 @@
+"""Silent-error detectors: guaranteed, partial, and checksum-based.
+
+The model characterises a detector by its cost and recall (Section 2.3).
+This module provides those abstract detectors plus a concrete
+:class:`ChecksumDetector` that actually compares state digests, used by
+the live executor.  :func:`best_detector` implements the paper's
+accuracy-to-cost selection rule for choosing among several partial
+verifications.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Detector:
+    """An abstract silent-error detector.
+
+    Attributes
+    ----------
+    name:
+        Identifier (for reports).
+    cost:
+        Execution cost in seconds.
+    recall:
+        Fraction of silent errors detected, in ``(0, 1]``.
+    """
+
+    name: str
+    cost: float
+    recall: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError(f"detector cost must be >= 0, got {self.cost}")
+        if not (0.0 < self.recall <= 1.0):
+            raise ValueError(f"recall must be in (0, 1], got {self.recall}")
+
+    @property
+    def is_guaranteed(self) -> bool:
+        """True when the detector catches every silent error."""
+        return self.recall >= 1.0
+
+    def accuracy_to_cost(self, V_star: float, C_M: float) -> float:
+        """Accuracy-to-cost ratio (Section 2.3).
+
+        ``(r / (2 - r)) / (cost / (V* + C_M))``; the guaranteed verification
+        scores ``C_M/V* + 1`` by the same formula with ``r = 1`` and
+        ``cost = V*``.
+        """
+        if self.cost == 0:
+            return float("inf")
+        return (self.recall / (2.0 - self.recall)) / (self.cost / (V_star + C_M))
+
+    def detects(self, n_pending: int, rng: np.random.Generator) -> bool:
+        """Decide detection given ``n_pending`` uncaught corruptions.
+
+        Each pending corruption is detected independently with probability
+        ``recall``; the verification raises an alarm if any is caught.
+        """
+        if n_pending <= 0:
+            return False
+        if self.is_guaranteed:
+            return True
+        misses = (1.0 - self.recall) ** n_pending
+        return bool(rng.random() >= misses)
+
+
+def GuaranteedDetector(cost: float, name: str = "guaranteed") -> Detector:
+    """A guaranteed verification: recall 1."""
+    return Detector(name=name, cost=cost, recall=1.0)
+
+
+def PartialDetector(cost: float, recall: float, name: str = "partial") -> Detector:
+    """A partial verification with the given recall."""
+    return Detector(name=name, cost=cost, recall=recall)
+
+
+def best_detector(
+    detectors: Sequence[Detector], *, V_star: float, C_M: float
+) -> Detector:
+    """Pick the detector with the highest accuracy-to-cost ratio.
+
+    This is the selection rule of Section 2.3 (from the authors' earlier
+    work): when multiple partial verifications are available, use the one
+    maximising ``(r/(2-r)) / (V/(V*+C_M))``.
+    """
+    if not detectors:
+        raise ValueError("need at least one detector")
+    return max(detectors, key=lambda d: d.accuracy_to_cost(V_star, C_M))
+
+
+class ChecksumDetector:
+    """A concrete guaranteed detector comparing SHA-256 digests.
+
+    Used by the live executor: the digest of the application state at
+    verification time is compared against a digest computed on
+    corruption-free shadow state.  In a real system the reference would
+    come from replication or an algorithm-specific invariant; here the
+    executor maintains the shadow state explicitly (it knows where it
+    injected faults), so the checksum check is exact.
+    """
+
+    def __init__(self, cost: float = 0.0, name: str = "checksum"):
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        self.cost = cost
+        self.name = name
+        self.recall = 1.0
+
+    @staticmethod
+    def digest(state: np.ndarray) -> str:
+        """SHA-256 digest of an array's raw bytes (C-contiguous view)."""
+        arr = np.ascontiguousarray(state)
+        return hashlib.sha256(arr.tobytes()).hexdigest()
+
+    def verify(self, state: np.ndarray, reference_digest: str) -> bool:
+        """Return True when the state matches the reference digest."""
+        return self.digest(state) == reference_digest

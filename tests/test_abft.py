@@ -1,0 +1,162 @@
+"""Unit tests for the ABFT matrix-multiplication workload."""
+
+import numpy as np
+import pytest
+
+from repro.application.abft import (
+    AbftMatMul,
+    abft_detector,
+    add_column_checksum,
+    add_row_checksum,
+    checksum_valid,
+)
+from repro.application.sdc import flip_random_bit
+
+
+class TestChecksums:
+    def test_column_checksum_shape_and_values(self):
+        A = np.arange(6.0).reshape(2, 3)
+        A_c = add_column_checksum(A)
+        assert A_c.shape == (3, 3)
+        np.testing.assert_allclose(A_c[-1], A.sum(axis=0))
+
+    def test_row_checksum_shape_and_values(self):
+        B = np.arange(6.0).reshape(2, 3)
+        B_r = add_row_checksum(B)
+        assert B_r.shape == (2, 4)
+        np.testing.assert_allclose(B_r[:, -1], B.sum(axis=1))
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            add_column_checksum(np.zeros(3))
+        with pytest.raises(ValueError):
+            add_row_checksum(np.zeros((2, 2, 2)))
+
+    def test_product_carries_both_checksums(self, rng):
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        C_full = add_column_checksum(A) @ add_row_checksum(B)
+        assert checksum_valid(C_full)
+
+    def test_corruption_breaks_invariant(self, rng):
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        C_full = add_column_checksum(A) @ add_row_checksum(B)
+        C_full[3, 4] += 1e-3
+        assert not checksum_valid(C_full)
+
+    def test_nan_invalid(self, rng):
+        C_full = add_column_checksum(np.eye(4)) @ add_row_checksum(np.eye(4))
+        C_full[0, 0] = np.nan
+        assert not checksum_valid(C_full)
+
+    def test_tiny_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            checksum_valid(np.zeros((1, 1)))
+
+
+class TestAbftMatMul:
+    def test_initial_state_valid_and_empty(self):
+        wl = AbftMatMul(n=16, n_blocks=4)
+        assert wl.verify()
+        assert wl.steps_done == 0
+        assert not wl.complete
+
+    def test_full_pass_matches_reference(self):
+        wl = AbftMatMul(n=16, n_blocks=4, seed=1)
+        wl.step(4)
+        assert wl.complete
+        np.testing.assert_allclose(
+            wl.product, wl.A @ wl.B, rtol=1e-10, atol=1e-10
+        )
+        assert wl.verify()
+
+    def test_partial_pass_matches_reference(self):
+        wl = AbftMatMul(n=16, n_blocks=4, seed=1)
+        wl.step(6)  # one full pass + 2 blocks
+        np.testing.assert_allclose(
+            wl.product, wl.reference_product(), rtol=1e-10, atol=1e-8
+        )
+
+    def test_checksums_hold_through_many_steps(self):
+        wl = AbftMatMul(n=24, n_blocks=6, seed=2)
+        for _ in range(10):
+            wl.step(1)
+            assert wl.verify()
+
+    def test_bitflip_detected(self, rng):
+        wl = AbftMatMul(n=16, n_blocks=4, seed=3)
+        wl.step(4)
+        # Flip a high bit somewhere in the accumulator.
+        flip_random_bit(wl.corruptible_array(), rng, bit=55)
+        assert not wl.verify()
+
+    def test_low_mantissa_flip_below_roundoff_tolerated(self, rng):
+        wl = AbftMatMul(n=16, n_blocks=4, seed=3)
+        wl.step(4)
+        flip_random_bit(wl.corruptible_array(), rng, bit=0)
+        # A 1-ulp perturbation is indistinguishable from round-off: the
+        # check must NOT fire (this is by design -- ABFT guarantees
+        # detection of *meaningful* corruptions).
+        assert wl.verify()
+
+    def test_export_import_roundtrip(self):
+        wl = AbftMatMul(n=16, n_blocks=4, seed=4)
+        wl.step(3)
+        saved = {k: v.copy() for k, v in wl.export_state().items()}
+        wl.step(2)
+        wl.import_state(saved)
+        assert wl.steps_done == 3
+        assert wl.verify()
+
+    def test_resumed_equals_uninterrupted(self):
+        a = AbftMatMul(n=16, n_blocks=4, seed=5)
+        a.step(2)
+        saved = {k: v.copy() for k, v in a.export_state().items()}
+        a.step(2)
+        b = AbftMatMul(n=16, n_blocks=4, seed=5)
+        b.import_state(saved)
+        b.step(2)
+        np.testing.assert_array_equal(a.product, b.product)
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError, match="divide"):
+            AbftMatMul(n=16, n_blocks=5)
+        with pytest.raises(ValueError):
+            AbftMatMul(n=1)
+
+    def test_negative_steps(self):
+        with pytest.raises(ValueError):
+            AbftMatMul(n=16, n_blocks=4).step(-1)
+
+
+class TestAbftWithExecutor:
+    def test_abft_as_guaranteed_detector_end_to_end(self, rng):
+        """ABFT workload under a pattern schedule with injected faults."""
+        from repro.application.executor import FaultPlan, ResilientExecutor
+        from repro.core.builders import PatternKind, build_pattern
+        from repro.platforms.platform import Platform, default_costs
+
+        plat = Platform(
+            name="abft", nodes=1, lambda_f=0.0, lambda_s=0.0,
+            costs=default_costs(C_D=5.0, C_M=1.0),
+        )
+        pat = build_pattern(PatternKind.PD, 8.0)
+        wl = AbftMatMul(n=16, n_blocks=8, seed=6)
+        ex = ResilientExecutor(wl, pat, plat)
+        # Work windows: pattern 1 at [0, 8] (reworked [10, 18] after the
+        # detection at t=9), pattern 2 at [25, 33]; silent faults only
+        # strike work.
+        plan = FaultPlan(silent_times=[3.0, 27.0])
+        report = ex.run(2, rng, fault_plan=plan)
+        assert report.silent_errors_detected == 2
+        ref = AbftMatMul(n=16, n_blocks=8, seed=6)
+        ref.step(16)
+        np.testing.assert_array_equal(wl.product, ref.product)
+
+    def test_detector_adapter(self):
+        wl = AbftMatMul(n=16, n_blocks=4)
+        det = abft_detector(wl, cost=0.5)
+        assert det.recall == 1.0
+        assert det.cost == 0.5
+        assert det.name == "abft"

@@ -1,0 +1,172 @@
+"""Unit tests for the data-analytics detectors and recall calibration."""
+
+import numpy as np
+import pytest
+
+from repro.application.analytics import (
+    RecallMeasurement,
+    SpatialSmoothnessDetector,
+    TimeSeriesDetector,
+    calibrated_platform,
+    measure_recall,
+)
+from repro.application.heat import Heat1D
+from repro.application.sdc import flip_random_bit
+
+
+def smooth_field(n=256):
+    """A diffused (smooth) heat field, realistic detector input."""
+    h = Heat1D(n=n)
+    h.step(50)
+    return np.array(h.field)
+
+
+class TestSpatialSmoothnessDetector:
+    def test_clean_field_no_alarm(self):
+        det = SpatialSmoothnessDetector()
+        assert not det.check(smooth_field())
+
+    def test_high_bit_flip_alarms(self, rng):
+        det = SpatialSmoothnessDetector()
+        field = smooth_field()
+        flip_random_bit(field, rng, bit=62)  # top exponent bit
+        assert det.check(field)
+
+    def test_low_bit_flip_missed(self, rng):
+        det = SpatialSmoothnessDetector()
+        field = smooth_field()
+        flip_random_bit(field, rng, bit=0)  # LSB: far below curvature scale
+        assert not det.check(field)
+
+    def test_nan_always_alarms(self):
+        det = SpatialSmoothnessDetector()
+        field = smooth_field()
+        field[10] = np.nan
+        assert det.check(field)
+
+    def test_inf_always_alarms(self):
+        det = SpatialSmoothnessDetector()
+        field = smooth_field()
+        field[10] = np.inf
+        assert det.check(field)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SpatialSmoothnessDetector(threshold=0.5)
+
+    def test_small_field_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialSmoothnessDetector().check(np.ones(2))
+
+
+class TestTimeSeriesDetector:
+    def _warmed(self, n=128):
+        det = TimeSeriesDetector()
+        h = Heat1D(n=n)
+        h.step(20)
+        det.observe(h.field)
+        h.step(1)
+        det.observe(h.field)
+        return det, h
+
+    def test_not_ready_never_alarms(self):
+        det = TimeSeriesDetector()
+        assert not det.ready
+        assert not det.check(np.ones(16) * 1e9)
+
+    def test_clean_step_no_alarm(self):
+        det, h = self._warmed()
+        h.step(1)
+        assert not det.check(h.field)
+
+    def test_big_corruption_alarms(self, rng):
+        det, h = self._warmed()
+        h.step(1)
+        field = np.array(h.field)
+        flip_random_bit(field, rng, bit=62)
+        assert det.check(field)
+
+    def test_tiny_corruption_missed(self, rng):
+        det, h = self._warmed()
+        h.step(1)
+        field = np.array(h.field)
+        flip_random_bit(field, rng, bit=1)
+        assert not det.check(field)
+
+    def test_reset_clears_history(self):
+        det, h = self._warmed()
+        det.reset()
+        assert not det.ready
+        assert not det.check(np.ones(h.field.size) * 1e9)
+
+    def test_nan_alarms_when_ready(self):
+        det, h = self._warmed()
+        field = np.array(h.field)
+        field[0] = np.nan
+        assert det.check(field)
+
+
+class TestMeasureRecall:
+    def test_partial_recall_measured(self, rng):
+        det = SpatialSmoothnessDetector()
+        meas = measure_recall(
+            det.check, lambda: smooth_field(128), rng, trials=150
+        )
+        # Random bit flips are only detectable when they both hit a high
+        # bit AND strike a region whose magnitude rivals the curvature
+        # scale; on a Gaussian bump with near-zero tails that is a
+        # minority of flips -- the detector is genuinely *partial*.
+        assert 0.05 < meas.recall < 0.95
+        assert meas.false_positive_rate == 0.0
+        assert meas.trials == 150
+
+    def test_trials_validation(self, rng):
+        with pytest.raises(ValueError):
+            measure_recall(lambda s: True, lambda: np.ones(8), rng, trials=0)
+
+    def test_always_on_detector(self, rng):
+        meas = measure_recall(
+            lambda s: True, lambda: np.ones(8), rng, trials=20
+        )
+        assert meas.recall == 1.0
+        assert meas.false_positive_rate == 1.0
+
+    def test_never_on_detector(self, rng):
+        meas = measure_recall(
+            lambda s: False, lambda: np.ones(8), rng, trials=20
+        )
+        assert meas.recall == 0.0
+
+    def test_as_detector_clamps(self):
+        det = RecallMeasurement(recall=0.0, false_positive_rate=0.0,
+                                trials=10).as_detector(cost=0.5)
+        assert det.recall > 0.0
+        det = RecallMeasurement(recall=1.0, false_positive_rate=0.0,
+                                trials=10).as_detector(cost=0.5)
+        assert det.recall == 1.0
+
+
+class TestCalibratedPlatform:
+    def test_measured_pair_feeds_model(self, hera_platform, rng):
+        meas = RecallMeasurement(recall=0.6, false_positive_rate=0.0, trials=100)
+        view = calibrated_platform(hera_platform, meas, detector_cost=0.3)
+        assert view.V == 0.3
+        assert view.r == 0.6
+
+    def test_optimal_pattern_uses_measured_recall(self, hera_platform):
+        from repro.core.builders import PatternKind
+        from repro.core.formulas import optimal_pattern
+
+        good = calibrated_platform(
+            hera_platform,
+            RecallMeasurement(0.9, 0.0, 100),
+            detector_cost=hera_platform.V,
+        )
+        poor = calibrated_platform(
+            hera_platform,
+            RecallMeasurement(0.2, 0.0, 100),
+            detector_cost=hera_platform.V,
+        )
+        H_good = optimal_pattern(PatternKind.PDMV, good).H_star
+        H_poor = optimal_pattern(PatternKind.PDMV, poor).H_star
+        assert H_good < H_poor

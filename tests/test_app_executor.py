@@ -1,0 +1,203 @@
+"""Unit tests for the live resilient executor (end-to-end correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.application.executor import FaultPlan, ResilientExecutor
+from repro.application.heat import Heat1D
+from repro.application.cg import ConjugateGradient
+from repro.core.builders import PatternKind, build_pattern
+from repro.platforms.platform import Platform, default_costs
+
+
+def make_platform(lambda_f=0.0, lambda_s=0.0) -> Platform:
+    return Platform(
+        name="live", nodes=1, lambda_f=lambda_f, lambda_s=lambda_s,
+        costs=default_costs(C_D=10.0, C_M=2.0),
+    )
+
+
+def reference_field(n_steps: int, n: int = 64) -> np.ndarray:
+    wl = Heat1D(n=n)
+    wl.step(n_steps)
+    return np.asarray(wl.field).copy()
+
+
+class TestFaultPlan:
+    def test_sorted_and_validated(self):
+        plan = FaultPlan(fail_stop_times=[5.0, 1.0], silent_times=[3.0])
+        assert plan.fail_stop_times == [1.0, 5.0]
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(fail_stop_times=[-1.0])
+
+    def test_window_queries(self):
+        plan = FaultPlan(fail_stop_times=[5.0], silent_times=[2.0, 7.0])
+        assert plan.next_fail_stop(0.0, 10.0) == 5.0
+        assert plan.next_fail_stop(6.0, 10.0) is None
+        assert plan.silent_in(0.0, 3.0) == [2.0]
+
+    def test_consume(self):
+        plan = FaultPlan(fail_stop_times=[5.0])
+        plan.consume_fail_stop(5.0)
+        assert plan.next_fail_stop(0.0, 10.0) is None
+
+    def test_sample_respects_rates(self, rng):
+        plat = make_platform(lambda_f=0.01, lambda_s=0.02)
+        plan = FaultPlan.sample(plat, horizon=10000.0, rng=rng)
+        assert len(plan.fail_stop_times) == pytest.approx(100, rel=0.5)
+        assert len(plan.silent_times) == pytest.approx(200, rel=0.5)
+
+
+class TestFaultFreeExecution:
+    def test_final_state_matches_plain_run(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PDMV, 60.0, n=2, m=3, r=plat.r)
+        wl = Heat1D(n=64)
+        ex = ResilientExecutor(wl, pat, plat)
+        report = ex.run(2, rng, fault_plan=FaultPlan())
+        assert report.steps_completed == 120
+        np.testing.assert_array_equal(wl.field, reference_field(120))
+
+    def test_error_free_timing(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PDM, 40.0, n=2)
+        ex = ResilientExecutor(Heat1D(n=32), pat, plat)
+        report = ex.run(3, rng, fault_plan=FaultPlan())
+        per_pattern = pat.error_free_time(
+            V=plat.V, V_star=plat.V_star, C_M=plat.C_M, C_D=plat.C_D
+        )
+        assert report.simulated_time == pytest.approx(3 * per_pattern)
+        assert report.overhead == pytest.approx(
+            3 * per_pattern / 120.0 - 1.0
+        )
+
+    def test_counters_error_free(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PDMV, 60.0, n=2, m=3, r=plat.r)
+        report = ResilientExecutor(Heat1D(n=32), pat, plat).run(
+            2, rng, fault_plan=FaultPlan()
+        )
+        assert report.disk_checkpoints == 2
+        assert report.memory_checkpoints == 4
+        assert report.verifications == 12  # 2 patterns x 2 segs x 3 chunks
+        assert report.fail_stop_errors == 0
+        assert report.silent_errors_injected == 0
+
+
+class TestSilentErrorRecovery:
+    def test_detected_and_state_repaired(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PD, 60.0)
+        wl = Heat1D(n=64)
+        ex = ResilientExecutor(wl, pat, plat)
+        # One silent error mid-first-pattern. PD's only detector is the
+        # guaranteed verification, so detection is certain.
+        plan = FaultPlan(silent_times=[30.0])
+        report = ex.run(2, rng, fault_plan=plan)
+        assert report.silent_errors_injected == 1
+        assert report.silent_errors_detected == 1
+        assert report.memory_recoveries == 1
+        # Despite the corruption, the final field is bit-identical to the
+        # fault-free reference.
+        np.testing.assert_array_equal(wl.field, reference_field(120))
+
+    def test_rework_time_accounted(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PD, 60.0)
+        ex = ResilientExecutor(Heat1D(n=64), pat, plat)
+        report = ex.run(1, rng, fault_plan=FaultPlan(silent_times=[30.0]))
+        base = pat.error_free_time(
+            V=plat.V, V_star=plat.V_star, C_M=plat.C_M, C_D=plat.C_D
+        )
+        # One retry: redo W + V*, plus one memory recovery.
+        assert report.simulated_time == pytest.approx(
+            base + 60.0 + plat.V_star + plat.R_M
+        )
+
+    def test_cg_workload_recovers(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PDV, 20.0, m=2, r=plat.r)
+        wl = ConjugateGradient(n=10)
+        ex = ResilientExecutor(wl, pat, plat)
+        report = ex.run(3, rng, fault_plan=FaultPlan(silent_times=[5.0, 25.0]))
+        assert report.silent_errors_detected == report.silent_errors_injected
+        ref = ConjugateGradient(n=10)
+        ref.step(60)
+        np.testing.assert_array_equal(wl.solution, ref.solution)
+
+
+class TestFailStopRecovery:
+    def test_crash_and_disk_recovery(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PD, 60.0)
+        wl = Heat1D(n=64)
+        ex = ResilientExecutor(wl, pat, plat)
+        report = ex.run(2, rng, fault_plan=FaultPlan(fail_stop_times=[30.0]))
+        assert report.fail_stop_errors == 1
+        assert report.disk_recoveries == 1
+        np.testing.assert_array_equal(wl.field, reference_field(120))
+
+    def test_crash_in_second_pattern_preserves_first(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PD, 60.0)
+        base = pat.error_free_time(
+            V=plat.V, V_star=plat.V_star, C_M=plat.C_M, C_D=plat.C_D
+        )
+        wl = Heat1D(n=64)
+        ex = ResilientExecutor(wl, pat, plat)
+        # Crash mid-second-pattern: only that pattern is redone.
+        plan = FaultPlan(fail_stop_times=[base + 30.0])
+        report = ex.run(2, rng, fault_plan=plan)
+        assert report.fail_stop_errors == 1
+        np.testing.assert_array_equal(wl.field, reference_field(120))
+        # first pattern + 30s lost + recovery + full redo of pattern 2
+        assert report.simulated_time == pytest.approx(
+            base + 30.0 + plat.R_D + plat.R_M + base
+        )
+
+    def test_mixed_faults_still_exact(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PDMV, 60.0, n=2, m=3, r=plat.r)
+        wl = Heat1D(n=64)
+        ex = ResilientExecutor(wl, pat, plat)
+        plan = FaultPlan(
+            fail_stop_times=[45.0], silent_times=[10.0, 95.0]
+        )
+        report = ex.run(3, rng, fault_plan=plan)
+        assert report.fail_stop_errors == 1
+        np.testing.assert_array_equal(wl.field, reference_field(180))
+
+
+class TestStochasticExecution:
+    def test_sampled_faults_end_to_end(self, rng):
+        plat = make_platform(lambda_f=2e-3, lambda_s=4e-3)
+        pat = build_pattern(PatternKind.PDMV, 60.0, n=2, m=3, r=plat.r)
+        wl = Heat1D(n=64)
+        ex = ResilientExecutor(wl, pat, plat)
+        report = ex.run(5, rng)
+        # Whatever happened, committed state is exactly 5 patterns of work.
+        np.testing.assert_array_equal(wl.field, reference_field(300))
+        assert report.useful_work == pytest.approx(300.0)
+        assert report.overhead > 0
+
+    def test_invalid_pattern_count(self, rng):
+        plat = make_platform()
+        ex = ResilientExecutor(
+            Heat1D(n=32), build_pattern(PatternKind.PD, 10.0), plat
+        )
+        with pytest.raises(ValueError):
+            ex.run(0, rng)
+
+    def test_guaranteed_detector_validation(self, rng):
+        from repro.verification.detectors import PartialDetector
+
+        plat = make_platform()
+        with pytest.raises(ValueError, match="recall 1"):
+            ResilientExecutor(
+                Heat1D(n=32),
+                build_pattern(PatternKind.PD, 10.0),
+                plat,
+                guaranteed_detector=PartialDetector(0.1, 0.5),
+            )

@@ -1,0 +1,134 @@
+"""Unit tests for the classical Young/Daly baselines."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import (
+    BaselineComparison,
+    compare_with_classical,
+    daly_period,
+    silent_only_overhead,
+    silent_only_period,
+    young_overhead,
+    young_period,
+)
+from repro.platforms.catalog import hera
+
+
+class TestYoung:
+    def test_formula(self):
+        assert young_period(300.0, 1e-6) == pytest.approx(
+            math.sqrt(2 * 300.0 / 1e-6)
+        )
+
+    def test_overhead(self):
+        assert young_overhead(300.0, 1e-6) == pytest.approx(
+            math.sqrt(2 * 300.0 * 1e-6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_period(-1.0, 1e-6)
+        with pytest.raises(ValueError):
+            young_period(300.0, 0.0)
+
+    def test_matches_theorem1_limit(self):
+        """Theorem 1 with lambda_s = 0 and V* = C_M = 0 reduces to Young."""
+        from repro.core.builders import PatternKind
+        from repro.core.formulas import optimal_pattern
+        from repro.platforms.platform import Platform, default_costs
+
+        lam_f = 2e-6
+        plat = Platform(
+            name="yd", nodes=1, lambda_f=lam_f, lambda_s=0.0,
+            costs=default_costs(C_D=400.0, C_M=0.0, V_star=0.0, V=1e-9),
+        )
+        opt = optimal_pattern(PatternKind.PD, plat)
+        assert opt.W_star == pytest.approx(young_period(400.0, lam_f))
+
+
+class TestDaly:
+    def test_close_to_young_for_large_mtbf(self):
+        # C << mu: the higher-order terms vanish (up to the -C shift).
+        C, lam = 300.0, 1e-8
+        assert daly_period(C, lam) == pytest.approx(
+            young_period(C, lam), rel=0.01
+        )
+
+    def test_higher_order_correction_sign(self):
+        # With a finite MTBF, Daly's interval is below Young's (the -C
+        # shift dominates the positive series terms for moderate C/mu).
+        C, lam = 300.0, 1e-5
+        assert daly_period(C, lam) < young_period(C, lam)
+
+    def test_saturates_at_mtbf(self):
+        # C >= 2 mu: checkpoint constantly (W* = mu).
+        assert daly_period(300.0, 1.0 / 100.0) == pytest.approx(100.0)
+
+    def test_positive_for_sane_inputs(self):
+        for lam in (1e-7, 1e-5, 1e-4):
+            assert daly_period(300.0, lam) > 0
+
+
+class TestSilentOnly:
+    def test_formula(self):
+        assert silent_only_period(15.0, 15.0, 3e-6) == pytest.approx(
+            math.sqrt(30.0 / 3e-6)
+        )
+
+    def test_overhead(self):
+        assert silent_only_overhead(15.0, 15.0, 3e-6) == pytest.approx(
+            2 * math.sqrt(3e-6 * 30.0)
+        )
+
+    def test_matches_theorem1_limit(self):
+        """Theorem 1 with lambda_f = 0 and C_D = 0 reduces to this."""
+        from repro.core.builders import PatternKind
+        from repro.core.formulas import optimal_pattern
+        from repro.platforms.platform import Platform, default_costs
+
+        lam_s = 3e-6
+        plat = Platform(
+            name="so", nodes=1, lambda_f=0.0, lambda_s=lam_s,
+            costs=default_costs(C_D=0.0, C_M=15.0),
+        )
+        opt = optimal_pattern(PatternKind.PD, plat)
+        assert opt.W_star == pytest.approx(
+            silent_only_period(15.0, 15.0, lam_s)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            silent_only_period(1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            silent_only_period(-1.0, 1.0, 1e-6)
+
+
+class TestCompareWithClassical:
+    def test_young_interval_too_long_on_two_source_platform(self):
+        """Silent errors dominate Hera, so sizing the period for crashes
+        only makes it far too long -- and costs real overhead."""
+        cmp = compare_with_classical(hera())
+        assert cmp.W_young > cmp.W_pd * 1.5
+        assert cmp.H_young_deployed > cmp.H_pd
+        assert cmp.young_penalty > 0.10  # >10% extra overhead on Hera
+
+    def test_fields_consistent(self):
+        cmp = compare_with_classical(hera())
+        assert isinstance(cmp, BaselineComparison)
+        assert cmp.young_penalty == pytest.approx(
+            cmp.H_young_deployed / cmp.H_pd - 1.0
+        )
+
+    def test_needs_fail_stop_rate(self):
+        with pytest.raises(ValueError):
+            compare_with_classical(hera().with_rates(0.0, 1e-6))
+
+    def test_crash_only_platform_no_penalty(self):
+        """With no silent errors the naive Young sizing is near-optimal."""
+        plat = hera().with_rates(9.46e-7, 0.0)
+        cmp = compare_with_classical(plat)
+        # W* for PD with ls=0 is sqrt(C_total/(lf/2)) = Young's formula.
+        assert cmp.W_young == pytest.approx(cmp.W_pd, rel=1e-9)
+        assert cmp.young_penalty == pytest.approx(0.0, abs=1e-9)

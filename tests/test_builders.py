@@ -1,0 +1,120 @@
+"""Unit tests for the six canonical pattern family builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import (
+    PATTERN_ORDER,
+    PatternKind,
+    build_pattern,
+    pattern_pd,
+    pattern_pdm,
+    pattern_pdmv,
+    pattern_pdmv_star,
+    pattern_pdv,
+    pattern_pdv_star,
+)
+
+
+class TestPatternKind:
+    def test_order_matches_paper(self):
+        assert [k.value for k in PATTERN_ORDER] == [
+            "PD", "PDV*", "PDV", "PDM", "PDMV*", "PDMV",
+        ]
+
+    def test_memory_checkpoint_flags(self):
+        assert not PatternKind.PD.uses_memory_checkpoints
+        assert not PatternKind.PDV.uses_memory_checkpoints
+        assert not PatternKind.PDV_STAR.uses_memory_checkpoints
+        assert PatternKind.PDM.uses_memory_checkpoints
+        assert PatternKind.PDMV.uses_memory_checkpoints
+        assert PatternKind.PDMV_STAR.uses_memory_checkpoints
+
+    def test_partial_verification_flags(self):
+        assert PatternKind.PDV.uses_partial_verifications
+        assert PatternKind.PDMV.uses_partial_verifications
+        assert not PatternKind.PDV_STAR.uses_partial_verifications
+        assert not PatternKind.PD.uses_partial_verifications
+
+    def test_intermediate_verification_flags(self):
+        assert not PatternKind.PD.uses_intermediate_verifications
+        assert not PatternKind.PDM.uses_intermediate_verifications
+        for k in (PatternKind.PDV, PatternKind.PDV_STAR,
+                  PatternKind.PDMV, PatternKind.PDMV_STAR):
+            assert k.uses_intermediate_verifications
+
+
+class TestBuilders:
+    def test_pd_shape(self):
+        p = pattern_pd(100.0)
+        assert (p.n, p.m) == (1, (1,))
+
+    def test_pdv_star_equal_chunks(self):
+        p = pattern_pdv_star(100.0, 4)
+        assert p.m == (4,)
+        assert p.betas[0] == pytest.approx((0.25,) * 4)
+
+    def test_pdv_weighted_chunks(self):
+        p = pattern_pdv(100.0, 5, r=0.8)
+        beta = np.array(p.betas[0])
+        # First/last chunks larger by 1/r than interior ones.
+        assert beta[0] == pytest.approx(beta[-1])
+        assert beta[0] / beta[1] == pytest.approx(1.0 / 0.8)
+        assert beta.sum() == pytest.approx(1.0)
+
+    def test_pdv_single_chunk_degenerates(self):
+        p = pattern_pdv(100.0, 1, r=0.8)
+        assert p.betas[0] == (1.0,)
+
+    def test_pdm_equal_segments(self):
+        p = pattern_pdm(100.0, 5)
+        assert p.n == 5
+        assert p.alpha == pytest.approx((0.2,) * 5)
+        assert all(m == 1 for m in p.m)
+
+    def test_pdmv_star_grid(self):
+        p = pattern_pdmv_star(100.0, 3, 4)
+        assert p.n == 3
+        assert p.m == (4, 4, 4)
+        for bs in p.betas:
+            assert bs == pytest.approx((0.25,) * 4)
+
+    def test_pdmv_full(self):
+        p = pattern_pdmv(100.0, 2, 3, r=0.5)
+        assert p.n == 2
+        assert p.m == (3, 3)
+        beta = np.array(p.betas[0])
+        assert beta[0] / beta[1] == pytest.approx(2.0)  # 1/r
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            pattern_pdm(10.0, 0)
+        with pytest.raises(ValueError):
+            pattern_pdv_star(10.0, 0)
+        with pytest.raises(ValueError):
+            pattern_pdmv(10.0, 1, 0, r=0.8)
+
+
+class TestBuildPattern:
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_dispatch_all_kinds(self, kind):
+        p = build_pattern(kind, 500.0, n=3, m=4, r=0.8)
+        assert p.W == 500.0
+        if kind.uses_memory_checkpoints:
+            assert p.n == 3
+        else:
+            assert p.n == 1
+        if kind.uses_intermediate_verifications:
+            assert all(mi == 4 for mi in p.m)
+        else:
+            assert all(mi == 1 for mi in p.m)
+
+    def test_irrelevant_parameters_ignored(self):
+        p = build_pattern(PatternKind.PD, 100.0, n=7, m=9)
+        assert (p.n, p.m) == (1, (1,))
+
+    def test_work_conserved_all_kinds(self):
+        for kind in PatternKind:
+            p = build_pattern(kind, 123.0, n=2, m=3)
+            total = sum(sum(c) for c in p.chunk_lengths())
+            assert total == pytest.approx(123.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the conjugate-gradient workload."""
+
+import numpy as np
+import pytest
+
+from repro.application.cg import ConjugateGradient, poisson2d
+
+
+class TestPoisson2D:
+    def test_shape_and_symmetry(self):
+        A = poisson2d(8)
+        assert A.shape == (64, 64)
+        diff = (A - A.T).toarray()
+        np.testing.assert_allclose(diff, 0.0)
+
+    def test_diagonal(self):
+        A = poisson2d(4)
+        np.testing.assert_allclose(A.diagonal(), 4.0)
+
+    def test_positive_definite(self):
+        A = poisson2d(6).toarray()
+        eigvals = np.linalg.eigvalsh(A)
+        assert np.all(eigvals > 0)
+
+    def test_no_wrap_between_rows(self):
+        n = 4
+        A = poisson2d(n)
+        # Element (n-1, n) would wrap the last cell of row 0 to the first
+        # of row 1 -- it must be zero.
+        assert A[n - 1, n] == 0.0
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            poisson2d(1)
+
+
+class TestConjugateGradient:
+    def test_residual_decreases(self):
+        cg = ConjugateGradient(n=12)
+        r0 = cg.residual_norm
+        cg.step(10)
+        assert cg.residual_norm < r0
+
+    def test_converges(self):
+        cg = ConjugateGradient(n=10)
+        cg.step(300)  # CG converges in at most N steps (here N = 100)
+        assert cg.true_residual_norm < 1e-8
+
+    def test_recurrence_matches_true_residual(self):
+        cg = ConjugateGradient(n=10)
+        cg.step(15)
+        assert cg.residual_norm == pytest.approx(
+            cg.true_residual_norm, rel=1e-6
+        )
+
+    def test_steps_counter(self):
+        cg = ConjugateGradient(n=8)
+        cg.step(7)
+        assert cg.steps_done == 7
+
+    def test_export_import_roundtrip(self):
+        cg = ConjugateGradient(n=10)
+        cg.step(5)
+        saved = {k: v.copy() for k, v in cg.export_state().items()}
+        cg.step(5)
+        cg.import_state(saved)
+        assert cg.steps_done == 5
+        np.testing.assert_array_equal(cg.solution, saved["x"])
+        # Resumed trajectory identical to uninterrupted one.
+        cg.step(5)
+        fresh = ConjugateGradient(n=10)
+        fresh.step(10)
+        np.testing.assert_allclose(cg.solution, fresh.solution, rtol=1e-12)
+
+    def test_corruption_breaks_recurrence(self):
+        cg = ConjugateGradient(n=10)
+        cg.step(5)
+        cg.corruptible_array()[0] += 100.0
+        # The recurrence residual no longer matches the true residual.
+        assert abs(cg.residual_norm - cg.true_residual_norm) > 1.0
+
+    def test_custom_rhs(self):
+        b = np.zeros(64)
+        b[0] = 1.0
+        cg = ConjugateGradient(n=8, b=b)
+        cg.step(200)
+        assert cg.true_residual_norm < 1e-8
+
+    def test_bad_rhs_shape(self):
+        with pytest.raises(ValueError):
+            ConjugateGradient(n=8, b=np.zeros(3))
+
+    def test_negative_steps(self):
+        with pytest.raises(ValueError):
+            ConjugateGradient(n=8).step(-2)
+
+    def test_stepping_past_convergence_is_safe(self):
+        cg = ConjugateGradient(n=6)
+        cg.step(500)
+        res = cg.true_residual_norm
+        cg.step(100)  # must not blow up / divide by zero
+        assert cg.true_residual_norm == pytest.approx(res, abs=1e-8)

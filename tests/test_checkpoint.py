@@ -1,0 +1,97 @@
+"""Unit tests for the two-level checkpoint store."""
+
+import numpy as np
+import pytest
+
+from repro.verification.checkpoint import (
+    CheckpointLevel,
+    TwoLevelCheckpointStore,
+)
+
+
+def state(x=1.0):
+    return {"u": np.full(8, x), "steps": np.array([3])}
+
+
+class TestCommit:
+    def test_initially_empty(self):
+        store = TwoLevelCheckpointStore()
+        assert not store.has_memory
+        assert not store.has_disk
+
+    def test_save_memory(self):
+        store = TwoLevelCheckpointStore()
+        ckpt = store.save_memory(state(), time=5.0, meta={"seg": 1})
+        assert store.has_memory
+        assert ckpt.level is CheckpointLevel.MEMORY
+        assert ckpt.time == 5.0
+        assert ckpt.meta == {"seg": 1}
+
+    def test_save_disk_refreshes_memory(self):
+        """A memory ckpt always precedes a disk ckpt (paper property 1)."""
+        store = TwoLevelCheckpointStore()
+        store.save_disk(state(2.0), time=7.0)
+        assert store.has_memory and store.has_disk
+        np.testing.assert_array_equal(store.restore_memory()["u"], 2.0)
+
+    def test_payload_isolated_from_live_state(self):
+        store = TwoLevelCheckpointStore()
+        live = state(1.0)
+        store.save_memory(live, time=0.0)
+        live["u"][:] = 99.0  # later corruption must not reach the snapshot
+        np.testing.assert_array_equal(store.restore_memory()["u"], 1.0)
+
+    def test_restore_returns_fresh_copies(self):
+        store = TwoLevelCheckpointStore()
+        store.save_memory(state(1.0), time=0.0)
+        a = store.restore_memory()
+        a["u"][:] = 5.0
+        b = store.restore_memory()
+        np.testing.assert_array_equal(b["u"], 1.0)
+
+    def test_replacement_semantics(self):
+        """Only one checkpoint per level is kept (paper property 2)."""
+        store = TwoLevelCheckpointStore()
+        store.save_memory(state(1.0), time=0.0)
+        store.save_memory(state(2.0), time=1.0)
+        np.testing.assert_array_equal(store.restore_memory()["u"], 2.0)
+
+
+class TestCrashRecovery:
+    def test_crash_destroys_memory_not_disk(self):
+        store = TwoLevelCheckpointStore()
+        store.save_disk(state(3.0), time=0.0)
+        store.save_memory(state(4.0), time=1.0)
+        store.crash()
+        assert not store.has_memory
+        assert store.has_disk
+
+    def test_restore_memory_after_crash_fails(self):
+        store = TwoLevelCheckpointStore()
+        store.save_disk(state(), time=0.0)
+        store.crash()
+        with pytest.raises(RuntimeError, match="restore_disk"):
+            store.restore_memory()
+
+    def test_restore_disk_repopulates_memory(self):
+        """Disk recovery also restores the in-memory copy (R_D + R_M)."""
+        store = TwoLevelCheckpointStore()
+        store.save_disk(state(3.0), time=0.0)
+        store.crash()
+        restored = store.restore_disk()
+        np.testing.assert_array_equal(restored["u"], 3.0)
+        assert store.has_memory
+        np.testing.assert_array_equal(store.restore_memory()["u"], 3.0)
+
+    def test_restore_disk_without_checkpoint_fails(self):
+        with pytest.raises(RuntimeError, match="no disk checkpoint"):
+            TwoLevelCheckpointStore().restore_disk()
+
+    def test_memory_level_follows_most_recent_disk(self):
+        store = TwoLevelCheckpointStore()
+        store.save_disk(state(1.0), time=0.0)
+        store.save_memory(state(2.0), time=1.0)
+        store.crash()
+        store.restore_disk()
+        # Memory now holds the *disk* state, not the lost newer one.
+        np.testing.assert_array_equal(store.restore_memory()["u"], 1.0)

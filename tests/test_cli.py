@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.platform == "hera"
+        assert not args.full
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--platform", "summit"])
+
+    def test_fig9_options(self):
+        args = build_parser().parse_args(["fig9", "--sweep", "s", "--grid"])
+        assert args.sweep == "s"
+        assert args.grid
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--platform", "hera"]) == 0
+        out = capsys.readouterr().out
+        assert "PDMV" in out and "W*_hours" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Coastal SSD" in capsys.readouterr().out
+
+    def test_table1_csv_json(self, tmp_path, capsys):
+        csv_path = tmp_path / "t1.csv"
+        json_path = tmp_path / "t1.json"
+        code = main(
+            [
+                "table1",
+                "--platform", "atlas",
+                "--csv", str(csv_path),
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        rows = json.loads(json_path.read_text())
+        assert len(rows) == 6
+
+    def test_fig6_fast(self, capsys):
+        assert main(["fig6", "--patterns", "2", "--runs", "2"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_fig7_fast(self, capsys):
+        assert main(["fig7", "--patterns", "2", "--runs", "2"]) == 0
+        assert "Weak scaling" in capsys.readouterr().out
+
+    def test_fig8_fast(self, capsys):
+        assert main(["fig8", "--patterns", "2", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "C_D = 90" in out
+
+    def test_fig9_sweep_fast(self, capsys):
+        assert main(
+            ["fig9", "--sweep", "s", "--patterns", "2", "--runs", "2"]
+        ) == 0
+        assert "lambda_s" in capsys.readouterr().out
+
+    def test_fig9_grid_fast(self, capsys, tmp_path):
+        path = tmp_path / "grid.csv"
+        assert main(
+            [
+                "fig9", "--grid",
+                "--patterns", "2", "--runs", "2",
+                "--csv", str(path),
+            ]
+        ) == 0
+        assert path.exists()
+
+    def test_optimize_custom_platform(self, capsys):
+        assert main(
+            [
+                "optimize",
+                "--lambda-f", "1e-6",
+                "--lambda-s", "5e-6",
+                "--cd", "200",
+                "--cm", "10",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "custom" in out and "PDMV" in out
+
+    def test_optimize_with_recall_override(self, capsys):
+        assert main(
+            [
+                "optimize",
+                "--lambda-f", "1e-6",
+                "--lambda-s", "5e-6",
+                "--cd", "200",
+                "--cm", "10",
+                "--recall", "0.5",
+                "--v", "0.5",
+            ]
+        ) == 0
+
+    def test_simulate_command(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--platform", "coastal",
+                "--pattern", "PDM",
+                "--patterns", "3",
+                "--runs", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PDM" in out and "Coastal" in out
+
+    def test_simulate_rejects_bad_pattern(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--pattern", "XYZ"])
+
+    def test_makespan_command(self, capsys):
+        assert main(["makespan", "--base-hours", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out.lower()
+        assert "saving_vs_PD_hours" in out
+
+    def test_trace_command(self, capsys):
+        assert main(
+            ["trace", "--pattern", "PDM", "--scale", "8192", "--limit", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "memory-checkpoint" in out
+        assert "Traced 1 pattern(s)" in out
+
+    def test_accuracy_command(self, capsys):
+        assert main(["accuracy"]) == 0
+        out = capsys.readouterr().out
+        assert "H_first_order" in out and "H_exact" in out
+
+    def test_seed_reproducibility(self, capsys):
+        main(["fig9", "--sweep", "f", "--patterns", "2", "--runs", "2",
+              "--seed", "99"])
+        out1 = capsys.readouterr().out
+        main(["fig9", "--sweep", "f", "--patterns", "2", "--runs", "2",
+              "--seed", "99"])
+        out2 = capsys.readouterr().out
+        assert out1 == out2

@@ -1,0 +1,102 @@
+"""Unit tests for verification detectors."""
+
+import numpy as np
+import pytest
+
+from repro.verification.detectors import (
+    ChecksumDetector,
+    Detector,
+    GuaranteedDetector,
+    PartialDetector,
+    best_detector,
+)
+
+
+class TestDetector:
+    def test_guaranteed_flag(self):
+        assert GuaranteedDetector(5.0).is_guaranteed
+        assert not PartialDetector(0.1, 0.8).is_guaranteed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Detector("x", -1.0, 0.5)
+        with pytest.raises(ValueError):
+            Detector("x", 1.0, 0.0)
+        with pytest.raises(ValueError):
+            Detector("x", 1.0, 1.5)
+
+    def test_detects_nothing_pending(self, rng):
+        det = PartialDetector(0.1, 0.8)
+        assert not det.detects(0, rng)
+
+    def test_guaranteed_always_detects(self, rng):
+        det = GuaranteedDetector(5.0)
+        assert all(det.detects(1, rng) for _ in range(50))
+
+    def test_partial_detection_rate(self, rng):
+        det = PartialDetector(0.1, 0.7)
+        hits = sum(det.detects(1, rng) for _ in range(20000))
+        assert hits / 20000 == pytest.approx(0.7, abs=0.02)
+
+    def test_multiple_pending_raise_detection_probability(self, rng):
+        det = PartialDetector(0.1, 0.5)
+        p1 = sum(det.detects(1, rng) for _ in range(20000)) / 20000
+        p3 = sum(det.detects(3, rng) for _ in range(20000)) / 20000
+        assert p3 > p1
+        assert p3 == pytest.approx(1 - 0.5**3, abs=0.02)
+
+    def test_accuracy_to_cost(self):
+        det = PartialDetector(cost=0.154, recall=0.8)
+        # (0.8/1.2) / (0.154/(15.4+15.4))
+        assert det.accuracy_to_cost(V_star=15.4, C_M=15.4) == pytest.approx(
+            (0.8 / 1.2) / (0.154 / 30.8)
+        )
+
+    def test_accuracy_to_cost_free_detector(self):
+        assert PartialDetector(0.0, 0.5).accuracy_to_cost(1.0, 1.0) == float("inf")
+
+
+class TestBestDetector:
+    def test_picks_highest_ratio(self):
+        cheap = PartialDetector(0.01, 0.5, name="cheap")
+        expensive = PartialDetector(1.0, 0.9, name="expensive")
+        best = best_detector([cheap, expensive], V_star=10.0, C_M=10.0)
+        assert best.name == "cheap"
+
+    def test_guaranteed_can_win_when_partials_are_bad(self):
+        bad = PartialDetector(9.0, 0.1, name="bad")
+        guaranteed = GuaranteedDetector(10.0, name="g")
+        best = best_detector([bad, guaranteed], V_star=10.0, C_M=10.0)
+        assert best.name == "g"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_detector([], V_star=1.0, C_M=1.0)
+
+
+class TestChecksumDetector:
+    def test_digest_stable(self):
+        arr = np.arange(100, dtype=np.float64)
+        assert ChecksumDetector.digest(arr) == ChecksumDetector.digest(arr.copy())
+
+    def test_digest_detects_bitflip(self):
+        arr = np.arange(100, dtype=np.float64)
+        ref = ChecksumDetector.digest(arr)
+        arr.view(np.uint64)[42] ^= np.uint64(1)
+        assert ChecksumDetector.digest(arr) != ref
+
+    def test_verify(self):
+        det = ChecksumDetector()
+        arr = np.ones(10)
+        ref = det.digest(arr)
+        assert det.verify(arr, ref)
+        arr[0] = 2.0
+        assert not det.verify(arr, ref)
+
+    def test_non_contiguous_input(self):
+        arr = np.arange(100, dtype=np.float64)[::2]
+        assert isinstance(ChecksumDetector.digest(arr), str)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ChecksumDetector(cost=-1.0)

@@ -1,0 +1,181 @@
+"""Unit tests for Poisson error processes and Equation (3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors.process import (
+    PoissonErrorProcess,
+    TwoErrorProcess,
+    expected_time_lost,
+    exponential_arrivals,
+    first_arrival,
+    probability_of_error,
+)
+from repro.errors.types import ErrorKind
+
+
+class TestProbabilityOfError:
+    def test_zero_rate(self):
+        assert probability_of_error(0.0, 100.0) == 0.0
+
+    def test_zero_window(self):
+        assert probability_of_error(1.0, 0.0) == 0.0
+
+    def test_matches_formula(self):
+        assert probability_of_error(0.01, 50.0) == pytest.approx(
+            1.0 - math.exp(-0.5)
+        )
+
+    def test_tiny_rate_accuracy(self):
+        # -expm1 keeps precision where 1 - exp(-x) would cancel.
+        p = probability_of_error(1e-15, 1.0)
+        assert p == pytest.approx(1e-15, rel=1e-6)
+
+    def test_monotone_in_window(self):
+        ps = [probability_of_error(0.01, w) for w in (1.0, 10.0, 100.0)]
+        assert ps == sorted(ps)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            probability_of_error(-1.0, 1.0)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            probability_of_error(1.0, -1.0)
+
+
+class TestFirstArrival:
+    def test_zero_rate_never_arrives(self, rng):
+        assert first_arrival(0.0, rng) is None
+
+    def test_horizon_filtering(self, rng):
+        # With a huge rate, arrivals are essentially immediate.
+        t = first_arrival(1e6, rng, horizon=1.0)
+        assert t is not None and 0 < t < 1.0
+
+    def test_beyond_horizon_none(self, rng):
+        # With a tiny rate, arrival beyond the horizon is near-certain.
+        assert first_arrival(1e-12, rng, horizon=1.0) is None
+
+    def test_mean_close_to_inverse_rate(self, rng):
+        lam = 0.25
+        ts = [first_arrival(lam, rng) for _ in range(4000)]
+        assert np.mean(ts) == pytest.approx(1.0 / lam, rel=0.1)
+
+
+class TestExponentialArrivals:
+    def test_empty_on_zero_rate(self, rng):
+        assert exponential_arrivals(0.0, 10.0, rng).size == 0
+
+    def test_empty_on_zero_horizon(self, rng):
+        assert exponential_arrivals(1.0, 0.0, rng).size == 0
+
+    def test_sorted_within_horizon(self, rng):
+        ts = exponential_arrivals(0.5, 100.0, rng)
+        assert np.all(np.diff(ts) > 0)
+        assert ts.size == 0 or (ts[0] > 0 and ts[-1] <= 100.0)
+
+    def test_count_matches_poisson_mean(self, rng):
+        lam, horizon = 0.2, 500.0
+        counts = [
+            exponential_arrivals(lam, horizon, rng).size for _ in range(300)
+        ]
+        assert np.mean(counts) == pytest.approx(lam * horizon, rel=0.1)
+
+    def test_batch_growth_covers_dense_processes(self, rng):
+        ts = exponential_arrivals(10.0, 100.0, rng, batch=2)
+        assert ts.size > 500  # ~1000 expected
+
+
+class TestPoissonErrorProcess:
+    def test_mtbf(self):
+        assert PoissonErrorProcess(ErrorKind.SILENT, 0.01).mtbf == 100.0
+
+    def test_mtbf_zero_rate(self):
+        assert PoissonErrorProcess(ErrorKind.SILENT, 0.0).mtbf == math.inf
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonErrorProcess(ErrorKind.SILENT, -0.1)
+
+    def test_sample_all_kinds(self, rng):
+        events = PoissonErrorProcess(ErrorKind.FAIL_STOP, 0.5).sample_all(
+            50.0, rng
+        )
+        assert all(e.kind is ErrorKind.FAIL_STOP for e in events)
+        assert all(0 < e.time <= 50.0 for e in events)
+
+
+class TestTwoErrorProcess:
+    def test_total_rate_and_mtbf(self):
+        proc = TwoErrorProcess(lambda_f=0.01, lambda_s=0.03)
+        assert proc.lambda_total == pytest.approx(0.04)
+        assert proc.mtbf == pytest.approx(25.0)
+
+    def test_component_processes(self):
+        proc = TwoErrorProcess(lambda_f=0.01, lambda_s=0.03)
+        assert proc.fail_stop.rate == 0.01
+        assert proc.silent.rate == 0.03
+
+    def test_probabilities(self):
+        proc = TwoErrorProcess(lambda_f=0.01, lambda_s=0.03)
+        assert proc.p_any(10.0) == pytest.approx(1 - math.exp(-0.4))
+        assert proc.p_fail_stop(10.0) == pytest.approx(1 - math.exp(-0.1))
+        assert proc.p_silent(10.0) == pytest.approx(1 - math.exp(-0.3))
+
+    def test_sample_window_within_bounds(self, rng):
+        proc = TwoErrorProcess(lambda_f=0.1, lambda_s=0.1)
+        for _ in range(100):
+            tf, ts = proc.sample_window(5.0, rng)
+            assert tf is None or 0 < tf <= 5.0
+            assert ts is None or 0 < ts <= 5.0
+
+    def test_merged_arrivals_label_fractions(self, rng):
+        proc = TwoErrorProcess(lambda_f=1.0, lambda_s=3.0)
+        events = proc.merged_arrivals(2000.0, rng)
+        n_fs = sum(1 for e in events if e.is_fail_stop)
+        assert n_fs / len(events) == pytest.approx(0.25, abs=0.03)
+
+    def test_merged_arrivals_empty_when_silent_only_horizon_zero(self, rng):
+        assert TwoErrorProcess(0.0, 0.0).merged_arrivals(100.0, rng) == []
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            TwoErrorProcess(-0.1, 0.1)
+
+
+class TestExpectedTimeLost:
+    def test_small_rate_limit_is_half_window(self):
+        assert expected_time_lost(1e-15, 100.0) == pytest.approx(50.0, rel=1e-9)
+
+    def test_equation3_value(self):
+        lam, w = 0.01, 100.0
+        expected = 1.0 / lam - w / (math.exp(lam * w) - 1.0)
+        assert expected_time_lost(lam, w) == pytest.approx(expected)
+
+    def test_bounded_by_window(self):
+        for lam in (1e-6, 1e-3, 1.0):
+            for w in (0.1, 10.0, 1000.0):
+                t = expected_time_lost(lam, w)
+                assert 0 <= t <= w
+
+    def test_less_than_half_window(self):
+        # Conditioning on striking before w skews the mean below w/2.
+        assert expected_time_lost(0.01, 100.0) < 50.0
+
+    def test_monte_carlo_agreement(self, rng):
+        lam, w = 0.02, 80.0
+        samples = rng.exponential(1.0 / lam, size=200_000)
+        conditional = samples[samples < w]
+        assert conditional.mean() == pytest.approx(
+            expected_time_lost(lam, w), rel=0.02
+        )
+
+    def test_continuity_at_branch_point(self):
+        # The Taylor branch and exact branch must agree around x ~ 1e-12.
+        w = 1.0
+        below = expected_time_lost(0.9e-12, w)
+        above = expected_time_lost(1.1e-12, w)
+        assert below == pytest.approx(above, rel=1e-6)

@@ -1,0 +1,77 @@
+"""Unit tests for reproducible random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.errors.rng import RandomStreams, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_from_int_deterministic(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_from_none(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(42)
+        a = make_rng(ss).random()
+        b = make_rng(np.random.SeedSequence(42)).random()
+        assert a == b
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_reproducible(self):
+        a = [g.random() for g in spawn_rngs(99, 3)]
+        b = [g.random() for g in spawn_rngs(99, 3)]
+        assert a == b
+
+    def test_streams_differ(self):
+        vals = [g.random() for g in spawn_rngs(0, 10)]
+        assert len(set(vals)) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn_rngs(1, -1)
+
+    def test_zero_allowed(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_from_generator_deterministic(self):
+        a = [g.random() for g in spawn_rngs(np.random.default_rng(5), 2)]
+        b = [g.random() for g in spawn_rngs(np.random.default_rng(5), 2)]
+        assert a == b
+
+
+class TestRandomStreams:
+    def test_sequence_reproducible(self):
+        s1 = RandomStreams(1234)
+        s2 = RandomStreams(1234)
+        for _ in range(4):
+            assert s1.next().random() == s2.next().random()
+
+    def test_spawned_counter(self):
+        s = RandomStreams(0)
+        assert s.spawned == 0
+        s.next()
+        s.take(3)
+        assert s.spawned == 4
+
+    def test_take_matches_sequential_independence(self):
+        vals = [g.random() for g in RandomStreams(7).take(8)]
+        assert len(set(vals)) == 8
+
+    def test_iterable(self):
+        s = RandomStreams(3)
+        it = iter(s)
+        g = next(it)
+        assert isinstance(g, np.random.Generator)

@@ -1,0 +1,54 @@
+"""Unit tests for error kinds and events."""
+
+import pytest
+
+from repro.errors.types import ErrorEvent, ErrorKind
+
+
+class TestErrorKind:
+    def test_two_kinds_exist(self):
+        assert {k.value for k in ErrorKind} == {"fail-stop", "silent"}
+
+    def test_str(self):
+        assert str(ErrorKind.FAIL_STOP) == "fail-stop"
+        assert str(ErrorKind.SILENT) == "silent"
+
+
+class TestErrorEvent:
+    def test_fail_stop_flags(self):
+        ev = ErrorEvent(kind=ErrorKind.FAIL_STOP, time=10.0)
+        assert ev.is_fail_stop
+        assert not ev.is_silent
+
+    def test_silent_flags(self):
+        ev = ErrorEvent(kind=ErrorKind.SILENT, time=5.0)
+        assert ev.is_silent
+        assert not ev.is_fail_stop
+
+    def test_undetected_latency_is_none(self):
+        ev = ErrorEvent(kind=ErrorKind.SILENT, time=5.0)
+        assert ev.detection_latency is None
+
+    def test_detected_produces_latency(self):
+        ev = ErrorEvent(kind=ErrorKind.SILENT, time=5.0).detected(at=8.5)
+        assert ev.detected_at == 8.5
+        assert ev.detection_latency == pytest.approx(3.5)
+
+    def test_detected_preserves_strike_time(self):
+        ev = ErrorEvent(kind=ErrorKind.SILENT, time=5.0).detected(at=8.5)
+        assert ev.time == 5.0
+        assert ev.kind is ErrorKind.SILENT
+
+    def test_detection_before_strike_rejected(self):
+        ev = ErrorEvent(kind=ErrorKind.SILENT, time=5.0)
+        with pytest.raises(ValueError, match="precedes"):
+            ev.detected(at=4.0)
+
+    def test_detection_at_strike_time_allowed(self):
+        ev = ErrorEvent(kind=ErrorKind.SILENT, time=5.0).detected(at=5.0)
+        assert ev.detection_latency == 0.0
+
+    def test_frozen(self):
+        ev = ErrorEvent(kind=ErrorKind.SILENT, time=5.0)
+        with pytest.raises(AttributeError):
+            ev.time = 6.0

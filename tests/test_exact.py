@@ -1,0 +1,125 @@
+"""Unit tests for the exact (non-approximated) expected-time recursions."""
+
+import math
+
+import pytest
+
+from repro.core.builders import PatternKind, build_pattern, pattern_pd
+from repro.core.exact import (
+    exact_expected_time,
+    exact_expected_time_pd,
+    exact_overhead,
+)
+from repro.core.firstorder import first_order_expected_time
+from repro.core.formulas import optimal_pattern
+from repro.platforms.catalog import hera
+from repro.platforms.platform import Platform, default_costs
+
+
+class TestExactPDClosedForm:
+    """The generic recursion must match Prop. 1's explicit expression."""
+
+    @pytest.mark.parametrize("W", [600.0, 3600.0, 20000.0])
+    def test_agreement_on_hera(self, hera_platform, W):
+        generic = exact_expected_time(pattern_pd(W), hera_platform)
+        closed = exact_expected_time_pd(W, hera_platform)
+        assert generic == pytest.approx(closed, rel=1e-12)
+
+    def test_agreement_high_rates(self):
+        plat = Platform(
+            name="hot", nodes=1, lambda_f=1e-4, lambda_s=3e-4,
+            costs=default_costs(C_D=30.0, C_M=3.0),
+        )
+        for W in (100.0, 1000.0, 5000.0):
+            assert exact_expected_time(pattern_pd(W), plat) == pytest.approx(
+                exact_expected_time_pd(W, plat), rel=1e-12
+            )
+
+    def test_closed_form_requires_fail_stop(self):
+        plat = hera().with_rates(0.0, 1e-6)
+        with pytest.raises(ValueError, match="lambda_f"):
+            exact_expected_time_pd(100.0, plat)
+
+
+class TestExactBasicProperties:
+    def test_no_errors_equals_error_free_time(self, hera_platform):
+        plat = hera_platform.with_rates(0.0, 0.0)
+        for kind in PatternKind:
+            pat = build_pattern(kind, 3600.0, n=2, m=3, r=plat.r)
+            E = exact_expected_time(pat, plat)
+            expected = pat.error_free_time(
+                V=plat.V, V_star=plat.V_star, C_M=plat.C_M, C_D=plat.C_D
+            )
+            assert E == pytest.approx(expected)
+
+    def test_exceeds_error_free_time_with_errors(self, hera_platform):
+        pat = pattern_pd(3600.0)
+        plat = hera_platform
+        E = exact_expected_time(pat, plat)
+        floor = pat.error_free_time(
+            V=plat.V, V_star=plat.V_star, C_M=plat.C_M, C_D=plat.C_D
+        )
+        assert E > floor
+
+    def test_monotone_in_rates(self, hera_platform):
+        pat = pattern_pd(3600.0)
+        E1 = exact_expected_time(pat, hera_platform)
+        E2 = exact_expected_time(pat, hera_platform.scaled_rates(2.0, 2.0))
+        assert E2 > E1
+
+    def test_monotone_in_work(self, hera_platform):
+        Es = [
+            exact_expected_time(pattern_pd(W), hera_platform)
+            for W in (100.0, 1000.0, 10000.0)
+        ]
+        assert Es == sorted(Es)
+
+    def test_guaranteed_intermediate_flag(self, hera_platform):
+        pat = build_pattern(PatternKind.PDV_STAR, 3600.0, m=4)
+        E_partial = exact_expected_time(pat, hera_platform)
+        E_guaranteed = exact_expected_time(
+            pat, hera_platform, guaranteed_intermediate=True
+        )
+        # Guaranteed verifications cost more (V* = 100 V) but catch
+        # everything; on Hera the error-free cost difference dominates.
+        assert E_guaranteed != E_partial
+
+    def test_overlong_pattern_rejected(self):
+        plat = Platform(
+            name="hot", nodes=1, lambda_f=1e-2, lambda_s=1e-2,
+            costs=default_costs(C_D=1.0, C_M=0.1),
+        )
+        with pytest.raises(ValueError, match="underflow|shorten"):
+            exact_expected_time(pattern_pd(1e6), plat)
+
+
+class TestFirstOrderAgreement:
+    """First-order and exact must agree to O(lambda) at optimal lengths."""
+
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_agreement_at_optimum(self, any_platform, kind):
+        opt = optimal_pattern(kind, any_platform)
+        guaranteed = kind in (PatternKind.PDV_STAR, PatternKind.PDMV_STAR)
+        H_exact = exact_overhead(
+            opt.pattern, any_platform, guaranteed_intermediate=guaranteed
+        )
+        # The dropped terms are O(lambda * W*) = O(sqrt(lambda)) relative;
+        # on Table-2 platforms that's about 1-2% of the overhead.
+        assert H_exact == pytest.approx(opt.H_star, rel=0.06)
+        # First-order is optimistic: the exact overhead is larger.
+        assert H_exact >= opt.H_star - 1e-9
+
+    def test_expected_time_agreement(self, hera_platform):
+        pat = optimal_pattern(PatternKind.PDMV, hera_platform).pattern
+        E_fo = first_order_expected_time(pat, hera_platform)
+        E_ex = exact_expected_time(pat, hera_platform)
+        assert E_fo == pytest.approx(E_ex, rel=0.01)
+
+    def test_divergence_at_extreme_scale(self):
+        """Figure 7a: the first-order model underestimates at high rates."""
+        from repro.platforms.scaling import weak_scaling_platform
+
+        plat = weak_scaling_platform(2**17)
+        opt = optimal_pattern(PatternKind.PD, plat)
+        H_exact = exact_overhead(opt.pattern, plat)
+        assert H_exact > opt.H_star * 1.2

@@ -1,0 +1,185 @@
+"""Tests for the experiment harness (tables and figures)."""
+
+import pytest
+
+from repro.core.builders import PatternKind
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.experiments.fig7 import render_weak_scaling, run_weak_scaling
+from repro.experiments.fig8 import FIG8_C_D, run_fig8
+from repro.experiments.fig9 import (
+    fig9_platform,
+    run_error_rate_grid,
+    run_error_rate_sweep,
+)
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.platforms.catalog import hera
+
+FAST = dict(n_patterns=5, n_runs=3, seed=7)
+
+
+class TestTable1:
+    def test_six_rows_in_order(self, hera_platform):
+        rows = run_table1(hera_platform)
+        assert [r["pattern"] for r in rows] == [
+            "PD", "PDV*", "PDV", "PDM", "PDMV*", "PDMV",
+        ]
+
+    def test_exact_column_present(self, hera_platform):
+        rows = run_table1(hera_platform, include_exact=True)
+        for r in rows:
+            assert r["H_exact"] >= r["H*"] - 1e-9
+
+    def test_numeric_column_optional(self, hera_platform):
+        rows = run_table1(hera_platform, include_exact=False)
+        assert "H_numeric" not in rows[0]
+        assert "H_exact" not in rows[0]
+
+    def test_render(self, hera_platform):
+        out = render_table1(hera_platform)
+        assert "Hera" in out and "PDMV" in out
+
+
+class TestTable2:
+    def test_four_platforms(self):
+        rows = run_table2()
+        assert [r["platform"] for r in rows] == [
+            "Hera", "Atlas", "Coastal", "Coastal SSD",
+        ]
+
+    def test_hera_mtbf_days(self):
+        row = run_table2()[0]
+        assert row["MTBF_f_days"] == pytest.approx(12.23, abs=0.05)
+        assert row["MTBF_s_days"] == pytest.approx(3.42, abs=0.05)
+
+    def test_render(self):
+        out = render_table2()
+        assert "Coastal SSD" in out
+
+
+class TestFig6:
+    def test_rows_cover_all_cells(self):
+        rows = run_fig6(platforms=[hera()], **FAST)
+        assert len(rows) == 6
+        assert {r["pattern"] for r in rows} == {
+            "PD", "PDV*", "PDV", "PDM", "PDMV*", "PDMV",
+        }
+
+    def test_panel_keys_present(self):
+        rows = run_fig6(platforms=[hera()], kinds=[PatternKind.PD], **FAST)
+        row = rows[0]
+        for key in (
+            "predicted", "simulated", "W*_hours",
+            "disk_ckpts_per_hour", "mem_ckpts_per_hour", "verifs_per_hour",
+            "disk_recoveries_per_day", "mem_recoveries_per_day",
+        ):
+            assert key in row
+
+    def test_simulated_close_to_predicted(self):
+        rows = run_fig6(
+            platforms=[hera()],
+            kinds=[PatternKind.PD],
+            n_patterns=50, n_runs=20, seed=11,
+        )
+        row = rows[0]
+        # Paper: agreement within ~1 percentage point on real platforms.
+        assert row["simulated"] == pytest.approx(row["predicted"], abs=0.02)
+
+    def test_render(self):
+        rows = run_fig6(platforms=[hera()], kinds=[PatternKind.PD], **FAST)
+        assert "Figure 6" in render_fig6(rows)
+
+
+class TestWeakScaling:
+    def test_rows_per_node_count(self):
+        rows = run_weak_scaling([256, 1024], **FAST)
+        assert len(rows) == 4  # 2 node counts x 2 patterns
+        assert {r["nodes"] for r in rows} == {256, 1024}
+
+    def test_overhead_grows_with_nodes(self):
+        rows = run_weak_scaling(
+            [256, 2**14], n_patterns=20, n_runs=10, seed=13
+        )
+        by = {(r["nodes"], r["pattern"]): r for r in rows}
+        assert (
+            by[(2**14, "PD")]["simulated"] > by[(256, "PD")]["simulated"]
+        )
+        assert (
+            by[(2**14, "PDMV")]["predicted"]
+            > by[(256, "PDMV")]["predicted"]
+        )
+
+    def test_pdmv_beats_pd_at_scale(self):
+        rows = run_weak_scaling(
+            [2**14], n_patterns=20, n_runs=10, seed=17
+        )
+        by = {r["pattern"]: r for r in rows}
+        assert by["PDMV"]["simulated"] < by["PD"]["simulated"]
+
+    def test_fig8_uses_reduced_disk_cost(self):
+        rows7 = run_weak_scaling([1024], **FAST)
+        rows8 = run_fig8([1024], **FAST)
+        by7 = {r["pattern"]: r for r in rows7}
+        by8 = {r["pattern"]: r for r in rows8}
+        # Cheaper disk checkpoints -> shorter periods, lower overhead.
+        assert by8["PD"]["W*_hours"] < by7["PD"]["W*_hours"]
+        assert by8["PD"]["predicted"] < by7["PD"]["predicted"]
+
+    def test_render(self):
+        rows = run_weak_scaling([256], **FAST)
+        assert "Weak scaling" in render_weak_scaling(rows)
+
+
+class TestFig9:
+    def test_platform_is_100k_nodes(self):
+        plat = fig9_platform()
+        assert plat.nodes == 100_000
+        # MTBF drops below 10 minutes (Section 6.3.2).
+        assert plat.mtbf < 600.0
+
+    def test_grid_rows_and_difference(self):
+        rows = run_error_rate_grid(factors=(0.5, 1.0), **FAST)
+        assert len(rows) == 4
+        for r in rows:
+            assert r["difference"] == pytest.approx(
+                r["simulated_PD"] - r["simulated_PDMV"]
+            )
+
+    def test_sweep_validation(self):
+        with pytest.raises(ValueError):
+            run_error_rate_sweep("x")
+
+    def test_sweep_f_rows(self):
+        rows = run_error_rate_sweep("f", factors=(0.5, 1.0), **FAST)
+        assert len(rows) == 4
+        assert all(r["vary"] == "lambda_f" for r in rows)
+
+    def test_pdmv_period_insensitive_to_silent_rate(self):
+        """Figure 9h: PDMV's period barely moves with lambda_s; PD's drops."""
+        rows = run_error_rate_sweep(
+            "s", factors=(0.2, 2.0), n_patterns=2, n_runs=2, seed=5
+        )
+        by = {(r["factor"], r["pattern"]): r for r in rows}
+        pd_ratio = (
+            by[(2.0, "PD")]["W*_minutes"] / by[(0.2, "PD")]["W*_minutes"]
+        )
+        pdmv_ratio = (
+            by[(2.0, "PDMV")]["W*_minutes"] / by[(0.2, "PDMV")]["W*_minutes"]
+        )
+        assert pd_ratio < 0.6  # PD shrinks a lot
+        assert pdmv_ratio > pd_ratio  # PDMV is far less sensitive
+
+    def test_pd_period_insensitive_to_fail_stop_rate(self):
+        """Figure 9d: PD's period is pinned by silent errors; PDMV's drops."""
+        rows = run_error_rate_sweep(
+            "f", factors=(0.2, 2.0), n_patterns=2, n_runs=2, seed=5
+        )
+        by = {(r["factor"], r["pattern"]): r for r in rows}
+        pd_ratio = (
+            by[(2.0, "PD")]["W*_minutes"] / by[(0.2, "PD")]["W*_minutes"]
+        )
+        pdmv_ratio = (
+            by[(2.0, "PDMV")]["W*_minutes"] / by[(0.2, "PDMV")]["W*_minutes"]
+        )
+        assert pdmv_ratio < 0.6
+        assert pd_ratio > pdmv_ratio

@@ -1,0 +1,110 @@
+"""Unit tests for the vectorised PD batch simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import PatternKind, pattern_pd
+from repro.core.exact import exact_expected_time
+from repro.core.formulas import optimal_pattern
+from repro.simulation.engine import PatternSimulator
+from repro.simulation.fast_pd import (
+    PdBatchResult,
+    pd_overhead_batch,
+    simulate_pd_batch,
+)
+
+
+class TestPdBatchResult:
+    def test_overhead(self):
+        res = PdBatchResult(
+            times=np.array([120.0, 110.0]), fail_stop_errors=1,
+            silent_errors=0,
+        )
+        assert res.n == 2
+        assert res.mean_time() == pytest.approx(115.0)
+        assert res.overhead(100.0) == pytest.approx(0.15)
+        with pytest.raises(ValueError):
+            res.overhead(0.0)
+
+
+class TestSimulatePdBatch:
+    def test_error_free_exact(self, tiny_platform, rng):
+        quiet = tiny_platform.with_rates(0.0, 0.0)
+        res = simulate_pd_batch(100.0, quiet, 50, rng)
+        expected = (
+            100.0 + quiet.V_star + quiet.C_M + quiet.C_D
+        )
+        np.testing.assert_allclose(res.times, expected)
+        assert res.fail_stop_errors == 0
+        assert res.silent_errors == 0
+
+    def test_mean_matches_exact_recursion(self, tiny_platform, rng):
+        W = 800.0
+        res = simulate_pd_batch(W, tiny_platform, 40_000, rng)
+        E = exact_expected_time(pattern_pd(W), tiny_platform)
+        assert res.mean_time() == pytest.approx(E, rel=0.02)
+
+    def test_agrees_with_step_engine(self, tiny_platform):
+        """Batch sampler vs the step engine with protected operations."""
+        W = optimal_pattern(PatternKind.PD, tiny_platform).W_star
+        batch = simulate_pd_batch(
+            W, tiny_platform, 20_000, np.random.default_rng(1)
+        )
+        sim = PatternSimulator(
+            pattern_pd(W), tiny_platform, fail_stop_in_operations=False
+        )
+        stats = sim.run(3_000, np.random.default_rng(2))
+        assert batch.overhead(W) == pytest.approx(
+            stats.overhead, rel=0.05
+        )
+
+    def test_error_rates_observed(self, tiny_platform, rng):
+        W = 500.0
+        res = simulate_pd_batch(W, tiny_platform, 20_000, rng)
+        # Strikes per attempt: silent errors fire at rate ls per work
+        # window regardless of crashes in the same attempt.
+        total_work_time = res.times.sum()
+        fs_rate = res.fail_stop_errors / total_work_time
+        # Fail-stop strikes only counted within work windows; the rate
+        # per *total* time is below lambda_f but same order.
+        assert 0.2 * tiny_platform.lambda_f < fs_rate < tiny_platform.lambda_f
+
+    def test_validation(self, tiny_platform, rng):
+        with pytest.raises(ValueError):
+            simulate_pd_batch(0.0, tiny_platform, 10, rng)
+        with pytest.raises(ValueError):
+            simulate_pd_batch(10.0, tiny_platform, 0, rng)
+
+    def test_runaway_guard(self, rng):
+        from repro.platforms.platform import Platform, default_costs
+
+        hot = Platform(
+            name="hot", nodes=1, lambda_f=1.0, lambda_s=0.0,
+            costs=default_costs(C_D=0.1, C_M=0.1),
+        )
+        with pytest.raises(RuntimeError, match="attempts"):
+            simulate_pd_batch(1000.0, hot, 4, rng, max_attempts=50)
+
+    def test_deterministic_given_seed(self, tiny_platform):
+        a = simulate_pd_batch(
+            300.0, tiny_platform, 100, np.random.default_rng(7)
+        )
+        b = simulate_pd_batch(
+            300.0, tiny_platform, 100, np.random.default_rng(7)
+        )
+        np.testing.assert_array_equal(a.times, b.times)
+
+
+class TestPdOverheadBatch:
+    def test_matches_prediction_on_hera(self, hera_platform):
+        opt = optimal_pattern(PatternKind.PD, hera_platform)
+        H = pd_overhead_batch(hera_platform, n_patterns=50_000, seed=3)
+        assert H == pytest.approx(opt.H_star, abs=0.004)
+
+    def test_custom_period(self, tiny_platform):
+        H_opt = pd_overhead_batch(tiny_platform, n_patterns=20_000, seed=4)
+        W = optimal_pattern(PatternKind.PD, tiny_platform).W_star
+        H_off = pd_overhead_batch(
+            tiny_platform, n_patterns=20_000, seed=4, W=W / 4
+        )
+        assert H_off > H_opt

@@ -1,0 +1,136 @@
+"""Unit tests for the (o_ef, o_rw) overhead decomposition."""
+
+import math
+
+import pytest
+
+from repro.core.builders import PatternKind, build_pattern, pattern_pd
+from repro.core.firstorder import (
+    OverheadDecomposition,
+    decompose_overhead,
+    first_order_expected_time,
+    first_order_overhead,
+    optimal_period_from_decomposition,
+)
+from repro.core.matrices import optimal_quadratic_value
+
+
+class TestOverheadDecomposition:
+    def test_optimal_period_formula(self):
+        d = OverheadDecomposition(o_ef=100.0, o_rw=1e-4)
+        assert d.optimal_period == pytest.approx(math.sqrt(100.0 / 1e-4))
+
+    def test_optimal_overhead_formula(self):
+        d = OverheadDecomposition(o_ef=100.0, o_rw=1e-4)
+        assert d.optimal_overhead == pytest.approx(2 * math.sqrt(100.0 * 1e-4))
+
+    def test_overhead_at_minimised_at_w_star(self):
+        d = OverheadDecomposition(o_ef=50.0, o_rw=2e-5)
+        W = d.optimal_period
+        assert d.overhead_at(W) == pytest.approx(d.optimal_overhead)
+        assert d.overhead_at(0.5 * W) > d.optimal_overhead
+        assert d.overhead_at(2.0 * W) > d.optimal_overhead
+
+    def test_zero_rework_infinite_period(self):
+        assert OverheadDecomposition(1.0, 0.0).optimal_period == math.inf
+
+    def test_expected_time_at(self):
+        d = OverheadDecomposition(o_ef=10.0, o_rw=1e-5)
+        W = 500.0
+        assert d.expected_time_at(W) == pytest.approx(W * (1 + d.overhead_at(W)))
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            OverheadDecomposition(1.0, 1.0).overhead_at(0.0)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadDecomposition(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            OverheadDecomposition(1.0, -1.0)
+
+    def test_free_function(self):
+        assert optimal_period_from_decomposition(4.0, 1.0) == pytest.approx(2.0)
+
+
+class TestDecomposePD(object):
+    """The PD special case: o_ef = V* + C_M + C_D, o_rw = ls + lf/2."""
+
+    def test_oef(self, hera_platform):
+        d = decompose_overhead(pattern_pd(100.0), hera_platform)
+        p = hera_platform
+        assert d.o_ef == pytest.approx(p.V_star + p.C_M + p.C_D)
+
+    def test_orw(self, hera_platform):
+        d = decompose_overhead(pattern_pd(100.0), hera_platform)
+        p = hera_platform
+        assert d.o_rw == pytest.approx(p.lambda_s + p.lambda_f / 2.0)
+
+    def test_independent_of_period(self, hera_platform):
+        d1 = decompose_overhead(pattern_pd(100.0), hera_platform)
+        d2 = decompose_overhead(pattern_pd(9999.0), hera_platform)
+        assert d1 == d2
+
+
+class TestDecomposeFamilies:
+    def test_pdm_oef_orw(self, hera_platform):
+        """PDM: o_ef = n(V*+C_M)+C_D, o_rw = ls/n + lf/2 (Theorem 2)."""
+        p = hera_platform
+        n = 4
+        pat = build_pattern(PatternKind.PDM, 1000.0, n=n)
+        d = decompose_overhead(pat, p)
+        assert d.o_ef == pytest.approx(n * (p.V_star + p.C_M) + p.C_D)
+        assert d.o_rw == pytest.approx(p.lambda_s / n + p.lambda_f / 2.0)
+
+    def test_pdv_oef_orw(self, hera_platform):
+        """PDV: o_ef = (m-1)V + V* + C_M + C_D; o_rw via f*(m, r)."""
+        p = hera_platform
+        m = 6
+        pat = build_pattern(PatternKind.PDV, 1000.0, m=m, r=p.r)
+        d = decompose_overhead(pat, p)
+        assert d.o_ef == pytest.approx(
+            (m - 1) * p.V + p.V_star + p.C_M + p.C_D
+        )
+        f_star = optimal_quadratic_value(m, p.r)
+        assert d.o_rw == pytest.approx(
+            f_star * p.lambda_s + p.lambda_f / 2.0
+        )
+
+    def test_pdmv_oef_orw(self, hera_platform):
+        """PDMV: Theorem 4's o_ef and o_rw with equal segments."""
+        p = hera_platform
+        n, m = 3, 5
+        pat = build_pattern(PatternKind.PDMV, 1000.0, n=n, m=m, r=p.r)
+        d = decompose_overhead(pat, p)
+        assert d.o_ef == pytest.approx(
+            n * (m - 1) * p.V + n * (p.V_star + p.C_M) + p.C_D
+        )
+        f_star = optimal_quadratic_value(m, p.r)
+        assert d.o_rw == pytest.approx(
+            f_star * p.lambda_s / n + p.lambda_f / 2.0
+        )
+
+    def test_uneven_segments_increase_orw(self, hera_platform):
+        """Equal segments minimise o_rw (the alpha* = 1/n result)."""
+        from repro.core.pattern import Pattern
+
+        even = Pattern(W=100.0, alpha=(0.5, 0.5), betas=((1.0,), (1.0,)))
+        uneven = Pattern(W=100.0, alpha=(0.8, 0.2), betas=((1.0,), (1.0,)))
+        d_even = decompose_overhead(even, hera_platform)
+        d_uneven = decompose_overhead(uneven, hera_platform)
+        assert d_even.o_ef == d_uneven.o_ef
+        assert d_even.o_rw < d_uneven.o_rw
+
+
+class TestFirstOrderEvaluators:
+    def test_expected_time_components(self, hera_platform):
+        pat = pattern_pd(3600.0)
+        d = decompose_overhead(pat, hera_platform)
+        E = first_order_expected_time(pat, hera_platform)
+        assert E == pytest.approx(3600.0 + d.o_ef + d.o_rw * 3600.0**2)
+
+    def test_overhead_consistency(self, hera_platform):
+        pat = pattern_pd(3600.0)
+        H = first_order_overhead(pat, hera_platform)
+        E = first_order_expected_time(pat, hera_platform)
+        assert H == pytest.approx(E / 3600.0 - 1.0)

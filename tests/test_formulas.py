@@ -1,0 +1,199 @@
+"""Unit tests for the Table-1 closed forms (Theorems 1-4)."""
+
+import math
+
+import pytest
+
+from repro.core.builders import PATTERN_ORDER, PatternKind
+from repro.core.formulas import (
+    continuous_m_star,
+    continuous_n_star,
+    continuous_overhead,
+    optimal_pattern,
+    optimize_all_patterns,
+    simulation_costs,
+)
+from repro.platforms.catalog import hera
+from repro.platforms.platform import Platform, default_costs
+
+
+class TestContinuousOptima:
+    def test_pd_structural_ones(self, hera_platform):
+        assert continuous_n_star(PatternKind.PD, hera_platform) == 1.0
+        assert continuous_m_star(PatternKind.PD, hera_platform) == 1.0
+
+    def test_pdm_formula(self, hera_platform):
+        p = hera_platform
+        expected = math.sqrt(
+            2 * p.lambda_s / p.lambda_f * p.C_D / (p.V_star + p.C_M)
+        )
+        assert continuous_n_star(PatternKind.PDM, p) == pytest.approx(expected)
+
+    def test_pdmv_star_formulas(self, hera_platform):
+        p = hera_platform
+        assert continuous_n_star(PatternKind.PDMV_STAR, p) == pytest.approx(
+            math.sqrt(p.lambda_s / p.lambda_f * p.C_D / p.C_M)
+        )
+        assert continuous_m_star(PatternKind.PDMV_STAR, p) == pytest.approx(
+            math.sqrt(p.C_M / p.V_star)
+        )
+
+    def test_pdv_star_formula(self, hera_platform):
+        p = hera_platform
+        expected = math.sqrt(
+            p.lambda_s / (p.lambda_s + p.lambda_f) * (p.C_M + p.C_D) / p.V_star
+        )
+        assert continuous_m_star(PatternKind.PDV_STAR, p) == pytest.approx(expected)
+
+    def test_pdmv_m_formula(self, hera_platform):
+        p = hera_platform
+        g = (2 - p.r) / p.r
+        expected = 2 - 2 / p.r + math.sqrt(g * ((p.V_star + p.C_M) / p.V - g))
+        assert continuous_m_star(PatternKind.PDMV, p) == pytest.approx(expected)
+
+    def test_silent_only_pdm_degenerates(self):
+        p = hera().with_rates(0.0, 3.38e-6)
+        assert math.isinf(continuous_n_star(PatternKind.PDM, p))
+
+    def test_fail_stop_only_no_segments(self):
+        p = hera().with_rates(9.46e-7, 0.0)
+        assert continuous_n_star(PatternKind.PDM, p) == 1.0
+        assert continuous_m_star(PatternKind.PDV, p) == 1.0
+
+
+class TestOptimalPattern:
+    def test_pd_young_daly_extension(self, hera_platform):
+        """Theorem 1: W* = sqrt((V*+C_M+C_D) / (ls + lf/2))."""
+        p = hera_platform
+        opt = optimal_pattern(PatternKind.PD, p)
+        expected_W = math.sqrt(
+            (p.V_star + p.C_M + p.C_D) / (p.lambda_s + p.lambda_f / 2)
+        )
+        assert opt.W_star == pytest.approx(expected_W)
+        expected_H = 2 * math.sqrt(
+            (p.lambda_s + p.lambda_f / 2) * (p.V_star + p.C_M + p.C_D)
+        )
+        assert opt.H_star == pytest.approx(expected_H)
+
+    def test_integer_rounding_near_continuous(self, any_platform):
+        for kind in PATTERN_ORDER:
+            opt = optimal_pattern(kind, any_platform)
+            assert abs(opt.n - opt.n_cont) <= 1.0 + 1e-9
+            assert abs(opt.m - opt.m_cont) <= 1.0 + 1e-9
+
+    def test_pattern_has_optimal_shape(self, hera_platform):
+        opt = optimal_pattern(PatternKind.PDMV, hera_platform)
+        assert opt.pattern.n == opt.n
+        assert all(mi == opt.m for mi in opt.pattern.m)
+        assert opt.pattern.W == pytest.approx(opt.W_star)
+
+    def test_h_star_close_to_continuous(self, any_platform):
+        """Integer rounding costs at most a few percent of H*."""
+        for kind in PATTERN_ORDER:
+            opt = optimal_pattern(kind, any_platform)
+            cont = continuous_overhead(kind, any_platform)
+            assert opt.H_star >= cont - 1e-12
+            assert opt.H_star <= cont * 1.05
+
+    def test_zero_rates_rejected(self):
+        dead = hera().with_rates(0.0, 0.0)
+        with pytest.raises(ValueError, match="zero error rates"):
+            optimal_pattern(PatternKind.PD, dead)
+
+    def test_expected_pattern_time(self, hera_platform):
+        opt = optimal_pattern(PatternKind.PD, hera_platform)
+        assert opt.expected_pattern_time == pytest.approx(
+            opt.W_star * (1 + opt.H_star)
+        )
+
+
+class TestPatternHierarchy:
+    """More resilience mechanisms never hurt (at the model level)."""
+
+    def test_ordering_on_all_platforms(self, any_platform):
+        opts = optimize_all_patterns(any_platform)
+        H = {k: o.H_star for k, o in opts.items()}
+        # Adding guaranteed verifications helps over plain PD.
+        assert H[PatternKind.PDV_STAR] <= H[PatternKind.PD] + 1e-12
+        # Partial verifications help over guaranteed ones.
+        assert H[PatternKind.PDV] <= H[PatternKind.PDV_STAR] + 1e-12
+        # Memory checkpoints help over single-level.
+        assert H[PatternKind.PDM] <= H[PatternKind.PD] + 1e-12
+        assert H[PatternKind.PDMV_STAR] <= H[PatternKind.PDV_STAR] + 1e-12
+        # The full pattern is the best of all.
+        assert all(H[PatternKind.PDMV] <= h + 1e-12 for h in H.values())
+
+    def test_overheads_in_paper_range(self):
+        """Hera 4-7%; Coastal SSD tops out just over 15% (Section 6.2.2)."""
+        from repro.platforms.catalog import coastal_ssd
+
+        H_hera = {
+            k: o.H_star for k, o in optimize_all_patterns(hera()).items()
+        }
+        assert 0.035 < H_hera[PatternKind.PDMV] < 0.07
+        assert 0.04 < H_hera[PatternKind.PD] < 0.08
+        H_ssd = {
+            k: o.H_star
+            for k, o in optimize_all_patterns(coastal_ssd()).items()
+        }
+        assert 0.14 < H_ssd[PatternKind.PD] < 0.18
+
+    def test_two_level_periods_longer(self, any_platform):
+        """Section 6.2.3: two-level patterns have longer periods."""
+        opts = optimize_all_patterns(any_platform)
+        single = max(
+            opts[k].W_star
+            for k in (PatternKind.PD, PatternKind.PDV_STAR, PatternKind.PDV)
+        )
+        double = min(
+            opts[k].W_star
+            for k in (PatternKind.PDM, PatternKind.PDMV_STAR, PatternKind.PDMV)
+        )
+        assert double > single
+
+
+class TestYoungDalyLimits:
+    """The remarks after Theorem 1: classical limits."""
+
+    def test_fail_stop_only_matches_young_daly(self):
+        # Without silent errors and with V* = C_M = 0, PD's period is
+        # sqrt(2 C_D / lambda_f).
+        lam_f = 1e-6
+        plat = Platform(
+            name="yd",
+            nodes=1,
+            lambda_f=lam_f,
+            lambda_s=0.0,
+            costs=default_costs(C_D=300.0, C_M=0.0, V_star=0.0, V=1e-9),
+        )
+        opt = optimal_pattern(PatternKind.PD, plat)
+        assert opt.W_star == pytest.approx(math.sqrt(2 * 300.0 / lam_f))
+
+    def test_silent_only_limit(self):
+        # Without fail-stop errors and C_D = 0: W* = sqrt((V*+C_M)/ls).
+        lam_s = 1e-6
+        plat = Platform(
+            name="so",
+            nodes=1,
+            lambda_f=0.0,
+            lambda_s=lam_s,
+            costs=default_costs(C_D=0.0, C_M=15.0),
+        )
+        opt = optimal_pattern(PatternKind.PD, plat)
+        assert opt.W_star == pytest.approx(math.sqrt((15.0 + 15.0) / lam_s))
+
+
+class TestSimulationCosts:
+    def test_starred_families_charge_guaranteed(self, hera_platform):
+        view = simulation_costs(PatternKind.PDV_STAR, hera_platform)
+        assert view.V == hera_platform.V_star
+        assert view.r == 1.0
+        view = simulation_costs(PatternKind.PDMV_STAR, hera_platform)
+        assert view.V == hera_platform.V_star
+
+    def test_plain_families_unchanged(self, hera_platform):
+        for kind in (PatternKind.PD, PatternKind.PDV, PatternKind.PDM,
+                     PatternKind.PDMV):
+            view = simulation_costs(kind, hera_platform)
+            assert view.V == hera_platform.V
+            assert view.r == hera_platform.r

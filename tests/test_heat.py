@@ -1,0 +1,131 @@
+"""Unit tests for the heat-equation workloads."""
+
+import numpy as np
+import pytest
+
+from repro.application.heat import Heat1D, Heat2D
+
+
+class TestHeat1D:
+    def test_initial_profile_gaussian(self):
+        h = Heat1D(n=64)
+        assert h.field.max() == pytest.approx(1.0, abs=0.01)
+        assert h.steps_done == 0
+
+    def test_step_advances_counter(self):
+        h = Heat1D(n=32)
+        h.step(5)
+        assert h.steps_done == 5
+
+    def test_diffusion_smooths(self):
+        h = Heat1D(n=128)
+        peak0 = h.field.max()
+        h.step(200)
+        assert h.field.max() < peak0
+
+    def test_boundaries_fixed(self):
+        h = Heat1D(n=32)
+        b0, b1 = h.field[0], h.field[-1]
+        h.step(100)
+        assert h.field[0] == b0
+        assert h.field[-1] == b1
+
+    def test_mass_bounded(self):
+        # Maximum principle: values stay within the initial range.
+        h = Heat1D(n=64)
+        lo, hi = h.field.min(), h.field.max()
+        h.step(500)
+        assert h.field.min() >= lo - 1e-12
+        assert h.field.max() <= hi + 1e-12
+
+    def test_export_import_roundtrip(self):
+        h = Heat1D(n=32)
+        h.step(10)
+        saved = {k: v.copy() for k, v in h.export_state().items()}
+        h.step(10)
+        h.import_state(saved)
+        assert h.steps_done == 10
+        np.testing.assert_array_equal(h.field, saved["u"])
+
+    def test_import_isolates_from_source(self):
+        h = Heat1D(n=32)
+        s = h.export_state()
+        h2 = Heat1D(n=32)
+        h2.import_state(s)
+        h2.corruptible_array()[3] = 42.0
+        assert h.field[3] != 42.0
+
+    def test_deterministic_replay(self):
+        a, b = Heat1D(n=64), Heat1D(n=64)
+        a.step(37)
+        b.step(37)
+        np.testing.assert_array_equal(a.field, b.field)
+
+    def test_custom_initial(self):
+        init = np.linspace(0, 1, 34)
+        h = Heat1D(n=32, initial=init)
+        np.testing.assert_array_equal(h.field, init)
+
+    def test_bad_initial_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            Heat1D(n=32, initial=np.zeros(10))
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            Heat1D(n=2)
+
+    def test_negative_steps(self):
+        with pytest.raises(ValueError):
+            Heat1D(n=32).step(-1)
+
+    def test_corruptible_array_is_live(self):
+        h = Heat1D(n=32)
+        h.corruptible_array()[5] = 123.0
+        assert h.field[5] == 123.0
+
+    def test_state_signature_changes_with_state(self):
+        h = Heat1D(n=32)
+        s0 = h.state_signature()
+        h.corruptible_array()[5] += 100.0
+        assert h.state_signature() != s0
+
+
+class TestHeat2D:
+    def test_step_and_counter(self):
+        h = Heat2D(n=16)
+        h.step(3)
+        assert h.steps_done == 3
+
+    def test_diffusion_smooths(self):
+        h = Heat2D(n=32)
+        peak0 = h.field.max()
+        h.step(100)
+        assert h.field.max() < peak0
+
+    def test_maximum_principle(self):
+        h = Heat2D(n=16)
+        lo, hi = h.field.min(), h.field.max()
+        h.step(200)
+        assert h.field.min() >= lo - 1e-12
+        assert h.field.max() <= hi + 1e-12
+
+    def test_export_import_roundtrip(self):
+        h = Heat2D(n=16)
+        h.step(4)
+        saved = {k: v.copy() for k, v in h.export_state().items()}
+        h.step(4)
+        h.import_state(saved)
+        np.testing.assert_array_equal(h.field, saved["u"])
+        assert h.steps_done == 4
+
+    def test_symmetry_preserved(self):
+        # The Gaussian initial condition is symmetric; explicit stepping
+        # preserves the symmetry exactly.
+        h = Heat2D(n=17)
+        h.step(50)
+        f = np.asarray(h.field)
+        np.testing.assert_allclose(f, f.T, atol=1e-12)
+
+    def test_bad_initial_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            Heat2D(n=16, initial=np.zeros((5, 5)))

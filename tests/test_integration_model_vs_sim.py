@@ -1,0 +1,109 @@
+"""Integration tests: analytical model vs Monte-Carlo simulation.
+
+These are the reproduction's core claims (Section 6.2): on the Table-2
+platforms, the first-order predicted overhead matches the simulated one
+to within about one percentage point, the pattern hierarchy holds in
+simulation, and the operation frequencies track the platform MTBFs.
+"""
+
+import pytest
+
+from repro.core.builders import PATTERN_ORDER, PatternKind
+from repro.core.formulas import optimal_pattern
+from repro.platforms.catalog import hera
+from repro.platforms.scaling import weak_scaling_platform
+from repro.simulation.runner import simulate_optimal_pattern
+
+MC = dict(n_patterns=100, n_runs=40)
+
+
+@pytest.mark.parametrize("kind", PATTERN_ORDER)
+def test_predicted_vs_simulated_on_hera(kind):
+    """Figure 6a: |simulated - predicted| < ~1 point on Hera."""
+    res = simulate_optimal_pattern(kind, hera(), seed=101, **MC)
+    assert res.simulated_overhead == pytest.approx(
+        res.predicted_overhead, abs=0.012
+    )
+
+
+def test_pattern_hierarchy_in_simulation():
+    """Figure 6a: more advanced patterns win in simulation too."""
+    H = {
+        kind: simulate_optimal_pattern(
+            kind, hera(), seed=103, **MC
+        ).simulated_overhead
+        for kind in (PatternKind.PD, PatternKind.PDM, PatternKind.PDMV)
+    }
+    assert H[PatternKind.PDMV] < H[PatternKind.PDM] < H[PatternKind.PD]
+
+
+def test_disk_recoveries_track_fail_stop_mtbf():
+    """Figure 6e: disk recoveries/day ~ 1 / MTBF_f regardless of pattern."""
+    plat = hera()
+    expected_per_day = 86400.0 * plat.lambda_f  # ~0.083 on Hera
+    for kind in (PatternKind.PD, PatternKind.PDMV):
+        res = simulate_optimal_pattern(kind, plat, seed=107, **MC)
+        per_day = res.aggregated.rates_per_day["disk_recoveries"]
+        assert per_day == pytest.approx(expected_per_day, rel=0.30)
+
+
+def test_memory_recoveries_track_silent_mtbf():
+    """Section 6.2.5: the silent rate is a good indicator of memory
+    recoveries (~0.285/day on Hera)."""
+    plat = hera()
+    expected_per_day = 86400.0 * plat.lambda_s  # ~0.29 on Hera
+    res = simulate_optimal_pattern(PatternKind.PDMV, plat, seed=109, **MC)
+    per_day = res.aggregated.rates_per_day["memory_recoveries"]
+    assert per_day == pytest.approx(expected_per_day, rel=0.35)
+
+
+def test_first_order_optimistic_at_scale():
+    """Figure 7a: at >= 2^15 nodes the simulated overhead exceeds the
+    prediction substantially."""
+    plat = weak_scaling_platform(2**15)
+    res = simulate_optimal_pattern(
+        PatternKind.PD, plat, n_patterns=30, n_runs=15, seed=113
+    )
+    assert res.simulated_overhead > res.predicted_overhead * 1.05
+
+
+def test_two_level_savings_grow_with_silent_rate():
+    """Figure 9c: the PD - PDMV gap widens as lambda_s increases."""
+    base = weak_scaling_platform(100_000)
+    gaps = []
+    for factor in (0.2, 2.0):
+        plat = base.scaled_rates(factor_s=factor)
+        h_pd = simulate_optimal_pattern(
+            PatternKind.PD, plat, n_patterns=20, n_runs=10, seed=127
+        ).simulated_overhead
+        h_pdmv = simulate_optimal_pattern(
+            PatternKind.PDMV, plat, n_patterns=20, n_runs=10, seed=127
+        ).simulated_overhead
+        gaps.append(h_pd - h_pdmv)
+    assert gaps[1] > gaps[0]
+
+
+def test_verification_frequency_ranking():
+    """Figure 6c: partial-verification patterns run far more verifications
+    per hour than guaranteed-only patterns."""
+    plat = hera()
+    res_pdv = simulate_optimal_pattern(PatternKind.PDV, plat, seed=131, **MC)
+    res_pd = simulate_optimal_pattern(PatternKind.PD, plat, seed=131, **MC)
+    v_pdv = res_pdv.aggregated.rates_per_hour["verifications"]
+    v_pd = res_pd.aggregated.rates_per_hour["verifications"]
+    assert v_pdv > 5 * v_pd
+
+
+def test_two_level_disk_checkpoint_frequency_lower():
+    """Figure 6d: longer two-level periods -> fewer disk checkpoints."""
+    plat = hera()
+    res_pd = simulate_optimal_pattern(PatternKind.PD, plat, seed=137, **MC)
+    res_pdmv = simulate_optimal_pattern(PatternKind.PDMV, plat, seed=137, **MC)
+    assert (
+        res_pdmv.aggregated.rates_per_hour["disk_checkpoints"]
+        < res_pd.aggregated.rates_per_hour["disk_checkpoints"]
+    )
+    assert (
+        res_pdmv.aggregated.rates_per_hour["memory_checkpoints"]
+        > res_pd.aggregated.rates_per_hour["memory_checkpoints"]
+    )

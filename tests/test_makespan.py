@@ -1,0 +1,70 @@
+"""Unit tests for makespan planning (Section 2.4)."""
+
+import pytest
+
+from repro.core.builders import PatternKind
+from repro.core.formulas import optimal_pattern
+from repro.core.makespan import (
+    MakespanEstimate,
+    compare_makespans,
+    estimate_makespan,
+)
+from repro.platforms.catalog import hera
+
+
+class TestEstimateMakespan:
+    def test_makespan_formula(self, hera_platform):
+        est = estimate_makespan(PatternKind.PD, hera_platform, 360000.0)
+        opt = optimal_pattern(PatternKind.PD, hera_platform)
+        assert est.makespan == pytest.approx((1 + opt.H_star) * 360000.0)
+        assert est.wasted_time == pytest.approx(opt.H_star * 360000.0)
+
+    def test_n_patterns(self, hera_platform):
+        est = estimate_makespan(PatternKind.PD, hera_platform, 360000.0)
+        assert est.n_patterns == pytest.approx(360000.0 / est.W_star)
+
+    def test_wasted_node_hours(self, hera_platform):
+        est = estimate_makespan(PatternKind.PD, hera_platform, 3600.0)
+        assert est.wasted_node_hours(100) == pytest.approx(
+            100 * est.overhead
+        )
+        with pytest.raises(ValueError):
+            est.wasted_node_hours(0)
+
+    def test_invalid_base(self, hera_platform):
+        with pytest.raises(ValueError):
+            estimate_makespan(PatternKind.PD, hera_platform, 0.0)
+
+
+class TestCompareMakespans:
+    def test_six_rows(self, hera_platform):
+        rows = compare_makespans(hera_platform, 360000.0)
+        assert len(rows) == 6
+        assert rows[0]["pattern"] == "PD"
+
+    def test_savings_nonnegative_and_pd_zero(self, hera_platform):
+        rows = compare_makespans(hera_platform, 360000.0)
+        by = {r["pattern"]: r for r in rows}
+        assert by["PD"]["saving_vs_PD_hours"] == pytest.approx(0.0)
+        for r in rows:
+            assert r["saving_vs_PD_hours"] >= -1e-9
+
+    def test_pdmv_biggest_saving(self, hera_platform):
+        rows = compare_makespans(hera_platform, 360000.0)
+        best = max(rows, key=lambda r: r["saving_vs_PD_hours"])
+        assert best["pattern"] == "PDMV"
+
+    def test_makespan_scales_linearly(self, hera_platform):
+        small = compare_makespans(hera_platform, 3600.0)
+        large = compare_makespans(hera_platform, 36000.0)
+        for s, l in zip(small, large):
+            assert l["makespan_hours"] == pytest.approx(
+                10 * s["makespan_hours"]
+            )
+
+    def test_subset_of_kinds(self, hera_platform):
+        rows = compare_makespans(
+            hera_platform, 3600.0, kinds=[PatternKind.PDM]
+        )
+        assert len(rows) == 1
+        assert rows[0]["pattern"] == "PDM"

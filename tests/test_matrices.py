@@ -1,0 +1,132 @@
+"""Unit tests for the A(m) quadratic form and its minimiser (Theorem 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import (
+    minimize_quadratic_form,
+    optimal_beta,
+    optimal_quadratic_value,
+    quadratic_form,
+    recall_matrix,
+)
+
+
+class TestRecallMatrix:
+    def test_entries(self):
+        A = recall_matrix(3, r=0.8)
+        # A[i,j] = (1 + 0.2^|i-j|)/2
+        assert A[0, 0] == pytest.approx(1.0)
+        assert A[0, 1] == pytest.approx(0.6)
+        assert A[0, 2] == pytest.approx(0.52)
+
+    def test_symmetric(self):
+        A = recall_matrix(6, r=0.3)
+        np.testing.assert_allclose(A, A.T)
+
+    def test_diagonal_is_one(self):
+        A = recall_matrix(5, r=0.6)
+        np.testing.assert_allclose(np.diag(A), 1.0)
+
+    def test_recall_one_gives_half_plus_half_identity(self):
+        # r = 1: A = (1 + I)/2 off-diagonal 0.5, diagonal 1.
+        A = recall_matrix(4, r=1.0)
+        expected = 0.5 * (np.ones((4, 4)) + np.eye(4))
+        np.testing.assert_allclose(A, expected)
+
+    def test_positive_definite(self):
+        for r in (0.2, 0.5, 0.9, 1.0):
+            A = recall_matrix(7, r)
+            eigvals = np.linalg.eigvalsh(A)
+            assert np.all(eigvals > 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            recall_matrix(0, 0.5)
+        with pytest.raises(ValueError):
+            recall_matrix(3, 0.0)
+        with pytest.raises(ValueError):
+            recall_matrix(3, 1.5)
+
+
+class TestQuadraticForm:
+    def test_single_chunk_is_one(self):
+        assert quadratic_form([1.0], r=0.8) == pytest.approx(1.0)
+
+    def test_matches_manual_computation(self):
+        beta = np.array([0.5, 0.5])
+        A = recall_matrix(2, 0.8)
+        assert quadratic_form(beta, 0.8) == pytest.approx(float(beta @ A @ beta))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            quadratic_form([], 0.8)
+        with pytest.raises(ValueError):
+            quadratic_form([[0.5, 0.5]], 0.8)
+
+
+class TestOptimalBeta:
+    def test_m1(self):
+        np.testing.assert_allclose(optimal_beta(1, 0.8), [1.0])
+
+    def test_m2_splits_evenly(self):
+        # (m-2)r + 2 = 2: both chunks get 1/2.
+        np.testing.assert_allclose(optimal_beta(2, 0.8), [0.5, 0.5])
+
+    def test_interior_weight_ratio(self):
+        beta = optimal_beta(5, 0.4)
+        assert beta[0] / beta[2] == pytest.approx(1 / 0.4)
+        assert beta[0] == pytest.approx(beta[-1])
+
+    def test_sums_to_one(self):
+        for m in (1, 2, 3, 7, 20):
+            for r in (0.1, 0.5, 0.8, 1.0):
+                assert optimal_beta(m, r).sum() == pytest.approx(1.0)
+
+    def test_recall_one_uniform(self):
+        np.testing.assert_allclose(optimal_beta(6, 1.0), np.full(6, 1 / 6))
+
+
+class TestOptimalQuadraticValue:
+    def test_closed_form_matches_evaluation(self):
+        for m in (1, 2, 3, 5, 11):
+            for r in (0.2, 0.8, 1.0):
+                beta = optimal_beta(m, r)
+                assert quadratic_form(beta, r) == pytest.approx(
+                    optimal_quadratic_value(m, r)
+                )
+
+    def test_decreasing_in_m(self):
+        vals = [optimal_quadratic_value(m, 0.8) for m in range(1, 10)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_limits(self):
+        # m = 1: whole segment re-executed.
+        assert optimal_quadratic_value(1, 0.8) == pytest.approx(1.0)
+        # m -> inf: f* -> 1/2.
+        assert optimal_quadratic_value(10_000, 0.8) == pytest.approx(0.5, abs=1e-3)
+
+    def test_recall_one_value(self):
+        # f*(m, 1) = (1 + 1/m)/2 -- the PDV*/PDMV* expression.
+        for m in (1, 2, 4, 9):
+            assert optimal_quadratic_value(m, 1.0) == pytest.approx(
+                0.5 * (1 + 1.0 / m)
+            )
+
+
+class TestNumericalMinimiser:
+    @pytest.mark.parametrize("m,r", [(2, 0.8), (3, 0.5), (5, 0.8), (8, 0.3)])
+    def test_scipy_agrees_with_closed_form(self, m, r):
+        numeric = minimize_quadratic_form(m, r)
+        closed = optimal_beta(m, r)
+        np.testing.assert_allclose(numeric, closed, atol=1e-5)
+
+    def test_values_agree(self):
+        for m, r in [(4, 0.7), (6, 0.9)]:
+            numeric = minimize_quadratic_form(m, r)
+            assert quadratic_form(numeric, r) == pytest.approx(
+                optimal_quadratic_value(m, r), abs=1e-9
+            )
+
+    def test_m1_shortcut(self):
+        np.testing.assert_allclose(minimize_quadratic_form(1, 0.5), [1.0])

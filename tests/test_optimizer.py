@@ -1,0 +1,74 @@
+"""Unit tests for the scipy cross-validation optimiser."""
+
+import math
+
+import pytest
+
+from repro.core.builders import PatternKind
+from repro.core.formulas import optimal_pattern
+from repro.core.optimizer import (
+    numeric_optimal_pattern,
+    optimize_period,
+    refine_integer_parameters,
+)
+
+
+class TestOptimizePeriod:
+    def test_pd_numeric_close_to_closed_form(self, hera_platform):
+        opt = optimal_pattern(PatternKind.PD, hera_platform)
+        W_num, H_num = optimize_period(PatternKind.PD, hera_platform, 1, 1)
+        # The exact optimum shifts the period slightly but stays within
+        # a few percent of the first-order W* on Table-2 platforms.
+        assert W_num == pytest.approx(opt.W_star, rel=0.1)
+        assert H_num == pytest.approx(opt.H_star, rel=0.06)
+
+    def test_numeric_never_worse_than_closed_form_period(self, hera_platform):
+        from repro.core.exact import exact_overhead
+
+        opt = optimal_pattern(PatternKind.PDM, hera_platform)
+        _, H_num = optimize_period(
+            PatternKind.PDM, hera_platform, opt.n, opt.m
+        )
+        H_at_closed = exact_overhead(opt.pattern, hera_platform)
+        assert H_num <= H_at_closed + 1e-12
+
+
+class TestRefineIntegerParameters:
+    @pytest.mark.parametrize(
+        "kind",
+        [PatternKind.PDM, PatternKind.PDV, PatternKind.PDMV],
+    )
+    def test_agrees_with_closed_form(self, hera_platform, kind):
+        opt = optimal_pattern(kind, hera_platform)
+        n, m = refine_integer_parameters(kind, hera_platform)
+        assert (n, m) == (opt.n, opt.m)
+
+    def test_single_level_pins_n(self, hera_platform):
+        n, m = refine_integer_parameters(PatternKind.PDV, hera_platform)
+        assert n == 1
+
+    def test_no_verif_pins_m(self, hera_platform):
+        n, m = refine_integer_parameters(PatternKind.PDM, hera_platform)
+        assert m == 1
+
+
+class TestNumericOptimalPattern:
+    def test_result_fields(self, hera_platform):
+        res = numeric_optimal_pattern(PatternKind.PD, hera_platform)
+        assert res.kind is PatternKind.PD
+        assert res.W > 0
+        assert (res.n, res.m) == (1, 1)
+        assert 0 < res.overhead < 1
+
+    def test_close_to_analytical(self, hera_platform):
+        for kind in (PatternKind.PD, PatternKind.PDM, PatternKind.PDMV):
+            opt = optimal_pattern(kind, hera_platform)
+            num = numeric_optimal_pattern(kind, hera_platform)
+            assert num.overhead == pytest.approx(opt.H_star, rel=0.06)
+
+    def test_full_pattern_still_best_numerically(self, hera_platform):
+        H = {
+            kind: numeric_optimal_pattern(kind, hera_platform).overhead
+            for kind in (PatternKind.PD, PatternKind.PDM, PatternKind.PDMV)
+        }
+        assert H[PatternKind.PDMV] <= H[PatternKind.PDM] <= H[PatternKind.PD]

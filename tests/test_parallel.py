@@ -1,0 +1,69 @@
+"""Unit tests for the process-parallel Monte-Carlo runner."""
+
+import pytest
+
+from repro.core.builders import PatternKind, pattern_pd
+from repro.core.formulas import optimal_pattern
+from repro.simulation.parallel import run_monte_carlo_parallel
+from repro.simulation.runner import run_monte_carlo
+
+
+class TestParallelRunner:
+    def test_single_worker_matches_sequential(self, tiny_platform):
+        """Same root seed => identical aggregated results."""
+        pat = optimal_pattern(PatternKind.PD, tiny_platform).pattern
+        seq = run_monte_carlo(
+            pat, tiny_platform, n_patterns=5, n_runs=8, seed=42
+        )
+        par = run_monte_carlo_parallel(
+            pat, tiny_platform, n_patterns=5, n_runs=8, seed=42, n_workers=1
+        )
+        assert par.simulated_overhead == pytest.approx(
+            seq.simulated_overhead, rel=1e-12
+        )
+        assert (
+            par.aggregated.mean_counters["disk_checkpoints"]
+            == seq.aggregated.mean_counters["disk_checkpoints"]
+        )
+
+    def test_multi_worker_matches_sequential(self, tiny_platform):
+        """Parallel fan-out preserves the per-run seed mapping."""
+        pat = pattern_pd(400.0)
+        seq = run_monte_carlo(
+            pat, tiny_platform, n_patterns=4, n_runs=6, seed=7
+        )
+        par = run_monte_carlo_parallel(
+            pat, tiny_platform, n_patterns=4, n_runs=6, seed=7, n_workers=2
+        )
+        assert par.simulated_overhead == pytest.approx(
+            seq.simulated_overhead, rel=1e-12
+        )
+
+    def test_worker_cap(self, tiny_platform):
+        res = run_monte_carlo_parallel(
+            pattern_pd(100.0),
+            tiny_platform,
+            n_patterns=2,
+            n_runs=3,
+            seed=1,
+            n_workers=64,  # capped at n_runs internally
+        )
+        assert res.n_runs == 3
+
+    def test_invalid_runs(self, tiny_platform):
+        with pytest.raises(ValueError):
+            run_monte_carlo_parallel(
+                pattern_pd(100.0), tiny_platform, n_runs=0
+            )
+
+    def test_prediction_passthrough(self, tiny_platform):
+        res = run_monte_carlo_parallel(
+            pattern_pd(100.0),
+            tiny_platform,
+            n_patterns=2,
+            n_runs=2,
+            seed=1,
+            n_workers=1,
+            predicted_overhead=0.25,
+        )
+        assert res.predicted_overhead == 0.25

@@ -1,0 +1,166 @@
+"""Unit tests for the Pattern structure and its resolved schedules."""
+
+import math
+
+import pytest
+
+from repro.core.pattern import (
+    Action,
+    ActionType,
+    Pattern,
+    Segment,
+    pattern_signature,
+)
+
+
+def simple_pattern() -> Pattern:
+    """Three segments, chunk counts (3, 1, 2) -- the paper's Figure 2."""
+    return Pattern(
+        W=600.0,
+        alpha=(0.5, 0.25, 0.25),
+        betas=((0.4, 0.3, 0.3), (1.0,), (0.5, 0.5)),
+    )
+
+
+class TestSegment:
+    def test_chunk_lengths(self):
+        seg = Segment(index=0, work=100.0, chunk_fractions=(0.25, 0.75))
+        assert seg.chunk_lengths == (25.0, 75.0)
+        assert seg.num_chunks == 2
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            Segment(index=0, work=1.0, chunk_fractions=(0.3, 0.3))
+
+    def test_positive_fractions(self):
+        with pytest.raises(ValueError, match="positive"):
+            Segment(index=0, work=1.0, chunk_fractions=(1.5, -0.5))
+
+    def test_at_least_one_chunk(self):
+        with pytest.raises(ValueError, match="at least one chunk"):
+            Segment(index=0, work=1.0, chunk_fractions=())
+
+    def test_negative_work(self):
+        with pytest.raises(ValueError, match="work"):
+            Segment(index=0, work=-1.0, chunk_fractions=(1.0,))
+
+
+class TestPatternValidation:
+    def test_counts(self):
+        p = simple_pattern()
+        assert p.n == 3
+        assert p.m == (3, 1, 2)
+        assert p.total_chunks == 6
+        assert p.num_partial_verifications == 3  # (3-1) + 0 + (2-1)
+        assert p.num_guaranteed_verifications == 3
+        assert p.num_memory_checkpoints == 3
+        assert p.num_disk_checkpoints == 1
+
+    def test_positive_work(self):
+        with pytest.raises(ValueError, match="positive"):
+            Pattern(W=0.0, alpha=(1.0,), betas=((1.0,),))
+
+    def test_alpha_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            Pattern(W=1.0, alpha=(0.6, 0.6), betas=((1.0,), (1.0,)))
+
+    def test_alpha_beta_length_mismatch(self):
+        with pytest.raises(ValueError, match="segments"):
+            Pattern(W=1.0, alpha=(0.5, 0.5), betas=((1.0,),))
+
+    def test_beta_sum_checked_per_segment(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            Pattern(W=1.0, alpha=(1.0,), betas=((0.2, 0.2),))
+
+    def test_accepts_lists(self):
+        p = Pattern(W=1.0, alpha=[0.5, 0.5], betas=[[1.0], [0.5, 0.5]])
+        assert p.alpha == (0.5, 0.5)
+        assert isinstance(p.betas[1], tuple)
+
+    def test_hashable(self):
+        assert hash(simple_pattern()) == hash(simple_pattern())
+
+    def test_empty_alpha(self):
+        with pytest.raises(ValueError, match="at least one segment"):
+            Pattern(W=1.0, alpha=(), betas=())
+
+
+class TestPatternGeometry:
+    def test_segment_works(self):
+        p = simple_pattern()
+        assert p.segment_works() == (300.0, 150.0, 150.0)
+
+    def test_chunk_lengths(self):
+        p = simple_pattern()
+        lengths = p.chunk_lengths()
+        assert lengths[0] == pytest.approx((120.0, 90.0, 90.0))
+        assert lengths[1] == (150.0,)
+        assert lengths[2] == (75.0, 75.0)
+
+    def test_total_work_conserved(self):
+        p = simple_pattern()
+        total = sum(sum(c) for c in p.chunk_lengths())
+        assert total == pytest.approx(p.W)
+
+    def test_rescaled(self):
+        p = simple_pattern().rescaled(1200.0)
+        assert p.W == 1200.0
+        assert p.alpha == simple_pattern().alpha
+
+    def test_signature(self):
+        assert pattern_signature(simple_pattern()) == "P(W=600, n=3, m=[3, 1, 2])"
+
+
+class TestSchedule:
+    COSTS = dict(V=1.0, V_star=5.0, C_M=10.0, C_D=50.0)
+
+    def test_action_sequence_figure2(self):
+        # The paper's Figure 2: chunks+partial verifs, V*+C_M per segment,
+        # final C_D.
+        acts = simple_pattern().schedule(**self.COSTS)
+        types = [a.type for a in acts]
+        expected = [
+            # segment 0: 3 chunks
+            ActionType.WORK, ActionType.PARTIAL_VERIFY,
+            ActionType.WORK, ActionType.PARTIAL_VERIFY,
+            ActionType.WORK,
+            ActionType.GUARANTEED_VERIFY, ActionType.MEMORY_CHECKPOINT,
+            # segment 1: 1 chunk
+            ActionType.WORK,
+            ActionType.GUARANTEED_VERIFY, ActionType.MEMORY_CHECKPOINT,
+            # segment 2: 2 chunks
+            ActionType.WORK, ActionType.PARTIAL_VERIFY,
+            ActionType.WORK,
+            ActionType.GUARANTEED_VERIFY, ActionType.MEMORY_CHECKPOINT,
+            # pattern end
+            ActionType.DISK_CHECKPOINT,
+        ]
+        assert types == expected
+
+    def test_work_durations(self):
+        acts = simple_pattern().schedule(**self.COSTS)
+        works = [a.duration for a in acts if a.type is ActionType.WORK]
+        assert works == pytest.approx([120.0, 90.0, 90.0, 150.0, 75.0, 75.0])
+
+    def test_segment_and_chunk_tags(self):
+        acts = simple_pattern().schedule(**self.COSTS)
+        work_tags = [
+            (a.segment, a.chunk) for a in acts if a.type is ActionType.WORK
+        ]
+        assert work_tags == [(0, 0), (0, 1), (0, 2), (1, 0), (2, 0), (2, 1)]
+
+    def test_error_free_time_matches_schedule_sum(self):
+        p = simple_pattern()
+        acts = p.schedule(**self.COSTS)
+        assert sum(a.duration for a in acts) == pytest.approx(
+            p.error_free_time(**self.COSTS)
+        )
+
+    def test_error_free_time_formula(self):
+        p = simple_pattern()
+        expected = 600.0 + 3 * 1.0 + 3 * (5.0 + 10.0) + 50.0
+        assert p.error_free_time(**self.COSTS) == pytest.approx(expected)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            Action(ActionType.WORK, -1.0, segment=0)

@@ -1,0 +1,202 @@
+"""Unit tests for Platform, ResilienceCosts, catalog and scaling."""
+
+import math
+
+import pytest
+
+from repro.platforms.catalog import (
+    PLATFORMS,
+    atlas,
+    coastal,
+    coastal_ssd,
+    get_platform,
+    hera,
+    platform_names,
+)
+from repro.platforms.platform import Platform, ResilienceCosts, default_costs
+from repro.platforms.scaling import (
+    NodeReliability,
+    SECONDS_PER_YEAR,
+    hera_node_reliability,
+    scale_platform,
+    weak_scaling_platform,
+)
+
+
+class TestResilienceCosts:
+    def test_defaults_follow_paper(self):
+        c = default_costs(C_D=300.0, C_M=15.4)
+        assert c.R_D == 300.0
+        assert c.R_M == 15.4
+        assert c.V_star == 15.4
+        assert c.V == pytest.approx(0.154)
+        assert c.r == 0.8
+
+    def test_overrides(self):
+        c = default_costs(C_D=10, C_M=1, V=0.5, r=0.9, R_D=12.0)
+        assert c.V == 0.5
+        assert c.r == 0.9
+        assert c.R_D == 12.0
+
+    def test_invalid_recall(self):
+        with pytest.raises(ValueError, match="recall"):
+            ResilienceCosts(1, 1, 1, 1, 1, 0.1, r=0.0)
+        with pytest.raises(ValueError, match="recall"):
+            ResilienceCosts(1, 1, 1, 1, 1, 0.1, r=1.5)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError, match="C_D"):
+            ResilienceCosts(-1, 1, 1, 1, 1, 0.1)
+
+    def test_accuracy_to_cost_partial_beats_guaranteed(self):
+        # With the paper's defaults (V = V*/100, r = 0.8) the partial
+        # verification's ratio is ~orders of magnitude better.
+        c = default_costs(C_D=300.0, C_M=15.4)
+        assert c.accuracy_to_cost_partial > 10 * c.accuracy_to_cost_guaranteed
+
+    def test_accuracy_to_cost_guaranteed_formula(self):
+        c = default_costs(C_D=300.0, C_M=15.4)
+        assert c.accuracy_to_cost_guaranteed == pytest.approx(
+            c.C_M / c.V_star + 1.0
+        )
+
+
+class TestPlatform:
+    def test_aliases(self):
+        p = hera()
+        assert p.C_D == p.costs.C_D
+        assert p.C_M == p.costs.C_M
+        assert p.R_D == p.costs.R_D
+        assert p.R_M == p.costs.R_M
+        assert p.V_star == p.costs.V_star
+        assert p.V == p.costs.V
+        assert p.r == p.costs.r
+
+    def test_mtbf_derivations(self):
+        p = hera()
+        assert p.lambda_total == pytest.approx(9.46e-7 + 3.38e-6)
+        assert p.mtbf == pytest.approx(1.0 / p.lambda_total)
+        # Paper quotes 12.2 days fail-stop, 3.4 days silent for Hera.
+        assert p.mtbf_fail_stop_days == pytest.approx(12.23, abs=0.05)
+        assert p.mtbf_silent_days == pytest.approx(3.42, abs=0.05)
+
+    def test_zero_rate_mtbf_infinite(self):
+        p = hera().with_rates(0.0, 0.0)
+        assert p.mtbf == math.inf
+        assert p.mtbf_fail_stop == math.inf
+        assert p.mtbf_silent == math.inf
+
+    def test_with_rates(self):
+        p = hera().with_rates(1e-6, 2e-6)
+        assert p.lambda_f == 1e-6
+        assert p.lambda_s == 2e-6
+        assert p.C_D == hera().C_D
+
+    def test_scaled_rates(self):
+        p = hera().scaled_rates(factor_f=2.0, factor_s=0.5)
+        assert p.lambda_f == pytest.approx(2 * 9.46e-7)
+        assert p.lambda_s == pytest.approx(0.5 * 3.38e-6)
+
+    def test_scaled_rates_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hera().scaled_rates(factor_f=-1.0)
+
+    def test_with_costs(self):
+        p = hera().with_costs(C_D=90.0)
+        assert p.C_D == 90.0
+        assert p.C_M == hera().C_M
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError, match="node count"):
+            Platform("x", 0, 1e-6, 1e-6, default_costs(1, 1))
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError, match="error rates"):
+            Platform("x", 1, -1e-6, 1e-6, default_costs(1, 1))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            hera().lambda_f = 0.0
+
+
+class TestCatalog:
+    def test_table2_values(self):
+        h = hera()
+        assert (h.nodes, h.lambda_f, h.lambda_s) == (256, 9.46e-7, 3.38e-6)
+        assert (h.C_D, h.C_M) == (300.0, 15.4)
+        a = atlas()
+        assert (a.nodes, a.C_D, a.C_M) == (512, 439.0, 9.1)
+        c = coastal()
+        assert (c.nodes, c.C_D, c.C_M) == (1024, 1051.0, 4.5)
+        s = coastal_ssd()
+        assert (s.C_D, s.C_M) == (2500.0, 180.0)
+
+    def test_coastal_ssd_shares_rates_with_coastal(self):
+        assert coastal_ssd().lambda_f == coastal().lambda_f
+        assert coastal_ssd().lambda_s == coastal().lambda_s
+
+    def test_platform_names_order(self):
+        assert platform_names() == ["hera", "atlas", "coastal", "coastal_ssd"]
+
+    def test_get_platform_flexible_names(self):
+        assert get_platform("Hera").name == "Hera"
+        assert get_platform("coastal ssd").name == "Coastal SSD"
+        assert get_platform("COASTAL-SSD").name == "Coastal SSD"
+
+    def test_get_platform_unknown(self):
+        with pytest.raises(KeyError, match="unknown platform"):
+            get_platform("summit")
+
+    def test_factories_return_fresh_objects(self):
+        assert hera() is not hera()
+
+
+class TestScaling:
+    def test_hera_node_reliability_matches_paper(self):
+        rel = hera_node_reliability()
+        # Section 6.3.1: 8.57 years fail-stop, 2.4 years silent per node.
+        assert rel.mtbf_fail_stop / SECONDS_PER_YEAR == pytest.approx(8.57, abs=0.05)
+        assert rel.mtbf_silent / SECONDS_PER_YEAR == pytest.approx(2.40, abs=0.05)
+
+    def test_2e17_nodes_mtbf_matches_paper(self):
+        # Section 6.3.1: at 2^17 nodes, ~2064 s fail-stop and ~577 s silent.
+        plat = weak_scaling_platform(2**17)
+        assert plat.mtbf_fail_stop == pytest.approx(2064, rel=0.01)
+        assert plat.mtbf_silent == pytest.approx(577, rel=0.01)
+
+    def test_rates_scale_linearly(self):
+        p1 = weak_scaling_platform(1000)
+        p2 = weak_scaling_platform(2000)
+        assert p2.lambda_f == pytest.approx(2 * p1.lambda_f)
+        assert p2.lambda_s == pytest.approx(2 * p1.lambda_s)
+
+    def test_costs_constant_under_weak_scaling(self):
+        p1 = weak_scaling_platform(256)
+        p2 = weak_scaling_platform(2**18)
+        assert p1.C_D == p2.C_D == 300.0
+        assert p1.C_M == p2.C_M == 15.4
+
+    def test_custom_disk_cost(self):
+        assert weak_scaling_platform(1024, C_D=90.0).C_D == 90.0
+
+    def test_scale_platform(self):
+        base = hera()
+        scaled = scale_platform(base, 512)
+        assert scaled.nodes == 512
+        assert scaled.lambda_f == pytest.approx(2 * base.lambda_f)
+        assert scaled.costs == base.costs
+
+    def test_scale_platform_identity(self):
+        base = hera()
+        same = scale_platform(base, base.nodes)
+        assert same.lambda_f == pytest.approx(base.lambda_f)
+
+    def test_invalid_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            weak_scaling_platform(0)
+        with pytest.raises(ValueError):
+            scale_platform(hera(), -5)
+
+    def test_node_reliability_validation(self):
+        with pytest.raises(ValueError):
+            NodeReliability(mtbf_fail_stop=0.0, mtbf_silent=1.0)

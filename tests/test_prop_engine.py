@@ -1,0 +1,120 @@
+"""Property-based tests for the simulation engine's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import PatternKind, build_pattern
+from repro.platforms.platform import Platform, default_costs
+from repro.simulation.engine import PatternSimulator
+
+kinds = st.sampled_from(list(PatternKind))
+rates = st.floats(min_value=0.0, max_value=2e-3)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def engine_cases(draw):
+    plat = Platform(
+        name="hyp",
+        nodes=1,
+        lambda_f=draw(rates),
+        lambda_s=draw(rates),
+        costs=default_costs(
+            C_D=draw(st.floats(min_value=1.0, max_value=50.0)),
+            C_M=draw(st.floats(min_value=0.1, max_value=10.0)),
+            r=draw(st.floats(min_value=0.1, max_value=1.0)),
+        ),
+    )
+    kind = draw(kinds)
+    pat = build_pattern(
+        kind,
+        draw(st.floats(min_value=10.0, max_value=500.0)),
+        n=draw(st.integers(min_value=1, max_value=4)),
+        m=draw(st.integers(min_value=1, max_value=4)),
+        r=plat.r,
+    )
+    return plat, pat, draw(seeds)
+
+
+class TestEngineInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(case=engine_cases())
+    def test_counter_consistency(self, case):
+        plat, pat, seed = case
+        n_patterns = 5
+        stats = PatternSimulator(pat, plat).run(
+            n_patterns, np.random.default_rng(seed)
+        )
+        # Exactly one committed disk checkpoint per pattern.
+        assert stats.disk_checkpoints == n_patterns
+        assert stats.patterns_completed == n_patterns
+        # At least n committed memory checkpoints per pattern.
+        assert stats.memory_checkpoints >= n_patterns * pat.n
+        # Useful work is exact.
+        assert stats.useful_work == pytest.approx(n_patterns * pat.W)
+        # Total time at least the error-free floor.
+        floor = n_patterns * pat.error_free_time(
+            V=plat.V, V_star=plat.V_star, C_M=plat.C_M, C_D=plat.C_D
+        )
+        assert stats.total_time >= floor - 1e-6
+        # Detections cannot exceed strikes.
+        assert (
+            stats.silent_detections_partial
+            + stats.silent_detections_guaranteed
+            <= stats.silent_errors
+        )
+        # Every completed disk recovery was triggered by a fail-stop
+        # error, but faults striking *during* a recovery retry it in
+        # place (Eqs. 30-31) without starting a new one.
+        assert stats.disk_recoveries <= stats.fail_stop_errors
+        if stats.fail_stop_errors > 0:
+            assert stats.disk_recoveries >= 1
+        # Memory recoveries = silent detections + disk-recovery restores.
+        assert stats.memory_recoveries == (
+            stats.silent_detections_partial
+            + stats.silent_detections_guaranteed
+            + stats.disk_recoveries
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=engine_cases())
+    def test_determinism(self, case):
+        plat, pat, seed = case
+        s1 = PatternSimulator(pat, plat).run(3, np.random.default_rng(seed))
+        s2 = PatternSimulator(pat, plat).run(3, np.random.default_rng(seed))
+        assert s1.total_time == s2.total_time
+        assert s1.fail_stop_errors == s2.fail_stop_errors
+        assert s1.silent_errors == s2.silent_errors
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=engine_cases())
+    def test_trace_tiles_timeline(self, case):
+        from repro.simulation.trace import TraceRecorder
+
+        plat, pat, seed = case
+        tr = TraceRecorder()
+        stats = PatternSimulator(pat, plat, trace=tr).run(
+            3, np.random.default_rng(seed)
+        )
+        assert tr.validate_contiguous()
+        assert tr.total_time() == pytest.approx(stats.total_time)
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=engine_cases())
+    def test_error_free_when_rates_zero(self, case):
+        plat, pat, seed = case
+        quiet = plat.with_rates(0.0, 0.0)
+        stats = PatternSimulator(pat, quiet).run(
+            2, np.random.default_rng(seed)
+        )
+        assert stats.fail_stop_errors == 0
+        assert stats.silent_errors == 0
+        assert stats.total_time == pytest.approx(
+            2
+            * pat.error_free_time(
+                V=quiet.V, V_star=quiet.V_star,
+                C_M=quiet.C_M, C_D=quiet.C_D,
+            )
+        )

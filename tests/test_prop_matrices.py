@@ -1,0 +1,95 @@
+"""Property-based tests for the A(m) quadratic form (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matrices import (
+    optimal_beta,
+    optimal_quadratic_value,
+    quadratic_form,
+    recall_matrix,
+)
+
+recalls = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+chunk_counts = st.integers(min_value=1, max_value=24)
+
+
+@st.composite
+def simplex_vectors(draw, max_len=12):
+    """Random positive vectors summing to 1."""
+    m = draw(st.integers(min_value=1, max_value=max_len))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    v = np.asarray(raw)
+    return v / v.sum()
+
+
+class TestRecallMatrixProperties:
+    @given(m=chunk_counts, r=recalls)
+    def test_symmetric_and_unit_diagonal(self, m, r):
+        A = recall_matrix(m, r)
+        np.testing.assert_allclose(A, A.T)
+        np.testing.assert_allclose(np.diag(A), 1.0)
+
+    @given(m=st.integers(min_value=2, max_value=16), r=recalls)
+    def test_entries_bounded(self, m, r):
+        A = recall_matrix(m, r)
+        assert np.all(A >= 0.5 - 1e-15)
+        assert np.all(A <= 1.0 + 1e-15)
+
+    @given(m=st.integers(min_value=2, max_value=12), r=recalls)
+    def test_positive_definite(self, m, r):
+        A = recall_matrix(m, r)
+        assert np.linalg.eigvalsh(A).min() > 0
+
+
+class TestQuadraticFormProperties:
+    @given(beta=simplex_vectors(), r=recalls)
+    def test_bounded_between_half_and_one(self, beta, r):
+        # beta^T A beta on the simplex lies in (1/2, 1]: at least the
+        # struck chunk and on average half the segment is re-executed.
+        f = quadratic_form(beta, r)
+        assert 0.5 - 1e-12 <= f <= 1.0 + 1e-12
+
+    @given(beta=simplex_vectors(), r=recalls)
+    def test_closed_form_beta_never_worse(self, beta, r):
+        m = len(beta)
+        f_any = quadratic_form(beta, r)
+        f_opt = optimal_quadratic_value(m, r)
+        assert f_opt <= f_any + 1e-12
+
+    @given(m=chunk_counts, r=recalls)
+    def test_optimal_beta_attains_optimal_value(self, m, r):
+        beta = optimal_beta(m, r)
+        assert quadratic_form(beta, r) == pytest.approx(
+            optimal_quadratic_value(m, r), rel=1e-10
+        )
+
+    @given(m=chunk_counts, r=recalls)
+    def test_optimal_beta_is_simplex_point(self, m, r):
+        beta = optimal_beta(m, r)
+        assert np.all(beta > 0)
+        assert beta.sum() == pytest.approx(1.0)
+
+    @given(m=st.integers(min_value=3, max_value=20), r=recalls)
+    def test_optimal_beta_symmetric(self, m, r):
+        beta = optimal_beta(m, r)
+        np.testing.assert_allclose(beta, beta[::-1])
+
+    @given(m=st.integers(min_value=2, max_value=20), r=recalls)
+    def test_more_chunks_never_increase_fstar(self, m, r):
+        assert optimal_quadratic_value(m + 1, r) <= optimal_quadratic_value(
+            m, r
+        ) + 1e-15
+
+    @given(m=st.integers(min_value=2, max_value=20))
+    def test_better_recall_never_increases_fstar(self, m):
+        vals = [optimal_quadratic_value(m, r) for r in (0.2, 0.5, 0.8, 1.0)]
+        assert all(a >= b - 1e-15 for a, b in zip(vals, vals[1:]))

@@ -1,0 +1,132 @@
+"""Property-based tests for the analytical model (formulas, exact, process)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import PatternKind, build_pattern, pattern_pd
+from repro.core.exact import exact_expected_time
+from repro.core.firstorder import OverheadDecomposition, decompose_overhead
+from repro.core.formulas import optimal_pattern
+from repro.errors.process import expected_time_lost, probability_of_error
+from repro.platforms.platform import Platform, default_costs
+
+rates = st.floats(min_value=1e-9, max_value=1e-5, allow_nan=False)
+costs_disk = st.floats(min_value=10.0, max_value=5000.0)
+costs_mem = st.floats(min_value=0.5, max_value=200.0)
+recalls = st.floats(min_value=0.1, max_value=1.0)
+
+
+@st.composite
+def platforms(draw):
+    return Platform(
+        name="hyp",
+        nodes=16,
+        lambda_f=draw(rates),
+        lambda_s=draw(rates),
+        costs=default_costs(
+            C_D=draw(costs_disk), C_M=draw(costs_mem), r=draw(recalls)
+        ),
+    )
+
+
+class TestEquation3Properties:
+    @given(
+        lam=st.floats(min_value=1e-12, max_value=10.0),
+        w=st.floats(min_value=1e-6, max_value=1e6),
+    )
+    def test_bounds(self, lam, w):
+        t = expected_time_lost(lam, w)
+        assert 0.0 < t <= w / 2.0 + 1e-9
+
+    @given(lam=st.floats(min_value=1e-9, max_value=1.0))
+    def test_monotone_in_window(self, lam):
+        ws = [1.0, 10.0, 100.0, 1000.0]
+        ts = [expected_time_lost(lam, w) for w in ws]
+        assert all(a <= b + 1e-12 for a, b in zip(ts, ts[1:]))
+
+    @given(
+        lam=st.floats(min_value=1e-9, max_value=1e-2),
+        w=st.floats(min_value=0.1, max_value=1e4),
+    )
+    def test_probability_complement_consistency(self, lam, w):
+        p = probability_of_error(lam, w)
+        assert 0.0 <= p <= 1.0  # p hits 1.0 in floating point at lam*w ~ 40
+        assert p == pytest.approx(1.0 - math.exp(-lam * w), abs=1e-12)
+
+
+class TestDecompositionProperties:
+    @given(plat=platforms())
+    def test_w_star_balances_terms(self, plat):
+        d = decompose_overhead(pattern_pd(1.0), plat)
+        W = d.optimal_period
+        # At W*, the two overhead terms are exactly equal.
+        assert d.o_ef / W == pytest.approx(d.o_rw * W, rel=1e-9)
+
+    @given(plat=platforms(), W=st.floats(min_value=10.0, max_value=1e6))
+    def test_overhead_at_least_optimal(self, plat, W):
+        d = decompose_overhead(pattern_pd(1.0), plat)
+        assert d.overhead_at(W) >= d.optimal_overhead - 1e-12
+
+    @given(plat=platforms(), n=st.integers(min_value=1, max_value=10))
+    def test_pdm_oef_increases_orw_decreases_with_n(self, plat, n):
+        d1 = decompose_overhead(
+            build_pattern(PatternKind.PDM, 1.0, n=n), plat
+        )
+        d2 = decompose_overhead(
+            build_pattern(PatternKind.PDM, 1.0, n=n + 1), plat
+        )
+        assert d2.o_ef > d1.o_ef
+        assert d2.o_rw <= d1.o_rw + 1e-18
+
+
+class TestOptimalPatternProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(plat=platforms())
+    def test_pdmv_never_worse_than_pd(self, plat):
+        H_pd = optimal_pattern(PatternKind.PD, plat).H_star
+        H_pdmv = optimal_pattern(PatternKind.PDMV, plat).H_star
+        assert H_pdmv <= H_pd + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(plat=platforms())
+    def test_overhead_scales_like_sqrt_lambda(self, plat):
+        # Quadrupling both rates must double H* (Theta(lambda^(1/2))).
+        H1 = optimal_pattern(PatternKind.PD, plat).H_star
+        H4 = optimal_pattern(PatternKind.PD, plat.scaled_rates(4.0, 4.0)).H_star
+        assert H4 == pytest.approx(2.0 * H1, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(plat=platforms())
+    def test_period_scales_like_inverse_sqrt_lambda(self, plat):
+        W1 = optimal_pattern(PatternKind.PD, plat).W_star
+        W4 = optimal_pattern(PatternKind.PD, plat.scaled_rates(4.0, 4.0)).W_star
+        assert W4 == pytest.approx(W1 / 2.0, rel=1e-9)
+
+
+class TestExactModelProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(plat=platforms(), W=st.floats(min_value=100.0, max_value=50000.0))
+    def test_exact_exceeds_work(self, plat, W):
+        E = exact_expected_time(pattern_pd(W), plat)
+        assert E > W
+
+    @settings(max_examples=30, deadline=None)
+    @given(plat=platforms())
+    def test_exact_at_optimum_close_to_first_order(self, plat):
+        opt = optimal_pattern(PatternKind.PD, plat)
+        E = exact_expected_time(opt.pattern, plat)
+        first_order = opt.W_star * (1.0 + opt.H_star)
+        # MTBF >= 1e5 s vs costs <= 5200 s: first-order holds within ~15%.
+        assert E == pytest.approx(first_order, rel=0.15)
+
+    @settings(max_examples=30, deadline=None)
+    @given(plat=platforms())
+    def test_exact_overhead_nonnegative_gap(self, plat):
+        """First-order is an optimistic (lower) estimate."""
+        opt = optimal_pattern(PatternKind.PD, plat)
+        E = exact_expected_time(opt.pattern, plat)
+        assert E / opt.W_star - 1.0 >= opt.H_star - 1e-9

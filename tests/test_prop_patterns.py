@@ -1,0 +1,119 @@
+"""Property-based tests for pattern structures and builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import PatternKind, build_pattern
+from repro.core.pattern import ActionType, Pattern
+
+kinds = st.sampled_from(list(PatternKind))
+works = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+ns = st.integers(min_value=1, max_value=12)
+ms = st.integers(min_value=1, max_value=12)
+recalls = st.floats(min_value=0.05, max_value=1.0)
+
+
+@st.composite
+def arbitrary_patterns(draw):
+    """Random valid patterns of any shape."""
+    W = draw(works)
+    n = draw(st.integers(min_value=1, max_value=5))
+    alpha = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=1.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    alpha = alpha / alpha.sum()
+    betas = []
+    for _ in range(n):
+        m = draw(st.integers(min_value=1, max_value=5))
+        b = np.asarray(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.05, max_value=1.0),
+                    min_size=m,
+                    max_size=m,
+                )
+            )
+        )
+        betas.append(tuple((b / b.sum()).tolist()))
+    return Pattern(W=W, alpha=tuple(alpha.tolist()), betas=tuple(betas))
+
+
+class TestPatternInvariants:
+    @given(pat=arbitrary_patterns())
+    def test_work_conservation(self, pat):
+        total = sum(sum(c) for c in pat.chunk_lengths())
+        assert total == pytest.approx(pat.W, rel=1e-9)
+
+    @given(pat=arbitrary_patterns())
+    def test_verification_counts(self, pat):
+        assert pat.num_partial_verifications == pat.total_chunks - pat.n
+        assert pat.num_guaranteed_verifications == pat.n
+
+    @given(pat=arbitrary_patterns())
+    def test_schedule_structure(self, pat):
+        acts = pat.schedule(V=1.0, V_star=2.0, C_M=3.0, C_D=4.0)
+        counts = {t: 0 for t in ActionType}
+        for a in acts:
+            counts[a.type] += 1
+        assert counts[ActionType.WORK] == pat.total_chunks
+        assert counts[ActionType.PARTIAL_VERIFY] == pat.num_partial_verifications
+        assert counts[ActionType.GUARANTEED_VERIFY] == pat.n
+        assert counts[ActionType.MEMORY_CHECKPOINT] == pat.n
+        assert counts[ActionType.DISK_CHECKPOINT] == 1
+
+    @given(pat=arbitrary_patterns())
+    def test_schedule_ends_with_verify_ckpt_ckpt(self, pat):
+        """Paper invariant: V* then C_M immediately before every C_D."""
+        acts = pat.schedule(V=1.0, V_star=2.0, C_M=3.0, C_D=4.0)
+        assert acts[-1].type is ActionType.DISK_CHECKPOINT
+        assert acts[-2].type is ActionType.MEMORY_CHECKPOINT
+        assert acts[-3].type is ActionType.GUARANTEED_VERIFY
+
+    @given(pat=arbitrary_patterns())
+    def test_every_memory_checkpoint_preceded_by_guaranteed_verify(self, pat):
+        acts = pat.schedule(V=1.0, V_star=2.0, C_M=3.0, C_D=4.0)
+        for i, a in enumerate(acts):
+            if a.type is ActionType.MEMORY_CHECKPOINT:
+                assert acts[i - 1].type is ActionType.GUARANTEED_VERIFY
+
+    @given(pat=arbitrary_patterns(), factor=st.floats(min_value=0.1, max_value=10))
+    def test_rescaling_preserves_shape(self, pat, factor):
+        scaled = pat.rescaled(pat.W * factor)
+        assert scaled.alpha == pat.alpha
+        assert scaled.betas == pat.betas
+        assert scaled.W == pytest.approx(pat.W * factor)
+
+
+class TestBuilderInvariants:
+    @given(kind=kinds, W=works, n=ns, m=ms, r=recalls)
+    def test_all_kinds_build_valid_patterns(self, kind, W, n, m, r):
+        pat = build_pattern(kind, W, n=n, m=m, r=r)
+        assert pat.W == W
+        total = sum(sum(c) for c in pat.chunk_lengths())
+        assert total == pytest.approx(W, rel=1e-9)
+
+    @given(kind=kinds, W=works, n=ns, m=ms, r=recalls)
+    def test_structural_constraints_per_kind(self, kind, W, n, m, r):
+        pat = build_pattern(kind, W, n=n, m=m, r=r)
+        if kind.uses_memory_checkpoints:
+            assert pat.n == n
+        else:
+            assert pat.n == 1
+        if kind.uses_intermediate_verifications:
+            assert set(pat.m) == {m}
+        else:
+            assert set(pat.m) == {1}
+
+    @given(W=works, n=ns, m=ms, r=recalls)
+    def test_pdmv_segments_identical(self, W, n, m, r):
+        pat = build_pattern(PatternKind.PDMV, W, n=n, m=m, r=r)
+        assert len(set(pat.betas)) == 1  # Theorem 4: identical segments
+        assert len(set(pat.alpha)) <= 2  # equal up to fsum rounding

@@ -1,0 +1,115 @@
+"""Unit tests for table rendering and result writers."""
+
+import csv
+import json
+import math
+import os
+
+import pytest
+
+from repro.experiments.io import write_csv, write_json
+from repro.experiments.report import fmt, format_table
+
+
+class TestFmt:
+    def test_none(self):
+        assert fmt(None) == "-"
+
+    def test_bool(self):
+        assert fmt(True) == "yes"
+        assert fmt(False) == "no"
+
+    def test_int(self):
+        assert fmt(42) == "42"
+
+    def test_float_fixed(self):
+        assert fmt(0.12345, precision=3) == "0.123"
+
+    def test_float_scientific_for_tiny(self):
+        assert "e" in fmt(1.5e-9)
+
+    def test_float_scientific_for_huge(self):
+        assert fmt(1.23e7, precision=3) == "1.23e+07"
+
+    def test_special_values(self):
+        assert fmt(float("nan")) == "nan"
+        assert fmt(float("inf")) == "inf"
+        assert fmt(float("-inf")) == "-inf"
+
+    def test_zero(self):
+        assert fmt(0.0) == "0.0000"
+
+    def test_string_passthrough(self):
+        assert fmt("PDMV") == "PDMV"
+
+
+class TestFormatTable:
+    ROWS = [
+        {"pattern": "PD", "H": 0.0714, "n": 1},
+        {"pattern": "PDMV", "H": 0.0395, "n": 6},
+    ]
+
+    def test_contains_headers_and_values(self):
+        out = format_table(self.ROWS)
+        assert "pattern" in out and "H" in out
+        assert "PDMV" in out and "0.0714" in out
+
+    def test_title(self):
+        out = format_table(self.ROWS, title="My title")
+        assert out.splitlines()[0] == "My title"
+
+    def test_column_selection_and_order(self):
+        out = format_table(self.ROWS, columns=["n", "pattern"])
+        header = out.splitlines()[0]
+        assert header.index("n") < header.index("pattern")
+        assert "H" not in header.split()
+
+    def test_missing_keys_dash(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in out
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_alignment_consistent_width(self):
+        out = format_table(self.ROWS)
+        lines = out.splitlines()
+        assert len({len(line) for line in lines if line}) <= 2
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = tmp_path / "out" / "rows.csv"
+        write_csv(rows, str(path))
+        with open(path) as fh:
+            back = list(csv.DictReader(fh))
+        assert back == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_csv_column_subset(self, tmp_path):
+        rows = [{"a": 1, "b": 2}]
+        path = tmp_path / "rows.csv"
+        write_csv(rows, str(path), columns=["b"])
+        with open(path) as fh:
+            assert fh.readline().strip() == "b"
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], str(tmp_path / "x.csv"))
+
+    def test_json_roundtrip(self, tmp_path):
+        data = {"rows": [{"a": 1.5}], "meta": "ok"}
+        path = tmp_path / "nested" / "out.json"
+        write_json(data, str(path))
+        with open(path) as fh:
+            assert json.load(fh) == data
+
+    def test_json_numpy_coercion(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "np.json"
+        write_json({"x": np.float64(1.5), "v": np.arange(3)}, str(path))
+        with open(path) as fh:
+            back = json.load(fh)
+        assert back == {"x": 1.5, "v": [0, 1, 2]}

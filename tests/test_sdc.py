@@ -1,0 +1,87 @@
+"""Unit tests for bit-flip silent-error injection."""
+
+import numpy as np
+import pytest
+
+from repro.application.sdc import flip_random_bit, inject_sdc
+
+
+class TestFlipRandomBit:
+    def test_changes_exactly_one_element(self, rng):
+        arr = np.zeros(100)
+        idx, bit, old, new = flip_random_bit(arr, rng)
+        changed = np.nonzero(arr != 0.0)[0]
+        # zero with a flipped bit is nonzero (or NaN/inf but not zero)
+        assert changed.size == 1 or np.isnan(arr).any()
+        assert 0 <= idx < 100
+        assert 0 <= bit < 64
+
+    def test_double_flip_restores(self, rng):
+        arr = np.arange(10, dtype=np.float64)
+        before = arr.copy()
+        idx, bit, _, _ = flip_random_bit(arr, rng, bit=17)
+        flat = arr.reshape(-1)
+        flat[idx : idx + 1].view(np.uint64)[0] ^= np.uint64(1) << np.uint64(17)
+        np.testing.assert_array_equal(arr, before)
+
+    def test_sign_bit(self, rng):
+        arr = np.ones(4)
+        idx, bit, old, new = flip_random_bit(arr, rng, bit=63)
+        assert new == -old
+
+    def test_lsb_small_change(self, rng):
+        arr = np.ones(4)
+        idx, bit, old, new = flip_random_bit(arr, rng, bit=0)
+        assert new != old
+        assert abs(new - old) < 1e-14
+
+    def test_reports_values(self, rng):
+        arr = np.full(5, 2.0)
+        idx, bit, old, new = flip_random_bit(arr, rng)
+        assert old == 2.0
+        assert arr.reshape(-1)[idx] == new
+
+    def test_2d_arrays(self, rng):
+        arr = np.ones((8, 8))
+        flip_random_bit(arr, rng)
+        assert (arr != 1.0).sum() == 1
+
+    def test_wrong_dtype(self, rng):
+        with pytest.raises(TypeError):
+            flip_random_bit(np.ones(4, dtype=np.float32), rng)
+
+    def test_empty_array(self, rng):
+        with pytest.raises(ValueError):
+            flip_random_bit(np.empty(0), rng)
+
+    def test_readonly_array(self, rng):
+        arr = np.ones(4)
+        arr.flags.writeable = False
+        with pytest.raises(ValueError, match="read-only"):
+            flip_random_bit(arr, rng)
+
+    def test_bad_bit_index(self, rng):
+        with pytest.raises(ValueError):
+            flip_random_bit(np.ones(4), rng, bit=64)
+
+
+class TestInjectSdc:
+    def test_count(self, rng):
+        arr = np.ones(1000)
+        assert inject_sdc(arr, rng, n_flips=5) == 5
+
+    def test_zero_flips(self, rng):
+        arr = np.ones(10)
+        before = arr.copy()
+        assert inject_sdc(arr, rng, n_flips=0) == 0
+        np.testing.assert_array_equal(arr, before)
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            inject_sdc(np.ones(10), rng, n_flips=-1)
+
+    def test_corruption_observable(self, rng):
+        arr = np.ones(100)
+        inject_sdc(arr, rng, n_flips=3)
+        # representation changed for at least one element
+        assert not np.array_equal(arr, np.ones(100))

@@ -1,0 +1,71 @@
+"""Unit tests for the detector-parameter sensitivity sweeps."""
+
+import pytest
+
+from repro.core.builders import PatternKind
+from repro.experiments.sensitivity import (
+    recall_sweep,
+    render_sensitivity,
+    verification_cost_sweep,
+)
+from repro.platforms.catalog import hera
+
+
+class TestRecallSweep:
+    def test_rows_per_recall(self, hera_platform):
+        rows = recall_sweep(hera_platform, recalls=(0.2, 0.8))
+        assert [r["recall"] for r in rows] == [0.2, 0.8]
+
+    def test_overhead_decreases_with_recall(self, hera_platform):
+        rows = recall_sweep(hera_platform, recalls=(0.1, 0.4, 0.8, 1.0))
+        hs = [r["H*"] for r in rows]
+        assert hs == sorted(hs, reverse=True)
+
+    def test_low_recall_degenerates_to_pdm(self, hera_platform):
+        rows = recall_sweep(hera_platform, recalls=(0.01,))
+        row = rows[0]
+        # A near-useless detector: chunking collapses and PDMV's overhead
+        # meets the PDM anchor.
+        assert row["H*"] == pytest.approx(row["H*_PDM"], rel=0.02)
+
+    def test_never_worse_than_pdm(self, hera_platform):
+        for row in recall_sweep(hera_platform):
+            assert row["H*"] <= row["H*_PDM"] + 1e-12
+
+    def test_render(self, hera_platform):
+        rows = recall_sweep(hera_platform, recalls=(0.5,))
+        assert "Sensitivity" in render_sensitivity(rows, "recall")
+
+
+class TestVerificationCostSweep:
+    def test_overhead_increases_with_cost(self, hera_platform):
+        rows = verification_cost_sweep(
+            hera_platform, cost_fractions=(0.001, 0.01, 0.1, 1.0)
+        )
+        hs = [r["H*"] for r in rows]
+        assert hs == sorted(hs)
+
+    def test_chunk_count_decreases_with_cost(self, hera_platform):
+        rows = verification_cost_sweep(
+            hera_platform, cost_fractions=(0.001, 0.1, 1.0)
+        )
+        ms = [r["m*"] for r in rows]
+        assert ms == sorted(ms, reverse=True)
+
+    def test_expensive_detector_near_star_anchor(self, hera_platform):
+        # V = V*: the partial detector costs as much as the guaranteed
+        # one; with r = 0.8 < 1 it cannot beat PDMV* by much (it keeps a
+        # slight edge only through the beta* weighting).
+        rows = verification_cost_sweep(hera_platform, cost_fractions=(1.0,))
+        row = rows[0]
+        assert row["H*"] >= row["H*_PDMV_star"] * 0.95
+
+    def test_invalid_fraction(self, hera_platform):
+        with pytest.raises(ValueError):
+            verification_cost_sweep(hera_platform, cost_fractions=(0.0,))
+
+    def test_paper_default_in_attractive_regime(self, hera_platform):
+        """At V = V*/100 the partial detector clearly beats PDMV*."""
+        rows = verification_cost_sweep(hera_platform, cost_fractions=(0.01,))
+        row = rows[0]
+        assert row["H*"] < row["H*_PDMV_star"]

@@ -1,0 +1,92 @@
+"""Unit tests for the Monte-Carlo runners."""
+
+import pytest
+
+from repro.core.builders import PatternKind, pattern_pd
+from repro.core.formulas import optimal_pattern
+from repro.simulation.runner import (
+    MonteCarloResult,
+    run_monte_carlo,
+    simulate_optimal_pattern,
+    simulate_pattern_overhead,
+)
+
+
+class TestRunMonteCarlo:
+    def test_reproducible_with_seed(self, tiny_platform):
+        pat = optimal_pattern(PatternKind.PD, tiny_platform).pattern
+        a = run_monte_carlo(pat, tiny_platform, n_patterns=5, n_runs=5, seed=1)
+        b = run_monte_carlo(pat, tiny_platform, n_patterns=5, n_runs=5, seed=1)
+        assert a.simulated_overhead == b.simulated_overhead
+        assert (
+            a.aggregated.mean_counters["disk_checkpoints"]
+            == b.aggregated.mean_counters["disk_checkpoints"]
+        )
+
+    def test_different_seeds_differ(self, tiny_platform):
+        pat = optimal_pattern(PatternKind.PD, tiny_platform).pattern
+        a = run_monte_carlo(pat, tiny_platform, n_patterns=5, n_runs=5, seed=1)
+        b = run_monte_carlo(pat, tiny_platform, n_patterns=5, n_runs=5, seed=2)
+        assert a.simulated_overhead != b.simulated_overhead
+
+    def test_result_metadata(self, tiny_platform):
+        pat = pattern_pd(500.0)
+        res = run_monte_carlo(
+            pat, tiny_platform, n_patterns=3, n_runs=4, seed=0,
+            predicted_overhead=0.1,
+        )
+        assert isinstance(res, MonteCarloResult)
+        assert res.n_patterns == 3
+        assert res.n_runs == 4
+        assert res.predicted_overhead == 0.1
+        assert res.prediction_gap == pytest.approx(
+            res.simulated_overhead - 0.1
+        )
+
+    def test_gap_none_without_prediction(self, tiny_platform):
+        res = run_monte_carlo(
+            pattern_pd(500.0), tiny_platform, n_patterns=2, n_runs=2, seed=0
+        )
+        assert res.prediction_gap is None
+
+    def test_invalid_runs(self, tiny_platform):
+        with pytest.raises(ValueError):
+            run_monte_carlo(
+                pattern_pd(10.0), tiny_platform, n_patterns=1, n_runs=0
+            )
+
+
+class TestSimulateOptimalPattern:
+    def test_prediction_attached(self, tiny_platform):
+        res = simulate_optimal_pattern(
+            PatternKind.PD, tiny_platform, n_patterns=10, n_runs=10, seed=3
+        )
+        opt = optimal_pattern(PatternKind.PD, tiny_platform)
+        assert res.predicted_overhead == pytest.approx(opt.H_star)
+
+    def test_simulated_close_to_predicted(self, tiny_platform):
+        res = simulate_optimal_pattern(
+            PatternKind.PD, tiny_platform, n_patterns=50, n_runs=50, seed=4
+        )
+        # tiny platform: MTBF 2000s vs costs ~20s; first-order holds to
+        # within a few points of overhead.
+        assert res.simulated_overhead == pytest.approx(
+            res.predicted_overhead, abs=0.05
+        )
+
+    def test_starred_family_uses_guaranteed_costs(self, tiny_platform):
+        res = simulate_optimal_pattern(
+            PatternKind.PDV_STAR, tiny_platform,
+            n_patterns=5, n_runs=5, seed=5,
+        )
+        assert res.platform.V == tiny_platform.V_star
+
+
+class TestSimulatePatternOverhead:
+    def test_dict_keys(self, tiny_platform):
+        out = simulate_pattern_overhead(
+            PatternKind.PDMV, tiny_platform, n_patterns=5, n_runs=5, seed=6
+        )
+        assert set(out) == {"predicted", "simulated", "gap", "W_star", "n", "m"}
+        assert out["gap"] == pytest.approx(out["simulated"] - out["predicted"])
+        assert out["n"] >= 1 and out["m"] >= 1

@@ -1,0 +1,117 @@
+"""Unit tests for simulation counters and aggregation."""
+
+import math
+
+import pytest
+
+from repro.simulation.stats import (
+    AggregatedStats,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SimulationStats,
+    aggregate_stats,
+)
+
+
+def make_run(**kwargs) -> SimulationStats:
+    base = dict(
+        total_time=7200.0,
+        useful_work=6000.0,
+        patterns_completed=10,
+        disk_checkpoints=10,
+        memory_checkpoints=30,
+        partial_verifications=100,
+        guaranteed_verifications=30,
+        disk_recoveries=2,
+        memory_recoveries=5,
+        fail_stop_errors=2,
+        silent_errors=5,
+    )
+    base.update(kwargs)
+    return SimulationStats(**base)
+
+
+class TestSimulationStats:
+    def test_overhead(self):
+        assert make_run().overhead == pytest.approx(0.2)
+
+    def test_overhead_requires_work(self):
+        with pytest.raises(ValueError):
+            SimulationStats().overhead
+
+    def test_verifications_combined(self):
+        assert make_run().verifications == 130
+
+    def test_per_hour(self):
+        run = make_run()
+        assert run.per_hour("disk_checkpoints") == pytest.approx(
+            10 / (7200 / SECONDS_PER_HOUR)
+        )
+
+    def test_per_day(self):
+        run = make_run()
+        assert run.per_day("disk_recoveries") == pytest.approx(
+            2 / (7200 / SECONDS_PER_DAY)
+        )
+
+    def test_per_pattern(self):
+        assert make_run().per_pattern("memory_recoveries") == pytest.approx(0.5)
+
+    def test_rates_require_time(self):
+        with pytest.raises(ValueError):
+            SimulationStats().per_hour("disk_checkpoints")
+        with pytest.raises(ValueError):
+            SimulationStats().per_pattern("disk_checkpoints")
+
+    def test_merge(self):
+        a, b = make_run(), make_run(total_time=3600.0, disk_checkpoints=4)
+        a.merge(b)
+        assert a.total_time == pytest.approx(10800.0)
+        assert a.disk_checkpoints == 14
+        assert a.patterns_completed == 20
+
+
+class TestAggregateStats:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_stats([])
+
+    def test_single_run(self):
+        agg = aggregate_stats([make_run()])
+        assert agg.n_runs == 1
+        assert agg.mean_overhead == pytest.approx(0.2)
+        assert agg.std_overhead == 0.0
+        assert math.isnan(agg.sem_overhead)
+
+    def test_mean_over_runs(self):
+        runs = [make_run(total_time=7200.0), make_run(total_time=7800.0)]
+        agg = aggregate_stats(runs)
+        assert agg.mean_overhead == pytest.approx(
+            (0.2 + (7800 / 6000 - 1)) / 2
+        )
+
+    def test_counter_means(self):
+        runs = [make_run(disk_checkpoints=10), make_run(disk_checkpoints=20)]
+        agg = aggregate_stats(runs)
+        assert agg.mean_counters["disk_checkpoints"] == pytest.approx(15.0)
+
+    def test_rates_are_averaged_per_run(self):
+        runs = [
+            make_run(total_time=3600.0, disk_checkpoints=1),
+            make_run(total_time=7200.0, disk_checkpoints=4),
+        ]
+        agg = aggregate_stats(runs)
+        assert agg.rates_per_hour["disk_checkpoints"] == pytest.approx(
+            (1.0 + 2.0) / 2
+        )
+
+    def test_verifications_pseudo_counter(self):
+        agg = aggregate_stats([make_run()])
+        assert agg.mean_counters["verifications"] == pytest.approx(130.0)
+        assert agg.rates_per_hour["verifications"] == pytest.approx(130 / 2.0)
+
+    def test_confidence_interval_contains_mean(self):
+        runs = [make_run(total_time=7000 + 100 * i) for i in range(10)]
+        agg = aggregate_stats(runs)
+        lo, hi = agg.overhead_ci95()
+        assert lo < agg.mean_overhead < hi

@@ -1,0 +1,143 @@
+"""Unit tests for execution tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import PatternKind, build_pattern, pattern_pd
+from repro.platforms.platform import Platform, default_costs
+from repro.simulation.engine import PatternSimulator
+from repro.simulation.events import OperationKind
+from repro.simulation.trace import OpOutcomeKind, TraceRecord, TraceRecorder
+
+
+def make_platform(lambda_f=0.0, lambda_s=0.0):
+    return Platform(
+        name="traced", nodes=1, lambda_f=lambda_f, lambda_s=lambda_s,
+        costs=default_costs(C_D=10.0, C_M=2.0),
+    )
+
+
+class TestTraceRecord:
+    def test_end_property(self):
+        rec = TraceRecord(
+            op=OperationKind.COMPUTE, start=5.0, elapsed=3.0,
+            outcome=OpOutcomeKind.COMPLETED,
+        )
+        assert rec.end == 8.0
+
+
+class TestTraceRecorder:
+    def test_emit_and_len(self):
+        tr = TraceRecorder()
+        tr.emit(OperationKind.COMPUTE, 0.0, 1.0, OpOutcomeKind.COMPLETED)
+        assert len(tr) == 1
+        assert tr.records[0].op is OperationKind.COMPUTE
+
+    def test_bounded_memory(self):
+        tr = TraceRecorder(max_records=3)
+        for i in range(5):
+            tr.emit(OperationKind.COMPUTE, float(i), 1.0,
+                    OpOutcomeKind.COMPLETED)
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        assert tr.records[0].start == 2.0
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_records=0)
+
+    def test_filters(self):
+        tr = TraceRecorder()
+        tr.emit(OperationKind.COMPUTE, 0.0, 1.0, OpOutcomeKind.COMPLETED)
+        tr.emit(OperationKind.COMPUTE, 1.0, 0.5, OpOutcomeKind.INTERRUPTED)
+        tr.emit(OperationKind.PARTIAL_VERIFY, 1.5, 0.1, OpOutcomeKind.ALARM)
+        assert len(tr.by_op(OperationKind.COMPUTE)) == 2
+        assert len(tr.by_outcome(OpOutcomeKind.ALARM)) == 1
+
+    def test_counts(self):
+        tr = TraceRecorder()
+        tr.emit(OperationKind.COMPUTE, 0.0, 1.0, OpOutcomeKind.COMPLETED)
+        tr.emit(OperationKind.COMPUTE, 1.0, 1.0, OpOutcomeKind.COMPLETED)
+        assert tr.counts() == {"compute/completed": 2}
+
+    def test_contiguity_check(self):
+        tr = TraceRecorder()
+        tr.emit(OperationKind.COMPUTE, 0.0, 1.0, OpOutcomeKind.COMPLETED)
+        tr.emit(OperationKind.COMPUTE, 1.0, 1.0, OpOutcomeKind.COMPLETED)
+        assert tr.validate_contiguous()
+        tr.emit(OperationKind.COMPUTE, 5.0, 1.0, OpOutcomeKind.COMPLETED)
+        assert not tr.validate_contiguous()
+
+    def test_render(self):
+        tr = TraceRecorder()
+        tr.emit(OperationKind.DISK_CHECKPOINT, 0.0, 10.0,
+                OpOutcomeKind.COMPLETED)
+        out = tr.render()
+        assert "disk-checkpoint" in out
+        assert "completed" in out
+
+    def test_render_truncation(self):
+        tr = TraceRecorder()
+        for i in range(10):
+            tr.emit(OperationKind.COMPUTE, float(i), 1.0,
+                    OpOutcomeKind.COMPLETED)
+        out = tr.render(limit=3)
+        assert "more records" in out
+
+
+class TestEngineTracing:
+    def test_error_free_trace_structure(self, rng):
+        plat = make_platform()
+        pat = build_pattern(PatternKind.PDMV, 200.0, n=2, m=3, r=plat.r)
+        tr = TraceRecorder()
+        PatternSimulator(pat, plat, trace=tr).run_pattern(rng)
+        counts = tr.counts()
+        assert counts["compute/completed"] == 6
+        assert counts["partial-verify/completed"] == 4
+        assert counts["guaranteed-verify/completed"] == 2
+        assert counts["memory-checkpoint/completed"] == 2
+        assert counts["disk-checkpoint/completed"] == 1
+        assert tr.validate_contiguous()
+
+    def test_trace_time_equals_stats_time(self, rng):
+        plat = make_platform(lambda_f=2e-3, lambda_s=3e-3)
+        pat = build_pattern(PatternKind.PDMV, 200.0, n=2, m=3, r=plat.r)
+        tr = TraceRecorder()
+        stats = PatternSimulator(pat, plat, trace=tr).run(10, rng)
+        assert tr.total_time() == pytest.approx(stats.total_time)
+        assert tr.validate_contiguous()
+
+    def test_interruptions_traced(self, rng):
+        plat = make_platform(lambda_f=5e-3)
+        tr = TraceRecorder()
+        stats = PatternSimulator(pattern_pd(300.0), plat, trace=tr).run(20, rng)
+        interrupted = tr.by_outcome(OpOutcomeKind.INTERRUPTED)
+        assert len(interrupted) == stats.fail_stop_errors
+        # Every interruption is followed (eventually) by a disk recovery.
+        assert len(tr.by_op(OperationKind.DISK_RECOVERY)) >= stats.disk_recoveries
+
+    def test_alarms_traced(self, rng):
+        plat = make_platform(lambda_s=5e-3)
+        tr = TraceRecorder()
+        stats = PatternSimulator(pattern_pd(300.0), plat, trace=tr).run(20, rng)
+        alarms = tr.by_outcome(OpOutcomeKind.ALARM)
+        assert len(alarms) == (
+            stats.silent_detections_guaranteed
+            + stats.silent_detections_partial
+        )
+
+    def test_pattern_index_advances(self, rng):
+        plat = make_platform()
+        tr = TraceRecorder()
+        PatternSimulator(pattern_pd(10.0), plat, trace=tr).run(3, rng)
+        indices = {r.pattern_index for r in tr}
+        assert indices == {0, 1, 2}
+
+    def test_untraced_engine_unaffected(self, rng):
+        plat = make_platform(lambda_f=1e-3, lambda_s=1e-3)
+        pat = pattern_pd(100.0)
+        s1 = PatternSimulator(pat, plat).run(20, np.random.default_rng(5))
+        s2 = PatternSimulator(pat, plat, trace=TraceRecorder()).run(
+            20, np.random.default_rng(5)
+        )
+        assert s1.total_time == s2.total_time
