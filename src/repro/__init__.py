@@ -16,6 +16,12 @@ True
 """
 
 from repro._version import __version__
+from repro.campaign import (
+    CampaignSpec,
+    ResultCache,
+    ScenarioPoint,
+    run_campaign,
+)
 from repro.core import (
     OptimalPattern,
     Pattern,
@@ -53,6 +59,11 @@ from repro.simulation import (
 
 __all__ = [
     "__version__",
+    # campaign
+    "CampaignSpec",
+    "ScenarioPoint",
+    "ResultCache",
+    "run_campaign",
     # core
     "Pattern",
     "PatternKind",

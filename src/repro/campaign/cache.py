@@ -1,0 +1,151 @@
+"""Content-addressed on-disk cache for scenario-point results.
+
+A point's cache key is the SHA-256 of its canonical JSON description --
+pattern family, full platform parameter vector, Monte-Carlo configuration,
+seed and engine version -- so any :func:`run_monte_carlo` result is
+computed at most once *across* campaigns: overlapping sweeps, re-runs and
+refinements all hit the same entries.  Free-form row ``labels`` are
+deliberately excluded from the key: two campaigns that label the same
+physical configuration differently still share one cache entry.
+
+Entries are JSON files sharded by key prefix (``root/ab/abcdef...json``),
+written atomically (temp file + ``os.replace``) so a killed campaign never
+leaves a corrupt entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro._version import __version__
+from repro.campaign.spec import ScenarioPoint
+
+#: Bump when the point->record computation changes incompatibly.
+CACHE_SCHEMA = 1
+
+
+def cache_key(point: ScenarioPoint) -> str:
+    """Stable content hash identifying a point's result.
+
+    Only fields that influence the computed numbers participate:
+    ``labels`` are presentation metadata and are excluded, and
+    ``optimize`` points ignore the Monte-Carlo configuration entirely.
+    """
+    desc = point.to_dict()
+    desc.pop("labels", None)
+    if point.mode == "optimize":
+        for field in ("n_patterns", "n_runs", "seed",
+                      "fail_stop_in_operations"):
+            desc.pop(field, None)
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "engine": __version__,
+        "point": desc,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of cache state and this process's hit/miss counters."""
+
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    root: str
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups for this process (NaN-free: 0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed result store under one root directory."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
+
+    # -- key/path plumbing --------------------------------------------------
+    def key(self, point: ScenarioPoint) -> str:
+        """The content hash for a point (see :func:`cache_key`)."""
+        return cache_key(point)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # -- store operations ---------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Fetch a cached record, counting a hit or miss."""
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self._misses += 1
+            return None
+        self._hits += 1
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Store a record atomically under its key."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(record, fh, separators=(",", ":"), default=str)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def _entries(self) -> Iterator[Tuple[str, int]]:
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    path = os.path.join(shard_dir, name)
+                    yield name[: -len(".json")], os.path.getsize(path)
+
+    def stats(self) -> CacheStats:
+        """Scan the store and report entry count, size and hit counters."""
+        entries = 0
+        total = 0
+        for _, size in self._entries():
+            entries += 1
+            total += size
+        return CacheStats(
+            entries=entries,
+            total_bytes=total,
+            hits=self._hits,
+            misses=self._misses,
+            root=self.root,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key, _ in list(self._entries()):
+            os.unlink(self._path(key))
+            removed += 1
+        return removed

@@ -1,0 +1,316 @@
+"""Chunked, cached, resumable campaign execution.
+
+The executor turns a list of scenario points into result records:
+
+1. points already present in the JSONL *journal* are skipped (resume);
+2. points whose content hash is in the :class:`ResultCache` are served
+   from disk and journaled without recomputation;
+3. the remainder is batched into chunks -- many small scenario points per
+   submitted task, amortising the per-task submission overhead that a
+   one-future-per-point pool pays -- and fanned out to a
+   :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Every completed point is streamed to the journal (append-one-line,
+flushed) the moment it arrives, so an interrupted campaign loses at most
+the in-flight chunks and resumes exactly where it stopped.
+
+Result records carry only computed quantities; the free-form point
+``labels`` are merged in at assembly time.  That way two campaigns that
+label the same physical configuration differently still share cache
+entries and journal lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.cache import ResultCache, cache_key
+from repro.campaign.spec import CampaignSpec, ScenarioPoint
+from repro.experiments.io import read_jsonl
+
+#: Upper bound on points per submitted task (keeps journal streaming
+#: responsive: a chunk is the unit of loss on interruption).
+MAX_CHUNK = 64
+
+
+def default_chunksize(n_points: int, n_workers: int) -> int:
+    """Points per task: the shared ~4-tasks-per-worker heuristic
+    (:func:`repro.simulation.parallel.default_chunksize`), capped at
+    :data:`MAX_CHUNK`."""
+    from repro.simulation.parallel import (
+        default_chunksize as shared_chunksize,
+    )
+
+    return shared_chunksize(n_points, n_workers, cap=MAX_CHUNK)
+
+
+def evaluate_point(point: ScenarioPoint) -> Dict[str, Any]:
+    """Compute the result record for one scenario point.
+
+    ``simulate`` mode is the paper's experimental unit: Table-1
+    optimisation followed by a Monte-Carlo campaign
+    (:func:`~repro.simulation.runner.simulate_optimal_pattern`).
+    ``optimize`` mode stops after the model-level optimisation.  The
+    record contains only JSON-safe scalars and excludes the point labels.
+    """
+    from repro.core.formulas import optimal_pattern
+
+    kind = point.build_kind()
+    platform = point.build_platform()
+    opt = optimal_pattern(kind, platform)
+    record: Dict[str, Any] = {
+        "mode": point.mode,
+        "kind": kind.value,
+        "platform_name": platform.name,
+        "H*": float(opt.H_star),
+        "W_star": float(opt.W_star),
+        "W*_hours": float(opt.W_star / 3600.0),
+        "n*": int(opt.n),
+        "m*": int(opt.m),
+    }
+    if point.mode == "optimize":
+        return record
+
+    from repro.simulation.runner import simulate_optimal_pattern
+
+    res = simulate_optimal_pattern(
+        kind,
+        platform,
+        n_patterns=point.n_patterns,
+        n_runs=point.n_runs,
+        seed=point.seed,
+        fail_stop_in_operations=point.fail_stop_in_operations,
+    )
+    agg = res.aggregated
+    lo, hi = agg.overhead_ci95()
+    record.update(
+        {
+            "n_patterns": int(point.n_patterns),
+            "n_runs": int(point.n_runs),
+            "seed": point.seed,
+            "predicted": float(res.predicted_overhead),
+            "simulated": float(agg.mean_overhead),
+            "std_overhead": float(agg.std_overhead),
+            "ci95_low": float(lo),
+            "ci95_high": float(hi),
+            "mean_total_time": float(agg.mean_total_time),
+            "disk_ckpts_per_hour": float(
+                agg.rates_per_hour["disk_checkpoints"]
+            ),
+            "mem_ckpts_per_hour": float(
+                agg.rates_per_hour["memory_checkpoints"]
+            ),
+            "verifs_per_hour": float(agg.rates_per_hour["verifications"]),
+            "disk_recoveries_per_day": float(
+                agg.rates_per_day["disk_recoveries"]
+            ),
+            "mem_recoveries_per_day": float(
+                agg.rates_per_day["memory_recoveries"]
+            ),
+            "disk_rec_per_pattern": float(
+                agg.per_pattern["disk_recoveries"]
+            ),
+            "mem_rec_per_pattern": float(agg.per_pattern["memory_recoveries"]),
+        }
+    )
+    return record
+
+
+def _evaluate_chunk(
+    point_dicts: Sequence[Dict[str, Any]]
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """Worker entry: evaluate a batch of serialised points."""
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    for data in point_dicts:
+        point = ScenarioPoint.from_dict(data)
+        out.append((cache_key(point), evaluate_point(point)))
+    return out
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (or resumed) campaign produced.
+
+    ``records`` is aligned with ``points`` (labels merged in); the
+    counters say where each unique configuration came from.
+    """
+
+    points: List[ScenarioPoint]
+    records: List[Dict[str, Any]]
+    keys: List[str]
+    n_from_journal: int = 0
+    n_from_cache: int = 0
+    n_computed: int = 0
+    spec: Optional[CampaignSpec] = None
+    journal_path: Optional[str] = None
+
+    @property
+    def n_points(self) -> int:
+        """Total scenario points in the campaign."""
+        return len(self.points)
+
+
+class _Journal:
+    """Append-only JSONL journal of (key, record) pairs."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._fh = None
+        self.existing: Dict[str, Dict[str, Any]] = {}
+        if path is None:
+            return
+        if os.path.exists(path):
+            for line in read_jsonl(path):
+                if isinstance(line, dict) and "key" in line:
+                    self.existing[line["key"]] = line.get("record", {})
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a")
+
+    def append(self, key: str, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(
+            json.dumps({"key": key, "record": record}, default=str) + "\n"
+        )
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def run_campaign(
+    campaign: Union[CampaignSpec, Sequence[ScenarioPoint]],
+    *,
+    cache: Union[ResultCache, str, None] = None,
+    journal_path: Optional[str] = None,
+    n_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign and return its assembled records.
+
+    Parameters
+    ----------
+    campaign:
+        A :class:`CampaignSpec` (expanded via the scenario registry) or an
+        explicit sequence of :class:`ScenarioPoint`.
+    cache:
+        A :class:`ResultCache` or a cache directory path; ``None``
+        disables caching.
+    journal_path:
+        JSONL journal file.  If it exists, journaled points are *not*
+        recomputed (resume); completed points are appended as they finish.
+    n_workers:
+        Process count for the chunked pool; default ``os.cpu_count()``.
+        ``1`` runs in-process (deterministic, no pool) but still journals
+        point by point.
+    chunksize:
+        Points per submitted task; default :func:`default_chunksize`.
+    """
+    spec = campaign if isinstance(campaign, CampaignSpec) else None
+    points = list(spec.points() if spec is not None else campaign)
+    if not points:
+        raise ValueError("campaign has no scenario points")
+    if isinstance(cache, str):
+        cache = ResultCache(cache)
+
+    keys = [cache_key(p) for p in points]
+    journal = _Journal(journal_path)
+    resolved: Dict[str, Dict[str, Any]] = {}
+    n_journal = 0
+    n_cache = 0
+
+    # Unique work, in first-appearance order (duplicate configurations in
+    # one campaign -- e.g. a grid's symmetric cells -- compute once).
+    todo: List[Tuple[str, ScenarioPoint]] = []
+    seen: set = set()
+    for key, point in zip(keys, points):
+        if key in seen:
+            continue
+        seen.add(key)
+        if key in journal.existing:
+            resolved[key] = journal.existing[key]
+            n_journal += 1
+            continue
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+                journal.append(key, hit)
+                n_cache += 1
+                continue
+        todo.append((key, point))
+
+    try:
+        n_computed = _execute(todo, resolved, journal, cache,
+                              n_workers, chunksize)
+    finally:
+        journal.close()
+
+    records = [
+        {**dict(p.labels), **resolved[k]} for k, p in zip(keys, points)
+    ]
+    return CampaignResult(
+        points=points,
+        records=records,
+        keys=keys,
+        n_from_journal=n_journal,
+        n_from_cache=n_cache,
+        n_computed=n_computed,
+        spec=spec,
+        journal_path=journal_path,
+    )
+
+
+def _execute(
+    todo: List[Tuple[str, ScenarioPoint]],
+    resolved: Dict[str, Dict[str, Any]],
+    journal: _Journal,
+    cache: Optional[ResultCache],
+    n_workers: Optional[int],
+    chunksize: Optional[int],
+) -> int:
+    """Evaluate the outstanding points, streaming results as they land."""
+    if not todo:
+        return 0
+    workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+    workers = max(1, min(workers, len(todo)))
+
+    def commit(key: str, record: Dict[str, Any]) -> None:
+        resolved[key] = record
+        journal.append(key, record)
+        if cache is not None:
+            cache.put(key, record)
+
+    if workers == 1:
+        for key, point in todo:
+            commit(key, evaluate_point(point))
+        return len(todo)
+
+    size = (
+        chunksize
+        if chunksize is not None
+        else default_chunksize(len(todo), workers)
+    )
+    size = max(1, size)
+    chunks = [todo[i : i + size] for i in range(0, len(todo), size)]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {
+            pool.submit(
+                _evaluate_chunk, [p.to_dict() for _, p in chunk]
+            ): chunk
+            for chunk in chunks
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                pending.pop(fut)
+                for key, record in fut.result():
+                    commit(key, record)
+    return len(todo)

@@ -1,0 +1,329 @@
+"""Named scenario generators.
+
+A generator expands a :class:`~repro.campaign.spec.CampaignSpec` into a
+list of :class:`~repro.campaign.spec.ScenarioPoint`.  Generators cover the
+paper's experiment shapes -- the platform-catalog campaign (Figure 6),
+error-rate sweeps and grids (Figure 9), weak scaling (Figures 7/8),
+single-platform family comparisons, and the model-level detector
+sensitivity sweeps -- and new ones can be registered with
+:func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Union
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    ScenarioPoint,
+    platform_from_dict,
+    platform_to_dict,
+)
+from repro.core.builders import PATTERN_ORDER
+from repro.platforms.catalog import PLATFORMS, get_platform
+from repro.platforms.platform import Platform
+from repro.platforms.scaling import weak_scaling_platform
+
+ScenarioGenerator = Callable[[CampaignSpec], List[ScenarioPoint]]
+
+_REGISTRY: Dict[str, ScenarioGenerator] = {}
+
+
+def register_scenario(name: str) -> Callable[[ScenarioGenerator], ScenarioGenerator]:
+    """Decorator registering a scenario generator under ``name``."""
+
+    def deco(fn: ScenarioGenerator) -> ScenarioGenerator:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioGenerator:
+    """Look up a registered generator by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def generate_points(spec: CampaignSpec) -> List[ScenarioPoint]:
+    """Expand a spec into scenario points via its registered generator."""
+    return get_scenario(spec.scenario)(spec)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+PlatformSpec = Union[str, Mapping[str, Any], Platform]
+
+
+def resolve_platform_dict(value: PlatformSpec) -> Dict[str, Any]:
+    """Coerce a platform reference (catalog name / dict / object) to a dict."""
+    if isinstance(value, Platform):
+        return platform_to_dict(value)
+    if isinstance(value, str):
+        return platform_to_dict(get_platform(value))
+    return platform_to_dict(platform_from_dict(value))  # validate fields
+
+
+def _kind_values(params: Mapping[str, Any], default: Sequence) -> List[str]:
+    kinds = params.get("kinds")
+    if kinds is None:
+        return [k.value for k in default]
+    return [k if isinstance(k, str) else k.value for k in kinds]
+
+
+def _simulate_point(
+    spec: CampaignSpec,
+    kind: str,
+    platform: Dict[str, Any],
+    labels: Dict[str, Any],
+) -> ScenarioPoint:
+    return ScenarioPoint(
+        mode="simulate",
+        kind=kind,
+        platform=platform,
+        n_patterns=spec.n_patterns,
+        n_runs=spec.n_runs,
+        seed=spec.seed,
+        labels=labels,
+    )
+
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+
+@register_scenario("platform_catalog")
+def platform_catalog(spec: CampaignSpec) -> List[ScenarioPoint]:
+    """The Figure-6 shape: every family on every catalog platform.
+
+    Params: ``platforms`` (catalog names or platform dicts; default the
+    four Table-2 platforms), ``kinds`` (default all six families).
+    """
+    platforms = spec.params.get("platforms")
+    if platforms is None:
+        platforms = list(PLATFORMS)
+    kinds = _kind_values(spec.params, PATTERN_ORDER)
+    points: List[ScenarioPoint] = []
+    for plat in platforms:
+        pdict = resolve_platform_dict(plat)
+        for kind in kinds:
+            points.append(
+                _simulate_point(
+                    spec,
+                    kind,
+                    pdict,
+                    {"platform": pdict["name"], "pattern": kind},
+                )
+            )
+    return points
+
+
+@register_scenario("family_comparison")
+def family_comparison(spec: CampaignSpec) -> List[ScenarioPoint]:
+    """All requested families on one platform.
+
+    Params: ``platform`` (default ``"hera"``), ``kinds`` (default all six).
+    """
+    pdict = resolve_platform_dict(spec.params.get("platform", "hera"))
+    kinds = _kind_values(spec.params, PATTERN_ORDER)
+    return [
+        _simulate_point(
+            spec, kind, pdict, {"platform": pdict["name"], "pattern": kind}
+        )
+        for kind in kinds
+    ]
+
+
+@register_scenario("error_rate_sweep")
+def error_rate_sweep(spec: CampaignSpec) -> List[ScenarioPoint]:
+    """The Figure-9 shape: scale error rates on a weak-scaled platform.
+
+    Params: ``vary`` (``"f"``, ``"s"`` or ``"grid"``; default ``"f"``),
+    ``factors`` (default ``(0.2, 0.6, 1.0, 1.4, 2.0)``), ``nodes``
+    (default 100,000), ``C_D``/``C_M`` (Hera defaults), ``kinds``
+    (default ``("PDMV", "PD")``), or an explicit ``platform`` overriding
+    the weak-scaled base.
+    """
+    from repro.core.builders import PatternKind
+    from repro.experiments.fig9 import DEFAULT_FACTORS, FIG9_NODES
+
+    vary = spec.params.get("vary", "f")
+    if vary not in ("f", "s", "grid"):
+        raise ValueError(f"vary must be 'f', 's' or 'grid', got {vary!r}")
+    factors = tuple(spec.params.get("factors", DEFAULT_FACTORS))
+    kinds = _kind_values(
+        spec.params, (PatternKind.PDMV, PatternKind.PD)
+    )
+    if "platform" in spec.params:
+        base = platform_from_dict(
+            resolve_platform_dict(spec.params["platform"])
+        )
+    else:
+        base = weak_scaling_platform(
+            int(spec.params.get("nodes", FIG9_NODES)),
+            C_D=float(spec.params.get("C_D", 300.0)),
+            C_M=float(spec.params.get("C_M", 15.4)),
+        )
+    points: List[ScenarioPoint] = []
+    if vary == "grid":
+        for ff in factors:
+            for fs in factors:
+                plat = base.scaled_rates(factor_f=ff, factor_s=fs)
+                for kind in kinds:
+                    points.append(
+                        _simulate_point(
+                            spec,
+                            kind,
+                            platform_to_dict(plat),
+                            {
+                                "factor_f": ff,
+                                "factor_s": fs,
+                                "pattern": kind,
+                            },
+                        )
+                    )
+        return points
+    for factor in factors:
+        plat = (
+            base.scaled_rates(factor_f=factor)
+            if vary == "f"
+            else base.scaled_rates(factor_s=factor)
+        )
+        for kind in kinds:
+            points.append(
+                _simulate_point(
+                    spec,
+                    kind,
+                    platform_to_dict(plat),
+                    {
+                        "vary": f"lambda_{vary}",
+                        "factor": factor,
+                        "pattern": kind,
+                    },
+                )
+            )
+    return points
+
+
+@register_scenario("weak_scaling")
+def weak_scaling(spec: CampaignSpec) -> List[ScenarioPoint]:
+    """The Figure-7/8 shape: sweep the node count at fixed per-node MTBF.
+
+    Params: ``node_counts`` (default ``2^8 .. 2^16`` every other power),
+    ``C_D`` (default 300; Figure 8 uses 90), ``C_M`` (default 15.4),
+    ``kinds`` (default ``("PD", "PDMV")``).
+    """
+    from repro.core.builders import PatternKind
+    from repro.experiments.fig7 import DEFAULT_NODE_COUNTS
+
+    counts = tuple(spec.params.get("node_counts", DEFAULT_NODE_COUNTS))
+    C_D = float(spec.params.get("C_D", 300.0))
+    C_M = float(spec.params.get("C_M", 15.4))
+    kinds = _kind_values(spec.params, (PatternKind.PD, PatternKind.PDMV))
+    points: List[ScenarioPoint] = []
+    for nodes in counts:
+        plat = weak_scaling_platform(int(nodes), C_D=C_D, C_M=C_M)
+        for kind in kinds:
+            points.append(
+                _simulate_point(
+                    spec,
+                    kind,
+                    platform_to_dict(plat),
+                    {"nodes": int(nodes), "pattern": kind},
+                )
+            )
+    return points
+
+
+@register_scenario("recall_sweep")
+def recall_sweep(spec: CampaignSpec) -> List[ScenarioPoint]:
+    """Model-level sensitivity to the partial-verification recall.
+
+    Params: ``platform`` (default ``"hera"``), ``recalls`` (default the
+    sensitivity module's grid), ``kind`` (default ``"PDMV"``).  Emits one
+    ``optimize`` point per recall plus the ``PDM`` and ``PDMV*`` anchors.
+    """
+    from repro.experiments.sensitivity import DEFAULT_RECALLS
+
+    pdict = resolve_platform_dict(spec.params.get("platform", "hera"))
+    base = platform_from_dict(pdict)
+    recalls = tuple(spec.params.get("recalls", DEFAULT_RECALLS))
+    kind = spec.params.get("kind", "PDMV")
+    points = [
+        ScenarioPoint(
+            mode="optimize",
+            kind="PDM",
+            platform=pdict,
+            labels={"role": "anchor_pdm"},
+        ),
+        ScenarioPoint(
+            mode="optimize",
+            kind="PDMV*",
+            platform=pdict,
+            labels={"role": "anchor_star"},
+        ),
+    ]
+    for r in recalls:
+        view = base.with_costs(r=r)
+        points.append(
+            ScenarioPoint(
+                mode="optimize",
+                kind=kind,
+                platform=platform_to_dict(view),
+                labels={"role": "sweep", "recall": r},
+            )
+        )
+    return points
+
+
+@register_scenario("verification_cost_sweep")
+def verification_cost_sweep(spec: CampaignSpec) -> List[ScenarioPoint]:
+    """Model-level sensitivity to the partial-verification cost.
+
+    Params: ``platform`` (default ``"hera"``), ``cost_fractions``
+    (fractions of ``V*``; default the sensitivity module's grid),
+    ``kind`` (default ``"PDMV"``).
+    """
+    from repro.experiments.sensitivity import DEFAULT_COST_FRACTIONS
+
+    pdict = resolve_platform_dict(spec.params.get("platform", "hera"))
+    base = platform_from_dict(pdict)
+    fractions = tuple(
+        spec.params.get("cost_fractions", DEFAULT_COST_FRACTIONS)
+    )
+    kind = spec.params.get("kind", "PDMV")
+    points = [
+        ScenarioPoint(
+            mode="optimize",
+            kind="PDMV*",
+            platform=pdict,
+            labels={"role": "anchor_star"},
+        )
+    ]
+    for frac in fractions:
+        if frac <= 0:
+            raise ValueError(f"cost fraction must be positive, got {frac}")
+        view = base.with_costs(V=frac * base.V_star)
+        points.append(
+            ScenarioPoint(
+                mode="optimize",
+                kind=kind,
+                platform=platform_to_dict(view),
+                labels={"role": "sweep", "V_over_Vstar": frac},
+            )
+        )
+    return points

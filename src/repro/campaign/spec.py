@@ -1,0 +1,233 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a named set of scenario points produced by a registered
+scenario generator from JSON-friendly parameters.  Each
+:class:`ScenarioPoint` fully describes one unit of work -- either a
+Monte-Carlo simulation of one optimised pattern family on one platform
+(``mode="simulate"``, the paper's experimental unit) or a model-only
+optimisation (``mode="optimize"``, used by the sensitivity sweeps).
+
+Everything here round-trips through plain dicts/JSON so campaigns can be
+stored in files, journaled, hashed for the result cache, and shipped to
+worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.builders import PatternKind
+from repro.platforms.platform import Platform, ResilienceCosts
+
+#: Modes a scenario point can run in.
+POINT_MODES = ("simulate", "optimize")
+
+_COST_FIELDS = ("C_D", "C_M", "R_D", "R_M", "V_star", "V", "r")
+
+
+def platform_to_dict(platform: Platform) -> Dict[str, Any]:
+    """Serialise a :class:`Platform` to a JSON-friendly dict."""
+    return {
+        "name": platform.name,
+        "nodes": int(platform.nodes),
+        "lambda_f": float(platform.lambda_f),
+        "lambda_s": float(platform.lambda_s),
+        "costs": {f: float(getattr(platform.costs, f)) for f in _COST_FIELDS},
+    }
+
+
+def platform_from_dict(data: Mapping[str, Any]) -> Platform:
+    """Rebuild a :class:`Platform` from :func:`platform_to_dict` output."""
+    costs = data["costs"]
+    return Platform(
+        name=str(data["name"]),
+        nodes=int(data["nodes"]),
+        lambda_f=float(data["lambda_f"]),
+        lambda_s=float(data["lambda_s"]),
+        costs=ResilienceCosts(**{f: float(costs[f]) for f in _COST_FIELDS}),
+    )
+
+
+def pattern_kind(value: str) -> PatternKind:
+    """Look up a :class:`PatternKind` by its Table-1 name (e.g. ``"PDMV"``)."""
+    for kind in PatternKind:
+        if kind.value == value:
+            return kind
+    raise ValueError(
+        f"unknown pattern family {value!r}; "
+        f"available: {', '.join(k.value for k in PatternKind)}"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One unit of campaign work, fully described by JSON-able values.
+
+    Attributes
+    ----------
+    mode:
+        ``"simulate"`` (optimise + Monte-Carlo) or ``"optimize"``
+        (model-only Table-1 optimisation).
+    kind:
+        Pattern family name (a :class:`PatternKind` value).
+    platform:
+        Platform description as produced by :func:`platform_to_dict`.
+    n_patterns, n_runs, seed:
+        Monte-Carlo configuration; ignored in ``optimize`` mode.
+    fail_stop_in_operations:
+        Whether the simulator draws fail-stop errors during resilience
+        operations (the engine default).
+    labels:
+        Free-form row labels carried verbatim into the result record
+        (e.g. ``{"factor_f": 0.6}`` for a sweep point).
+    """
+
+    mode: str
+    kind: str
+    platform: Mapping[str, Any]
+    n_patterns: int = 0
+    n_runs: int = 0
+    seed: Optional[int] = None
+    fail_stop_in_operations: bool = True
+    labels: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in POINT_MODES:
+            raise ValueError(
+                f"mode must be one of {POINT_MODES}, got {self.mode!r}"
+            )
+        pattern_kind(self.kind)  # validate the family name early
+        if self.seed is not None:
+            # Seeds participate in the JSON cache key, so only plain
+            # integers are accepted (NumPy ints are normalised).
+            try:
+                object.__setattr__(self, "seed", int(self.seed))
+            except (TypeError, ValueError):
+                raise TypeError(
+                    "campaign point seeds must be plain integers "
+                    "(they participate in the JSON cache key), got "
+                    f"{type(self.seed).__name__}"
+                ) from None
+        if self.mode == "simulate":
+            if self.n_patterns <= 0 or self.n_runs <= 0:
+                raise ValueError(
+                    "simulate points need positive n_patterns and n_runs, "
+                    f"got n_patterns={self.n_patterns}, n_runs={self.n_runs}"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dict; the canonical form used for hashing."""
+        return {
+            "mode": self.mode,
+            "kind": self.kind,
+            "platform": dict(self.platform),
+            "n_patterns": int(self.n_patterns),
+            "n_runs": int(self.n_runs),
+            "seed": self.seed,
+            "fail_stop_in_operations": bool(self.fail_stop_in_operations),
+            "labels": dict(self.labels),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioPoint":
+        """Rebuild a point from :meth:`to_dict` output."""
+        return cls(
+            mode=data["mode"],
+            kind=data["kind"],
+            platform=dict(data["platform"]),
+            n_patterns=int(data.get("n_patterns", 0)),
+            n_runs=int(data.get("n_runs", 0)),
+            seed=data.get("seed"),
+            fail_stop_in_operations=bool(
+                data.get("fail_stop_in_operations", True)
+            ),
+            labels=dict(data.get("labels", {})),
+        )
+
+    def build_platform(self) -> Platform:
+        """Materialise the platform object for this point."""
+        return platform_from_dict(self.platform)
+
+    def build_kind(self) -> PatternKind:
+        """Materialise the pattern family for this point."""
+        return pattern_kind(self.kind)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative campaign: a scenario generator plus its parameters.
+
+    Attributes
+    ----------
+    name:
+        Campaign name (used in reports and default file names).
+    scenario:
+        Name of a generator registered in
+        :mod:`repro.campaign.registry`.
+    params:
+        Generator parameters (JSON-friendly).
+    n_patterns, n_runs, seed:
+        Default Monte-Carlo sizes applied to every ``simulate`` point the
+        generator emits (generators may override per point).
+    """
+
+    name: str
+    scenario: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    n_patterns: int = 100
+    n_runs: int = 50
+    seed: int = 20160523
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dict representation."""
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "n_patterns": int(self.n_patterns),
+            "n_runs": int(self.n_runs),
+            "seed": int(self.seed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        known = {"name", "scenario", "params", "n_patterns", "n_runs", "seed"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown campaign spec fields: {sorted(unknown)}"
+            )
+        for required in ("name", "scenario"):
+            if required not in data:
+                raise ValueError(
+                    f"campaign spec missing required field {required!r}"
+                )
+        return cls(
+            name=str(data["name"]),
+            scenario=str(data["scenario"]),
+            params=dict(data.get("params", {})),
+            n_patterns=int(data.get("n_patterns", 100)),
+            n_runs=int(data.get("n_runs", 50)),
+            seed=int(data.get("seed", 20160523)),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "CampaignSpec":
+        """Load a spec from a JSON file."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def to_json_file(self, path: str) -> None:
+        """Write the spec to a JSON file."""
+        from repro.experiments.io import write_json
+
+        write_json(self.to_dict(), path)
+
+    def points(self) -> List[ScenarioPoint]:
+        """Expand the spec into its scenario points via the registry."""
+        from repro.campaign.registry import generate_points
+
+        return generate_points(self)

@@ -9,6 +9,11 @@ Usage::
     repro-patterns fig8 --runs 20
     repro-patterns fig9 --sweep f
     repro-patterns fig9 --grid
+    repro-patterns campaign run --scenario platform_catalog \
+        --cache-dir .repro-cache --journal fig6.jsonl --workers 8
+    repro-patterns campaign resume --scenario platform_catalog \
+        --journal fig6.jsonl
+    repro-patterns campaign cache --cache-dir .repro-cache
 
 Every command accepts ``--csv PATH`` / ``--json PATH`` to persist the rows
 and ``--full`` to use the paper-scale Monte-Carlo sizes (1000 patterns x
@@ -187,6 +192,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
 
+    p = sub.add_parser(
+        "campaign",
+        help="declarative scenario campaigns (cached, chunked, resumable)",
+    )
+    p.add_argument(
+        "action",
+        choices=["run", "resume", "cache"],
+        help="run/resume a campaign, or inspect a result cache",
+    )
+    p.add_argument("--spec", help="JSON campaign spec file")
+    p.add_argument(
+        "--scenario",
+        help="registered scenario name (alternative to --spec)",
+    )
+    p.add_argument(
+        "--set",
+        dest="params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario parameter (VALUE parsed as JSON, else string); "
+        "repeatable",
+    )
+    p.add_argument("--name", help="campaign name (default: scenario name)")
+    p.add_argument("--cache-dir", help="content-addressed result cache")
+    p.add_argument(
+        "--journal", help="JSONL journal (enables streaming + resume)"
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process count (default: all cores)",
+    )
+    p.add_argument(
+        "--chunksize", type=int, default=None,
+        help="scenario points per submitted task (default: heuristic)",
+    )
+    p.add_argument(
+        "--clear", action="store_true",
+        help="with 'cache': delete every entry",
+    )
+    _add_common(p)
+
     p = sub.add_parser("fig9", help="error-rate sweeps at 100k nodes")
     p.add_argument(
         "--sweep",
@@ -208,9 +255,107 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_param_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``--set KEY=VALUE`` flags; VALUE is JSON when valid."""
+    import json
+
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(
+                f"invalid --set {pair!r}: expected KEY=VALUE"
+            )
+        key, raw = pair.split("=", 1)
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """The ``campaign`` subcommand: run / resume / cache."""
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.registry import scenario_names
+    from repro.campaign.report import (
+        render_cache_stats,
+        render_campaign,
+        rows_from_records,
+    )
+    from repro.campaign.spec import CampaignSpec
+
+    if args.action == "cache":
+        if not args.cache_dir:
+            raise SystemExit("campaign cache requires --cache-dir")
+        cache = ResultCache(args.cache_dir)
+        if args.clear:
+            removed = cache.clear()
+            print(f"cleared {removed} cache entries", file=sys.stderr)
+        print(render_cache_stats(cache))
+        return 0
+
+    from dataclasses import replace
+
+    overrides = _parse_param_overrides(args.params)
+    if args.spec:
+        try:
+            spec = CampaignSpec.from_json_file(args.spec)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"cannot load campaign spec {args.spec!r}: {exc}"
+            )
+        if overrides:
+            spec = replace(spec, params={**spec.params, **overrides})
+    elif args.scenario:
+        spec = CampaignSpec(
+            name=args.name or args.scenario,
+            scenario=args.scenario,
+            params=overrides,
+        )
+    else:
+        raise SystemExit("campaign run/resume requires --spec or --scenario")
+    if spec.scenario not in scenario_names():
+        raise SystemExit(
+            f"unknown scenario {spec.scenario!r}; "
+            f"available: {', '.join(scenario_names())}"
+        )
+
+    n_pat, n_runs = _mc_sizes(args, spec.n_patterns, spec.n_runs)
+    spec = replace(spec, n_patterns=n_pat, n_runs=n_runs)
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
+
+    if args.action == "resume":
+        if not args.journal:
+            raise SystemExit("campaign resume requires --journal")
+        import os
+
+        if not os.path.exists(args.journal):
+            raise SystemExit(
+                f"cannot resume: journal {args.journal!r} does not exist"
+            )
+
+    result = run_campaign(
+        spec,
+        cache=args.cache_dir,
+        journal_path=args.journal,
+        n_workers=args.workers,
+        chunksize=args.chunksize,
+    )
+    # Normalise over the union of record keys: heterogeneous scenarios
+    # (e.g. sweeps with anchor points) must not lose columns in the
+    # table/CSV just because the first record lacks them.
+    _emit(rows_from_records(result.records), render_campaign(result), args)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "campaign":
+        return _cmd_campaign(args)
 
     if args.command == "table1":
         platform = get_platform(args.platform)

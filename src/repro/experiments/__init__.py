@@ -7,7 +7,7 @@ the CLI.  Default Monte-Carlo sizes are laptop-friendly; pass
 """
 
 from repro.experiments.report import format_table, fmt
-from repro.experiments.io import write_csv, write_json
+from repro.experiments.io import read_jsonl, write_csv, write_json, write_jsonl
 from repro.experiments.table1 import run_table1, render_table1
 from repro.experiments.table2 import run_table2, render_table2
 from repro.experiments.fig6 import run_fig6, render_fig6
@@ -29,6 +29,8 @@ __all__ = [
     "fmt",
     "write_csv",
     "write_json",
+    "write_jsonl",
+    "read_jsonl",
     "run_table1",
     "render_table1",
     "run_table2",

@@ -8,28 +8,77 @@ Five panels, all produced from one Monte-Carlo campaign per
 * 6c -- checkpoints + verifications per hour;
 * 6d -- disk/memory checkpoints per hour (zoom of 6c);
 * 6e -- disk/memory recoveries per day.
+
+The figure is expressed on the :mod:`repro.campaign` engine (the
+``platform_catalog`` scenario): pass ``cache``/``journal_path`` to make
+repeated or interrupted regenerations incremental, ``n_workers > 1`` for
+chunked process-parallel execution.  Numbers are identical to the legacy
+per-cell loop for the same seed.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Union
 
-from repro.core.builders import PATTERN_ORDER, PatternKind
-from repro.core.formulas import optimal_pattern
-from repro.errors.rng import SeedLike
+from repro.core.builders import PatternKind
 from repro.experiments.report import format_table
-from repro.platforms.catalog import PLATFORMS
 from repro.platforms.platform import Platform
-from repro.simulation.runner import simulate_optimal_pattern
+
+#: The legacy row schema, in presentation order.
+FIG6_COLUMNS = (
+    "platform",
+    "pattern",
+    "predicted",
+    "simulated",
+    "W*_hours",
+    "n*",
+    "m*",
+    "disk_ckpts_per_hour",
+    "mem_ckpts_per_hour",
+    "verifs_per_hour",
+    "disk_recoveries_per_day",
+    "mem_recoveries_per_day",
+)
 
 
-def run_fig6(
-    platforms: Optional[Iterable[Platform]] = None,
+def fig6_spec(
+    platforms: Optional[Iterable[Union[Platform, str]]] = None,
     *,
     kinds: Optional[Iterable[PatternKind]] = None,
     n_patterns: int = 100,
     n_runs: int = 50,
-    seed: SeedLike = 20160523,
+    seed: int = 20160523,
+):
+    """The Figure-6 campaign spec (``platform_catalog`` scenario)."""
+    from repro.campaign.spec import CampaignSpec
+
+    params: Dict[str, Any] = {}
+    if platforms is not None:
+        params["platforms"] = list(platforms)
+    if kinds is not None:
+        params["kinds"] = [
+            k.value if isinstance(k, PatternKind) else k for k in kinds
+        ]
+    return CampaignSpec(
+        name="fig6",
+        scenario="platform_catalog",
+        params=params,
+        n_patterns=n_patterns,
+        n_runs=n_runs,
+        seed=seed,
+    )
+
+
+def run_fig6(
+    platforms: Optional[Iterable[Union[Platform, str]]] = None,
+    *,
+    kinds: Optional[Iterable[PatternKind]] = None,
+    n_patterns: int = 100,
+    n_runs: int = 50,
+    seed: int = 20160523,
+    cache=None,
+    journal_path: Optional[str] = None,
+    n_workers: int = 1,
 ) -> List[Dict[str, Any]]:
     """Run the Figure-6 campaign; one row per (platform, pattern).
 
@@ -37,41 +86,21 @@ def run_fig6(
     ``W*_hours`` (6b), ``verifs_per_hour``/``*_ckpts_per_hour`` (6c, 6d)
     and ``*_recoveries_per_day`` (6e).
     """
-    plats = (
-        list(platforms)
-        if platforms is not None
-        else [factory() for factory in PLATFORMS.values()]
+    from repro.campaign.executor import run_campaign
+
+    result = run_campaign(
+        fig6_spec(
+            platforms,
+            kinds=kinds,
+            n_patterns=n_patterns,
+            n_runs=n_runs,
+            seed=seed,
+        ),
+        cache=cache,
+        journal_path=journal_path,
+        n_workers=n_workers,
     )
-    selected = tuple(kinds) if kinds is not None else PATTERN_ORDER
-    rows: List[Dict[str, Any]] = []
-    for plat in plats:
-        for kind in selected:
-            opt = optimal_pattern(kind, plat)
-            res = simulate_optimal_pattern(
-                kind,
-                plat,
-                n_patterns=n_patterns,
-                n_runs=n_runs,
-                seed=seed,
-            )
-            agg = res.aggregated
-            rows.append(
-                {
-                    "platform": plat.name,
-                    "pattern": kind.value,
-                    "predicted": opt.H_star,
-                    "simulated": agg.mean_overhead,
-                    "W*_hours": opt.W_star / 3600.0,
-                    "n*": opt.n,
-                    "m*": opt.m,
-                    "disk_ckpts_per_hour": agg.rates_per_hour["disk_checkpoints"],
-                    "mem_ckpts_per_hour": agg.rates_per_hour["memory_checkpoints"],
-                    "verifs_per_hour": agg.rates_per_hour["verifications"],
-                    "disk_recoveries_per_day": agg.rates_per_day["disk_recoveries"],
-                    "mem_recoveries_per_day": agg.rates_per_day["memory_recoveries"],
-                }
-            )
-    return rows
+    return [{c: rec[c] for c in FIG6_COLUMNS} for rec in result.records]
 
 
 def render_fig6(rows: List[Dict[str, Any]]) -> str:

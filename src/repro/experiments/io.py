@@ -1,11 +1,11 @@
-"""Result writers: CSV and JSON."""
+"""Result writers: CSV, JSON and append-friendly JSONL."""
 
 from __future__ import annotations
 
 import csv
 import json
 import os
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 
 def write_csv(
@@ -14,9 +14,16 @@ def write_csv(
     *,
     columns: Optional[Sequence[str]] = None,
 ) -> None:
-    """Write rows of dicts to a CSV file (creating parent directories)."""
-    if not rows:
-        raise ValueError("refusing to write an empty CSV")
+    """Write rows of dicts to a CSV file (creating parent directories).
+
+    An empty ``rows`` is allowed when explicit ``columns`` are given: the
+    file then contains just the header (useful for campaigns that may
+    legitimately produce zero rows for a slice).
+    """
+    if not rows and columns is None:
+        raise ValueError(
+            "refusing to write an empty CSV without explicit columns"
+        )
     cols = list(columns) if columns is not None else list(rows[0].keys())
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
@@ -34,6 +41,51 @@ def write_json(data: Any, path: str, *, indent: int = 2) -> None:
     with open(path, "w") as fh:
         json.dump(data, fh, indent=indent, sort_keys=False, default=_coerce)
         fh.write("\n")
+
+
+def write_jsonl(
+    records: Iterable[Dict[str, Any]],
+    path: str,
+    *,
+    append: bool = True,
+) -> int:
+    """Write records one-JSON-object-per-line (creating parent dirs).
+
+    Append mode is the default: JSONL is the campaign journal format, and
+    journals grow incrementally across resumed runs.  Every record is
+    flushed as it is written so a killed process loses at most the line
+    being written.  Returns the number of records written.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    count = 0
+    with open(path, "a" if append else "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=False, default=_coerce))
+            fh.write("\n")
+            fh.flush()
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL file, skipping blank and corrupt lines.
+
+    A truncated final line (the signature of a killed writer) is silently
+    dropped rather than aborting the read -- resuming a campaign from a
+    journal must tolerate exactly that failure mode.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
 
 
 def _coerce(obj: Any) -> Any:

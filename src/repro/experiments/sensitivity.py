@@ -15,10 +15,9 @@ quantify both knobs at the model level:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.builders import PatternKind
-from repro.core.formulas import optimal_pattern
 from repro.experiments.report import format_table
 from repro.platforms.platform import Platform
 
@@ -29,35 +28,68 @@ DEFAULT_RECALLS = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0)
 DEFAULT_COST_FRACTIONS = (0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
 
 
+def _sweep_campaign(
+    scenario: str,
+    platform: Platform,
+    params: Dict[str, Any],
+    *,
+    cache=None,
+    journal_path: Optional[str] = None,
+):
+    """Run one model-level sweep through the campaign engine."""
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.spec import CampaignSpec, platform_to_dict
+
+    spec = CampaignSpec(
+        name=scenario,
+        scenario=scenario,
+        params={"platform": platform_to_dict(platform), **params},
+    )
+    return run_campaign(
+        spec, cache=cache, journal_path=journal_path, n_workers=1
+    )
+
+
 def recall_sweep(
     platform: Platform,
     recalls: Sequence[float] = DEFAULT_RECALLS,
     *,
     kind: PatternKind = PatternKind.PDMV,
+    cache=None,
+    journal_path: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Sweep the partial-verification recall at fixed cost.
 
     Returns one row per recall with the optimised shape and overhead,
     plus the corresponding memory-checkpoint-only (``PDM``) and
-    guaranteed-verification (``PDMV*``) anchors for context.
+    guaranteed-verification (``PDMV*``) anchors for context.  Runs as a
+    ``recall_sweep`` campaign (``optimize``-mode points), so results are
+    shareable through the campaign cache.
     """
-    anchor_pdm = optimal_pattern(PatternKind.PDM, platform).H_star
-    anchor_star = optimal_pattern(PatternKind.PDMV_STAR, platform).H_star
-    rows: List[Dict[str, Any]] = []
-    for r in recalls:
-        view = platform.with_costs(r=r)
-        opt = optimal_pattern(kind, view)
-        rows.append(
-            {
-                "recall": r,
-                "m*": opt.m,
-                "n*": opt.n,
-                "H*": opt.H_star,
-                "H*_PDM": anchor_pdm,
-                "H*_PDMV_star": anchor_star,
-            }
-        )
-    return rows
+    result = _sweep_campaign(
+        "recall_sweep",
+        platform,
+        {"recalls": list(recalls), "kind": kind.value},
+        cache=cache,
+        journal_path=journal_path,
+    )
+    anchors = {
+        rec["role"]: rec["H*"]
+        for rec in result.records
+        if rec.get("role", "").startswith("anchor")
+    }
+    return [
+        {
+            "recall": rec["recall"],
+            "m*": rec["m*"],
+            "n*": rec["n*"],
+            "H*": rec["H*"],
+            "H*_PDM": anchors["anchor_pdm"],
+            "H*_PDMV_star": anchors["anchor_star"],
+        }
+        for rec in result.records
+        if rec.get("role") == "sweep"
+    ]
 
 
 def verification_cost_sweep(
@@ -65,25 +97,33 @@ def verification_cost_sweep(
     cost_fractions: Sequence[float] = DEFAULT_COST_FRACTIONS,
     *,
     kind: PatternKind = PatternKind.PDMV,
+    cache=None,
+    journal_path: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Sweep the partial-verification cost as a fraction of ``V*``."""
-    anchor_star = optimal_pattern(PatternKind.PDMV_STAR, platform).H_star
-    rows: List[Dict[str, Any]] = []
-    for frac in cost_fractions:
-        if frac <= 0:
-            raise ValueError(f"cost fraction must be positive, got {frac}")
-        view = platform.with_costs(V=frac * platform.V_star)
-        opt = optimal_pattern(kind, view)
-        rows.append(
-            {
-                "V_over_Vstar": frac,
-                "m*": opt.m,
-                "n*": opt.n,
-                "H*": opt.H_star,
-                "H*_PDMV_star": anchor_star,
-            }
-        )
-    return rows
+    result = _sweep_campaign(
+        "verification_cost_sweep",
+        platform,
+        {"cost_fractions": list(cost_fractions), "kind": kind.value},
+        cache=cache,
+        journal_path=journal_path,
+    )
+    anchor_star = next(
+        rec["H*"]
+        for rec in result.records
+        if rec.get("role") == "anchor_star"
+    )
+    return [
+        {
+            "V_over_Vstar": rec["V_over_Vstar"],
+            "m*": rec["m*"],
+            "n*": rec["n*"],
+            "H*": rec["H*"],
+            "H*_PDMV_star": anchor_star,
+        }
+        for rec in result.records
+        if rec.get("role") == "sweep"
+    ]
 
 
 def render_sensitivity(rows: List[Dict[str, Any]], what: str) -> str:

@@ -42,6 +42,52 @@ def _run_one(
     return sim.run(n_patterns, rng)
 
 
+def _run_chunk(
+    pattern: Pattern,
+    platform: Platform,
+    n_patterns: int,
+    fail_stop_in_operations: bool,
+    seed_payloads: List[tuple],
+) -> List[SimulationStats]:
+    """Worker: a batch of independent runs, one simulator per chunk.
+
+    Batching many small runs per submitted task amortises the per-task
+    pickling/submission overhead of the pool; each run still gets its own
+    spawned ``SeedSequence``, so results are bit-identical to submitting
+    runs one by one.
+    """
+    sim = PatternSimulator(
+        pattern, platform, fail_stop_in_operations=fail_stop_in_operations
+    )
+    out: List[SimulationStats] = []
+    for entropy, spawn_key in seed_payloads:
+        rng = np.random.Generator(
+            np.random.PCG64(
+                np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+            )
+        )
+        out.append(sim.run(n_patterns, rng))
+    return out
+
+
+def default_chunksize(
+    n_tasks: int, n_workers: int, *, cap: Optional[int] = None
+) -> int:
+    """Work items per submitted task: ~4 tasks per worker.
+
+    This keeps the pool load-balanced while cutting submission overhead
+    for small per-item workloads.  The one heuristic is shared by the
+    Monte-Carlo runner (items = runs, uncapped) and the campaign
+    executor (items = scenario points, capped so journal streaming
+    stays responsive).
+    """
+    if n_tasks <= 0:
+        return 1
+    workers = max(1, n_workers)
+    size = max(1, -(-n_tasks // (workers * 4)))
+    return size if cap is None else min(cap, size)
+
+
 def run_monte_carlo_parallel(
     pattern: Pattern,
     platform: Platform,
@@ -52,6 +98,7 @@ def run_monte_carlo_parallel(
     fail_stop_in_operations: bool = True,
     predicted_overhead: Optional[float] = None,
     n_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
 ) -> MonteCarloResult:
     """Parallel equivalent of :func:`repro.simulation.runner.run_monte_carlo`.
 
@@ -61,6 +108,11 @@ def run_monte_carlo_parallel(
         Process count; defaults to ``os.cpu_count()`` capped at ``n_runs``.
         ``n_workers=1`` falls back to in-process execution (no pool), which
         is also the deterministic reference for tests.
+    chunksize:
+        Runs batched per submitted task (default: the
+        :func:`default_chunksize` heuristic).  Chunking amortises the
+        pool's per-task overhead when ``n_patterns`` is small; it never
+        changes the results.
 
     Notes
     -----
@@ -91,19 +143,29 @@ def run_monte_carlo_parallel(
             for sp in seed_payloads
         ]
     else:
+        size = (
+            chunksize
+            if chunksize is not None
+            else default_chunksize(n_runs, workers)
+        )
+        size = max(1, size)
+        batches = [
+            seed_payloads[i : i + size]
+            for i in range(0, len(seed_payloads), size)
+        ]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
-                    _run_one,
+                    _run_chunk,
                     pattern,
                     platform,
                     n_patterns,
                     fail_stop_in_operations,
-                    sp,
+                    batch,
                 )
-                for sp in seed_payloads
+                for batch in batches
             ]
-            runs = [f.result() for f in futures]
+            runs = [stats for f in futures for stats in f.result()]
 
     return MonteCarloResult(
         pattern=pattern,

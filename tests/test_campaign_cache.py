@@ -1,0 +1,148 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.cache import ResultCache, cache_key
+from repro.campaign.spec import ScenarioPoint, platform_to_dict
+
+
+@pytest.fixture
+def point(tiny_platform):
+    return ScenarioPoint(
+        mode="simulate",
+        kind="PDMV",
+        platform=platform_to_dict(tiny_platform),
+        n_patterns=4,
+        n_runs=3,
+        seed=11,
+        labels={"pattern": "PDMV"},
+    )
+
+
+class TestCacheKey:
+    def test_deterministic(self, point):
+        assert cache_key(point) == cache_key(point)
+
+    def test_labels_do_not_affect_key(self, point, tiny_platform):
+        relabeled = ScenarioPoint(
+            mode="simulate",
+            kind="PDMV",
+            platform=platform_to_dict(tiny_platform),
+            n_patterns=4,
+            n_runs=3,
+            seed=11,
+            labels={"campaign": "other", "factor": 2.0},
+        )
+        assert cache_key(relabeled) == cache_key(point)
+
+    def test_platform_dict_order_irrelevant(self, point):
+        shuffled = dict(reversed(list(point.platform.items())))
+        shuffled["costs"] = dict(
+            reversed(list(point.platform["costs"].items()))
+        )
+        other = ScenarioPoint(
+            mode="simulate",
+            kind="PDMV",
+            platform=shuffled,
+            n_patterns=4,
+            n_runs=3,
+            seed=11,
+        )
+        assert cache_key(other) == cache_key(point)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 12},
+            {"n_runs": 4},
+            {"n_patterns": 5},
+            {"kind": "PD"},
+            {"fail_stop_in_operations": False},
+        ],
+    )
+    def test_mc_config_changes_key(self, point, change):
+        data = point.to_dict()
+        data.update(change)
+        assert cache_key(ScenarioPoint.from_dict(data)) != cache_key(point)
+
+    def test_platform_cost_changes_key(self, point, tiny_platform):
+        other = ScenarioPoint(
+            mode="simulate",
+            kind="PDMV",
+            platform=platform_to_dict(tiny_platform.with_costs(C_D=999.0)),
+            n_patterns=4,
+            n_runs=3,
+            seed=11,
+        )
+        assert cache_key(other) != cache_key(point)
+
+    def test_optimize_ignores_mc_config(self, tiny_platform):
+        pdict = platform_to_dict(tiny_platform)
+        a = ScenarioPoint(mode="optimize", kind="PD", platform=pdict)
+        b = ScenarioPoint(
+            mode="optimize", kind="PD", platform=pdict,
+            n_patterns=50, n_runs=50, seed=3,
+        )
+        assert cache_key(a) == cache_key(b)
+
+    def test_mode_changes_key(self, point):
+        data = point.to_dict()
+        data["mode"] = "optimize"
+        assert cache_key(ScenarioPoint.from_dict(data)) != cache_key(point)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path, point):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = cache.key(point)
+        assert cache.get(key) is None
+        assert key not in cache
+        cache.put(key, {"H*": 0.25})
+        assert key in cache
+        assert cache.get(key) == {"H*": 0.25}
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.entries == 1 and stats.total_bytes > 0
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, point):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = cache.key(point)
+        cache.put(key, {"x": 1})
+        path = cache._path(key)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path, point):
+        cache = ResultCache(str(tmp_path / "c"))
+        for seed in range(3):
+            data = point.to_dict()
+            data["seed"] = seed
+            cache.put(cache_key(ScenarioPoint.from_dict(data)), {"s": seed})
+        assert cache.stats().entries == 3
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_sharded_layout(self, tmp_path, point):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = cache.key(point)
+        cache.put(key, {})
+        assert os.path.exists(
+            os.path.join(cache.root, key[:2], f"{key}.json")
+        )
+
+    def test_put_is_atomic_no_tmp_left(self, tmp_path, point):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = cache.key(point)
+        cache.put(key, {"v": 1})
+        shard = os.path.join(cache.root, key[:2])
+        assert [n for n in os.listdir(shard) if n.endswith(".tmp")] == []
+
+    def test_shared_across_instances(self, tmp_path, point):
+        root = str(tmp_path / "c")
+        ResultCache(root).put(cache_key(point), {"v": 2})
+        assert ResultCache(root).get(cache_key(point)) == {"v": 2}

@@ -1,0 +1,295 @@
+"""Figure 6 / sensitivity through the campaign engine, and the CLI.
+
+The acceptance bar: fig6 reproduced through the campaign engine matches
+the legacy per-cell loop's numbers *exactly* for the same seed, caching
+makes re-runs free, and the ``campaign`` CLI covers run/resume/cache.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.cli import main
+from repro.core.builders import PATTERN_ORDER, PatternKind
+from repro.core.formulas import optimal_pattern
+from repro.experiments.fig6 import FIG6_COLUMNS, run_fig6
+from repro.experiments.sensitivity import recall_sweep
+from repro.platforms.catalog import hera
+from repro.simulation.runner import simulate_optimal_pattern
+
+MC = dict(n_patterns=5, n_runs=4, seed=20160523)
+
+
+def _legacy_fig6(platforms, kinds, *, n_patterns, n_runs, seed):
+    """The pre-campaign fig6 loop, verbatim."""
+    rows = []
+    for plat in platforms:
+        for kind in kinds:
+            opt = optimal_pattern(kind, plat)
+            res = simulate_optimal_pattern(
+                kind, plat, n_patterns=n_patterns, n_runs=n_runs, seed=seed
+            )
+            agg = res.aggregated
+            rows.append(
+                {
+                    "platform": plat.name,
+                    "pattern": kind.value,
+                    "predicted": opt.H_star,
+                    "simulated": agg.mean_overhead,
+                    "W*_hours": opt.W_star / 3600.0,
+                    "n*": opt.n,
+                    "m*": opt.m,
+                    "disk_ckpts_per_hour": agg.rates_per_hour[
+                        "disk_checkpoints"
+                    ],
+                    "mem_ckpts_per_hour": agg.rates_per_hour[
+                        "memory_checkpoints"
+                    ],
+                    "verifs_per_hour": agg.rates_per_hour["verifications"],
+                    "disk_recoveries_per_day": agg.rates_per_day[
+                        "disk_recoveries"
+                    ],
+                    "mem_recoveries_per_day": agg.rates_per_day[
+                        "memory_recoveries"
+                    ],
+                }
+            )
+    return rows
+
+
+class TestFig6ThroughCampaign:
+    def test_matches_legacy_exactly(self):
+        new = run_fig6(platforms=[hera()], **MC)
+        legacy = _legacy_fig6(
+            [hera()], PATTERN_ORDER, **MC
+        )
+        assert new == legacy  # bit-exact, every column
+
+    def test_matches_legacy_through_journal(self, tmp_path):
+        """JSON journaling must not change a single value."""
+        journal = str(tmp_path / "fig6.jsonl")
+        kinds = [PatternKind.PD, PatternKind.PDMV]
+        first = run_fig6(
+            platforms=[hera()], kinds=kinds, journal_path=journal, **MC
+        )
+        resumed = run_fig6(
+            platforms=[hera()], kinds=kinds, journal_path=journal, **MC
+        )
+        legacy = _legacy_fig6([hera()], kinds, **MC)
+        assert first == legacy
+        assert resumed == legacy
+
+    def test_cached_rerun_computes_nothing(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        kinds = [PatternKind.PD, PatternKind.PDM]
+        cold = run_fig6(platforms=[hera()], kinds=kinds, cache=cache, **MC)
+        assert cache.stats().entries == 2
+        warm = run_fig6(platforms=[hera()], kinds=kinds, cache=cache, **MC)
+        assert warm == cold
+        assert cache.stats().hits >= 2
+
+    def test_row_schema_unchanged(self):
+        rows = run_fig6(
+            platforms=[hera()], kinds=[PatternKind.PD], **MC
+        )
+        assert list(rows[0].keys()) == list(FIG6_COLUMNS)
+
+
+class TestSensitivityThroughCampaign:
+    def test_recall_sweep_matches_direct_model(self, hera_platform):
+        rows = recall_sweep(hera_platform, recalls=(0.3, 0.9))
+        for row in rows:
+            opt = optimal_pattern(
+                PatternKind.PDMV, hera_platform.with_costs(r=row["recall"])
+            )
+            assert row["H*"] == opt.H_star
+            assert row["m*"] == opt.m and row["n*"] == opt.n
+        anchor = optimal_pattern(PatternKind.PDM, hera_platform).H_star
+        assert all(r["H*_PDM"] == anchor for r in rows)
+
+    def test_recall_sweep_cacheable(self, hera_platform, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        first = recall_sweep(hera_platform, recalls=(0.5,), cache=cache)
+        again = recall_sweep(hera_platform, recalls=(0.5,), cache=cache)
+        assert first == again
+        assert cache.stats().hits >= 3  # 2 anchors + 1 sweep point
+
+
+class TestCampaignCli:
+    ARGS = [
+        "campaign",
+        "run",
+        "--scenario",
+        "family_comparison",
+        "--set",
+        "platform=hera",
+        "--set",
+        'kinds=["PD","PDMV"]',
+        "--patterns",
+        "4",
+        "--runs",
+        "3",
+        "--seed",
+        "5",
+    ]
+
+    def test_run(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "2 points (2 computed" in out
+        assert "PDMV" in out
+
+    def test_run_with_cache_and_journal(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        journal = str(tmp_path / "j.jsonl")
+        extra = ["--cache-dir", cache_dir, "--journal", journal]
+        assert main(self.ARGS + extra) == 0
+        capsys.readouterr()
+        assert main(["campaign", "resume"] + self.ARGS[2:] + extra) == 0
+        out = capsys.readouterr().out
+        assert "0 computed" in out and "2 from journal" in out
+
+    def test_resume_requires_existing_journal(self, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(
+                ["campaign", "resume", "--scenario", "family_comparison",
+                 "--journal", missing]
+            )
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec = {
+            "name": "from-file",
+            "scenario": "family_comparison",
+            "params": {"platform": "hera", "kinds": ["PD"]},
+            "n_patterns": 3,
+            "n_runs": 2,
+            "seed": 9,
+        }
+        path = str(tmp_path / "spec.json")
+        with open(path, "w") as fh:
+            json.dump(spec, fh)
+        assert main(["campaign", "run", "--spec", path]) == 0
+        assert "from-file" in capsys.readouterr().out
+
+    def test_csv_output(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "out.csv")
+        assert main(self.ARGS + ["--csv", csv_path]) == 0
+        header = open(csv_path).readline()
+        assert "simulated" in header
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.ARGS + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "cache", "--cache-dir", cache_dir]) == 0
+        assert "Result cache" in capsys.readouterr().out
+        assert main(
+            ["campaign", "cache", "--cache-dir", cache_dir, "--clear"]
+        ) == 0
+        assert ResultCache(cache_dir).stats().entries == 0
+
+    def test_cache_requires_dir(self):
+        with pytest.raises(SystemExit, match="cache-dir"):
+            main(["campaign", "cache"])
+
+    def test_run_requires_scenario_or_spec(self):
+        with pytest.raises(SystemExit, match="--spec or --scenario"):
+            main(["campaign", "run"])
+
+    def test_unknown_scenario(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["campaign", "run", "--scenario", "nope"])
+
+    def test_bad_set_flag(self):
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            main(
+                ["campaign", "run", "--scenario", "family_comparison",
+                 "--set", "oops"]
+            )
+
+
+class TestReviewRegressions:
+    """Fixes found in review: heterogeneous columns, spec errors, seeds."""
+
+    def test_heterogeneous_records_keep_all_columns(self):
+        from repro.campaign.report import rows_from_records, union_columns
+
+        records = [{"role": "anchor", "H*": 1.0}, {"recall": 0.5, "H*": 2.0}]
+        assert union_columns(records) == ["role", "H*", "recall"]
+        rows = rows_from_records(records)
+        assert rows[0] == {"role": "anchor", "H*": 1.0, "recall": None}
+        assert rows[1] == {"role": None, "H*": 2.0, "recall": 0.5}
+
+    def test_cli_sweep_csv_includes_sweep_column(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "rs.csv")
+        assert main(
+            ["campaign", "run", "--scenario", "recall_sweep",
+             "--set", "recalls=[0.5]", "--csv", csv_path]
+        ) == 0
+        header = open(csv_path).readline()
+        assert "recall" in header
+
+    def test_spec_missing_required_field(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        with open(path, "w") as fh:
+            json.dump({"scenario": "family_comparison"}, fh)
+        with pytest.raises(SystemExit, match="missing required field"):
+            main(["campaign", "run", "--spec", path])
+
+    def test_spec_unknown_scenario_clean_error(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        with open(path, "w") as fh:
+            json.dump({"name": "x", "scenario": "nope"}, fh)
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["campaign", "run", "--spec", path])
+
+    def test_malformed_spec_clean_error(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            fh.write('{"name":')
+        with pytest.raises(SystemExit, match="cannot load campaign spec"):
+            main(["campaign", "run", "--spec", path])
+
+    def test_set_overrides_merge_into_spec(self, tmp_path, capsys):
+        path = str(tmp_path / "s.json")
+        with open(path, "w") as fh:
+            json.dump(
+                {"name": "m", "scenario": "family_comparison",
+                 "params": {"platform": "hera"},
+                 "n_patterns": 3, "n_runs": 2, "seed": 1},
+                fh,
+            )
+        assert main(
+            ["campaign", "run", "--spec", path, "--set", 'kinds=["PD"]']
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 points" in out  # kinds override narrowed 6 families to 1
+
+    def test_non_integer_seed_rejected_clearly(self):
+        import numpy as np
+
+        with pytest.raises(TypeError, match="plain integers"):
+            run_fig6(
+                platforms=[hera()],
+                n_patterns=2,
+                n_runs=2,
+                seed=np.random.SeedSequence(7),
+            )
+
+    def test_numpy_integer_seed_normalised(self, tmp_path):
+        import numpy as np
+
+        from repro.campaign.spec import ScenarioPoint, platform_to_dict
+
+        point = ScenarioPoint(
+            mode="simulate",
+            kind="PD",
+            platform=platform_to_dict(hera()),
+            n_patterns=2,
+            n_runs=2,
+            seed=np.int64(5),
+        )
+        assert point.seed == 5 and type(point.seed) is int

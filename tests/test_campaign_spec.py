@@ -1,0 +1,230 @@
+"""Unit tests for campaign specs and the scenario registry."""
+
+import json
+
+import pytest
+
+from repro.campaign.registry import (
+    generate_points,
+    get_scenario,
+    register_scenario,
+    resolve_platform_dict,
+    scenario_names,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    ScenarioPoint,
+    pattern_kind,
+    platform_from_dict,
+    platform_to_dict,
+)
+from repro.core.builders import PatternKind
+from repro.platforms.catalog import hera
+
+
+class TestPlatformSerde:
+    def test_round_trip(self, tiny_platform):
+        data = platform_to_dict(tiny_platform)
+        back = platform_from_dict(data)
+        assert back == tiny_platform
+
+    def test_json_safe(self, hera_platform):
+        blob = json.dumps(platform_to_dict(hera_platform))
+        assert platform_from_dict(json.loads(blob)) == hera_platform
+
+    def test_resolve_by_name_object_and_dict(self):
+        by_name = resolve_platform_dict("hera")
+        by_obj = resolve_platform_dict(hera())
+        by_dict = resolve_platform_dict(by_name)
+        assert by_name == by_obj == by_dict
+
+
+class TestPatternKindLookup:
+    def test_all_families(self):
+        for kind in PatternKind:
+            assert pattern_kind(kind.value) is kind
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown pattern family"):
+            pattern_kind("PDQ")
+
+
+class TestScenarioPoint:
+    def _platform(self, plat):
+        return platform_to_dict(plat)
+
+    def test_round_trip(self, tiny_platform):
+        point = ScenarioPoint(
+            mode="simulate",
+            kind="PDMV",
+            platform=self._platform(tiny_platform),
+            n_patterns=3,
+            n_runs=2,
+            seed=7,
+            labels={"factor": 0.5},
+        )
+        assert ScenarioPoint.from_dict(point.to_dict()) == point
+
+    def test_invalid_mode(self, tiny_platform):
+        with pytest.raises(ValueError, match="mode"):
+            ScenarioPoint(
+                mode="train",
+                kind="PD",
+                platform=self._platform(tiny_platform),
+                n_patterns=1,
+                n_runs=1,
+            )
+
+    def test_invalid_kind(self, tiny_platform):
+        with pytest.raises(ValueError, match="unknown pattern family"):
+            ScenarioPoint(
+                mode="optimize",
+                kind="nope",
+                platform=self._platform(tiny_platform),
+            )
+
+    def test_simulate_needs_sizes(self, tiny_platform):
+        with pytest.raises(ValueError, match="positive"):
+            ScenarioPoint(
+                mode="simulate",
+                kind="PD",
+                platform=self._platform(tiny_platform),
+                n_patterns=0,
+                n_runs=5,
+            )
+
+    def test_optimize_needs_no_sizes(self, tiny_platform):
+        point = ScenarioPoint(
+            mode="optimize", kind="PD", platform=self._platform(tiny_platform)
+        )
+        assert point.build_kind() is PatternKind.PD
+        assert point.build_platform() == tiny_platform
+
+
+class TestCampaignSpec:
+    def test_round_trip(self):
+        spec = CampaignSpec(
+            name="x",
+            scenario="platform_catalog",
+            params={"kinds": ["PD"]},
+            n_patterns=9,
+            n_runs=3,
+            seed=1,
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign spec"):
+            CampaignSpec.from_dict(
+                {"name": "x", "scenario": "s", "bogus": 1}
+            )
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = CampaignSpec(name="f", scenario="weak_scaling", seed=5)
+        path = str(tmp_path / "spec.json")
+        spec.to_json_file(path)
+        assert CampaignSpec.from_json_file(path) == spec
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        names = scenario_names()
+        for expected in (
+            "platform_catalog",
+            "family_comparison",
+            "error_rate_sweep",
+            "weak_scaling",
+            "recall_sweep",
+            "verification_cost_sweep",
+        ):
+            assert expected in names
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("platform_catalog")(lambda spec: [])
+
+    def test_platform_catalog_full_grid(self):
+        spec = CampaignSpec(
+            name="fig6", scenario="platform_catalog", n_patterns=1, n_runs=1
+        )
+        points = spec.points()
+        assert len(points) == 4 * 6  # four platforms x six families
+        assert {p.labels["platform"] for p in points} == {
+            "Hera",
+            "Atlas",
+            "Coastal",
+            "Coastal SSD",
+        }
+
+    def test_platform_catalog_subset(self, tiny_platform):
+        spec = CampaignSpec(
+            name="sub",
+            scenario="platform_catalog",
+            params={
+                "platforms": [platform_to_dict(tiny_platform)],
+                "kinds": ["PD", "PDMV"],
+            },
+            n_patterns=2,
+            n_runs=2,
+        )
+        points = spec.points()
+        assert [p.kind for p in points] == ["PD", "PDMV"]
+        assert all(p.n_patterns == 2 and p.n_runs == 2 for p in points)
+
+    def test_weak_scaling_labels(self):
+        spec = CampaignSpec(
+            name="ws",
+            scenario="weak_scaling",
+            params={"node_counts": [256, 1024], "kinds": ["PD"]},
+            n_patterns=1,
+            n_runs=1,
+        )
+        points = generate_points(spec)
+        assert [p.labels["nodes"] for p in points] == [256, 1024]
+
+    def test_error_rate_grid_count(self):
+        spec = CampaignSpec(
+            name="grid",
+            scenario="error_rate_sweep",
+            params={
+                "vary": "grid",
+                "factors": [0.5, 1.0],
+                "kinds": ["PD"],
+            },
+            n_patterns=1,
+            n_runs=1,
+        )
+        points = generate_points(spec)
+        assert len(points) == 4
+        assert {
+            (p.labels["factor_f"], p.labels["factor_s"]) for p in points
+        } == {(0.5, 0.5), (0.5, 1.0), (1.0, 0.5), (1.0, 1.0)}
+
+    def test_error_rate_bad_vary(self):
+        spec = CampaignSpec(
+            name="bad",
+            scenario="error_rate_sweep",
+            params={"vary": "x"},
+            n_patterns=1,
+            n_runs=1,
+        )
+        with pytest.raises(ValueError, match="vary"):
+            generate_points(spec)
+
+    def test_recall_sweep_has_anchors(self, tiny_platform):
+        spec = CampaignSpec(
+            name="rs",
+            scenario="recall_sweep",
+            params={
+                "platform": platform_to_dict(tiny_platform),
+                "recalls": [0.5],
+            },
+        )
+        points = generate_points(spec)
+        roles = [p.labels["role"] for p in points]
+        assert roles == ["anchor_pdm", "anchor_star", "sweep"]
+        assert all(p.mode == "optimize" for p in points)

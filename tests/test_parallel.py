@@ -67,3 +67,47 @@ class TestParallelRunner:
             predicted_overhead=0.25,
         )
         assert res.predicted_overhead == 0.25
+
+
+class TestChunkedRunner:
+    def test_chunked_matches_sequential(self, tiny_platform):
+        """Explicit chunking preserves the per-run seed mapping exactly."""
+        pat = pattern_pd(400.0)
+        seq = run_monte_carlo(
+            pat, tiny_platform, n_patterns=4, n_runs=9, seed=17
+        )
+        par = run_monte_carlo_parallel(
+            pat,
+            tiny_platform,
+            n_patterns=4,
+            n_runs=9,
+            seed=17,
+            n_workers=2,
+            chunksize=4,
+        )
+        assert par.simulated_overhead == pytest.approx(
+            seq.simulated_overhead, rel=1e-12
+        )
+        assert (
+            par.aggregated.mean_counters["silent_errors"]
+            == seq.aggregated.mean_counters["silent_errors"]
+        )
+
+    def test_chunksize_one_matches_heuristic(self, tiny_platform):
+        pat = pattern_pd(400.0)
+        a = run_monte_carlo_parallel(
+            pat, tiny_platform, n_patterns=3, n_runs=6, seed=3,
+            n_workers=2, chunksize=1,
+        )
+        b = run_monte_carlo_parallel(
+            pat, tiny_platform, n_patterns=3, n_runs=6, seed=3,
+            n_workers=2,
+        )
+        assert a.simulated_overhead == b.simulated_overhead
+
+    def test_default_chunksize_heuristic(self):
+        from repro.simulation.parallel import default_chunksize
+
+        assert default_chunksize(8, 8) == 1  # small: one run per task
+        assert default_chunksize(1000, 4) == 63  # ~4 tasks per worker
+        assert default_chunksize(0, 4) == 1

@@ -71,12 +71,23 @@ class TestEngineInvariants:
         assert stats.disk_recoveries <= stats.fail_stop_errors
         if stats.fail_stop_errors > 0:
             assert stats.disk_recoveries >= 1
-        # Memory recoveries = silent detections + disk-recovery restores.
-        assert stats.memory_recoveries == (
+        # Memory recoveries ~ silent detections + disk-recovery restores.
+        # Not exact equality: a fail-stop error striking *during* the
+        # memory restore after a detection escalates to a disk recovery
+        # (Eq. 31) -- the detection is counted but its restore never
+        # completes, so each escalation lowers the count by one.
+        # Escalations are bounded by the fail-stop error count.
+        detections_plus_restores = (
             stats.silent_detections_partial
             + stats.silent_detections_guaranteed
             + stats.disk_recoveries
         )
+        assert stats.memory_recoveries <= detections_plus_restores
+        assert (
+            stats.memory_recoveries
+            >= detections_plus_restores - stats.fail_stop_errors
+        )
+        assert stats.memory_recoveries >= stats.disk_recoveries
 
     @settings(max_examples=20, deadline=None)
     @given(case=engine_cases())

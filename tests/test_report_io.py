@@ -113,3 +113,68 @@ class TestWriters:
         with open(path) as fh:
             back = json.load(fh)
         assert back == {"x": 1.5, "v": [0, 1, 2]}
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        from repro.experiments.io import read_jsonl, write_jsonl
+
+        path = str(tmp_path / "out" / "j.jsonl")
+        n = write_jsonl([{"a": 1}, {"b": 2.5}], path)
+        assert n == 2
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2.5}]
+
+    def test_append_mode_is_default(self, tmp_path):
+        from repro.experiments.io import read_jsonl, write_jsonl
+
+        path = str(tmp_path / "j.jsonl")
+        write_jsonl([{"a": 1}], path)
+        write_jsonl([{"a": 2}], path)
+        assert read_jsonl(path) == [{"a": 1}, {"a": 2}]
+
+    def test_overwrite_mode(self, tmp_path):
+        from repro.experiments.io import read_jsonl, write_jsonl
+
+        path = str(tmp_path / "j.jsonl")
+        write_jsonl([{"a": 1}], path)
+        write_jsonl([{"a": 2}], path, append=False)
+        assert read_jsonl(path) == [{"a": 2}]
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        from repro.experiments.io import read_jsonl, write_jsonl
+
+        path = str(tmp_path / "j.jsonl")
+        write_jsonl([{"a": 1}, {"a": 2}], path)
+        with open(path, "a") as fh:
+            fh.write('{"a": 3, "trunc')  # killed mid-write
+        assert read_jsonl(path) == [{"a": 1}, {"a": 2}]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        from repro.experiments.io import read_jsonl
+
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"a": 1}\n\n{"a": 2}\n')
+        assert read_jsonl(path) == [{"a": 1}, {"a": 2}]
+
+    def test_numpy_coercion(self, tmp_path):
+        import numpy as np
+
+        from repro.experiments.io import read_jsonl, write_jsonl
+
+        path = str(tmp_path / "j.jsonl")
+        write_jsonl([{"x": np.float64(0.5)}], path)
+        assert read_jsonl(path) == [{"x": 0.5}]
+
+
+class TestEmptyCsvWithColumns:
+    def test_header_only(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        write_csv([], path, columns=["a", "b"])
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        assert lines == ["a,b"]
+
+    def test_empty_without_columns_still_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="explicit columns"):
+            write_csv([], str(tmp_path / "x.csv"))
