@@ -16,7 +16,10 @@ from repro.experiments.fig9 import (
 from repro.experiments.report import format_table
 
 FACTORS = (0.2, 1.0, 2.0)
-MC = dict(n_patterns=25, n_runs=8, seed=20160609)
+# The vectorised engine makes paper-leaning Monte-Carlo sizes cheap;
+# the heavy-rework corners (factor 2.0 at 100k nodes) need them for the
+# qualitative assertions to sit clear of sampling noise.
+MC = dict(n_patterns=100, n_runs=30, seed=20160609)
 
 
 @pytest.mark.benchmark(group="fig9")

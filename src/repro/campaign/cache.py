@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro._version import __version__
 from repro.campaign.spec import ScenarioPoint
+from repro.simulation.model import SEMANTICS_VERSION
 
 #: Bump when the point->record computation changes incompatibly.
 CACHE_SCHEMA = 1
@@ -34,17 +35,22 @@ def cache_key(point: ScenarioPoint) -> str:
 
     Only fields that influence the computed numbers participate:
     ``labels`` are presentation metadata and are excluded, and
-    ``optimize`` points ignore the Monte-Carlo configuration entirely.
+    ``optimize`` points ignore the Monte-Carlo configuration entirely
+    (including the engine request, which only affects simulation).  The
+    payload also carries the engine :data:`SEMANTICS_VERSION`, so rows
+    computed under a different engine generation (e.g. pre-vectorisation
+    step-engine rows) are never silently mixed with current ones.
     """
     desc = point.to_dict()
     desc.pop("labels", None)
     if point.mode == "optimize":
         for field in ("n_patterns", "n_runs", "seed",
-                      "fail_stop_in_operations"):
+                      "fail_stop_in_operations", "engine"):
             desc.pop(field, None)
     payload = {
         "schema": CACHE_SCHEMA,
         "engine": __version__,
+        "semantics": SEMANTICS_VERSION,
         "point": desc,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -84,6 +84,7 @@ def evaluate_point(point: ScenarioPoint) -> Dict[str, Any]:
         n_runs=point.n_runs,
         seed=point.seed,
         fail_stop_in_operations=point.fail_stop_in_operations,
+        engine=point.engine,
     )
     agg = res.aggregated
     lo, hi = agg.overhead_ci95()
@@ -92,6 +93,7 @@ def evaluate_point(point: ScenarioPoint) -> Dict[str, Any]:
             "n_patterns": int(point.n_patterns),
             "n_runs": int(point.n_runs),
             "seed": point.seed,
+            "engine": res.engine,
             "predicted": float(res.predicted_overhead),
             "simulated": float(agg.mean_overhead),
             "std_overhead": float(agg.std_overhead),

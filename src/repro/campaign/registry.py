@@ -97,6 +97,7 @@ def _simulate_point(
         n_patterns=spec.n_patterns,
         n_runs=spec.n_runs,
         seed=spec.seed,
+        engine=spec.engine,
         labels=labels,
     )
 

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.builders import PatternKind
 from repro.platforms.platform import Platform, ResilienceCosts
+from repro.simulation.dispatch import ENGINE_CHOICES
 
 #: Modes a scenario point can run in.
 POINT_MODES = ("simulate", "optimize")
@@ -79,6 +80,12 @@ class ScenarioPoint:
     fail_stop_in_operations:
         Whether the simulator draws fail-stop errors during resilience
         operations (the engine default).
+    engine:
+        Engine tier request (see :mod:`repro.simulation.dispatch`):
+        ``"auto"`` (default) dispatches to the fastest covering tier,
+        ``"fast-pd"``/``"fast"``/``"step"`` force one.  Participates in
+        the cache key: rows computed by different engine requests are
+        never silently mixed.
     labels:
         Free-form row labels carried verbatim into the result record
         (e.g. ``{"factor_f": 0.6}`` for a sweep point).
@@ -91,12 +98,17 @@ class ScenarioPoint:
     n_runs: int = 0
     seed: Optional[int] = None
     fail_stop_in_operations: bool = True
+    engine: str = "auto"
     labels: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.mode not in POINT_MODES:
             raise ValueError(
                 f"mode must be one of {POINT_MODES}, got {self.mode!r}"
+            )
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_CHOICES}, got {self.engine!r}"
             )
         pattern_kind(self.kind)  # validate the family name early
         if self.seed is not None:
@@ -127,6 +139,7 @@ class ScenarioPoint:
             "n_runs": int(self.n_runs),
             "seed": self.seed,
             "fail_stop_in_operations": bool(self.fail_stop_in_operations),
+            "engine": self.engine,
             "labels": dict(self.labels),
         }
 
@@ -143,6 +156,7 @@ class ScenarioPoint:
             fail_stop_in_operations=bool(
                 data.get("fail_stop_in_operations", True)
             ),
+            engine=str(data.get("engine", "auto")),
             labels=dict(data.get("labels", {})),
         )
 
@@ -171,6 +185,9 @@ class CampaignSpec:
     n_patterns, n_runs, seed:
         Default Monte-Carlo sizes applied to every ``simulate`` point the
         generator emits (generators may override per point).
+    engine:
+        Default engine tier request applied to every point the generator
+        emits (see :class:`ScenarioPoint`).
     """
 
     name: str
@@ -179,6 +196,13 @@ class CampaignSpec:
     n_patterns: int = 100
     n_runs: int = 50
     seed: int = 20160523
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_CHOICES}, got {self.engine!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly dict representation."""
@@ -189,12 +213,14 @@ class CampaignSpec:
             "n_patterns": int(self.n_patterns),
             "n_runs": int(self.n_runs),
             "seed": int(self.seed),
+            "engine": self.engine,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
         """Rebuild a spec from :meth:`to_dict` output."""
-        known = {"name", "scenario", "params", "n_patterns", "n_runs", "seed"}
+        known = {"name", "scenario", "params", "n_patterns", "n_runs",
+                 "seed", "engine"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
@@ -212,6 +238,7 @@ class CampaignSpec:
             n_patterns=int(data.get("n_patterns", 100)),
             n_runs=int(data.get("n_runs", 50)),
             seed=int(data.get("seed", 20160523)),
+            engine=str(data.get("engine", "auto")),
         )
 
     @classmethod

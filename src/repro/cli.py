@@ -61,6 +61,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    from repro.simulation.dispatch import ENGINE_CHOICES
+
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=list(ENGINE_CHOICES),
+        help="simulation engine tier (default: fastest covering tier)",
+    )
+
+
 def _mc_sizes(args: argparse.Namespace, default_patterns: int, default_runs: int):
     if args.full:
         return 1000, 1000
@@ -150,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="PDMV",
         choices=["PD", "PDV*", "PDV", "PDM", "PDMV*", "PDMV"],
     )
+    _add_engine(p)
     _add_common(p)
 
     p = sub.add_parser(
@@ -232,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear", action="store_true",
         help="with 'cache': delete every entry",
     )
+    _add_engine(p)
     _add_common(p)
 
     p = sub.add_parser("fig9", help="error-rate sweeps at 100k nodes")
@@ -325,6 +338,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     spec = replace(spec, n_patterns=n_pat, n_runs=n_runs)
     if args.seed is not None:
         spec = replace(spec, seed=args.seed)
+    if args.engine != "auto":
+        spec = replace(spec, engine=args.engine)
 
     if args.action == "resume":
         if not args.journal:
@@ -406,6 +421,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_patterns=n_pat,
             n_runs=n_runs,
             seed=args.seed if args.seed is not None else 20160601,
+            engine=args.engine,
         )
         agg = res.aggregated
         lo, hi = agg.overhead_ci95()
@@ -413,6 +429,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             {
                 "pattern": kind.value,
                 "platform": platform.name,
+                "engine": res.engine,
                 "predicted": res.predicted_overhead,
                 "simulated": agg.mean_overhead,
                 "ci95_low": lo,

@@ -48,6 +48,7 @@ def fig6_spec(
     n_patterns: int = 100,
     n_runs: int = 50,
     seed: int = 20160523,
+    engine: str = "auto",
 ):
     """The Figure-6 campaign spec (``platform_catalog`` scenario)."""
     from repro.campaign.spec import CampaignSpec
@@ -66,6 +67,7 @@ def fig6_spec(
         n_patterns=n_patterns,
         n_runs=n_runs,
         seed=seed,
+        engine=engine,
     )
 
 
@@ -79,12 +81,14 @@ def run_fig6(
     cache=None,
     journal_path: Optional[str] = None,
     n_workers: int = 1,
+    engine: str = "auto",
 ) -> List[Dict[str, Any]]:
     """Run the Figure-6 campaign; one row per (platform, pattern).
 
     Row keys cover every panel: ``predicted``/``simulated`` (6a),
     ``W*_hours`` (6b), ``verifs_per_hour``/``*_ckpts_per_hour`` (6c, 6d)
-    and ``*_recoveries_per_day`` (6e).
+    and ``*_recoveries_per_day`` (6e).  ``engine`` selects the simulation
+    tier (see :mod:`repro.simulation.dispatch`).
     """
     from repro.campaign.executor import run_campaign
 
@@ -95,6 +99,7 @@ def run_fig6(
             n_patterns=n_patterns,
             n_runs=n_runs,
             seed=seed,
+            engine=engine,
         ),
         cache=cache,
         journal_path=journal_path,

@@ -39,9 +39,11 @@ def run_weak_scaling(
     n_patterns: int = 50,
     n_runs: int = 20,
     seed: SeedLike = 20160607,
+    engine: str = "auto",
 ) -> List[Dict[str, Any]]:
     """Run the weak-scaling campaign (Figure 7 with defaults; Figure 8
-    with ``C_D=90``); one row per (node count, pattern)."""
+    with ``C_D=90``); one row per (node count, pattern).  ``engine``
+    selects the simulation tier (see :mod:`repro.simulation.dispatch`)."""
     counts = tuple(node_counts) if node_counts is not None else DEFAULT_NODE_COUNTS
     rows: List[Dict[str, Any]] = []
     for nodes in counts:
@@ -54,6 +56,7 @@ def run_weak_scaling(
                 n_patterns=n_patterns,
                 n_runs=n_runs,
                 seed=seed,
+                engine=engine,
             )
             agg = res.aggregated
             rows.append(

@@ -24,6 +24,7 @@ def run_fig8(
     n_patterns: int = 50,
     n_runs: int = 20,
     seed: SeedLike = 20160608,
+    engine: str = "auto",
 ) -> List[Dict[str, Any]]:
     """Run the Figure-8 campaign (weak scaling, ``C_D = 90``)."""
     return run_weak_scaling(
@@ -32,6 +33,7 @@ def run_fig8(
         n_patterns=n_patterns,
         n_runs=n_runs,
         seed=seed,
+        engine=engine,
     )
 
 

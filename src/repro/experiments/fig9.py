@@ -44,11 +44,13 @@ def _simulate(
     n_patterns: int,
     n_runs: int,
     seed: SeedLike,
+    engine: str = "auto",
 ):
     from repro.simulation.runner import simulate_optimal_pattern
 
     return simulate_optimal_pattern(
-        kind, plat, n_patterns=n_patterns, n_runs=n_runs, seed=seed
+        kind, plat, n_patterns=n_patterns, n_runs=n_runs, seed=seed,
+        engine=engine,
     )
 
 

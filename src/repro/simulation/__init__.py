@@ -9,9 +9,20 @@ over many runs.
 """
 
 from repro.simulation.events import OpOutcome, OperationKind
-from repro.simulation.stats import SimulationStats, aggregate_stats
+from repro.simulation.model import SEMANTICS_VERSION, OpSchedule
+from repro.simulation.stats import (
+    COUNTER_FIELDS,
+    SimulationStats,
+    aggregate_stats,
+)
 from repro.simulation.trace import OpOutcomeKind, TraceRecord, TraceRecorder
 from repro.simulation.engine import PatternSimulator
+from repro.simulation.dispatch import (
+    ENGINE_CHOICES,
+    EngineTier,
+    run_stats,
+    select_engine,
+)
 from repro.simulation.runner import (
     MonteCarloResult,
     run_monte_carlo,
@@ -24,16 +35,28 @@ from repro.simulation.fast_pd import (
     pd_overhead_batch,
     simulate_pd_batch,
 )
+from repro.simulation.fast_engine import (
+    GeneralBatchResult,
+    run_monte_carlo_fast,
+    simulate_general_batch,
+)
 
 __all__ = [
     "OperationKind",
     "OpOutcome",
+    "SEMANTICS_VERSION",
+    "OpSchedule",
+    "COUNTER_FIELDS",
     "SimulationStats",
     "aggregate_stats",
     "OpOutcomeKind",
     "TraceRecord",
     "TraceRecorder",
     "PatternSimulator",
+    "ENGINE_CHOICES",
+    "EngineTier",
+    "run_stats",
+    "select_engine",
     "MonteCarloResult",
     "run_monte_carlo",
     "simulate_optimal_pattern",
@@ -42,4 +65,7 @@ __all__ = [
     "PdBatchResult",
     "simulate_pd_batch",
     "pd_overhead_batch",
+    "GeneralBatchResult",
+    "simulate_general_batch",
+    "run_monte_carlo_fast",
 ]

@@ -33,52 +33,21 @@ per-operation NumPy call overhead (HPC-guide idiom).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.pattern import Pattern
 from repro.platforms.platform import Platform
 from repro.simulation.events import OperationKind
+from repro.simulation.model import ExpSampler, ResolvedSegment, resolve_segments
 from repro.simulation.stats import SimulationStats
 from repro.simulation.trace import OpOutcomeKind, TraceRecorder
 
-
-class _ExpSampler:
-    """Batched sampler of Exp(1) variates.
-
-    ``next()`` pops one standard-exponential value from a pre-filled
-    buffer, refilling in vectorised batches.  Scaling by ``1/rate`` gives
-    an exponential of any rate; thanks to memorylessness, drawing a fresh
-    time-to-next-error at the start of every operation is distributionally
-    exact.
-    """
-
-    __slots__ = ("_rng", "_buf", "_idx", "_size")
-
-    def __init__(self, rng: np.random.Generator, size: int = 4096):
-        self._rng = rng
-        self._size = size
-        self._buf = rng.standard_exponential(size)
-        self._idx = 0
-
-    def next(self) -> float:
-        if self._idx >= self._size:
-            self._buf = self._rng.standard_exponential(self._size)
-            self._idx = 0
-        v = self._buf[self._idx]
-        self._idx += 1
-        return float(v)
-
-
-@dataclass
-class _Segment:
-    """Pre-resolved segment: chunk lengths and per-chunk verification spec."""
-
-    chunks: Tuple[float, ...]
-    verif_costs: Tuple[float, ...]
-    verif_recalls: Tuple[float, ...]
+# Backwards-compatible aliases (the sampler and segment resolution moved
+# to repro.simulation.model, shared with the vectorised fast engine).
+_ExpSampler = ExpSampler
+_Segment = ResolvedSegment
 
 
 class PatternSimulator:
@@ -141,25 +110,15 @@ class PatternSimulator:
             )
         self._clock += elapsed
 
-    def _resolve_segments(self) -> List[_Segment]:
-        p, plat = self.pattern, self.platform
-        segs: List[_Segment] = []
-        for seg in p.segments():
-            lengths = seg.chunk_lengths
-            m = len(lengths)
-            costs = tuple([plat.V] * (m - 1) + [plat.V_star])
-            recalls = tuple([plat.r] * (m - 1) + [1.0])
-            segs.append(
-                _Segment(chunks=lengths, verif_costs=costs, verif_recalls=recalls)
-            )
-        return segs
+    def _resolve_segments(self) -> List[ResolvedSegment]:
+        return resolve_segments(self.pattern, self.platform)
 
     # ------------------------------------------------------------------ #
     # primitive operations
     # ------------------------------------------------------------------ #
 
     def _attempt(
-        self, duration: float, exp_f: _ExpSampler, vulnerable: bool
+        self, duration: float, exp_f: ExpSampler, vulnerable: bool
     ) -> Tuple[float, bool]:
         """Attempt a timed operation; return ``(elapsed, interrupted)``.
 
@@ -174,7 +133,7 @@ class PatternSimulator:
         return duration, False
 
     def _disk_recovery(
-        self, exp_f: _ExpSampler, stats: SimulationStats
+        self, exp_f: ExpSampler, stats: SimulationStats
     ) -> float:
         """Perform ``R_D`` then ``R_M``, retrying steps hit by fail-stop.
 
@@ -216,7 +175,7 @@ class PatternSimulator:
             stats.fail_stop_errors += 1
 
     def _memory_recovery(
-        self, exp_f: _ExpSampler, stats: SimulationStats
+        self, exp_f: ExpSampler, stats: SimulationStats
     ) -> Tuple[float, bool]:
         """Perform ``R_M`` after a silent detection.
 

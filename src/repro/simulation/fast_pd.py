@@ -21,11 +21,12 @@ step engine, enabling paper-scale (1000 x 1000) PD campaigns in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.platforms.platform import Platform
+from repro.simulation.stats import SimulationStats
 
 
 @dataclass(frozen=True)
@@ -37,12 +38,20 @@ class PdBatchResult:
     times:
         Wall-clock time of each simulated pattern (shape ``(n,)``).
     fail_stop_errors, silent_errors:
-        Total error strikes across the batch.
+        Total error strikes across the batch.  ``silent_errors`` counts
+        every strike within a work window, including attempts that also
+        crashed (the historical accounting of this module).
+    crashes, detections:
+        Per-pattern counts (shape ``(n,)``) of fail-stop interruptions
+        and detected silent corruptions -- the step engine's accounting,
+        from which :meth:`to_stats` reconstructs every PD counter.
     """
 
     times: np.ndarray
     fail_stop_errors: int
     silent_errors: int
+    crashes: Optional[np.ndarray] = None
+    detections: Optional[np.ndarray] = None
 
     @property
     def n(self) -> int:
@@ -58,6 +67,55 @@ class PdBatchResult:
         if W <= 0:
             raise ValueError(f"W must be positive, got {W}")
         return self.mean_time() / W - 1.0
+
+    def to_stats(self, n_runs: int, *, W: float) -> List[SimulationStats]:
+        """Reduce the batch into ``n_runs`` equal-sized run statistics.
+
+        For the PD pattern every counter follows from the per-pattern
+        crash and detection counts: each crash costs one disk + one
+        memory recovery, each detected corruption one memory recovery,
+        and every attempt that completes its work runs the guaranteed
+        verification (``detections + 1`` per pattern).  The accounting
+        matches the step engine with ``fail_stop_in_operations=False``:
+        silent strikes superseded by a crash in the same attempt are not
+        counted.
+        """
+        if self.crashes is None or self.detections is None:
+            raise ValueError(
+                "this PdBatchResult carries no per-pattern counters; "
+                "rerun simulate_pd_batch to obtain them"
+            )
+        if n_runs <= 0:
+            raise ValueError(f"n_runs must be positive, got {n_runs}")
+        if self.n % n_runs != 0:
+            raise ValueError(
+                f"batch of {self.n} patterns does not split into "
+                f"{n_runs} equal runs"
+            )
+        per_run = self.n // n_runs
+        out: List[SimulationStats] = []
+        for i in range(n_runs):
+            sl = slice(i * per_run, (i + 1) * per_run)
+            crashes = int(self.crashes[sl].sum())
+            detections = int(self.detections[sl].sum())
+            out.append(
+                SimulationStats(
+                    total_time=float(self.times[sl].sum()),
+                    useful_work=W * per_run,
+                    patterns_completed=per_run,
+                    disk_checkpoints=per_run,
+                    memory_checkpoints=per_run,
+                    partial_verifications=0,
+                    guaranteed_verifications=detections + per_run,
+                    disk_recoveries=crashes,
+                    memory_recoveries=crashes + detections,
+                    fail_stop_errors=crashes,
+                    silent_errors=detections,
+                    silent_detections_partial=0,
+                    silent_detections_guaranteed=detections,
+                )
+            )
+        return out
 
 
 def simulate_pd_batch(
@@ -95,6 +153,8 @@ def simulate_pd_batch(
     crash_extra = platform.R_D + platform.R_M
 
     times = np.zeros(n_patterns)
+    crash_counts = np.zeros(n_patterns, dtype=np.int64)
+    det_counts = np.zeros(n_patterns, dtype=np.int64)
     active = np.arange(n_patterns)
     n_fs = 0
     n_silent = 0
@@ -122,6 +182,8 @@ def simulate_pd_batch(
 
         n_fs += int(crashed.sum())
         n_silent += int((t_silent < W).sum())  # strikes even when crashed
+        crash_counts[active[crashed]] += 1
+        det_counts[active[corrupted]] += 1
 
         # Accumulate this attempt's cost per outcome.
         cost = np.empty(k)
@@ -132,7 +194,11 @@ def simulate_pd_batch(
 
         active = active[~ok]
     return PdBatchResult(
-        times=times, fail_stop_errors=n_fs, silent_errors=n_silent
+        times=times,
+        fail_stop_errors=n_fs,
+        silent_errors=n_silent,
+        crashes=crash_counts,
+        detections=det_counts,
     )
 
 

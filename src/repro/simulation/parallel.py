@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.pattern import Pattern
 from repro.errors.rng import SeedLike
 from repro.platforms.platform import Platform
+from repro.simulation.dispatch import EngineTier, run_stats, select_engine
 from repro.simulation.engine import PatternSimulator
 from repro.simulation.runner import MonteCarloResult
 from repro.simulation.stats import SimulationStats, aggregate_stats
@@ -99,6 +100,7 @@ def run_monte_carlo_parallel(
     predicted_overhead: Optional[float] = None,
     n_workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    engine: str = "auto",
 ) -> MonteCarloResult:
     """Parallel equivalent of :func:`repro.simulation.runner.run_monte_carlo`.
 
@@ -113,15 +115,46 @@ def run_monte_carlo_parallel(
         :func:`default_chunksize` heuristic).  Chunking amortises the
         pool's per-task overhead when ``n_patterns`` is small; it never
         changes the results.
+    engine:
+        Engine tier (see :mod:`repro.simulation.dispatch`).  When the
+        request dispatches to a vectorised tier the whole campaign runs
+        as one in-process NumPy batch -- the batch is faster than a
+        process pool for this workload, and the results match the
+        sequential runner bit-for-bit because the same generator path is
+        used.  Only the step tier fans out to processes.
 
     Notes
     -----
-    Per-run seeds are spawned from the root ``seed`` exactly like the
-    sequential runner, so for a given seed the multiset of per-run
-    statistics matches the sequential result bit-for-bit.
+    On the step tier, per-run seeds are spawned from the root ``seed``
+    exactly like the sequential runner, so for a given seed the multiset
+    of per-run statistics matches the sequential result bit-for-bit.
     """
     if n_runs <= 0:
         raise ValueError(f"n_runs must be positive, got {n_runs}")
+    tier = select_engine(
+        pattern,
+        fail_stop_in_operations=fail_stop_in_operations,
+        engine=engine,
+    )
+    if tier is not EngineTier.STEP:
+        dispatched = run_stats(
+            pattern,
+            platform,
+            n_patterns=n_patterns,
+            n_runs=n_runs,
+            seed=seed,
+            fail_stop_in_operations=fail_stop_in_operations,
+            engine=tier.value,
+        )
+        return MonteCarloResult(
+            pattern=pattern,
+            platform=platform,
+            n_patterns=n_patterns,
+            n_runs=n_runs,
+            aggregated=aggregate_stats(dispatched.runs),
+            predicted_overhead=predicted_overhead,
+            engine=dispatched.tier.value,
+        )
     if isinstance(seed, np.random.SeedSequence):
         root = seed
     elif isinstance(seed, np.random.Generator):
@@ -174,4 +207,5 @@ def run_monte_carlo_parallel(
         n_runs=n_runs,
         aggregated=aggregate_stats(runs),
         predicted_overhead=predicted_overhead,
+        engine=EngineTier.STEP.value,
     )

@@ -11,15 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro.core.builders import PatternKind
 from repro.core.formulas import OptimalPattern, optimal_pattern, simulation_costs
 from repro.core.pattern import Pattern
-from repro.errors.rng import RandomStreams, SeedLike
+from repro.errors.rng import SeedLike
 from repro.platforms.platform import Platform
-from repro.simulation.engine import PatternSimulator
-from repro.simulation.stats import AggregatedStats, SimulationStats, aggregate_stats
+from repro.simulation.dispatch import run_stats
+from repro.simulation.stats import AggregatedStats, aggregate_stats
 
 
 @dataclass(frozen=True)
@@ -46,6 +44,7 @@ class MonteCarloResult:
     n_runs: int
     aggregated: AggregatedStats
     predicted_overhead: Optional[float] = None
+    engine: Optional[str] = None
 
     @property
     def simulated_overhead(self) -> float:
@@ -69,26 +68,35 @@ def run_monte_carlo(
     seed: SeedLike = None,
     fail_stop_in_operations: bool = True,
     predicted_overhead: Optional[float] = None,
+    engine: str = "auto",
 ) -> MonteCarloResult:
     """Run ``n_runs`` independent simulations of ``n_patterns`` patterns.
 
-    Each run gets an independent random stream spawned from ``seed``
-    (reproducible, statistically independent).
+    The request is dispatched to the fastest engine tier covering it
+    (see :mod:`repro.simulation.dispatch`); pass ``engine="step"`` to
+    force the historical per-operation engine, whose per-run random
+    streams are spawned from ``seed`` exactly as before (reproducible,
+    statistically independent).
     """
     if n_runs <= 0:
         raise ValueError(f"n_runs must be positive, got {n_runs}")
-    simulator = PatternSimulator(
-        pattern, platform, fail_stop_in_operations=fail_stop_in_operations
+    dispatched = run_stats(
+        pattern,
+        platform,
+        n_patterns=n_patterns,
+        n_runs=n_runs,
+        seed=seed,
+        fail_stop_in_operations=fail_stop_in_operations,
+        engine=engine,
     )
-    streams = RandomStreams(seed)
-    runs = [simulator.run(n_patterns, streams.next()) for _ in range(n_runs)]
     return MonteCarloResult(
         pattern=pattern,
         platform=platform,
         n_patterns=n_patterns,
         n_runs=n_runs,
-        aggregated=aggregate_stats(runs),
+        aggregated=aggregate_stats(dispatched.runs),
         predicted_overhead=predicted_overhead,
+        engine=dispatched.tier.value,
     )
 
 
@@ -100,6 +108,7 @@ def simulate_optimal_pattern(
     n_runs: int = 100,
     seed: SeedLike = None,
     fail_stop_in_operations: bool = True,
+    engine: str = "auto",
 ) -> MonteCarloResult:
     """Optimise a family on a platform, then Monte-Carlo simulate it.
 
@@ -117,6 +126,7 @@ def simulate_optimal_pattern(
         seed=seed,
         fail_stop_in_operations=fail_stop_in_operations,
         predicted_overhead=opt.H_star,
+        engine=engine,
     )
 
 

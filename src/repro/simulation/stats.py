@@ -18,7 +18,9 @@ SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 86400.0
 
 #: Counter fields that are summed over a run and averaged over runs.
-_COUNTER_FIELDS = (
+#: Shared with the vectorised engines, which track one per-instance
+#: array per counter (struct-of-arrays) and reduce to these fields.
+COUNTER_FIELDS = (
     "disk_checkpoints",
     "memory_checkpoints",
     "partial_verifications",
@@ -30,6 +32,9 @@ _COUNTER_FIELDS = (
     "silent_detections_partial",
     "silent_detections_guaranteed",
 )
+
+#: Backwards-compatible alias.
+_COUNTER_FIELDS = COUNTER_FIELDS
 
 
 @dataclass
@@ -104,7 +109,7 @@ class SimulationStats:
         self.total_time += other.total_time
         self.useful_work += other.useful_work
         self.patterns_completed += other.patterns_completed
-        for name in _COUNTER_FIELDS:
+        for name in COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
 
@@ -148,7 +153,7 @@ def aggregate_stats(runs: Sequence[SimulationStats]) -> AggregatedStats:
     rates_hour: Dict[str, float] = {}
     rates_day: Dict[str, float] = {}
     per_pattern: Dict[str, float] = {}
-    for name in _COUNTER_FIELDS:
+    for name in COUNTER_FIELDS:
         vals = np.array([getattr(r, name) for r in runs], dtype=np.float64)
         mean_counters[name] = float(vals.mean())
         hours = total_times / SECONDS_PER_HOUR

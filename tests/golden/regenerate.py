@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Regenerate the bit-exact step-engine golden fixture.
+
+Usage (from the repository root)::
+
+    python tests/golden/regenerate.py
+
+Only run this after an *intended* engine semantics change, and bump
+``repro.simulation.model.SEMANTICS_VERSION`` in the same commit so the
+campaign result cache does not mix rows across generations.
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, os.pardir))  # tests/ (golden_util)
+sys.path.insert(0, os.path.join(HERE, os.pardir, os.pardir, "src"))
+
+from golden_util import write_golden  # noqa: E402
+
+if __name__ == "__main__":
+    path = write_golden()
+    print(f"wrote {path}")

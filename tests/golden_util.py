@@ -1,0 +1,110 @@
+"""Shared definition of the step-engine golden regression matrix.
+
+The golden fixture freezes the *bit-exact* ``SimulationStats`` the step
+engine produces for a small pattern x platform x fail-stop matrix under
+fixed seeds.  Any refactor that changes the engine's random draw order,
+cost accounting or control flow -- even in a statistically invisible way
+-- flips the fixture and fails ``tests/test_golden_engine.py``.
+
+Regenerate deliberately with ``python tests/golden/regenerate.py`` after
+an intended semantics change (and bump
+:data:`repro.simulation.model.SEMANTICS_VERSION`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import zlib
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.core.builders import PatternKind, build_pattern
+from repro.platforms.platform import Platform, default_costs
+from repro.simulation.engine import PatternSimulator
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "golden", "engine_golden.json"
+)
+
+#: Patterns of every structural family (shapes kept small so each case
+#: runs in milliseconds but still exercises rollbacks and recoveries).
+_PATTERNS = {
+    "PD": build_pattern(PatternKind.PD, 800.0),
+    "PDV": build_pattern(PatternKind.PDV, 800.0, m=3, r=0.8),
+    "PDM": build_pattern(PatternKind.PDM, 800.0, n=2),
+    "PDMV": build_pattern(PatternKind.PDMV, 800.0, n=2, m=3, r=0.8),
+}
+
+#: Two synthetic platforms with error rates high enough that five
+#: patterns hit every code path (crashes, detections, escalations).
+_PLATFORMS = {
+    "balanced": Platform(
+        name="balanced",
+        nodes=4,
+        lambda_f=4e-4,
+        lambda_s=6e-4,
+        costs=default_costs(C_D=20.0, C_M=2.0),
+    ),
+    "crashy": Platform(
+        name="crashy",
+        nodes=4,
+        lambda_f=1.2e-3,
+        lambda_s=2e-4,
+        costs=default_costs(C_D=12.0, C_M=3.0, r=0.6),
+    ),
+}
+
+N_PATTERNS = 5
+SEED = 20260730
+
+
+def compute_golden() -> List[Dict[str, Any]]:
+    """Run the step engine over the golden matrix, fixed seeds."""
+    cases: List[Dict[str, Any]] = []
+    for pat_name, pattern in _PATTERNS.items():
+        for plat_name, platform in _PLATFORMS.items():
+            for fsio in (True, False):
+                sim = PatternSimulator(
+                    pattern, platform, fail_stop_in_operations=fsio
+                )
+                rng = np.random.default_rng(
+                    [SEED, zlib.crc32(pat_name.encode()),
+                     zlib.crc32(plat_name.encode()), int(fsio)]
+                )
+                stats = sim.run(N_PATTERNS, rng)
+                cases.append(
+                    {
+                        "pattern": pat_name,
+                        "platform": plat_name,
+                        "fail_stop_in_operations": fsio,
+                        "n_patterns": N_PATTERNS,
+                        "stats": dataclasses.asdict(stats),
+                    }
+                )
+    return cases
+
+
+def write_golden() -> str:
+    """Recompute the matrix and overwrite the frozen fixture."""
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    payload = {
+        "comment": (
+            "Bit-exact step-engine outputs; regenerate with "
+            "tests/golden/regenerate.py after an intended semantics change."
+        ),
+        "seed": SEED,
+        "cases": compute_golden(),
+    }
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return GOLDEN_PATH
+
+
+def load_golden() -> Dict[str, Any]:
+    """Load the frozen fixture."""
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)

@@ -93,6 +93,27 @@ class TestCacheKey:
         data["mode"] = "optimize"
         assert cache_key(ScenarioPoint.from_dict(data)) != cache_key(point)
 
+    def test_engine_changes_key(self, point):
+        """Step-engine rows must never be served for fast-engine points."""
+        data = point.to_dict()
+        data["engine"] = "step"
+        assert cache_key(ScenarioPoint.from_dict(data)) != cache_key(point)
+
+    def test_optimize_ignores_engine(self, tiny_platform):
+        pdict = platform_to_dict(tiny_platform)
+        a = ScenarioPoint(mode="optimize", kind="PD", platform=pdict)
+        b = ScenarioPoint(
+            mode="optimize", kind="PD", platform=pdict, engine="step"
+        )
+        assert cache_key(a) == cache_key(b)
+
+    def test_key_incorporates_semantics_version(self, point, monkeypatch):
+        import repro.campaign.cache as cache_mod
+
+        before = cache_key(point)
+        monkeypatch.setattr(cache_mod, "SEMANTICS_VERSION", 9999)
+        assert cache_key(point) != before
+
 
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path, point):

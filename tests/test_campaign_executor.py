@@ -47,6 +47,23 @@ class TestChunksize:
         assert default_chunksize(0, 4) == 1
 
 
+class TestEngineRouting:
+    def test_record_carries_resolved_engine(self, tiny_platform):
+        point = _points(tiny_platform, kinds=("PDMV",))[0]
+        record = evaluate_point(point)
+        assert record["engine"] == "fast"
+
+    def test_forced_step_engine(self, tiny_platform):
+        from repro.campaign.spec import ScenarioPoint
+
+        point = ScenarioPoint.from_dict(
+            {**_points(tiny_platform, kinds=("PD",))[0].to_dict(),
+             "engine": "step"}
+        )
+        record = evaluate_point(point)
+        assert record["engine"] == "step"
+
+
 class TestEquivalence:
     """Campaign records equal direct run_monte_carlo with the same seeds."""
 

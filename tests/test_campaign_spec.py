@@ -100,6 +100,32 @@ class TestScenarioPoint:
         assert point.build_kind() is PatternKind.PD
         assert point.build_platform() == tiny_platform
 
+    def test_engine_round_trip_and_default(self, tiny_platform):
+        point = ScenarioPoint(
+            mode="simulate",
+            kind="PD",
+            platform=self._platform(tiny_platform),
+            n_patterns=1,
+            n_runs=1,
+            engine="step",
+        )
+        assert ScenarioPoint.from_dict(point.to_dict()).engine == "step"
+        # Dicts journaled before the engine field existed default to auto.
+        legacy = point.to_dict()
+        del legacy["engine"]
+        assert ScenarioPoint.from_dict(legacy).engine == "auto"
+
+    def test_invalid_engine(self, tiny_platform):
+        with pytest.raises(ValueError, match="engine"):
+            ScenarioPoint(
+                mode="simulate",
+                kind="PD",
+                platform=self._platform(tiny_platform),
+                n_patterns=1,
+                n_runs=1,
+                engine="warp",
+            )
+
 
 class TestCampaignSpec:
     def test_round_trip(self):
@@ -124,6 +150,24 @@ class TestCampaignSpec:
         path = str(tmp_path / "spec.json")
         spec.to_json_file(path)
         assert CampaignSpec.from_json_file(path) == spec
+
+    def test_engine_default_propagates_to_points(self, tiny_platform):
+        from repro.campaign.spec import platform_to_dict
+
+        spec = CampaignSpec(
+            name="e",
+            scenario="family_comparison",
+            params={
+                "platform": platform_to_dict(tiny_platform),
+                "kinds": ["PD", "PDMV"],
+            },
+            engine="step",
+        )
+        assert all(p.engine == "step" for p in spec.points())
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            CampaignSpec(name="x", scenario="s", engine="warp")
 
 
 class TestRegistry:

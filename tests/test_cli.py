@@ -126,6 +126,23 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--pattern", "XYZ"])
 
+    def test_simulate_engine_flag(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--pattern", "PD",
+                "--patterns", "2",
+                "--runs", "2",
+                "--engine", "step",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "step" in out
+
+    def test_simulate_rejects_bad_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--engine", "warp"])
+
     def test_makespan_command(self, capsys):
         assert main(["makespan", "--base-hours", "50"]) == 0
         out = capsys.readouterr().out

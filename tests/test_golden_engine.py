@@ -1,0 +1,80 @@
+"""Golden regression: the step engine is bit-exact against its fixture.
+
+The fixture under ``tests/golden/`` freezes seeded ``SimulationStats``
+for a small pattern x platform x fail-stop matrix.  A refactor that
+perturbs the engine's draw order, accounting or control flow -- even one
+that is statistically invisible to the equivalence harness -- fails
+here.  Regenerate deliberately with ``python tests/golden/regenerate.py``.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from golden_util import GOLDEN_PATH, compute_golden, load_golden
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert os.path.exists(GOLDEN_PATH), (
+        f"missing golden fixture {GOLDEN_PATH}; "
+        "run python tests/golden/regenerate.py"
+    )
+    return load_golden()
+
+
+@pytest.fixture(scope="module")
+def recomputed():
+    return compute_golden()
+
+
+def test_matrix_shape(golden):
+    # 4 patterns x 2 platforms x 2 fail-stop settings.
+    assert len(golden["cases"]) == 16
+
+
+def test_cases_bit_exact(golden, recomputed):
+    assert len(recomputed) == len(golden["cases"])
+    for frozen, fresh in zip(golden["cases"], recomputed):
+        fresh = {**fresh, "stats": dict(fresh["stats"])}
+        label = (
+            f"{frozen['pattern']} on {frozen['platform']} "
+            f"(fail_stop_in_operations={frozen['fail_stop_in_operations']})"
+        )
+        assert fresh["pattern"] == frozen["pattern"], label
+        assert fresh["platform"] == frozen["platform"], label
+        for field, value in frozen["stats"].items():
+            got = fresh["stats"][field]
+            # Exact comparison on purpose: floats round-trip through
+            # JSON bit-for-bit, so == catches any drift.
+            assert got == value, (
+                f"{label}: {field} drifted from {value!r} to {got!r}; "
+                "if the change is intended, regenerate the fixture and "
+                "bump SEMANTICS_VERSION"
+            )
+
+
+def test_every_code_path_exercised(golden):
+    """The matrix must keep covering crashes, detections and rollbacks --
+    otherwise bit-exactness guards less than it claims."""
+    totals = {}
+    for case in golden["cases"]:
+        for field, value in case["stats"].items():
+            totals[field] = totals.get(field, 0) + value
+    assert totals["fail_stop_errors"] > 0
+    assert totals["silent_errors"] > 0
+    assert totals["disk_recoveries"] > 0
+    assert totals["memory_recoveries"] > 0
+    assert totals["silent_detections_partial"] > 0
+    assert totals["silent_detections_guaranteed"] > 0
+    assert totals["partial_verifications"] > 0
+
+
+def test_stats_fields_all_frozen(golden):
+    """Adding a SimulationStats field without regenerating is caught."""
+    from repro.simulation.stats import SimulationStats
+
+    field_names = {f.name for f in dataclasses.fields(SimulationStats)}
+    frozen_names = set(golden["cases"][0]["stats"])
+    assert field_names == frozen_names

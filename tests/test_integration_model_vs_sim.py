@@ -49,12 +49,17 @@ def test_disk_recoveries_track_fail_stop_mtbf():
 
 def test_memory_recoveries_track_silent_mtbf():
     """Section 6.2.5: the silent rate is a good indicator of memory
-    recoveries (~0.285/day on Hera)."""
+    recoveries (~0.285/day on Hera).
+
+    The counter also includes the ``R_M`` restore performed as part of
+    every disk recovery (one per fail-stop error), so the full
+    expectation is ``lambda_s + lambda_f`` per day.
+    """
     plat = hera()
-    expected_per_day = 86400.0 * plat.lambda_s  # ~0.29 on Hera
+    expected_per_day = 86400.0 * (plat.lambda_s + plat.lambda_f)  # ~0.37
     res = simulate_optimal_pattern(PatternKind.PDMV, plat, seed=109, **MC)
     per_day = res.aggregated.rates_per_day["memory_recoveries"]
-    assert per_day == pytest.approx(expected_per_day, rel=0.35)
+    assert per_day == pytest.approx(expected_per_day, rel=0.30)
 
 
 def test_first_order_optimistic_at_scale():

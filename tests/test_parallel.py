@@ -69,6 +69,59 @@ class TestParallelRunner:
         assert res.predicted_overhead == 0.25
 
 
+class TestStepEnginePool:
+    """The process pool is the step tier's scaling path; the fast tiers
+    bypass it (one in-process NumPy batch beats process fan-out), so
+    these tests force ``engine="step"``."""
+
+    def test_multi_worker_matches_sequential(self, tiny_platform):
+        pat = pattern_pd(400.0)
+        seq = run_monte_carlo(
+            pat, tiny_platform, n_patterns=4, n_runs=6, seed=7,
+            engine="step",
+        )
+        par = run_monte_carlo_parallel(
+            pat, tiny_platform, n_patterns=4, n_runs=6, seed=7,
+            n_workers=2, engine="step",
+        )
+        assert par.engine == "step"
+        assert par.simulated_overhead == pytest.approx(
+            seq.simulated_overhead, rel=1e-12
+        )
+        assert (
+            par.aggregated.mean_counters["silent_errors"]
+            == seq.aggregated.mean_counters["silent_errors"]
+        )
+
+    def test_chunked_matches_sequential(self, tiny_platform):
+        pat = pattern_pd(400.0)
+        seq = run_monte_carlo(
+            pat, tiny_platform, n_patterns=4, n_runs=9, seed=17,
+            engine="step",
+        )
+        par = run_monte_carlo_parallel(
+            pat, tiny_platform, n_patterns=4, n_runs=9, seed=17,
+            n_workers=2, chunksize=4, engine="step",
+        )
+        assert par.simulated_overhead == pytest.approx(
+            seq.simulated_overhead, rel=1e-12
+        )
+
+    def test_single_worker_in_process(self, tiny_platform):
+        pat = pattern_pd(300.0)
+        seq = run_monte_carlo(
+            pat, tiny_platform, n_patterns=3, n_runs=4, seed=2,
+            engine="step",
+        )
+        par = run_monte_carlo_parallel(
+            pat, tiny_platform, n_patterns=3, n_runs=4, seed=2,
+            n_workers=1, engine="step",
+        )
+        assert par.simulated_overhead == pytest.approx(
+            seq.simulated_overhead, rel=1e-12
+        )
+
+
 class TestChunkedRunner:
     def test_chunked_matches_sequential(self, tiny_platform):
         """Explicit chunking preserves the per-run seed mapping exactly."""

@@ -6,6 +6,7 @@ import pytest
 
 from repro.simulation.stats import (
     AggregatedStats,
+    COUNTER_FIELDS,
     SECONDS_PER_DAY,
     SECONDS_PER_HOUR,
     SimulationStats,
@@ -70,6 +71,33 @@ class TestSimulationStats:
         assert a.disk_checkpoints == 14
         assert a.patterns_completed == 20
 
+    def test_merge_covers_every_counter_field(self):
+        a = make_run(silent_detections_partial=3,
+                     silent_detections_guaranteed=2)
+        b = make_run(silent_detections_partial=4,
+                     silent_detections_guaranteed=1)
+        a.merge(b)
+        assert a.silent_detections_partial == 7
+        assert a.silent_detections_guaranteed == 3
+        assert a.useful_work == pytest.approx(12000.0)
+
+    def test_merge_into_empty_is_copy(self):
+        a = SimulationStats()
+        b = make_run()
+        a.merge(b)
+        for name in COUNTER_FIELDS:
+            assert getattr(a, name) == getattr(b, name)
+        assert a.total_time == b.total_time
+
+    def test_counter_fields_match_dataclass(self):
+        import dataclasses
+
+        names = {f.name for f in dataclasses.fields(SimulationStats)}
+        assert set(COUNTER_FIELDS) <= names
+        assert names - set(COUNTER_FIELDS) == {
+            "total_time", "useful_work", "patterns_completed"
+        }
+
 
 class TestAggregateStats:
     def test_empty_rejected(self):
@@ -115,3 +143,31 @@ class TestAggregateStats:
         agg = aggregate_stats(runs)
         lo, hi = agg.overhead_ci95()
         assert lo < agg.mean_overhead < hi
+
+    def test_all_counter_fields_aggregated(self):
+        agg = aggregate_stats([make_run()])
+        for name in COUNTER_FIELDS:
+            assert name in agg.mean_counters
+            assert name in agg.rates_per_hour
+            assert name in agg.rates_per_day
+            assert name in agg.per_pattern
+
+    def test_per_pattern_aggregation(self):
+        runs = [
+            make_run(patterns_completed=10, disk_recoveries=2),
+            make_run(patterns_completed=20, disk_recoveries=8),
+        ]
+        agg = aggregate_stats(runs)
+        assert agg.per_pattern["disk_recoveries"] == pytest.approx(
+            (0.2 + 0.4) / 2
+        )
+
+    def test_sem_shrinks_with_runs(self):
+        import math
+
+        runs4 = [make_run(total_time=7000 + 200 * i) for i in range(4)]
+        runs16 = [make_run(total_time=7000 + 200 * (i % 4)) for i in range(16)]
+        a4 = aggregate_stats(runs4)
+        a16 = aggregate_stats(runs16)
+        assert not math.isnan(a4.sem_overhead)
+        assert a16.sem_overhead < a4.sem_overhead

@@ -85,6 +85,62 @@ class TestTraceRecorder:
         assert "more records" in out
 
 
+class TestOpOutcomeKind:
+    def test_values(self):
+        assert OpOutcomeKind.COMPLETED.value == "completed"
+        assert OpOutcomeKind.INTERRUPTED.value == "interrupted"
+        assert OpOutcomeKind.ALARM.value == "alarm"
+
+    def test_distinct(self):
+        assert len({k.value for k in OpOutcomeKind}) == len(OpOutcomeKind)
+
+
+class TestTraceRecorderProtocols:
+    def test_iteration_matches_records(self):
+        tr = TraceRecorder()
+        for i in range(4):
+            tr.emit(OperationKind.COMPUTE, float(i), 1.0,
+                    OpOutcomeKind.COMPLETED)
+        assert [r.start for r in tr] == [0.0, 1.0, 2.0, 3.0]
+        assert list(tr) == list(tr.records)
+
+    def test_by_op_absent_kind_empty(self):
+        tr = TraceRecorder()
+        tr.emit(OperationKind.COMPUTE, 0.0, 1.0, OpOutcomeKind.COMPLETED)
+        assert tr.by_op(OperationKind.DISK_RECOVERY) == []
+        assert tr.by_outcome(OpOutcomeKind.ALARM) == []
+
+    def test_total_time_sums_elapsed(self):
+        tr = TraceRecorder()
+        tr.emit(OperationKind.COMPUTE, 0.0, 1.5, OpOutcomeKind.COMPLETED)
+        tr.emit(OperationKind.MEMORY_RECOVERY, 1.5, 0.25,
+                OpOutcomeKind.COMPLETED)
+        assert tr.total_time() == pytest.approx(1.75)
+
+    def test_contiguity_tolerance(self):
+        tr = TraceRecorder()
+        tr.emit(OperationKind.COMPUTE, 0.0, 1.0, OpOutcomeKind.COMPLETED)
+        tr.emit(OperationKind.COMPUTE, 1.0 + 1e-8, 1.0,
+                OpOutcomeKind.COMPLETED)
+        assert tr.validate_contiguous()          # within default 1e-6
+        assert not tr.validate_contiguous(tol=1e-9)
+
+    def test_render_position_columns(self):
+        tr = TraceRecorder()
+        tr.emit(OperationKind.COMPUTE, 0.0, 3.0, OpOutcomeKind.COMPLETED,
+                segment=2, chunk=7, pattern_index=1)
+        out = tr.render()
+        row = out.splitlines()[1]
+        assert row.split()[-3:] == ["1", "2", "7"]
+
+    def test_empty_recorder(self):
+        tr = TraceRecorder()
+        assert len(tr) == 0
+        assert tr.counts() == {}
+        assert tr.total_time() == 0.0
+        assert tr.validate_contiguous()
+
+
 class TestEngineTracing:
     def test_error_free_trace_structure(self, rng):
         plat = make_platform()
