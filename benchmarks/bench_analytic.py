@@ -1,0 +1,149 @@
+"""Benchmark: the vectorised analytic layer vs the scalar model loops.
+
+Measures the claim the ``analytic`` engine tier is built on: on a
+1k-cell catalog grid (the four Table-2 platforms x a 16 x 16
+``lambda_f``/``lambda_s`` factor grid), :func:`batch_optimal_patterns`
+is **>= 10x** faster than looping :func:`numeric_optimal_pattern` cell
+by cell (the observed ratio is in the hundreds; the assertion leaves CI
+headroom) while returning the *same* integer shapes everywhere and
+overheads within 1e-9 -- the acceptance contract of the tier.
+
+The measured trajectory point is written to ``BENCH_analytic.json`` at
+the repository root so successive PRs can track analytic throughput.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the grid to
+4 x 4 x 4 = 64 cells so regressions fail fast without a one-minute
+scalar baseline; the speedup assertion and the every-cell equivalence
+check still run, but the trajectory file is left untouched.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    PlatformGrid,
+    batch_exact_overhead,
+    batch_optimal_patterns,
+)
+from repro.core.builders import PatternKind, build_pattern
+from repro.core.exact import exact_overhead
+from repro.core.optimizer import numeric_optimal_pattern
+from repro.platforms.catalog import PLATFORMS
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_analytic.json",
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Grid resolution: 4 platforms x N x N rate factors.
+N_FACTORS = 4 if SMOKE else 16
+
+KIND = PatternKind.PDMV
+
+
+def _catalog_grid() -> PlatformGrid:
+    factors = np.linspace(0.2, 2.0, N_FACTORS)
+    return PlatformGrid.from_product(
+        [factory() for factory in PLATFORMS.values()],
+        factor_f=factors,
+        factor_s=factors,
+    )
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+@pytest.mark.benchmark(group="analytic")
+def test_batch_optimiser_vs_looped_numeric(once):
+    """>= 10x on the catalog grid, with every cell bit-for-bit agreeing."""
+    grid = _catalog_grid()
+
+    batch_time, opt = _time(
+        lambda: once(batch_optimal_patterns, KIND, grid)
+    )
+    loop_time, looped = _time(
+        lambda: [
+            numeric_optimal_pattern(KIND, grid.platform_at(i))
+            for i in range(grid.size)
+        ]
+    )
+
+    speedup = loop_time / batch_time
+    print(
+        f"\nlooped numeric_optimal_pattern {loop_time:.2f} s, "
+        f"batch_optimal_patterns {batch_time * 1e3:.1f} ms "
+        f"({speedup:.0f}x, {grid.size} cells, {KIND})"
+    )
+
+    # The acceptance contract: identical integer shapes on every cell,
+    # overheads within 1e-9 of the scipy-refined scalar optimum.
+    for i, num in enumerate(looped):
+        assert (int(opt.n[i]), int(opt.m[i])) == (num.n, num.m), (
+            f"cell {i}: batch shape ({opt.n[i]}, {opt.m[i]}) != "
+            f"scalar ({num.n}, {num.m})"
+        )
+        assert abs(float(opt.overhead[i]) - num.overhead) < 1e-9, (
+            f"cell {i}: batch overhead {opt.overhead[i]} vs "
+            f"scalar {num.overhead}"
+        )
+
+    if not SMOKE:
+        record = {
+            "bench": "analytic",
+            "kind": KIND.value,
+            "grid": f"4 platforms x {N_FACTORS}x{N_FACTORS} rate factors",
+            "n_cells": grid.size,
+            "loop_seconds": loop_time,
+            "batch_seconds": batch_time,
+            "speedup_batch_vs_loop": speedup,
+            "loop_cells_per_second": grid.size / loop_time,
+            "batch_cells_per_second": grid.size / batch_time,
+        }
+        with open(BENCH_PATH, "w") as fh:
+            json.dump(record, fh, indent=1)
+            fh.write("\n")
+
+    assert speedup >= 10.0
+
+
+@pytest.mark.benchmark(group="analytic")
+def test_batch_exact_vs_looped_recursion(once):
+    """The vectorised exact recursion beats the scalar loop >= 10x."""
+    grid = _catalog_grid()
+    opt = batch_optimal_patterns(KIND, grid, refine_period=False)
+
+    batch_time, H_batch = _time(
+        lambda: once(
+            batch_exact_overhead, KIND, grid, opt.W_star, opt.n, opt.m
+        )
+    )
+
+    def looped():
+        out = np.empty(grid.size)
+        for i in range(grid.size):
+            p = grid.platform_at(i)
+            pat = build_pattern(
+                KIND, float(opt.W_star[i]),
+                n=int(opt.n[i]), m=int(opt.m[i]), r=p.r,
+            )
+            out[i] = exact_overhead(pat, p)
+        return out
+
+    loop_time, H_loop = _time(looped)
+    speedup = loop_time / batch_time
+    print(
+        f"\nlooped exact_overhead {loop_time * 1e3:.1f} ms, "
+        f"batch {batch_time * 1e3:.2f} ms ({speedup:.0f}x, "
+        f"{grid.size} cells)"
+    )
+    np.testing.assert_allclose(H_batch, H_loop, rtol=1e-12)
+    assert speedup >= 10.0

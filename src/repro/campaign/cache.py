@@ -36,10 +36,15 @@ def cache_key(point: ScenarioPoint) -> str:
     Only fields that influence the computed numbers participate:
     ``labels`` are presentation metadata and are excluded, and
     ``optimize`` points ignore the Monte-Carlo configuration entirely
-    (including the engine request, which only affects simulation).  The
-    payload also carries the engine :data:`SEMANTICS_VERSION`, so rows
-    computed under a different engine generation (e.g. pre-vectorisation
-    step-engine rows) are never silently mixed with current ones.
+    (including the engine request, which only affects simulation).
+    Analytic points (``engine="analytic"``) are deterministic model
+    evaluations, so they also shed the Monte-Carlo fields and carry
+    :data:`~repro.core.batch.ANALYTIC_VERSION` instead -- two campaigns
+    requesting the same analytic cell at different Monte-Carlo sizes
+    share one entry.  The payload also carries the engine
+    :data:`SEMANTICS_VERSION`, so rows computed under a different engine
+    generation (e.g. pre-vectorisation step-engine rows) are never
+    silently mixed with current ones.
     """
     desc = point.to_dict()
     desc.pop("labels", None)
@@ -53,6 +58,17 @@ def cache_key(point: ScenarioPoint) -> str:
         "semantics": SEMANTICS_VERSION,
         "point": desc,
     }
+    if point.mode != "optimize" and point.engine == "analytic":
+        from repro.core.batch import ANALYTIC_VERSION
+
+        for field in ("n_patterns", "n_runs", "seed",
+                      "fail_stop_in_operations"):
+            desc.pop(field, None)
+        # Analytic rows never touch the Monte-Carlo engines, so they are
+        # versioned by the model layer alone: a simulator semantics bump
+        # must not invalidate them.
+        payload.pop("semantics")
+        payload["analytic"] = ANALYTIC_VERSION
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

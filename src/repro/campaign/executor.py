@@ -48,16 +48,34 @@ def default_chunksize(n_points: int, n_workers: int) -> int:
     return shared_chunksize(n_points, n_workers, cap=MAX_CHUNK)
 
 
+def _analytic_record(point: ScenarioPoint) -> Dict[str, Any]:
+    """The analytic-tier record for one point (single-cell batch).
+
+    Single-cell and many-cell batches are bit-identical per cell, so the
+    record does not depend on how the executor grouped the work -- a
+    requirement for stable cache entries.
+    """
+    from repro.core.batch import evaluate_analytic
+
+    rec = evaluate_analytic(point.build_kind(), point.build_platform())
+    return {"mode": point.mode, "engine": "analytic", **rec}
+
+
 def evaluate_point(point: ScenarioPoint) -> Dict[str, Any]:
     """Compute the result record for one scenario point.
 
     ``simulate`` mode is the paper's experimental unit: Table-1
     optimisation followed by a Monte-Carlo campaign
-    (:func:`~repro.simulation.runner.simulate_optimal_pattern`).
+    (:func:`~repro.simulation.runner.simulate_optimal_pattern`)
+    -- unless the point requests ``engine="analytic"``, in which case
+    the vectorised model layer answers without sampling.
     ``optimize`` mode stops after the model-level optimisation.  The
     record contains only JSON-safe scalars and excludes the point labels.
     """
     from repro.core.formulas import optimal_pattern
+
+    if point.mode == "simulate" and point.engine == "analytic":
+        return _analytic_record(point)
 
     kind = point.build_kind()
     platform = point.build_platform()
@@ -122,15 +140,50 @@ def evaluate_point(point: ScenarioPoint) -> Dict[str, Any]:
     return record
 
 
+def evaluate_points(
+    points: Sequence[ScenarioPoint],
+) -> List[Dict[str, Any]]:
+    """Evaluate many points, batching analytic ones per family.
+
+    Analytic points sharing a pattern family are packed into one
+    :class:`~repro.core.batch.PlatformGrid` and answered by a single
+    vectorised :func:`~repro.core.batch.analytic_records` call -- the
+    batch path the ``analytic`` engine tier exists for.  Every other
+    point goes through :func:`evaluate_point` unchanged.  Results are
+    returned in input order.
+    """
+    out: List[Optional[Dict[str, Any]]] = [None] * len(points)
+    analytic_by_kind: Dict[str, List[int]] = {}
+    for i, point in enumerate(points):
+        if point.mode == "simulate" and point.engine == "analytic":
+            analytic_by_kind.setdefault(point.kind, []).append(i)
+        else:
+            out[i] = evaluate_point(point)
+    if analytic_by_kind:
+        from repro.core.batch import PlatformGrid, analytic_records
+
+        for kind_name, idxs in analytic_by_kind.items():
+            kind = points[idxs[0]].build_kind()
+            grid = PlatformGrid.from_platforms(
+                [points[i].build_platform() for i in idxs]
+            )
+            for i, rec in zip(idxs, analytic_records(kind, grid)):
+                out[i] = {
+                    "mode": points[i].mode, "engine": "analytic", **rec
+                }
+    return out  # type: ignore[return-value]
+
+
 def _evaluate_chunk(
     point_dicts: Sequence[Dict[str, Any]]
 ) -> List[Tuple[str, Dict[str, Any]]]:
     """Worker entry: evaluate a batch of serialised points."""
-    out: List[Tuple[str, Dict[str, Any]]] = []
-    for data in point_dicts:
-        point = ScenarioPoint.from_dict(data)
-        out.append((cache_key(point), evaluate_point(point)))
-    return out
+    points = [ScenarioPoint.from_dict(data) for data in point_dicts]
+    records = evaluate_points(points)
+    return [
+        (cache_key(point), record)
+        for point, record in zip(points, records)
+    ]
 
 
 @dataclass
@@ -290,11 +343,6 @@ def _execute(
         if cache is not None:
             cache.put(key, record)
 
-    if workers == 1:
-        for key, point in todo:
-            commit(key, evaluate_point(point))
-        return len(todo)
-
     size = (
         chunksize
         if chunksize is not None
@@ -302,6 +350,16 @@ def _execute(
     )
     size = max(1, size)
     chunks = [todo[i : i + size] for i in range(0, len(todo), size)]
+
+    if workers == 1:
+        # In-process, deterministic -- but still chunked so analytic
+        # points ride the vectorised batch path; the journal flushes
+        # after every chunk (the unit of loss on interruption).
+        for chunk in chunks:
+            records = evaluate_points([p for _, p in chunk])
+            for (key, _), record in zip(chunk, records):
+                commit(key, record)
+        return len(todo)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         pending = {
             pool.submit(

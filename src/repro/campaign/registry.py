@@ -4,14 +4,25 @@ A generator expands a :class:`~repro.campaign.spec.CampaignSpec` into a
 list of :class:`~repro.campaign.spec.ScenarioPoint`.  Generators cover the
 paper's experiment shapes -- the platform-catalog campaign (Figure 6),
 error-rate sweeps and grids (Figure 9), weak scaling (Figures 7/8),
-single-platform family comparisons, and the model-level detector
-sensitivity sweeps -- and new ones can be registered with
+single-platform family comparisons, the model-level detector
+sensitivity sweeps, and the optimiser-in-the-loop analytic families
+(``optimal_pattern_surface``, ``firstorder_vs_exact_divergence``) that
+run on the vectorised model layer -- and new ones can be registered with
 :func:`register_scenario`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.campaign.spec import (
     CampaignSpec,
@@ -89,7 +100,14 @@ def _simulate_point(
     kind: str,
     platform: Dict[str, Any],
     labels: Dict[str, Any],
+    *,
+    engine: Optional[str] = None,
 ) -> ScenarioPoint:
+    """One simulate-mode point with the spec's Monte-Carlo defaults.
+
+    ``engine`` overrides the spec's engine request; the analytic scenario
+    generators use it to default their points to the batch model tier.
+    """
     return ScenarioPoint(
         mode="simulate",
         kind=kind,
@@ -97,7 +115,7 @@ def _simulate_point(
         n_patterns=spec.n_patterns,
         n_runs=spec.n_runs,
         seed=spec.seed,
-        engine=spec.engine,
+        engine=spec.engine if engine is None else engine,
         labels=labels,
     )
 
@@ -288,6 +306,127 @@ def recall_sweep(spec: CampaignSpec) -> List[ScenarioPoint]:
                 labels={"role": "sweep", "recall": r},
             )
         )
+    return points
+
+
+#: Default rate-factor grid of the analytic surface scenario.
+SURFACE_FACTORS = (0.2, 0.6, 1.0, 1.4, 2.0)
+
+#: Default rate-scale ladder of the divergence-map scenario.
+DIVERGENCE_SCALES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@register_scenario("optimal_pattern_surface")
+def optimal_pattern_surface(spec: CampaignSpec) -> List[ScenarioPoint]:
+    """Optimiser-in-the-loop overhead surfaces on the analytic tier.
+
+    The Table-1/2 surface shape: re-optimise every family in every cell
+    of a ``platform x lambda_f x lambda_s`` grid and record the optimal
+    configuration plus its first-order and exact overheads.  Points
+    default to ``engine="analytic"`` (the vectorised batch optimiser);
+    forcing a Monte-Carlo tier via the spec engine simulates the same
+    surface instead.
+
+    Params: ``platforms`` (default the four Table-2 platforms),
+    ``kinds`` (default all six families), ``factors_f`` / ``factors_s``
+    (rate multipliers, default :data:`SURFACE_FACTORS`).
+    """
+    platforms = spec.params.get("platforms")
+    if platforms is None:
+        platforms = list(PLATFORMS)
+    kinds = _kind_values(spec.params, PATTERN_ORDER)
+    factors_f = tuple(spec.params.get("factors_f", SURFACE_FACTORS))
+    factors_s = tuple(spec.params.get("factors_s", SURFACE_FACTORS))
+    engine = spec.engine if spec.engine != "auto" else "analytic"
+    points: List[ScenarioPoint] = []
+    for plat in platforms:
+        base = platform_from_dict(resolve_platform_dict(plat))
+        for ff in factors_f:
+            for fs in factors_s:
+                view = base.scaled_rates(factor_f=ff, factor_s=fs)
+                pdict = platform_to_dict(view)
+                for kind in kinds:
+                    points.append(
+                        _simulate_point(
+                            spec,
+                            kind,
+                            pdict,
+                            {
+                                "platform": base.name,
+                                "factor_f": ff,
+                                "factor_s": fs,
+                                "pattern": kind,
+                            },
+                            engine=engine,
+                        )
+                    )
+    return points
+
+
+@register_scenario("firstorder_vs_exact_divergence")
+def firstorder_vs_exact_divergence(spec: CampaignSpec) -> List[ScenarioPoint]:
+    """Figure-7a-style divergence maps: first-order ``H*`` vs exact ``H``.
+
+    Points default to ``engine="analytic"`` (the divergence is a
+    model-level quantity); each analytic record carries ``predicted``
+    (first-order ``H*``), ``simulated`` (exact overhead of the same
+    configuration) and their ``divergence``.  Forcing a Monte-Carlo tier
+    via the spec engine cross-checks the same map against sampled
+    overheads instead (``predicted``/``simulated`` columns only).
+
+    Params: either ``node_counts`` (weak-scale the Hera-derived platform,
+    the literal Figure-7a sweep; ``C_D``/``C_M`` as in ``weak_scaling``)
+    or ``platforms`` x ``scales`` (scale each catalog platform's error
+    rates up a ladder, default :data:`DIVERGENCE_SCALES` -- the
+    across-the-catalog map).  ``kinds`` defaults to ``("PD", "PDMV")``.
+    """
+    from repro.core.builders import PatternKind
+    from repro.platforms.scaling import weak_scaling_platform
+
+    kinds = _kind_values(spec.params, (PatternKind.PD, PatternKind.PDMV))
+    engine = spec.engine if spec.engine != "auto" else "analytic"
+    points: List[ScenarioPoint] = []
+    if spec.params.get("node_counts") is not None:
+        counts = tuple(spec.params["node_counts"])
+        C_D = float(spec.params.get("C_D", 300.0))
+        C_M = float(spec.params.get("C_M", 15.4))
+        for nodes in counts:
+            plat = weak_scaling_platform(int(nodes), C_D=C_D, C_M=C_M)
+            pdict = platform_to_dict(plat)
+            for kind in kinds:
+                points.append(
+                    _simulate_point(
+                        spec,
+                        kind,
+                        pdict,
+                        {"nodes": int(nodes), "pattern": kind},
+                        engine=engine,
+                    )
+                )
+        return points
+    platforms = spec.params.get("platforms")
+    if platforms is None:
+        platforms = list(PLATFORMS)
+    scales = tuple(spec.params.get("scales", DIVERGENCE_SCALES))
+    for plat in platforms:
+        base = platform_from_dict(resolve_platform_dict(plat))
+        for scale in scales:
+            view = base.scaled_rates(factor_f=scale, factor_s=scale)
+            pdict = platform_to_dict(view)
+            for kind in kinds:
+                points.append(
+                    _simulate_point(
+                        spec,
+                        kind,
+                        pdict,
+                        {
+                            "platform": base.name,
+                            "scale": scale,
+                            "pattern": kind,
+                        },
+                        engine=engine,
+                    )
+                )
     return points
 
 

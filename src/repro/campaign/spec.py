@@ -82,10 +82,13 @@ class ScenarioPoint:
         operations (the engine default).
     engine:
         Engine tier request (see :mod:`repro.simulation.dispatch`):
-        ``"auto"`` (default) dispatches to the fastest covering tier,
-        ``"fast-pd"``/``"fast"``/``"step"`` force one.  Participates in
-        the cache key: rows computed by different engine requests are
-        never silently mixed.
+        ``"auto"`` (default) dispatches to the fastest covering
+        Monte-Carlo tier, ``"fast-pd"``/``"fast"``/``"step"`` force one,
+        and ``"analytic"`` evaluates the point on the vectorised model
+        layer (:mod:`repro.core.batch`) instead of sampling -- the
+        Monte-Carlo configuration is then ignored.  Participates in the
+        cache key: rows computed by different engine requests are never
+        silently mixed.
     labels:
         Free-form row labels carried verbatim into the result record
         (e.g. ``{"factor_f": 0.6}`` for a sweep point).
@@ -122,7 +125,7 @@ class ScenarioPoint:
                     "(they participate in the JSON cache key), got "
                     f"{type(self.seed).__name__}"
                 ) from None
-        if self.mode == "simulate":
+        if self.mode == "simulate" and self.engine != "analytic":
             if self.n_patterns <= 0 or self.n_runs <= 0:
                 raise ValueError(
                     "simulate points need positive n_patterns and n_runs, "

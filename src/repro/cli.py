@@ -3,12 +3,16 @@
 Usage::
 
     repro-patterns table1 --platform hera
-    repro-patterns table2
+    repro-patterns table1 --platform hera --numeric --engine analytic
+    repro-patterns table2 --engine analytic
     repro-patterns fig6 --runs 50 --patterns 100
     repro-patterns fig7 --runs 20
+    repro-patterns fig7 --engine analytic --paper-nodes
     repro-patterns fig8 --runs 20
     repro-patterns fig9 --sweep f
     repro-patterns fig9 --grid
+    repro-patterns campaign run --scenario optimal_pattern_surface \
+        --engine analytic
     repro-patterns campaign run --scenario platform_catalog \
         --cache-dir .repro-cache --journal fig6.jsonl --workers 8
     repro-patterns campaign resume --scenario platform_catalog \
@@ -41,8 +45,6 @@ from repro.experiments.fig9 import (
 )
 from repro.experiments.io import write_csv, write_json
 from repro.experiments.report import format_table
-from repro.experiments.table1 import render_table1
-from repro.experiments.table2 import render_table2
 from repro.platforms.catalog import get_platform, platform_names
 
 
@@ -111,9 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also compute the numerically optimal period (slow)",
     )
+    _add_engine(p)
     _add_common(p)
 
     p = sub.add_parser("table2", help="platform parameter catalog")
+    _add_engine(p)
     _add_common(p)
 
     p = sub.add_parser("fig6", help="patterns on the four real platforms")
@@ -125,10 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="sweep the full 2^8..2^18 node range",
     )
+    _add_engine(p)
     _add_common(p)
 
     p = sub.add_parser("fig8", help="weak scaling, C_D = 90")
     p.add_argument("--paper-nodes", action="store_true")
+    _add_engine(p)
     _add_common(p)
 
     p = sub.add_parser(
@@ -376,15 +382,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         platform = get_platform(args.platform)
         from repro.experiments.table1 import run_table1
 
-        rows = run_table1(platform, include_numeric=args.numeric)
-        _emit(rows, render_table1(platform, include_numeric=args.numeric), args)
+        rows = run_table1(
+            platform, include_numeric=args.numeric, engine=args.engine
+        )
+        _emit(
+            rows,
+            format_table(
+                rows, title=f"Table 1 -- optimal patterns on {platform.name}"
+            ),
+            args,
+        )
         return 0
 
     if args.command == "table2":
         from repro.experiments.table2 import run_table2
 
-        rows = run_table2()
-        _emit(rows, render_table2(), args)
+        rows = run_table2(engine=args.engine)
+        _emit(
+            rows,
+            format_table(rows, title="Table 2 -- platform parameters"),
+            args,
+        )
         return 0
 
     if args.command == "optimize":
@@ -405,7 +423,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ),
         )
         rows = run_table1(platform)
-        _emit(rows, render_table1(platform), args)
+        _emit(
+            rows,
+            format_table(
+                rows, title=f"Table 1 -- optimal patterns on {platform.name}"
+            ),
+            args,
+        )
         return 0
 
     if args.command == "simulate":
@@ -414,6 +438,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         kind = next(k for k in PatternKind if k.value == args.pattern)
         platform = get_platform(args.platform)
+        if args.engine == "analytic":
+            from repro.core.batch import evaluate_analytic
+
+            rec = evaluate_analytic(kind, platform)
+            rows = [
+                {
+                    "pattern": kind.value,
+                    "platform": platform.name,
+                    "engine": "analytic",
+                    "predicted": rec["predicted"],
+                    "simulated": rec["simulated"],
+                    "divergence": rec["divergence"],
+                    "H_numeric": rec["H_numeric"],
+                    "W*_hours": rec["W*_hours"],
+                    "n*": rec["n*"],
+                    "m*": rec["m*"],
+                }
+            ]
+            _emit(
+                rows,
+                format_table(
+                    rows,
+                    title=f"Analytic model: {kind.value} on "
+                    f"{platform.name} (exact recursion, no sampling)",
+                ),
+                args,
+            )
+            return 0
         n_pat, n_runs = _mc_sizes(args, 100, 50)
         res = simulate_optimal_pattern(
             kind,
@@ -487,6 +539,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 n_patterns=n_pat,
                 n_runs=n_runs,
                 seed=args.seed if args.seed is not None else 20160607,
+                engine=args.engine,
             )
             _emit(rows, render_weak_scaling(rows), args)
         else:
@@ -495,6 +548,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 n_patterns=n_pat,
                 n_runs=n_runs,
                 seed=args.seed if args.seed is not None else 20160608,
+                engine=args.engine,
             )
             _emit(rows, render_fig8(rows), args)
         return 0

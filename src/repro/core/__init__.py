@@ -15,7 +15,11 @@ This subpackage implements the paper's primary contribution:
 * :mod:`repro.core.exact` -- exact (non-Taylor-expanded) expected
   execution time of a fixed pattern, via the paper's recursions;
 * :mod:`repro.core.optimizer` -- scipy-based numerical optimisation that
-  cross-validates the closed forms.
+  cross-validates the closed forms;
+* :mod:`repro.core.batch` -- the vectorised analytic layer: the same
+  decomposition, closed forms and exact recursion evaluated over whole
+  struct-of-arrays parameter grids, plus the batch pattern optimiser
+  behind the ``analytic`` engine tier.
 """
 
 from repro.core.pattern import (
@@ -56,6 +60,16 @@ from repro.core.exact import exact_expected_time, exact_overhead
 from repro.core.optimizer import (
     numeric_optimal_pattern,
     refine_integer_parameters,
+)
+from repro.core.batch import (
+    BatchOptima,
+    PlatformGrid,
+    analytic_records,
+    batch_decompose,
+    batch_exact_overhead,
+    batch_optimal_patterns,
+    batch_refine_period,
+    evaluate_analytic,
 )
 from repro.core.faulty_ops import (
     ExpectedOperationCosts,
@@ -106,6 +120,14 @@ __all__ = [
     "exact_overhead",
     "numeric_optimal_pattern",
     "refine_integer_parameters",
+    "BatchOptima",
+    "PlatformGrid",
+    "analytic_records",
+    "batch_decompose",
+    "batch_exact_overhead",
+    "batch_optimal_patterns",
+    "batch_refine_period",
+    "evaluate_analytic",
     "ExpectedOperationCosts",
     "expected_operation_costs",
     "refined_decomposition",

@@ -91,6 +91,14 @@ def optimize_period(
     # Keep the exponentials in the exact recursion in a sane range.
     max_W = 50.0 / max(platform.lambda_total, 1e-300)
     hi = min(hi, max_W)
+    if hi <= lo:
+        raise ValueError(
+            f"period bracket [{lo:.6g}, {hi:.6g}] is empty for {kind} "
+            f"(n={n}, m={m}): the first-order optimum W*={W_guess:.6g}s "
+            f"exceeds the exact recursion's stability cap "
+            f"{max_W:.6g}s (= 50 / lambda_total), so the bracket cannot "
+            "contain a minimum; check the platform rates and costs"
+        )
 
     res = _opt.minimize_scalar(
         lambda W: _exact_overhead_at(kind, platform, W, n, m),
@@ -130,11 +138,17 @@ def refine_integer_parameters(
         hi = max(1, math.ceil(x) + window)
         return range(lo, hi + 1)
 
+    # Always consider m = 1 (the verification-free parent family): like
+    # :func:`repro.core.formulas.optimal_pattern`, the refinement must
+    # never return a chunked shape worse than its own degenerate parent,
+    # even when the continuous optimum sits far from 1.
+    m_candidates = sorted({1, *candidates(m_cont)})
+
     best: Optional[Tuple[float, int, int]] = None
     for n in candidates(n_cont):
         if kind in (PatternKind.PD, PatternKind.PDV_STAR, PatternKind.PDV) and n != 1:
             continue
-        for m in candidates(m_cont):
+        for m in m_candidates:
             if kind in (PatternKind.PD, PatternKind.PDM) and m != 1:
                 continue
             if use_exact:

@@ -30,6 +30,52 @@ PAPER_NODE_COUNTS = tuple(2**k for k in range(8, 19))
 DEFAULT_NODE_COUNTS = tuple(2**k for k in range(8, 17, 2))
 
 
+def _run_weak_scaling_analytic(
+    counts: Sequence[int],
+    *,
+    C_D: float,
+    C_M: float,
+    kinds: Iterable[PatternKind],
+) -> List[Dict[str, Any]]:
+    """The analytic-tier weak-scaling rows: one batch call per family.
+
+    The whole node sweep becomes a single
+    :class:`~repro.core.batch.PlatformGrid`, so the optimiser-in-the-loop
+    evaluation (shape refinement, first-order and exact overheads per
+    node count) is a handful of vectorised passes instead of per-cell
+    scipy runs.  ``simulated`` is the exact-model overhead; the 7a
+    divergence panel is ``simulated - predicted`` exactly as on the
+    Monte-Carlo path.
+    """
+    from repro.core.batch import PlatformGrid, analytic_records
+
+    plats = [
+        weak_scaling_platform(int(nodes), C_D=C_D, C_M=C_M)
+        for nodes in counts
+    ]
+    grid = PlatformGrid.from_platforms(plats)
+    per_kind = {kind: analytic_records(kind, grid) for kind in kinds}
+    rows: List[Dict[str, Any]] = []
+    for i, nodes in enumerate(counts):
+        for kind in kinds:
+            rec = per_kind[kind][i]
+            rows.append(
+                {
+                    "nodes": int(nodes),
+                    "pattern": kind.value,
+                    "predicted": rec["predicted"],
+                    "simulated": rec["simulated"],
+                    "W*_hours": rec["W*_hours"],
+                    "n*": rec["n*"],
+                    "m*": rec["m*"],
+                    "divergence": rec["divergence"],
+                    "H_numeric": rec["H_numeric"],
+                    "engine": "analytic",
+                }
+            )
+    return rows
+
+
 def run_weak_scaling(
     node_counts: Optional[Sequence[int]] = None,
     *,
@@ -43,8 +89,15 @@ def run_weak_scaling(
 ) -> List[Dict[str, Any]]:
     """Run the weak-scaling campaign (Figure 7 with defaults; Figure 8
     with ``C_D=90``); one row per (node count, pattern).  ``engine``
-    selects the simulation tier (see :mod:`repro.simulation.dispatch`)."""
+    selects the simulation tier (see :mod:`repro.simulation.dispatch`);
+    ``"analytic"`` replaces the Monte-Carlo with the vectorised exact
+    model (no sampled operation-frequency columns, adds the
+    first-order-vs-exact ``divergence``)."""
     counts = tuple(node_counts) if node_counts is not None else DEFAULT_NODE_COUNTS
+    if engine == "analytic":
+        return _run_weak_scaling_analytic(
+            counts, C_D=C_D, C_M=C_M, kinds=tuple(kinds)
+        )
     rows: List[Dict[str, Any]] = []
     for nodes in counts:
         plat = weak_scaling_platform(nodes, C_D=C_D, C_M=C_M)

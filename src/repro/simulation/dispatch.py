@@ -1,7 +1,7 @@
 """Engine dispatch: route each simulation request to the fastest tier.
 
-Three engine tiers implement the paper's simulator semantics, ordered
-fastest first:
+Three Monte-Carlo engine tiers implement the paper's simulator
+semantics, ordered fastest first:
 
 1. **fast-pd** (:mod:`repro.simulation.fast_pd`): one NumPy pass per
    retry round, but only for the single-segment, single-chunk ``PD``
@@ -14,14 +14,23 @@ fastest first:
    operation per instance -- covers everything, including per-operation
    execution traces.
 
+A fourth tier, **analytic** (:mod:`repro.core.batch`), answers the same
+questions *without sampling*: it evaluates the model's exact recursion
+and closed forms (vectorised over whole parameter grids) instead of
+running Monte-Carlo instances.  It is never auto-selected -- expectation
+values and sampled runs are different deliverables -- but it is a
+first-class ``engine=`` request everywhere the campaign and experiment
+layers accept one.
+
 :func:`select_engine` picks the fastest tier whose semantics cover a
 request; :func:`run_stats` executes the request on that tier and returns
 per-run :class:`~repro.simulation.stats.SimulationStats` -- the shape
 every downstream consumer (runners, campaigns, experiments) aggregates.
-The tiers are statistically equivalent (asserted by
+The Monte-Carlo tiers are statistically equivalent (asserted by
 ``tests/test_engine_equivalence.py``) but not bit-identical, so results
 carry the tier that produced them and the campaign cache key includes
-:data:`~repro.simulation.model.SEMANTICS_VERSION`.
+:data:`~repro.simulation.model.SEMANTICS_VERSION` (and, for analytic
+rows, :data:`~repro.core.batch.ANALYTIC_VERSION`).
 """
 
 from __future__ import annotations
@@ -40,15 +49,16 @@ from repro.simulation.stats import SimulationStats
 from repro.simulation.trace import TraceRecorder
 
 #: Accepted values for the ``engine`` request parameter.
-ENGINE_CHOICES = ("auto", "fast-pd", "fast", "step")
+ENGINE_CHOICES = ("auto", "fast-pd", "fast", "step", "analytic")
 
 
 class EngineTier(enum.Enum):
-    """The three engine tiers, fastest first."""
+    """The engine tiers: Monte-Carlo fastest first, then the model tier."""
 
     FAST_PD = "fast-pd"
     FAST_GENERAL = "fast"
     STEP = "step"
+    ANALYTIC = "analytic"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -73,7 +83,9 @@ def covers(
         return False  # only the step engine emits per-operation traces
     if tier is EngineTier.FAST_PD:
         return _is_pd_shape(pattern) and not fail_stop_in_operations
-    return True  # FAST_GENERAL: any shape, both fail-stop settings
+    # FAST_GENERAL covers any shape and both fail-stop settings;
+    # ANALYTIC answers any traceless request with model expectations.
+    return True
 
 
 def select_engine(
@@ -85,9 +97,11 @@ def select_engine(
 ) -> EngineTier:
     """Pick the fastest tier covering the request.
 
-    ``engine`` forces a specific tier (``"fast-pd"``, ``"fast"`` or
-    ``"step"``); forcing a tier that cannot cover the request raises.
-    ``"auto"`` walks the tiers fastest-first.
+    ``engine`` forces a specific tier (``"fast-pd"``, ``"fast"``,
+    ``"step"`` or ``"analytic"``); forcing a tier that cannot cover the
+    request raises.  ``"auto"`` walks the *Monte-Carlo* tiers
+    fastest-first -- the analytic tier is explicit-only, because model
+    expectations and sampled runs are different deliverables.
     """
     if engine not in ENGINE_CHOICES:
         raise ValueError(
@@ -216,6 +230,14 @@ def run_stats(
         trace=trace,
         engine=engine,
     )
+
+    if tier is EngineTier.ANALYTIC:
+        raise ValueError(
+            "the analytic tier computes model expectations, not sampled "
+            "runs: use repro.core.batch (batch_optimal_patterns / "
+            "evaluate_analytic), an experiment's engine='analytic' path, "
+            "or campaign points with engine='analytic'"
+        )
 
     if tier is EngineTier.FAST_PD:
         from repro.simulation.fast_pd import simulate_pd_batch

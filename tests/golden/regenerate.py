@@ -1,13 +1,17 @@
 #!/usr/bin/env python
-"""Regenerate the bit-exact step-engine golden fixture.
+"""Regenerate the golden fixtures (step engine + analytic tables).
 
 Usage (from the repository root)::
 
-    python tests/golden/regenerate.py
+    python tests/golden/regenerate.py            # all fixtures
+    python tests/golden/regenerate.py engine     # step engine only
+    python tests/golden/regenerate.py tables     # table1/table2 only
 
-Only run this after an *intended* engine semantics change, and bump
-``repro.simulation.model.SEMANTICS_VERSION`` in the same commit so the
-campaign result cache does not mix rows across generations.
+Only run this after an *intended* semantics change, and bump the
+matching version in the same commit so the campaign result cache does
+not mix rows across generations:
+``repro.simulation.model.SEMANTICS_VERSION`` for the engine fixture,
+``repro.core.batch.ANALYTIC_VERSION`` for the table fixtures.
 """
 
 import os
@@ -17,8 +21,14 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(HERE, os.pardir))  # tests/ (golden_util)
 sys.path.insert(0, os.path.join(HERE, os.pardir, os.pardir, "src"))
 
-from golden_util import write_golden  # noqa: E402
+from golden_util import write_golden, write_table_goldens  # noqa: E402
 
 if __name__ == "__main__":
-    path = write_golden()
-    print(f"wrote {path}")
+    what = sys.argv[1] if len(sys.argv) > 1 else "all"
+    if what not in ("all", "engine", "tables"):
+        raise SystemExit(f"unknown fixture selector {what!r}")
+    if what in ("all", "engine"):
+        print(f"wrote {write_golden()}")
+    if what in ("all", "tables"):
+        for path in write_table_goldens():
+            print(f"wrote {path}")

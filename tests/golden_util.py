@@ -1,14 +1,24 @@
-"""Shared definition of the step-engine golden regression matrix.
+"""Shared definitions of the golden regression fixtures.
 
-The golden fixture freezes the *bit-exact* ``SimulationStats`` the step
-engine produces for a small pattern x platform x fail-stop matrix under
-fixed seeds.  Any refactor that changes the engine's random draw order,
-cost accounting or control flow -- even in a statistically invisible way
--- flips the fixture and fails ``tests/test_golden_engine.py``.
+Two fixture families live under ``tests/golden/``:
+
+* ``engine_golden.json`` freezes the *bit-exact* ``SimulationStats`` the
+  step engine produces for a small pattern x platform x fail-stop matrix
+  under fixed seeds.  Any refactor that changes the engine's random draw
+  order, cost accounting or control flow -- even in a statistically
+  invisible way -- flips the fixture and fails
+  ``tests/test_golden_engine.py``.
+* ``table1_golden.json`` / ``table2_golden.json`` pin the analytic-layer
+  outputs (Table-1 optima per platform, the Table-2 catalog including
+  the batch-computed ``H*`` columns) so model-layer refactors are
+  regression-pinned exactly like the step engine
+  (``tests/test_golden_tables.py``; floats compared at ``rtol 1e-12``
+  to absorb libm variation across builds).
 
 Regenerate deliberately with ``python tests/golden/regenerate.py`` after
 an intended semantics change (and bump
-:data:`repro.simulation.model.SEMANTICS_VERSION`).
+:data:`repro.simulation.model.SEMANTICS_VERSION` for the engine fixture
+or :data:`repro.core.batch.ANALYTIC_VERSION` for the table fixtures).
 """
 
 from __future__ import annotations
@@ -107,4 +117,84 @@ def write_golden() -> str:
 def load_golden() -> Dict[str, Any]:
     """Load the frozen fixture."""
     with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+# ---------------------------------------------------------------------------
+# analytic-layer table fixtures
+# ---------------------------------------------------------------------------
+
+TABLE1_GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "golden", "table1_golden.json"
+)
+TABLE2_GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "golden", "table2_golden.json"
+)
+
+#: Platforms pinned by the Table-1 fixture.  ``include_numeric`` runs the
+#: scipy period optimiser too, pinning the whole optimizer-in-the-loop
+#: stack on one platform while keeping regeneration fast.
+TABLE1_CASES = (
+    {"platform": "hera", "include_numeric": True},
+    {"platform": "atlas", "include_numeric": False},
+    {"platform": "coastal", "include_numeric": False},
+    {"platform": "coastal_ssd", "include_numeric": False},
+)
+
+
+def compute_table1_golden() -> List[Dict[str, Any]]:
+    """Table-1 rows for the pinned platform cases (scalar path)."""
+    from repro.experiments.table1 import run_table1
+    from repro.platforms.catalog import get_platform
+
+    cases: List[Dict[str, Any]] = []
+    for case in TABLE1_CASES:
+        rows = run_table1(
+            get_platform(case["platform"]),
+            include_exact=True,
+            include_numeric=case["include_numeric"],
+        )
+        cases.append({**case, "rows": rows})
+    return cases
+
+
+def compute_table2_golden() -> Dict[str, Any]:
+    """Table-2 rows, plain and with the analytic ``H*`` columns."""
+    from repro.experiments.table2 import run_table2
+
+    return {
+        "plain": run_table2(),
+        "analytic": run_table2(engine="analytic"),
+    }
+
+
+def _write_json(path: str, payload: Dict[str, Any]) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def write_table_goldens() -> List[str]:
+    """Recompute and overwrite both table fixtures."""
+    comment = (
+        "Analytic-layer outputs pinned at rtol 1e-12; regenerate with "
+        "tests/golden/regenerate.py after an intended model change."
+    )
+    return [
+        _write_json(
+            TABLE1_GOLDEN_PATH,
+            {"comment": comment, "cases": compute_table1_golden()},
+        ),
+        _write_json(
+            TABLE2_GOLDEN_PATH,
+            {"comment": comment, **compute_table2_golden()},
+        ),
+    ]
+
+
+def load_table_golden(path: str) -> Dict[str, Any]:
+    """Load a frozen table fixture."""
+    with open(path) as fh:
         return json.load(fh)

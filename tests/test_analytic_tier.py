@@ -1,0 +1,290 @@
+"""Integration tests for the ``analytic`` engine tier.
+
+Covers the tier end to end: dispatch registration and its explicit-only
+semantics, campaign points/cache keys/executor batching, the two
+optimiser-in-the-loop scenario families, and the experiment/CLI wiring
+(`table1`/`table2`/`fig7` on the batch path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign.cache import cache_key
+from repro.campaign.executor import (
+    evaluate_point,
+    evaluate_points,
+    run_campaign,
+)
+from repro.campaign.registry import generate_points, scenario_names
+from repro.campaign.spec import CampaignSpec, ScenarioPoint, platform_to_dict
+from repro.core.builders import PATTERN_ORDER, PatternKind, pattern_pd
+from repro.platforms.catalog import hera
+from repro.simulation.dispatch import (
+    ENGINE_CHOICES,
+    EngineTier,
+    covers,
+    run_stats,
+    select_engine,
+)
+
+
+class TestDispatchRegistration:
+    def test_analytic_is_an_engine_choice(self):
+        assert "analytic" in ENGINE_CHOICES
+        assert EngineTier("analytic") is EngineTier.ANALYTIC
+
+    def test_explicit_selection(self):
+        tier = select_engine(pattern_pd(1000.0), engine="analytic")
+        assert tier is EngineTier.ANALYTIC
+
+    def test_auto_never_selects_analytic(self):
+        for fsio in (True, False):
+            tier = select_engine(
+                pattern_pd(1000.0),
+                fail_stop_in_operations=fsio,
+                engine="auto",
+            )
+            assert tier is not EngineTier.ANALYTIC
+
+    def test_covers_any_traceless_request(self):
+        from repro.simulation.trace import TraceRecorder
+
+        pat = pattern_pd(1000.0)
+        assert covers(EngineTier.ANALYTIC, pat)
+        assert not covers(EngineTier.ANALYTIC, pat, trace=TraceRecorder())
+
+    def test_run_stats_refuses_with_guidance(self):
+        with pytest.raises(ValueError, match="model expectations"):
+            run_stats(
+                pattern_pd(1000.0),
+                hera(),
+                n_patterns=10,
+                n_runs=2,
+                engine="analytic",
+            )
+
+
+class TestScenarioFamilies:
+    def test_registered(self):
+        names = scenario_names()
+        assert "optimal_pattern_surface" in names
+        assert "firstorder_vs_exact_divergence" in names
+
+    def test_surface_defaults_to_analytic_points(self):
+        spec = CampaignSpec(
+            name="s", scenario="optimal_pattern_surface",
+            params={"platforms": ["hera"], "factors_f": [1.0],
+                    "factors_s": [1.0, 2.0]},
+        )
+        points = generate_points(spec)
+        # 1 platform x 1 factor_f x 2 factor_s x 6 families
+        assert len(points) == 12
+        assert all(p.engine == "analytic" for p in points)
+        assert {p.labels["factor_s"] for p in points} == {1.0, 2.0}
+
+    def test_surface_respects_forced_monte_carlo_engine(self):
+        spec = CampaignSpec(
+            name="s", scenario="optimal_pattern_surface", engine="fast",
+            params={"platforms": ["hera"], "factors_f": [1.0],
+                    "factors_s": [1.0], "kinds": ["PD"]},
+        )
+        (point,) = generate_points(spec)
+        assert point.engine == "fast"
+        assert point.n_patterns == spec.n_patterns
+
+    def test_divergence_catalog_ladder(self):
+        spec = CampaignSpec(
+            name="d", scenario="firstorder_vs_exact_divergence",
+            params={"platforms": ["hera"], "scales": [1.0, 4.0]},
+        )
+        points = generate_points(spec)
+        assert len(points) == 4  # 2 scales x (PD, PDMV)
+        assert all(p.engine == "analytic" for p in points)
+        assert {p.labels["scale"] for p in points} == {1.0, 4.0}
+
+    def test_divergence_weak_scaling_variant(self):
+        spec = CampaignSpec(
+            name="d", scenario="firstorder_vs_exact_divergence",
+            params={"node_counts": [256, 1024], "kinds": ["PDMV"]},
+        )
+        points = generate_points(spec)
+        assert [p.labels["nodes"] for p in points] == [256, 1024]
+
+
+    def test_divergence_respects_forced_monte_carlo_engine(self):
+        spec = CampaignSpec(
+            name="d", scenario="firstorder_vs_exact_divergence",
+            engine="fast",
+            params={"platforms": ["hera"], "scales": [1.0],
+                    "kinds": ["PD"]},
+        )
+        (point,) = generate_points(spec)
+        assert point.engine == "fast"
+        assert point.n_patterns == spec.n_patterns
+
+    def test_divergence_grows_with_scale(self):
+        spec = CampaignSpec(
+            name="d", scenario="firstorder_vs_exact_divergence",
+            params={"platforms": ["hera"], "scales": [1.0, 16.0],
+                    "kinds": ["PD"]},
+        )
+        result = run_campaign(spec, n_workers=1)
+        by_scale = {r["scale"]: r for r in result.records}
+        assert by_scale[16.0]["divergence"] > by_scale[1.0]["divergence"] > 0
+        for rec in result.records:
+            assert rec["engine"] == "analytic"
+            assert rec["simulated"] == rec["H_exact"]
+
+
+class TestAnalyticPoints:
+    def _point(self, **over):
+        base = dict(
+            mode="simulate", kind="PDMV",
+            platform=platform_to_dict(hera()), engine="analytic",
+        )
+        base.update(over)
+        return ScenarioPoint(**base)
+
+    def test_monte_carlo_sizes_optional(self):
+        point = self._point()  # n_patterns = n_runs = 0
+        assert point.n_patterns == 0
+        with pytest.raises(ValueError, match="positive n_patterns"):
+            self._point(engine="fast")
+
+    def test_cache_key_ignores_monte_carlo_config(self):
+        a = self._point()
+        b = self._point(n_patterns=500, n_runs=100, seed=7,
+                        fail_stop_in_operations=False)
+        assert cache_key(a) == cache_key(b)
+
+    def test_cache_key_distinct_from_monte_carlo_rows(self):
+        analytic = self._point()
+        mc = self._point(engine="fast", n_patterns=100, n_runs=50)
+        assert cache_key(analytic) != cache_key(mc)
+
+    def test_record_schema_and_batching_invariance(self):
+        points = [
+            self._point(),
+            self._point(kind="PD"),
+            ScenarioPoint(
+                mode="optimize", kind="PDM",
+                platform=platform_to_dict(hera()),
+            ),
+        ]
+        batched = evaluate_points(points)
+        assert batched[0] == evaluate_point(points[0])
+        assert batched[2] == evaluate_point(points[2])
+        rec = batched[0]
+        assert rec["engine"] == "analytic"
+        assert rec["mode"] == "simulate"
+        for key in ("H*", "W_star", "n*", "m*", "predicted", "simulated",
+                    "H_exact", "divergence", "H_numeric"):
+            assert key in rec
+        assert json.dumps(rec)  # JSON-safe scalars only
+
+    def test_campaign_resume_via_journal(self, tmp_path):
+        spec = CampaignSpec(
+            name="d", scenario="firstorder_vs_exact_divergence",
+            params={"platforms": ["hera"], "scales": [1.0],
+                    "kinds": ["PD"]},
+        )
+        journal = os.path.join(tmp_path, "journal.jsonl")
+        first = run_campaign(spec, journal_path=journal, n_workers=1)
+        second = run_campaign(spec, journal_path=journal, n_workers=1)
+        assert second.n_from_journal == first.n_points
+        assert second.n_computed == 0
+        assert second.records == first.records
+
+
+class TestExperimentWiring:
+    def test_table1_analytic_matches_scalar(self, hera_platform):
+        from repro.experiments.table1 import run_table1
+
+        scalar = run_table1(hera_platform)
+        analytic = run_table1(hera_platform, engine="analytic")
+        assert [r["pattern"] for r in analytic] == [
+            r["pattern"] for r in scalar
+        ]
+        for rs, ra in zip(scalar, analytic):
+            assert rs.keys() == ra.keys()
+            assert (rs["n*"], rs["m*"]) == (ra["n*"], ra["m*"])
+            for key in ("W*_hours", "H*", "H*_continuous", "H_exact"):
+                np.testing.assert_allclose(rs[key], ra[key], rtol=1e-12)
+
+    def test_table2_analytic_columns(self):
+        from repro.experiments.table2 import run_table2
+
+        plain = run_table2()
+        analytic = run_table2(engine="analytic")
+        assert len(analytic) == len(plain) == 4
+        for kind in PATTERN_ORDER:
+            assert all(f"H*_{kind.value}" in row for row in analytic)
+            assert all(f"H*_{kind.value}" not in row for row in plain)
+        # PDMV dominates PD everywhere (the paper's headline ordering).
+        for row in analytic:
+            assert row["H*_PDMV"] <= row["H*_PD"]
+
+    def test_fig7_analytic_rows(self):
+        from repro.experiments.fig7 import run_weak_scaling
+
+        rows = run_weak_scaling([256, 4096], engine="analytic")
+        assert len(rows) == 4
+        assert all(row["engine"] == "analytic" for row in rows)
+        # Divergence grows with the node count for a fixed family.
+        pd_rows = [r for r in rows if r["pattern"] == "PD"]
+        assert pd_rows[1]["divergence"] > pd_rows[0]["divergence"] > 0
+        # The analytic "simulated" is the exact model at the first-order
+        # optimum, so it must sit at or above the numeric optimum.
+        for row in rows:
+            assert row["simulated"] >= row["H_numeric"] - 1e-12
+
+    def test_fig7_analytic_matches_scalar_model(self):
+        from repro.core.formulas import optimal_pattern
+        from repro.experiments.fig7 import run_weak_scaling
+        from repro.platforms.scaling import weak_scaling_platform
+
+        (row,) = run_weak_scaling(
+            [1024], kinds=(PatternKind.PDMV,), engine="analytic"
+        )
+        opt = optimal_pattern(
+            PatternKind.PDMV, weak_scaling_platform(1024)
+        )
+        np.testing.assert_allclose(row["predicted"], opt.H_star, rtol=1e-12)
+        assert (row["n*"], row["m*"]) == (opt.n, opt.m)
+
+
+class TestCliWiring:
+    def test_engine_flag_on_analytic_commands(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--engine", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "PDMV" in out
+
+        assert main(["table2", "--engine", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "H*_PDMV" in out
+
+    def test_simulate_analytic_branch(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["simulate", "--engine", "analytic", "--pattern", "PD"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Analytic model" in out and "no sampling" in out
+
+    def test_fig7_analytic(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_json = os.path.join(tmp_path, "fig7.json")
+        assert main(["fig7", "--engine", "analytic", "--json", out_json]) == 0
+        with open(out_json) as fh:
+            rows = json.load(fh)
+        assert rows and all(r["engine"] == "analytic" for r in rows)

@@ -1,0 +1,451 @@
+"""Differential harness: ``core.batch`` vs the scalar closed forms.
+
+For hypothesis-generated random platforms, families, shapes and error
+rates, every vectorised entry point must be **bit-close** (``rtol =
+1e-12``) to looping the scalar implementation over the same cells:
+
+* :func:`repro.core.batch.batch_decompose` vs
+  :func:`repro.core.firstorder.decompose_overhead` on the built pattern;
+* :func:`repro.core.batch.batch_exact_overhead` vs
+  :func:`repro.core.exact.exact_overhead`;
+* :func:`repro.core.batch.batch_optimal_patterns` vs
+  :func:`repro.core.formulas.optimal_pattern` (identical integer shapes,
+  ``W*``/``H*`` at 1e-12) and vs
+  :func:`repro.core.optimizer.numeric_optimal_pattern` (overheads within
+  1e-9 -- two independent bounded minimisers of the same objective).
+
+The scalar side is the ground truth pinned by the paper-formula tests;
+this harness guarantees the analytic tier can never drift from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import (
+    PlatformGrid,
+    analytic_records,
+    batch_decompose,
+    batch_exact_overhead,
+    batch_optimal_patterns,
+    batch_refine_period,
+    evaluate_analytic,
+)
+from repro.core.builders import PATTERN_ORDER, PatternKind, build_pattern
+from repro.core.exact import exact_overhead
+from repro.core.firstorder import decompose_overhead
+from repro.core.formulas import optimal_pattern
+from repro.core.optimizer import numeric_optimal_pattern, optimize_period
+from repro.platforms.catalog import PLATFORMS
+from repro.platforms.platform import Platform, default_costs
+
+RTOL = 1e-12
+
+STARRED = (PatternKind.PDV_STAR, PatternKind.PDMV_STAR)
+
+
+def _scalar_decompose(kind, platform, n, m):
+    pat = build_pattern(kind, 1.0, n=n, m=m, r=platform.r)
+    view = platform
+    if kind in STARRED:
+        view = platform.with_costs(V=platform.V_star, r=1.0)
+    return decompose_overhead(pat, view)
+
+
+def _scalar_exact(kind, platform, W, n, m):
+    pat = build_pattern(kind, W, n=n, m=m, r=platform.r)
+    return exact_overhead(
+        pat, platform, guaranteed_intermediate=kind in STARRED
+    )
+
+
+@st.composite
+def platforms(draw):
+    """Random platforms spanning the physically plausible regime."""
+    lam_f = draw(st.floats(1e-9, 1e-4))
+    lam_s = draw(st.floats(1e-9, 1e-4))
+    C_D = draw(st.floats(10.0, 3000.0))
+    C_M = draw(st.floats(0.5, 200.0))
+    r = draw(st.floats(0.15, 1.0))
+    ratio = draw(st.floats(2.0, 1000.0))
+    return Platform(
+        name="hyp",
+        nodes=1,
+        lambda_f=lam_f,
+        lambda_s=lam_s,
+        costs=default_costs(C_D=C_D, C_M=C_M, r=r, partial_cost_ratio=ratio),
+    )
+
+
+@st.composite
+def platform_batches(draw):
+    """A small batch of random platforms (heterogeneous grid cells)."""
+    return draw(st.lists(platforms(), min_size=1, max_size=5))
+
+
+shapes = st.tuples(st.integers(1, 6), st.integers(1, 8))
+
+
+class TestDecomposeEquivalence:
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(
+        plats=platform_batches(),
+        kind=st.sampled_from(PATTERN_ORDER),
+        shape=shapes,
+    )
+    def test_bit_close_to_looped_scalar(self, plats, kind, shape):
+        n, m = shape
+        grid = PlatformGrid.from_platforms(plats)
+        o_ef, o_rw = batch_decompose(kind, grid, n, m)
+        for i, p in enumerate(plats):
+            d = _scalar_decompose(kind, p, n, m)
+            np.testing.assert_allclose(o_ef[i], d.o_ef, rtol=RTOL)
+            np.testing.assert_allclose(o_rw[i], d.o_rw, rtol=RTOL)
+
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    @given(plats=platform_batches(), shape=shapes)
+    def test_heterogeneous_shapes_per_cell(self, plats, shape):
+        """Per-cell (n, m) arrays match cell-by-cell scalar loops."""
+        rng = np.random.default_rng(42)
+        grid = PlatformGrid.from_platforms(plats)
+        n = rng.integers(1, 6, size=grid.size)
+        m = rng.integers(1, 8, size=grid.size)
+        o_ef, o_rw = batch_decompose(PatternKind.PDMV, grid, n, m)
+        for i, p in enumerate(plats):
+            d = _scalar_decompose(PatternKind.PDMV, p, int(n[i]), int(m[i]))
+            np.testing.assert_allclose(o_ef[i], d.o_ef, rtol=RTOL)
+            np.testing.assert_allclose(o_rw[i], d.o_rw, rtol=RTOL)
+
+
+class TestExactEquivalence:
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(
+        plats=platform_batches(),
+        kind=st.sampled_from(PATTERN_ORDER),
+        shape=shapes,
+        W_scale=st.floats(0.05, 5.0),
+    )
+    def test_bit_close_to_looped_scalar(self, plats, kind, shape, W_scale):
+        n, m = shape
+        grid = PlatformGrid.from_platforms(plats)
+        # Anchor the period at each cell's first-order optimum so the
+        # recursion is exercised in (and around) its physical regime.
+        o_ef, o_rw = batch_decompose(kind, grid, n, m)
+        W = W_scale * np.sqrt(o_ef / o_rw)
+        # Keep every cell under the recursion's stability cap.
+        W = np.minimum(W, 25.0 / grid.lambda_total)
+        H = batch_exact_overhead(kind, grid, W, n, m)
+        for i, p in enumerate(plats):
+            h = _scalar_exact(kind, p, float(W[i]), n, m)
+            np.testing.assert_allclose(H[i], h, rtol=RTOL)
+
+    def test_underflow_raises_like_scalar(self):
+        p = Platform(
+            name="hot", nodes=1, lambda_f=1.0, lambda_s=1.0,
+            costs=default_costs(C_D=10.0, C_M=1.0),
+        )
+        grid = PlatformGrid.from_platforms([p])
+        with pytest.raises(ValueError, match="underflowed"):
+            batch_exact_overhead(PatternKind.PD, grid, 1e6, 1, 1)
+        with pytest.raises(ValueError, match="underflowed"):
+            _scalar_exact(PatternKind.PD, p, 1e6, 1, 1)
+
+    def test_out_of_range_inf_mode(self):
+        p = Platform(
+            name="hot", nodes=1, lambda_f=1.0, lambda_s=1.0,
+            costs=default_costs(C_D=10.0, C_M=1.0),
+        )
+        grid = PlatformGrid.from_platforms([p])
+        H = batch_exact_overhead(
+            PatternKind.PD, grid, 1e6, 1, 1, out_of_range="inf"
+        )
+        assert np.isinf(H[0])
+
+
+class TestOptimalPatternEquivalence:
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(plats=platform_batches(), kind=st.sampled_from(PATTERN_ORDER))
+    def test_first_order_optimum_matches_scalar(self, plats, kind):
+        grid = PlatformGrid.from_platforms(plats)
+        opt = batch_optimal_patterns(kind, grid, refine_period=False)
+        for i, p in enumerate(plats):
+            sc = optimal_pattern(kind, p)
+            assert (int(opt.n[i]), int(opt.m[i])) == (sc.n, sc.m), (
+                f"{kind} cell {i}: batch ({opt.n[i]}, {opt.m[i]}) vs "
+                f"scalar ({sc.n}, {sc.m})"
+            )
+            np.testing.assert_allclose(opt.W_star[i], sc.W_star, rtol=RTOL)
+            np.testing.assert_allclose(opt.H_star[i], sc.H_star, rtol=RTOL)
+            np.testing.assert_allclose(
+                opt.o_ef[i], sc.decomposition.o_ef, rtol=RTOL
+            )
+            np.testing.assert_allclose(
+                opt.o_rw[i], sc.decomposition.o_rw, rtol=RTOL
+            )
+
+    @settings(max_examples=12, deadline=None, derandomize=True)
+    @given(plats=platform_batches(), kind=st.sampled_from(PATTERN_ORDER))
+    def test_refined_optimum_matches_numeric(self, plats, kind):
+        """Shapes identical; overheads within 1e-9 of scipy's minimiser."""
+        grid = PlatformGrid.from_platforms(plats)
+        opt = batch_optimal_patterns(kind, grid)
+        for i, p in enumerate(plats):
+            num = numeric_optimal_pattern(kind, p)
+            assert (int(opt.n[i]), int(opt.m[i])) == (num.n, num.m)
+            assert abs(float(opt.overhead[i]) - num.overhead) < 1e-9
+
+    def test_catalog_all_families(self):
+        """Deterministic anchor: the four Table-2 platforms, six families."""
+        plats = [factory() for factory in PLATFORMS.values()]
+        grid = PlatformGrid.from_platforms(plats)
+        for kind in PATTERN_ORDER:
+            opt = batch_optimal_patterns(kind, grid)
+            for i, p in enumerate(plats):
+                num = numeric_optimal_pattern(kind, p)
+                assert (int(opt.n[i]), int(opt.m[i])) == (num.n, num.m)
+                assert abs(float(opt.overhead[i]) - num.overhead) < 1e-9
+                np.testing.assert_allclose(
+                    opt.W[i], num.W, rtol=1e-4
+                )  # both minimise a flat objective; W agrees loosely
+
+    def test_zero_rate_cell_raises(self):
+        p = Platform(
+            name="calm", nodes=1, lambda_f=0.0, lambda_s=0.0,
+            costs=default_costs(C_D=300.0, C_M=15.4),
+        )
+        grid = PlatformGrid.from_platforms([p])
+        with pytest.raises(ValueError, match="zero error rates"):
+            batch_optimal_patterns(PatternKind.PD, grid)
+
+
+class TestRefinePeriodEquivalence:
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(
+        plats=platform_batches(),
+        kind=st.sampled_from(
+            (PatternKind.PD, PatternKind.PDM, PatternKind.PDMV)
+        ),
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    )
+    def test_matches_scipy_bounded_minimiser(self, plats, kind, shape):
+        n, m = shape
+        grid = PlatformGrid.from_platforms(plats)
+        W, H = batch_refine_period(kind, grid, n, m)
+        for i, p in enumerate(plats):
+            _, H_sc = optimize_period(kind, p, n, m)
+            assert abs(float(H[i]) - H_sc) < 1e-9
+
+    def test_empty_bracket_raises(self):
+        p = Platform(
+            name="pathological", nodes=1, lambda_f=0.5, lambda_s=0.5,
+            costs=default_costs(C_D=1e8, C_M=1e6),
+        )
+        grid = PlatformGrid.from_platforms([p])
+        with pytest.raises(ValueError, match="bracket is empty"):
+            batch_refine_period(PatternKind.PD, grid, 1, 1)
+
+
+class TestAnalyticRecords:
+    def test_single_cell_matches_batch_cell(self):
+        """Records are grouping-invariant (cache stability)."""
+        plats = [factory() for factory in PLATFORMS.values()]
+        grid = PlatformGrid.from_platforms(plats)
+        batch = analytic_records(PatternKind.PDMV, grid)
+        for i, p in enumerate(plats):
+            single = evaluate_analytic(PatternKind.PDMV, p)
+            assert single == batch[i]
+
+    def test_record_schema(self, hera_platform):
+        rec = evaluate_analytic(PatternKind.PD, hera_platform)
+        assert rec["predicted"] == rec["H*"]
+        assert rec["simulated"] == rec["H_exact"]
+        assert rec["divergence"] == pytest.approx(
+            rec["H_exact"] - rec["H*"], abs=1e-18
+        )
+        assert rec["n*"] == 1 and rec["m*"] == 1
+        # The exact overhead of the first-order configuration can only be
+        # at or above the numerically optimal one.
+        assert rec["H_numeric"] <= rec["H_exact"] + 1e-12
+
+    def test_grid_product_layout(self):
+        grid = PlatformGrid.from_product(
+            ["hera", "atlas"], factor_f=[1.0, 2.0], factor_s=[1.0]
+        )
+        assert grid.size == 4
+        assert grid.names == ("Hera", "Hera", "Atlas", "Atlas")
+        np.testing.assert_allclose(
+            grid.lambda_f[1] / grid.lambda_f[0], 2.0, rtol=RTOL
+        )
+
+
+class TestBatchApiEdges:
+    """Unit coverage for grid validation and the batch-only entry points."""
+
+    def test_grid_validation(self):
+        ok = PlatformGrid.from_platforms(["hera"])
+        assert ok.size == 1 and ok.names == ("Hera",)
+        with pytest.raises(ValueError, match="at least one platform"):
+            PlatformGrid.from_platforms([])
+        with pytest.raises(ValueError, match="cells"):
+            PlatformGrid(
+                lambda_f=np.ones(2), lambda_s=np.ones(3), C_D=np.ones(2),
+                C_M=np.ones(2), R_D=np.ones(2), R_M=np.ones(2),
+                V_star=np.ones(2), V=np.ones(2), r=np.full(2, 0.8),
+                names=("a", "b"),
+            )
+        with pytest.raises(ValueError, match="recall"):
+            grid = PlatformGrid.from_platforms(["hera"])
+            PlatformGrid(
+                **{f: getattr(grid, f) for f in PlatformGrid._FIELDS
+                   if f != "r"},
+                r=np.array([1.5]), names=grid.names,
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            PlatformGrid(
+                lambda_f=np.array([-1.0]), lambda_s=np.ones(1),
+                C_D=np.ones(1), C_M=np.ones(1), R_D=np.ones(1),
+                R_M=np.ones(1), V_star=np.ones(1), V=np.ones(1),
+                r=np.array([0.8]), names=("x",),
+            )
+
+    def test_from_product_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PlatformGrid.from_product(["hera"], factor_f=[])
+        with pytest.raises(ValueError, match="non-negative"):
+            PlatformGrid.from_product(["hera"], factor_f=[-1.0])
+
+    def test_platform_at_round_trip(self):
+        from repro.platforms.catalog import atlas
+
+        grid = PlatformGrid.from_platforms([atlas()])
+        p = grid.platform_at(0)
+        src = atlas()
+        assert p.name == "Atlas"
+        for attr in ("lambda_f", "lambda_s", "C_D", "C_M", "R_D", "R_M",
+                     "V_star", "V", "r"):
+            assert getattr(p, attr) == getattr(src, attr)
+
+    def test_overhead_at_matches_decomposition(self, hera_platform):
+        from repro.core.batch import batch_overhead_at
+
+        grid = PlatformGrid.from_platforms([hera_platform])
+        o_ef, o_rw = batch_decompose(PatternKind.PDMV, grid, 3, 4)
+        W = 20_000.0
+        d = _scalar_decompose(PatternKind.PDMV, hera_platform, 3, 4)
+        np.testing.assert_allclose(
+            batch_overhead_at(o_ef, o_rw, W)[0], d.overhead_at(W), rtol=RTOL
+        )
+        with pytest.raises(ValueError, match="positive"):
+            batch_overhead_at(o_ef, o_rw, 0.0)
+
+    def test_shape_and_period_validation(self, hera_platform):
+        grid = PlatformGrid.from_platforms([hera_platform])
+        with pytest.raises(ValueError, match="n >= 1"):
+            batch_decompose(PatternKind.PDMV, grid, 0, 1)
+        with pytest.raises(ValueError, match="W must be positive"):
+            batch_exact_overhead(PatternKind.PD, grid, 0.0)
+        with pytest.raises(ValueError, match="out_of_range"):
+            batch_exact_overhead(
+                PatternKind.PD, grid, 100.0, out_of_range="nan"
+            )
+
+    def test_silent_only_grid(self):
+        """lambda_f = 0 cells: n* diverges and is capped, like scalar."""
+        p = Platform(
+            name="silent", nodes=1, lambda_f=0.0, lambda_s=3.38e-6,
+            costs=default_costs(C_D=300.0, C_M=15.4),
+        )
+        grid = PlatformGrid.from_platforms([p])
+        for kind in PATTERN_ORDER:
+            opt = batch_optimal_patterns(kind, grid, refine_period=False)
+            sc = optimal_pattern(kind, p)
+            assert (int(opt.n[0]), int(opt.m[0])) == (sc.n, sc.m)
+            np.testing.assert_allclose(opt.H_star[0], sc.H_star, rtol=RTOL)
+
+    def test_fail_stop_only_grid(self):
+        """lambda_s = 0 cells collapse to single-chunk shapes."""
+        p = Platform(
+            name="crash", nodes=1, lambda_f=9.46e-7, lambda_s=0.0,
+            costs=default_costs(C_D=300.0, C_M=15.4),
+        )
+        grid = PlatformGrid.from_platforms([p])
+        for kind in PATTERN_ORDER:
+            opt = batch_optimal_patterns(kind, grid, refine_period=False)
+            sc = optimal_pattern(kind, p)
+            assert (int(opt.n[0]), int(opt.m[0])) == (sc.n, sc.m) == (sc.n, 1)
+            np.testing.assert_allclose(opt.W_star[0], sc.W_star, rtol=RTOL)
+
+    def test_refine_period_zero_rate_raises(self):
+        p = Platform(
+            name="calm", nodes=1, lambda_f=0.0, lambda_s=0.0,
+            costs=default_costs(C_D=300.0, C_M=15.4),
+        )
+        grid = PlatformGrid.from_platforms([p])
+        with pytest.raises(ValueError, match="not finite"):
+            batch_refine_period(PatternKind.PD, grid, 1, 1)
+
+    def test_infinite_continuous_m_raises(self):
+        """V = 0 sends the continuous m* to infinity (scalar would
+        ZeroDivisionError); the batch optimiser refuses cleanly."""
+        p = Platform(
+            name="freeverif", nodes=1, lambda_f=9.46e-7, lambda_s=3.38e-6,
+            costs=default_costs(C_D=300.0, C_M=15.4, V=0.0),
+        )
+        grid = PlatformGrid.from_platforms([p])
+        with pytest.raises(ValueError, match="infinite"):
+            batch_optimal_patterns(PatternKind.PDV, grid)
+
+    def test_analytic_records_labels(self, hera_platform):
+        grid = PlatformGrid.from_platforms([hera_platform])
+        recs = analytic_records(
+            PatternKind.PD, grid, labels=[{"tag": "x"}]
+        )
+        assert recs[0]["tag"] == "x"
+        with pytest.raises(ValueError, match="label rows"):
+            analytic_records(PatternKind.PD, grid, labels=[{}, {}])
+
+    def test_refine_period_off_returns_first_order(self, hera_platform):
+        grid = PlatformGrid.from_platforms([hera_platform])
+        opt = batch_optimal_patterns(
+            PatternKind.PDMV, grid, refine_period=False
+        )
+        assert not opt.refined
+        np.testing.assert_allclose(opt.W, opt.W_star, rtol=0)
+        np.testing.assert_allclose(opt.overhead, opt.H_star, rtol=0)
+        assert opt.size == 1
+
+
+class TestGroupingInvariance:
+    """A cell's refined result must not depend on its batch neighbours.
+
+    Regression for the review finding: the period search used a *global*
+    convergence test, so a stability-cap-clipped cell (whose bracket is
+    much tighter than its neighbours') kept iterating when grouped with
+    unclipped cells and produced a different record than when evaluated
+    alone -- breaking the cache-stability invariant.  Cells now freeze
+    individually.
+    """
+
+    def test_clipped_bracket_cell_alone_vs_grouped(self):
+        from repro.platforms.catalog import hera
+
+        hot = hera().scaled_rates(factor_f=4096.0, factor_s=4096.0)
+        solo = evaluate_analytic(PatternKind.PD, hot)
+        grouped = analytic_records(
+            PatternKind.PD, PlatformGrid.from_platforms([hot, hera()])
+        )[0]
+        assert solo == grouped
+
+    def test_refine_period_bitwise_grouping_invariance(self):
+        from repro.platforms.catalog import hera
+
+        hot = hera().scaled_rates(factor_f=4096.0, factor_s=4096.0)
+        solo_W, solo_H = batch_refine_period(
+            PatternKind.PDMV, PlatformGrid.from_platforms([hot]), 2, 3
+        )
+        grid = PlatformGrid.from_platforms([hera(), hot, hera()])
+        grp_W, grp_H = batch_refine_period(PatternKind.PDMV, grid, 2, 3)
+        assert float(solo_W[0]) == float(grp_W[1])
+        assert float(solo_H[0]) == float(grp_H[1])

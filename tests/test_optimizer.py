@@ -72,3 +72,38 @@ class TestNumericOptimalPattern:
             for kind in (PatternKind.PD, PatternKind.PDM, PatternKind.PDMV)
         }
         assert H[PatternKind.PDMV] <= H[PatternKind.PDM] <= H[PatternKind.PD]
+
+
+class TestEmptyBracket:
+    """The period bracket must fail loudly, not through scipy internals."""
+
+    def _pathological_platform(self):
+        from repro.platforms.platform import Platform, default_costs
+
+        # Enormous resilience costs at errors-per-second rates push the
+        # first-order W* far beyond the exact recursion's stability cap
+        # (50 / lambda_total), emptying the bracket.
+        return Platform(
+            name="pathological", nodes=1, lambda_f=0.5, lambda_s=0.5,
+            costs=default_costs(C_D=1e8, C_M=1e6),
+        )
+
+    def test_optimize_period_raises_clear_error(self):
+        with pytest.raises(ValueError, match="bracket.*empty"):
+            optimize_period(PatternKind.PD, self._pathological_platform(), 1, 1)
+
+    def test_numeric_optimal_pattern_propagates_clear_error(self):
+        with pytest.raises(ValueError, match="stability cap"):
+            numeric_optimal_pattern(
+                PatternKind.PD, self._pathological_platform()
+            )
+
+    def test_message_names_shape_and_cap(self):
+        try:
+            optimize_period(PatternKind.PDMV, self._pathological_platform(), 2, 3)
+        except ValueError as exc:
+            msg = str(exc)
+            assert "n=2" in msg and "m=3" in msg
+            assert "lambda_total" in msg
+        else:  # pragma: no cover - the bracket must be empty here
+            pytest.fail("expected a ValueError for the empty bracket")

@@ -1,0 +1,200 @@
+"""Property tests for the integer-shape refinement and degenerate grids.
+
+* ``refine_integer_parameters`` must return a shape that is never worse
+  (on its own objective ``F = o_ef * o_rw``) than any neighbour inside
+  the search window -- the defining property of a windowed brute force;
+* degenerate parameter grids (``lambda -> 0`` on either side, families
+  structurally pinned to single chunks or single segments) must stay
+  well-defined instead of tripping division-by-zero or infinite optima.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builders import PATTERN_ORDER, PatternKind, build_pattern
+from repro.core.firstorder import decompose_overhead
+from repro.core.formulas import (
+    continuous_m_star,
+    continuous_n_star,
+    optimal_pattern,
+)
+from repro.core.optimizer import refine_integer_parameters
+from repro.platforms.platform import Platform, default_costs
+
+#: Tolerance on objective comparisons: the brute force uses a strict
+#: 1e-18 improvement margin, so ties can go either way.
+F_SLACK = 1e-15
+
+
+def _score(kind: PatternKind, platform: Platform, n: int, m: int) -> float:
+    """The refinement objective ``F = o_ef * o_rw`` for a shape."""
+    pat = build_pattern(kind, 1.0, n=n, m=m, r=platform.r)
+    view = platform
+    if kind in (PatternKind.PDV_STAR, PatternKind.PDMV_STAR):
+        view = platform.with_costs(V=platform.V_star, r=1.0)
+    d = decompose_overhead(pat, view)
+    return d.o_ef * d.o_rw
+
+
+def _structurally_valid(kind: PatternKind, n: int, m: int) -> bool:
+    if n != 1 and not kind.uses_memory_checkpoints:
+        return False
+    if m != 1 and not kind.uses_intermediate_verifications:
+        return False
+    return n >= 1 and m >= 1
+
+
+@st.composite
+def platforms(draw):
+    """Random but physically sensible platforms."""
+    lam_f = draw(st.floats(1e-9, 5e-5))
+    lam_s = draw(st.floats(1e-9, 5e-5))
+    C_D = draw(st.floats(20.0, 2000.0))
+    C_M = draw(st.floats(1.0, 100.0))
+    r = draw(st.floats(0.2, 1.0))
+    ratio = draw(st.floats(5.0, 500.0))
+    return Platform(
+        name="hyp",
+        nodes=1,
+        lambda_f=lam_f,
+        lambda_s=lam_s,
+        costs=default_costs(C_D=C_D, C_M=C_M, r=r, partial_cost_ratio=ratio),
+    )
+
+
+class TestRefineNeverWorseThanNeighbours:
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(platform=platforms(), kind=st.sampled_from(PATTERN_ORDER))
+    def test_window_neighbours(self, platform, kind):
+        """The chosen shape beats every searched neighbour in a +-2 box.
+
+        Neighbours are intersected with the candidate set the refinement
+        actually searched (the +-2 window around the continuous optimum
+        plus the m = 1 parent fallback): a windowed brute force makes no
+        promise about shapes it never evaluated.
+        """
+        n, m = refine_integer_parameters(kind, platform, window=2)
+        best = _score(kind, platform, n, m)
+        n_cont = continuous_n_star(kind, platform)
+        m_cont = continuous_m_star(kind, platform)
+        if math.isinf(n_cont):
+            n_cont = 1024.0
+        n_window = set(
+            range(max(1, math.floor(n_cont) - 2), math.ceil(n_cont) + 3)
+        )
+        m_window = {1, *range(
+            max(1, math.floor(m_cont) - 2), math.ceil(m_cont) + 3
+        )}
+        for dn in range(-2, 3):
+            for dm in range(-2, 3):
+                cand_n, cand_m = n + dn, m + dm
+                if not _structurally_valid(kind, cand_n, cand_m):
+                    continue
+                if cand_n not in n_window or cand_m not in m_window:
+                    continue
+                cand = _score(kind, platform, cand_n, cand_m)
+                assert best <= cand + F_SLACK * max(1.0, abs(cand)), (
+                    f"{kind} chose (n={n}, m={m}) with F={best} but "
+                    f"neighbour (n={cand_n}, m={cand_m}) has F={cand}"
+                )
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(platform=platforms(), kind=st.sampled_from(PATTERN_ORDER))
+    def test_matches_searched_candidates(self, platform, kind):
+        """The chosen shape minimises F over the window it searched."""
+        n, m = refine_integer_parameters(kind, platform, window=2)
+        best = _score(kind, platform, n, m)
+        n_cont = continuous_n_star(kind, platform)
+        m_cont = continuous_m_star(kind, platform)
+        if math.isinf(n_cont):
+            n_cont = 1024.0
+
+        def window(x):
+            lo = max(1, math.floor(x) - 2)
+            hi = max(1, math.ceil(x) + 2)
+            return range(lo, hi + 1)
+
+        for cand_n in window(n_cont):
+            for cand_m in {1, *window(m_cont)}:
+                if not _structurally_valid(kind, cand_n, cand_m):
+                    continue
+                cand = _score(kind, platform, cand_n, cand_m)
+                assert best <= cand + F_SLACK * max(1.0, abs(cand))
+
+
+class TestDegenerateGrids:
+    """lambda -> 0 limits, single-chunk patterns and m_i = 1 shapes."""
+
+    def _platform(self, lam_f, lam_s, **costs):
+        params = dict(C_D=300.0, C_M=15.4)
+        params.update(costs)
+        return Platform(
+            name="edge", nodes=1, lambda_f=lam_f, lambda_s=lam_s,
+            costs=default_costs(**params),
+        )
+
+    def test_silent_only_pins_disk_segments_large(self):
+        """lambda_f = 0: the continuous n* diverges and is capped."""
+        p = self._platform(0.0, 3e-6)
+        assert math.isinf(continuous_n_star(PatternKind.PDM, p))
+        opt = optimal_pattern(PatternKind.PDM, p)
+        assert opt.n >= 1 and opt.m == 1
+        assert math.isfinite(opt.W_star) and opt.W_star > 0
+
+    def test_silent_only_refine_matches_closed_form(self):
+        p = self._platform(0.0, 3e-6)
+        for kind in (PatternKind.PDM, PatternKind.PDMV):
+            opt = optimal_pattern(kind, p)
+            n, m = refine_integer_parameters(kind, p)
+            assert _score(kind, p, n, m) <= (
+                _score(kind, p, opt.n, opt.m) * (1.0 + 1e-12)
+            )
+
+    def test_fail_stop_only_degenerates_to_single_chunk(self):
+        """lambda_s = 0: verifications buy nothing, m* collapses to 1."""
+        p = self._platform(9e-7, 0.0)
+        for kind in PATTERN_ORDER:
+            opt = optimal_pattern(kind, p)
+            assert opt.m == 1, f"{kind} kept m={opt.m} without silent errors"
+            n, m = refine_integer_parameters(kind, p)
+            assert m == 1
+
+    def test_fail_stop_only_single_segment(self):
+        """lambda_s = 0 also pins n* = 1 (memory ckpts buy nothing)."""
+        p = self._platform(9e-7, 0.0)
+        assert continuous_n_star(PatternKind.PDMV, p) == 1.0
+        opt = optimal_pattern(PatternKind.PDMV, p)
+        assert opt.n == 1
+
+    def test_single_chunk_families_always_m1(self):
+        """PD and PDM are structurally single-chunk for any window."""
+        p = self._platform(9.46e-7, 3.38e-6)
+        for kind in (PatternKind.PD, PatternKind.PDM):
+            n, m = refine_integer_parameters(kind, p, window=4)
+            assert m == 1
+
+    def test_tiny_rates_remain_finite(self):
+        """Near-zero (but positive) rates stay numerically well-posed."""
+        p = self._platform(1e-12, 1e-12)
+        for kind in PATTERN_ORDER:
+            opt = optimal_pattern(kind, p)
+            assert math.isfinite(opt.W_star)
+            assert math.isfinite(opt.H_star)
+            assert opt.H_star >= 0
+
+    def test_zero_rates_raise(self):
+        p = self._platform(0.0, 0.0)
+        with pytest.raises(ValueError, match="zero error rates"):
+            optimal_pattern(PatternKind.PD, p)
+
+    def test_m1_shape_scores_match_parent_family(self):
+        """An m=1 PDMV scores exactly like the PDM it degenerates to."""
+        p = self._platform(9.46e-7, 3.38e-6)
+        for n in (1, 2, 5):
+            assert _score(PatternKind.PDMV, p, n, 1) == pytest.approx(
+                _score(PatternKind.PDM, p, n, 1), rel=1e-12
+            )
