@@ -1,0 +1,53 @@
+"""Shared writer for the ``BENCH_*.json`` trajectory files.
+
+Each benchmark emits one *latest* record; this helper additionally keeps
+a bounded, timestamped ``history`` list inside the same file so
+successive PRs (and :mod:`benchmarks.run_all` sweeps) accumulate a
+throughput trajectory instead of overwriting it.  The latest record's
+fields stay at the top level, so existing consumers of the files keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from typing import Any, Dict
+
+#: Keep at most this many history entries per bench file.
+MAX_HISTORY = 200
+
+
+def write_bench_record(path: str, record: Dict[str, Any]) -> str:
+    """Write ``record`` as the file's latest result and append history.
+
+    The file layout is ``{**latest_record, "history": [...]}``; each
+    history entry is the record plus an ISO-8601 UTC ``timestamp``.
+    Corrupt or legacy files (no history) are tolerated: their top-level
+    record seeds the new history when recognisable.
+    """
+    history = []
+    try:
+        with open(path) as fh:
+            previous = json.load(fh)
+        history = list(previous.get("history", []))
+        if not history and "bench" in previous:
+            # Legacy single-record file: preserve it as the first entry.
+            history = [{k: v for k, v in previous.items()
+                        if k != "history"}]
+    except (OSError, ValueError):
+        pass
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        **record,
+    }
+    history.append(entry)
+    history = history[-MAX_HISTORY:]
+    payload = {**record, "history": history}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    return path

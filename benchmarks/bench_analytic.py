@@ -17,7 +17,6 @@ scalar baseline; the speedup assertion and the every-cell equivalence
 check still run, but the trajectory file is left untouched.
 """
 
-import json
 import os
 import time
 
@@ -108,9 +107,9 @@ def test_batch_optimiser_vs_looped_numeric(once):
             "loop_cells_per_second": grid.size / loop_time,
             "batch_cells_per_second": grid.size / batch_time,
         }
-        with open(BENCH_PATH, "w") as fh:
-            json.dump(record, fh, indent=1)
-            fh.write("\n")
+        from _history import write_bench_record
+
+        write_bench_record(BENCH_PATH, record)
 
     assert speedup >= 10.0
 

@@ -10,7 +10,6 @@ The measured trajectory point is written to ``BENCH_engine.json`` at the
 repository root so successive PRs can track engine throughput.
 """
 
-import json
 import os
 import time
 
@@ -94,9 +93,10 @@ def test_fast_engine_vs_step_engine(once):
         "step_patterns_per_second": N_INSTANCES / step_time,
         "fast_patterns_per_second": N_INSTANCES / fast_time,
     }
-    with open(BENCH_PATH, "w") as fh:
-        json.dump(record, fh, indent=1)
-        fh.write("\n")
+    if os.environ.get("REPRO_BENCH_SMOKE", "") in ("", "0"):
+        from _history import write_bench_record
+
+        write_bench_record(BENCH_PATH, record)
 
     assert speedup >= 10.0
 

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Unified benchmark runner: refresh every ``BENCH_*.json`` trajectory.
+
+Runs the trajectory-tracked benchmark modules (engine tiers, analytic
+layer, packed campaigns) through pytest and lets each append its
+timestamped record to the matching ``BENCH_*.json`` history (see
+:mod:`benchmarks._history`), so successive PRs accumulate a throughput
+trajectory instead of a single overwritten snapshot.
+
+Usage (from the repository root)::
+
+    python benchmarks/run_all.py              # full mode, all benches
+    python benchmarks/run_all.py --smoke      # CI-sized workloads
+    python benchmarks/run_all.py engine packed  # a subset
+
+Exit status is non-zero if any bench fails its assertions.  Smoke mode
+sets ``REPRO_BENCH_SMOKE=1`` for every bench: workloads shrink and the
+trajectory files are left untouched (assertions still run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.abspath(os.path.join(HERE, os.pardir))
+
+#: Benchmarks that maintain a BENCH_*.json trajectory, in run order.
+TRACKED = {
+    "engine": "bench_engine.py",
+    "analytic": "bench_analytic.py",
+    "packed": "bench_packed.py",
+}
+
+
+def run_bench(name: str, *, smoke: bool) -> int:
+    """Run one tracked benchmark module under pytest; return exit code."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(ROOT, "src"),
+                      env.get("PYTHONPATH", "")])
+    )
+    if smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
+    else:
+        env.pop("REPRO_BENCH_SMOKE", None)
+    cmd = [
+        sys.executable, "-m", "pytest",
+        os.path.join(HERE, TRACKED[name]),
+        "-x", "-q", "-s",
+    ]
+    print(f"== {name} ({'smoke' if smoke else 'full'}) ==", flush=True)
+    return subprocess.call(cmd, cwd=ROOT, env=env)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the trajectory-tracked benchmarks"
+    )
+    parser.add_argument(
+        "benches",
+        nargs="*",
+        help=f"subset to run (default: all of {', '.join(TRACKED)})",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized workloads; trajectory files untouched",
+    )
+    args = parser.parse_args(argv)
+    unknown = [b for b in args.benches if b not in TRACKED]
+    if unknown:
+        parser.error(
+            f"unknown bench(es) {', '.join(unknown)}; "
+            f"available: {', '.join(TRACKED)}"
+        )
+    selected = args.benches or list(TRACKED)
+    failures = [
+        name for name in selected
+        if run_bench(name, smoke=args.smoke) != 0
+    ]
+    if failures:
+        print(f"FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("all benchmarks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

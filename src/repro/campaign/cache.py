@@ -18,8 +18,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass
+from secrets import token_hex
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro._version import __version__
@@ -69,6 +69,15 @@ def cache_key(point: ScenarioPoint) -> str:
         # must not invalidate them.
         payload.pop("semantics")
         payload["analytic"] = ANALYTIC_VERSION
+    if point.mode != "optimize" and point.engine == "packed":
+        from repro.simulation.packed_engine import PACKED_VERSION
+
+        # Packed execution is draw-identical to the fast tier, so
+        # ``auto``/``fast`` points keep their fast-tier entries whatever
+        # strategy ran them.  Explicitly packed points additionally carry
+        # the packed-layer version: their keys are new anyway, and a
+        # packed-layer fix can then invalidate exactly those rows.
+        payload["packed"] = PACKED_VERSION
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -98,6 +107,7 @@ class ResultCache:
         os.makedirs(self.root, exist_ok=True)
         self._hits = 0
         self._misses = 0
+        self._shards: set = set()
 
     # -- key/path plumbing --------------------------------------------------
     def key(self, point: ScenarioPoint) -> str:
@@ -121,15 +131,31 @@ class ResultCache:
         return record
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
-        """Store a record atomically under its key."""
+        """Store a record atomically under its key.
+
+        The temp name carries the pid plus a random token, so concurrent
+        writers of one key never collide -- including same-pid writers
+        on different hosts sharing one cache volume -- and
+        ``os.replace`` keeps the final rename atomic, without paying
+        ``mkstemp``'s open/close round trip on every store.
+        """
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), suffix=".tmp"
-        )
+        shard = os.path.dirname(path)
+        if shard not in self._shards:
+            os.makedirs(shard, exist_ok=True)
+            self._shards.add(shard)
+        tmp = f"{path}.{os.getpid()}.{token_hex(8)}.tmp"
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(record, fh, separators=(",", ":"), default=str)
+            try:
+                fh = open(tmp, "w")
+            except FileNotFoundError:
+                # The shard directory vanished under us (external
+                # cleanup); rebuild it and retry once.
+                os.makedirs(shard, exist_ok=True)
+                fh = open(tmp, "w")
+            with fh:
+                fh.write(json.dumps(record, separators=(",", ":"),
+                                    default=str))
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):

@@ -5,14 +5,24 @@ The executor turns a list of scenario points into result records:
 1. points already present in the JSONL *journal* are skipped (resume);
 2. points whose content hash is in the :class:`ResultCache` are served
    from disk and journaled without recomputation;
-3. the remainder is batched into chunks -- many small scenario points per
-   submitted task, amortising the per-task submission overhead that a
-   one-future-per-point pool pays -- and fanned out to a
-   :class:`~concurrent.futures.ProcessPoolExecutor`.
+3. the remaining *simulate* points whose engine request is packable
+   (``auto`` or ``packed``) are bucketed by compatibility and packed
+   into struct-of-arrays **mega-batches** -- one vectorised
+   :func:`~repro.simulation.packed_engine.simulate_packed_batch` call
+   advances a whole heterogeneous sweep, and per-point records are
+   bit-identical to solo fast-tier runs (the packed engine's draw-
+   identity contract), so packing is invisible to the journal and cache;
+4. everything else is batched into chunks -- many small scenario points
+   per submitted task, amortising the per-task submission overhead that
+   a one-future-per-point pool pays -- and fanned out to a
+   :class:`~concurrent.futures.ProcessPoolExecutor` alongside the
+   mega-batches.
 
 Every completed point is streamed to the journal (append-one-line,
 flushed) the moment it arrives, so an interrupted campaign loses at most
-the in-flight chunks and resumes exactly where it stopped.
+the in-flight tasks and resumes exactly where it stopped.  A truncated
+or corrupt journal line -- the signature of a killed writer -- is
+detected, counted and skipped on resume, never fatal.
 
 Result records carry only computed quantities; the free-form point
 ``labels`` are merged in at assembly time.  That way two campaigns that
@@ -26,26 +36,113 @@ import json
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.campaign.cache import ResultCache, cache_key
-from repro.campaign.spec import CampaignSpec, ScenarioPoint
-from repro.experiments.io import read_jsonl
+from repro.campaign.spec import (
+    CampaignSpec,
+    ScenarioPoint,
+    pattern_kind,
+    platform_from_dict,
+)
+from repro.experiments.io import scan_jsonl
 
 #: Upper bound on points per submitted task (keeps journal streaming
-#: responsive: a chunk is the unit of loss on interruption).
+#: responsive: a chunk is the unit of loss on interruption).  Override
+#: per campaign via ``max_chunk`` / ``--max-chunk``.
 MAX_CHUNK = 64
 
+#: Default row budget (pattern instances, summed over points) of one
+#: packed mega-batch.  ~1M rows keep the packed engine's struct-of-arrays
+#: working set around a hundred MB; raise it for fewer, larger batches.
+DEFAULT_PACK_ROWS = 1_000_000
 
-def default_chunksize(n_points: int, n_workers: int) -> int:
+class CampaignConfigError(ValueError):
+    """A campaign was configured inconsistently (flags, not computation).
+
+    Raised by the pre-flight validations (worker/chunk/pack budgets) so
+    front ends can distinguish configuration mistakes -- reportable as a
+    one-line message -- from computation errors that deserve a full
+    traceback.
+    """
+
+
+#: Engine requests the campaign planner may route through the packed
+#: engine.  ``auto`` is packable because packed results are bit-identical
+#: to the fast tier the request would dispatch to; explicit tier requests
+#: (``fast``, ``fast-pd``, ``step``) are honoured literally, point by
+#: point.
+PACKABLE_ENGINES = ("auto", "packed")
+
+
+def default_chunksize(
+    n_points: int, n_workers: int, *, max_chunk: Optional[int] = None
+) -> int:
     """Points per task: the shared ~4-tasks-per-worker heuristic
     (:func:`repro.simulation.parallel.default_chunksize`), capped at
-    :data:`MAX_CHUNK`."""
+    ``max_chunk`` (default :data:`MAX_CHUNK`)."""
     from repro.simulation.parallel import (
         default_chunksize as shared_chunksize,
     )
 
-    return shared_chunksize(n_points, n_workers, cap=MAX_CHUNK)
+    cap = MAX_CHUNK if max_chunk is None else max_chunk
+    return shared_chunksize(n_points, n_workers, cap=cap)
+
+
+class _PointBuilds:
+    """Per-chunk memo of point materialisation and model optimisation.
+
+    Scenario points travel as JSON-friendly dicts; a chunk routinely
+    repeats the same platform (family comparisons) or the same
+    (kind, platform) cell (duplicate grid points), so the Platform /
+    PatternKind / Table-1 resolution is paid once per distinct value
+    per chunk instead of once per point.
+    """
+
+    def __init__(self) -> None:
+        self._platforms: Dict[str, Any] = {}
+        self._kinds: Dict[str, Any] = {}
+        self._opts: Dict[Tuple[str, str], Any] = {}
+
+    def _platform_key(self, point: ScenarioPoint) -> str:
+        return json.dumps(dict(point.platform), sort_keys=True)
+
+    def kind(self, point: ScenarioPoint):
+        kind = self._kinds.get(point.kind)
+        if kind is None:
+            kind = pattern_kind(point.kind)
+            self._kinds[point.kind] = kind
+        return kind
+
+    def platform(self, point: ScenarioPoint):
+        key = self._platform_key(point)
+        plat = self._platforms.get(key)
+        if plat is None:
+            plat = platform_from_dict(point.platform)
+            self._platforms[key] = plat
+        return plat
+
+    def optimal(self, point: ScenarioPoint):
+        """``(OptimalPattern, simulation platform)`` for a simulate point."""
+        from repro.core.formulas import optimal_pattern, simulation_costs
+
+        key = (point.kind, self._platform_key(point))
+        entry = self._opts.get(key)
+        if entry is None:
+            kind = self.kind(point)
+            platform = self.platform(point)
+            opt = optimal_pattern(kind, platform)
+            entry = (opt, simulation_costs(kind, platform))
+            self._opts[key] = entry
+        return entry
 
 
 def _analytic_record(point: ScenarioPoint) -> Dict[str, Any]:
@@ -61,26 +158,9 @@ def _analytic_record(point: ScenarioPoint) -> Dict[str, Any]:
     return {"mode": point.mode, "engine": "analytic", **rec}
 
 
-def evaluate_point(point: ScenarioPoint) -> Dict[str, Any]:
-    """Compute the result record for one scenario point.
-
-    ``simulate`` mode is the paper's experimental unit: Table-1
-    optimisation followed by a Monte-Carlo campaign
-    (:func:`~repro.simulation.runner.simulate_optimal_pattern`)
-    -- unless the point requests ``engine="analytic"``, in which case
-    the vectorised model layer answers without sampling.
-    ``optimize`` mode stops after the model-level optimisation.  The
-    record contains only JSON-safe scalars and excludes the point labels.
-    """
-    from repro.core.formulas import optimal_pattern
-
-    if point.mode == "simulate" and point.engine == "analytic":
-        return _analytic_record(point)
-
-    kind = point.build_kind()
-    platform = point.build_platform()
-    opt = optimal_pattern(kind, platform)
-    record: Dict[str, Any] = {
+def _model_record(point: ScenarioPoint, kind, platform, opt) -> Dict[str, Any]:
+    """The Table-1 optimisation fields shared by every simulate record."""
+    return {
         "mode": point.mode,
         "kind": kind.value,
         "platform_name": platform.name,
@@ -90,54 +170,189 @@ def evaluate_point(point: ScenarioPoint) -> Dict[str, Any]:
         "n*": int(opt.n),
         "m*": int(opt.m),
     }
+
+
+def _mc_record_fields(
+    point: ScenarioPoint, engine: str, predicted: float, agg
+) -> Dict[str, Any]:
+    """The Monte-Carlo fields of a simulate record, from aggregated runs."""
+    lo, hi = agg.overhead_ci95()
+    return {
+        "n_patterns": int(point.n_patterns),
+        "n_runs": int(point.n_runs),
+        "seed": point.seed,
+        "engine": engine,
+        "predicted": float(predicted),
+        "simulated": float(agg.mean_overhead),
+        "std_overhead": float(agg.std_overhead),
+        "ci95_low": float(lo),
+        "ci95_high": float(hi),
+        "mean_total_time": float(agg.mean_total_time),
+        "disk_ckpts_per_hour": float(
+            agg.rates_per_hour["disk_checkpoints"]
+        ),
+        "mem_ckpts_per_hour": float(
+            agg.rates_per_hour["memory_checkpoints"]
+        ),
+        "verifs_per_hour": float(agg.rates_per_hour["verifications"]),
+        "disk_recoveries_per_day": float(
+            agg.rates_per_day["disk_recoveries"]
+        ),
+        "mem_recoveries_per_day": float(
+            agg.rates_per_day["memory_recoveries"]
+        ),
+        "disk_rec_per_pattern": float(
+            agg.per_pattern["disk_recoveries"]
+        ),
+        "mem_rec_per_pattern": float(agg.per_pattern["memory_recoveries"]),
+    }
+
+
+def _packed_mc_fields_batch(
+    group: "List[Tuple[ScenarioPoint, str, float]]",
+    results: "List[Any]",
+    n_runs: int,
+    per_run: int,
+) -> List[Dict[str, Any]]:
+    """Monte-Carlo record fields for a uniform-shape group of results.
+
+    Performs, per field and per point, exactly the floating-point
+    operations that ``aggregate_stats(res.to_stats(n_runs))`` +
+    :func:`_mc_record_fields` perform -- row-wise reshape sums over a
+    ``(points * runs, per_run)`` matrix are bit-identical to per-slice
+    sums, int64 counter sums are exact, and every derived quantity
+    repeats the same IEEE double operations row by row -- without
+    materialising per-run stats objects, in a handful of NumPy calls
+    for the whole group.  ``tests/test_packed_campaign.py`` asserts the
+    dict equality against :func:`evaluate_point` per point.
+    """
+    import math
+
+    import numpy as np
+
+    from repro.simulation.stats import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+    G = len(group)
+    R = n_runs
+
+    def runs_2d(values: "List[np.ndarray]") -> "np.ndarray":
+        """(G, R) per-run sums of per-instance arrays."""
+        return (
+            np.concatenate(values).reshape(G * R, per_run).sum(axis=1)
+        ).reshape(G, R)
+
+    run_times = runs_2d([res.times for res in results])
+    useful = np.array(
+        [res.pattern_work * per_run for res in results]
+    )[:, None]
+
+    def counters_2d(name: str) -> "np.ndarray":
+        return runs_2d(
+            [res.counters[name] for res in results]
+        ).astype(np.float64)
+
+    overheads = run_times / useful - 1.0
+    mean_overhead = overheads.mean(axis=1)
+    if R > 1:
+        std_overhead = overheads.std(axis=1, ddof=1)
+        sem = std_overhead / math.sqrt(R)
+    else:
+        std_overhead = np.zeros(G)
+        sem = np.full(G, math.nan)
+    half = 1.96 * sem
+    hours = run_times / SECONDS_PER_HOUR
+    days = run_times / SECONDS_PER_DAY
+    pats = float(max(per_run, 1))
+    mean_total_time = run_times.mean(axis=1)
+    verifs = counters_2d("partial_verifications") + counters_2d(
+        "guaranteed_verifications"
+    )
+    disk_rec = counters_2d("disk_recoveries")
+    mem_rec = counters_2d("memory_recoveries")
+    dc_hour = np.mean(counters_2d("disk_checkpoints") / hours, axis=1)
+    mc_hour = np.mean(counters_2d("memory_checkpoints") / hours, axis=1)
+    v_hour = np.mean(verifs / hours, axis=1)
+    dr_day = np.mean(disk_rec / days, axis=1)
+    mr_day = np.mean(mem_rec / days, axis=1)
+    dr_pat = np.mean(disk_rec / pats, axis=1)
+    mr_pat = np.mean(mem_rec / pats, axis=1)
+
+    out: List[Dict[str, Any]] = []
+    for g, (point, engine, predicted) in enumerate(group):
+        out.append(
+            {
+                "n_patterns": int(point.n_patterns),
+                "n_runs": int(point.n_runs),
+                "seed": point.seed,
+                "engine": engine,
+                "predicted": float(predicted),
+                "simulated": float(mean_overhead[g]),
+                "std_overhead": float(std_overhead[g]),
+                "ci95_low": float(mean_overhead[g] - half[g]),
+                "ci95_high": float(mean_overhead[g] + half[g]),
+                "mean_total_time": float(mean_total_time[g]),
+                "disk_ckpts_per_hour": float(dc_hour[g]),
+                "mem_ckpts_per_hour": float(mc_hour[g]),
+                "verifs_per_hour": float(v_hour[g]),
+                "disk_recoveries_per_day": float(dr_day[g]),
+                "mem_recoveries_per_day": float(mr_day[g]),
+                "disk_rec_per_pattern": float(dr_pat[g]),
+                "mem_rec_per_pattern": float(mr_pat[g]),
+            }
+        )
+    return out
+
+
+def _evaluate_point_built(
+    point: ScenarioPoint, builds: _PointBuilds
+) -> Dict[str, Any]:
+    """Evaluate one point with the chunk's shared builds memo."""
+    if point.mode == "simulate" and point.engine == "analytic":
+        return _analytic_record(point)
+
+    kind = builds.kind(point)
+    platform = builds.platform(point)
     if point.mode == "optimize":
-        return record
+        from repro.core.formulas import optimal_pattern
 
-    from repro.simulation.runner import simulate_optimal_pattern
+        return _model_record(
+            point, kind, platform, optimal_pattern(kind, platform)
+        )
 
-    res = simulate_optimal_pattern(
-        kind,
-        platform,
+    opt, sim_platform = builds.optimal(point)
+    record = _model_record(point, kind, platform, opt)
+
+    from repro.simulation.runner import run_monte_carlo
+
+    res = run_monte_carlo(
+        opt.pattern,
+        sim_platform,
         n_patterns=point.n_patterns,
         n_runs=point.n_runs,
         seed=point.seed,
         fail_stop_in_operations=point.fail_stop_in_operations,
+        predicted_overhead=opt.H_star,
         engine=point.engine,
     )
-    agg = res.aggregated
-    lo, hi = agg.overhead_ci95()
     record.update(
-        {
-            "n_patterns": int(point.n_patterns),
-            "n_runs": int(point.n_runs),
-            "seed": point.seed,
-            "engine": res.engine,
-            "predicted": float(res.predicted_overhead),
-            "simulated": float(agg.mean_overhead),
-            "std_overhead": float(agg.std_overhead),
-            "ci95_low": float(lo),
-            "ci95_high": float(hi),
-            "mean_total_time": float(agg.mean_total_time),
-            "disk_ckpts_per_hour": float(
-                agg.rates_per_hour["disk_checkpoints"]
-            ),
-            "mem_ckpts_per_hour": float(
-                agg.rates_per_hour["memory_checkpoints"]
-            ),
-            "verifs_per_hour": float(agg.rates_per_hour["verifications"]),
-            "disk_recoveries_per_day": float(
-                agg.rates_per_day["disk_recoveries"]
-            ),
-            "mem_recoveries_per_day": float(
-                agg.rates_per_day["memory_recoveries"]
-            ),
-            "disk_rec_per_pattern": float(
-                agg.per_pattern["disk_recoveries"]
-            ),
-            "mem_rec_per_pattern": float(agg.per_pattern["memory_recoveries"]),
-        }
+        _mc_record_fields(
+            point, res.engine, res.predicted_overhead, res.aggregated
+        )
     )
     return record
+
+
+def evaluate_point(point: ScenarioPoint) -> Dict[str, Any]:
+    """Compute the result record for one scenario point.
+
+    ``simulate`` mode is the paper's experimental unit: Table-1
+    optimisation followed by a Monte-Carlo campaign on the dispatched
+    engine tier -- unless the point requests ``engine="analytic"``, in
+    which case the vectorised model layer answers without sampling.
+    ``optimize`` mode stops after the model-level optimisation.  The
+    record contains only JSON-safe scalars and excludes the point labels.
+    """
+    return _evaluate_point_built(point, _PointBuilds())
 
 
 def evaluate_points(
@@ -149,16 +364,19 @@ def evaluate_points(
     :class:`~repro.core.batch.PlatformGrid` and answered by a single
     vectorised :func:`~repro.core.batch.analytic_records` call -- the
     batch path the ``analytic`` engine tier exists for.  Every other
-    point goes through :func:`evaluate_point` unchanged.  Results are
-    returned in input order.
+    point goes through :func:`evaluate_point` (with a shared
+    platform/kind/optimisation memo) unchanged.  Results are returned in
+    input order.  For cross-point *simulation* batching see
+    :func:`evaluate_points_packed`.
     """
     out: List[Optional[Dict[str, Any]]] = [None] * len(points)
+    builds = _PointBuilds()
     analytic_by_kind: Dict[str, List[int]] = {}
     for i, point in enumerate(points):
         if point.mode == "simulate" and point.engine == "analytic":
             analytic_by_kind.setdefault(point.kind, []).append(i)
         else:
-            out[i] = evaluate_point(point)
+            out[i] = _evaluate_point_built(point, builds)
     if analytic_by_kind:
         from repro.core.batch import PlatformGrid, analytic_records
 
@@ -174,6 +392,100 @@ def evaluate_points(
     return out  # type: ignore[return-value]
 
 
+def evaluate_points_packed(
+    points: Sequence[ScenarioPoint],
+) -> List[Dict[str, Any]]:
+    """Evaluate simulate points through one packed mega-batch.
+
+    Every point that resolves to the fast-general tier (or explicitly
+    requests ``packed``) contributes its instances to a single
+    :func:`~repro.simulation.packed_engine.simulate_packed_batch` call;
+    each point's generator comes from the same
+    :func:`~repro.simulation.dispatch.tier_rng` derivation the solo fast
+    tier uses, so the per-point records are **bit-identical** to
+    :func:`evaluate_point` -- packing (and therefore chunking and worker
+    count) is invisible in the results.  Points the packed engine does
+    not cover (e.g. ``auto`` requests that dispatch to ``fast-pd``) fall
+    back to the per-point path.  Results are in input order.
+    """
+    from repro.simulation.dispatch import EngineTier, select_engine, tier_rng
+    from repro.simulation.packed_engine import (
+        PackedJob,
+        simulate_packed_batch,
+    )
+
+    out: List[Optional[Dict[str, Any]]] = [None] * len(points)
+    builds = _PointBuilds()
+    jobs: List[PackedJob] = []
+    packed_meta: List[Tuple[int, Any, str]] = []
+    solo: List[int] = []
+    for i, point in enumerate(points):
+        if point.mode != "simulate" or point.engine not in PACKABLE_ENGINES:
+            solo.append(i)
+            continue
+        opt, sim_platform = builds.optimal(point)
+        tier = select_engine(
+            opt.pattern,
+            fail_stop_in_operations=point.fail_stop_in_operations,
+            engine=point.engine,
+        )
+        if tier not in (EngineTier.FAST_GENERAL, EngineTier.PACKED):
+            solo.append(i)
+            continue
+        rng = tier_rng(
+            point.seed,
+            opt.pattern,
+            sim_platform,
+            point.fail_stop_in_operations,
+        )
+        jobs.append(
+            PackedJob(
+                opt.pattern,
+                sim_platform,
+                point.n_runs * point.n_patterns,
+                rng,
+                fail_stop_in_operations=point.fail_stop_in_operations,
+            )
+        )
+        packed_meta.append((i, opt, tier.value))
+    if solo:
+        for i, rec in zip(
+            solo, evaluate_points([points[i] for i in solo])
+        ):
+            out[i] = rec
+    if jobs:
+        results = simulate_packed_batch(jobs)
+        # Group by per-run reduction shape so the record assembly runs
+        # as a few (points x runs, per_run) matrix reductions.
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for pos, (i, _, _) in enumerate(packed_meta):
+            point = points[i]
+            groups.setdefault(
+                (point.n_runs, point.n_patterns), []
+            ).append(pos)
+        for (n_runs, per_run), positions in groups.items():
+            group = [
+                (points[packed_meta[pos][0]], packed_meta[pos][2],
+                 packed_meta[pos][1].H_star)
+                for pos in positions
+            ]
+            mc_fields = _packed_mc_fields_batch(
+                group,
+                [results[pos] for pos in positions],
+                n_runs,
+                per_run,
+            )
+            for pos, fields in zip(positions, mc_fields):
+                i, opt, _ = packed_meta[pos]
+                point = points[i]
+                record = _model_record(
+                    point, builds.kind(point), builds.platform(point), opt
+                )
+                record.update(fields)
+                out[i] = record
+    return out  # type: ignore[return-value]
+
+
 def _evaluate_chunk(
     point_dicts: Sequence[Dict[str, Any]]
 ) -> List[Tuple[str, Dict[str, Any]]]:
@@ -186,12 +498,32 @@ def _evaluate_chunk(
     ]
 
 
+def _evaluate_packed_chunk(
+    point_dicts: Sequence[Dict[str, Any]]
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """Worker entry: evaluate one packed mega-batch of serialised points."""
+    points = [ScenarioPoint.from_dict(data) for data in point_dicts]
+    records = evaluate_points_packed(points)
+    return [
+        (cache_key(point), record)
+        for point, record in zip(points, records)
+    ]
+
+
 @dataclass
 class CampaignResult:
     """Everything a finished (or resumed) campaign produced.
 
     ``records`` is aligned with ``points`` (labels merged in); the
     counters say where each unique configuration came from.
+    ``n_packed`` counts the points the planner routed into packed
+    mega-batches (a few of those may still fall back to the per-point
+    path inside the worker -- e.g. ``auto`` requests that dispatch to
+    ``fast-pd``; results are identical either way).
+    ``n_journal_corrupt`` counts corrupt/truncated journal lines that
+    resume detected and skipped (those points were recomputed; a
+    truncated *tail* line is also removed from the file, so it is
+    reported once, not on every later resume).
     """
 
     points: List[ScenarioPoint]
@@ -200,6 +532,8 @@ class CampaignResult:
     n_from_journal: int = 0
     n_from_cache: int = 0
     n_computed: int = 0
+    n_packed: int = 0
+    n_journal_corrupt: int = 0
     spec: Optional[CampaignSpec] = None
     journal_path: Optional[str] = None
 
@@ -210,21 +544,61 @@ class CampaignResult:
 
 
 class _Journal:
-    """Append-only JSONL journal of (key, record) pairs."""
+    """Append-only JSONL journal of (key, record) pairs.
+
+    Corrupt or truncated lines found while loading an existing journal
+    (a killed writer's half-line, disk-full artifacts) are counted in
+    ``n_corrupt`` and skipped: the affected points simply recompute.
+    """
 
     def __init__(self, path: Optional[str]):
         self.path = path
         self._fh = None
         self.existing: Dict[str, Dict[str, Any]] = {}
+        self.n_corrupt = 0
         if path is None:
             return
         if os.path.exists(path):
-            for line in read_jsonl(path):
+            lines, self.n_corrupt = scan_jsonl(path)
+            for line in lines:
                 if isinstance(line, dict) and "key" in line:
                     self.existing[line["key"]] = line.get("record", {})
+                else:
+                    self.n_corrupt += 1
+            self._drop_partial_tail(path)
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         self._fh = open(path, "a")
+
+    @staticmethod
+    def _drop_partial_tail(path: str) -> None:
+        """Truncate a killed writer's half-line off the journal tail.
+
+        The affected point recomputes and re-journals, so removing the
+        partial line both prevents the next append from corrupting
+        itself by concatenation and leaves a fully healthy file --
+        later resumes must not keep re-reporting a long-gone crash.
+        """
+        size = os.path.getsize(path)
+        if size == 0:
+            return
+        with open(path, "rb+") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return
+            # Walk back to the last newline (bounded scan from the end).
+            pos = size
+            chunk = 4096
+            while pos > 0:
+                step = min(chunk, pos)
+                fh.seek(pos - step)
+                data = fh.read(step)
+                cut = data.rfind(b"\n")
+                if cut >= 0:
+                    fh.truncate(pos - step + cut + 1)
+                    return
+                pos -= step
+            fh.truncate(0)
 
     def append(self, key: str, record: Dict[str, Any]) -> None:
         if self._fh is None:
@@ -247,6 +621,9 @@ def run_campaign(
     journal_path: Optional[str] = None,
     n_workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    max_chunk: Optional[int] = None,
+    pack_rows: Optional[int] = None,
+    packing: bool = True,
 ) -> CampaignResult:
     """Run (or resume) a campaign and return its assembled records.
 
@@ -261,17 +638,46 @@ def run_campaign(
     journal_path:
         JSONL journal file.  If it exists, journaled points are *not*
         recomputed (resume); completed points are appended as they finish.
+        Corrupt/truncated lines are skipped (and counted on the result).
     n_workers:
-        Process count for the chunked pool; default ``os.cpu_count()``.
+        Process count for the task pool; default ``os.cpu_count()``.
         ``1`` runs in-process (deterministic, no pool) but still journals
-        point by point.
+        task by task.
     chunksize:
-        Points per submitted task; default :func:`default_chunksize`.
+        Points per submitted per-point task; default
+        :func:`default_chunksize`.  Validated against the worker count:
+        an explicit chunksize that leaves explicit workers idle raises.
+    max_chunk:
+        Cap on the chunksize heuristic (default :data:`MAX_CHUNK`).
+    pack_rows:
+        Row budget (summed ``n_runs * n_patterns``) of one packed
+        mega-batch; default :data:`DEFAULT_PACK_ROWS`.
+    packing:
+        When True (default), simulate points requesting ``auto`` or
+        ``packed`` engines run through cross-point packed mega-batches;
+        records are bit-identical either way, so this is purely an
+        execution-strategy switch (False forces the per-point path).
     """
     spec = campaign if isinstance(campaign, CampaignSpec) else None
     points = list(spec.points() if spec is not None else campaign)
     if not points:
         raise ValueError("campaign has no scenario points")
+    if n_workers is not None and n_workers < 1:
+        raise CampaignConfigError(
+            f"n_workers must be >= 1, got {n_workers}"
+        )
+    if chunksize is not None and chunksize < 1:
+        raise CampaignConfigError(
+            f"chunksize must be >= 1, got {chunksize}"
+        )
+    if max_chunk is not None and max_chunk < 1:
+        raise CampaignConfigError(
+            f"max_chunk must be >= 1, got {max_chunk}"
+        )
+    if pack_rows is not None and pack_rows < 1:
+        raise CampaignConfigError(
+            f"pack_rows must be >= 1, got {pack_rows}"
+        )
     if isinstance(cache, str):
         cache = ResultCache(cache)
 
@@ -303,8 +709,17 @@ def run_campaign(
         todo.append((key, point))
 
     try:
-        n_computed = _execute(todo, resolved, journal, cache,
-                              n_workers, chunksize)
+        n_computed, n_packed = _execute(
+            todo,
+            resolved,
+            journal,
+            cache,
+            n_workers,
+            chunksize,
+            max_chunk,
+            pack_rows,
+            packing,
+        )
     finally:
         journal.close()
 
@@ -318,9 +733,50 @@ def run_campaign(
         n_from_journal=n_journal,
         n_from_cache=n_cache,
         n_computed=n_computed,
+        n_packed=n_packed,
+        n_journal_corrupt=journal.n_corrupt,
         spec=spec,
         journal_path=journal_path,
     )
+
+
+def _is_packable(point: ScenarioPoint) -> bool:
+    """Whether the planner may route a point through the packed engine."""
+    return point.mode == "simulate" and point.engine in PACKABLE_ENGINES
+
+
+def _plan_mega_batches(
+    packable: List[Tuple[str, ScenarioPoint]],
+    pack_rows: int,
+) -> List[List[Tuple[str, ScenarioPoint]]]:
+    """Bucket packable points by compatibility and split by row budget.
+
+    Buckets are keyed by (fail-stop setting, engine request, Monte-Carlo
+    size): rows of one mega-batch then share the semantics setting, the
+    record engine label and the per-run reduction shape.  Within a
+    bucket, points fill consecutive packs up to ``pack_rows`` instances
+    each (:func:`repro.simulation.packed_engine.plan_packs`).  The plan
+    depends only on point content and order -- never on the worker
+    count -- so packed campaigns journal identical records under any
+    parallelism.
+    """
+    from repro.simulation.packed_engine import plan_packs
+
+    buckets: Dict[Tuple, List[Tuple[str, ScenarioPoint]]] = {}
+    for key, point in packable:
+        bucket = (
+            point.fail_stop_in_operations,
+            point.engine,
+            point.n_patterns,
+            point.n_runs,
+        )
+        buckets.setdefault(bucket, []).append((key, point))
+    batches: List[List[Tuple[str, ScenarioPoint]]] = []
+    for bucket_points in buckets.values():
+        sizes = [p.n_runs * p.n_patterns for _, p in bucket_points]
+        for pack in plan_packs(sizes, pack_rows):
+            batches.append([bucket_points[i] for i in pack])
+    return batches
 
 
 def _execute(
@@ -330,12 +786,57 @@ def _execute(
     cache: Optional[ResultCache],
     n_workers: Optional[int],
     chunksize: Optional[int],
-) -> int:
-    """Evaluate the outstanding points, streaming results as they land."""
+    max_chunk: Optional[int],
+    pack_rows: Optional[int],
+    packing: bool,
+) -> Tuple[int, int]:
+    """Evaluate the outstanding points, streaming results as they land.
+
+    Returns ``(n_computed, n_packed)``.
+    """
     if not todo:
-        return 0
+        return 0, 0
+    explicit_workers = n_workers is not None
     workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
     workers = max(1, min(workers, len(todo)))
+
+    if packing:
+        packable = [(k, p) for k, p in todo if _is_packable(p)]
+    else:
+        packable = []
+    packable_keys = {k for k, _ in packable}
+    rest = [(k, p) for k, p in todo if k not in packable_keys]
+
+    budget = pack_rows if pack_rows is not None else DEFAULT_PACK_ROWS
+    if workers > 1 and packable:
+        # Shrink the budget so the mega-batches can spread across the
+        # pool (per-point records are packing-invariant, so the split
+        # never changes results -- only parallelism).
+        total_rows = sum(p.n_runs * p.n_patterns for _, p in packable)
+        budget = min(budget, max(1, -(-total_rows // workers)))
+    pack_batches = _plan_mega_batches(packable, budget)
+    n_packed = sum(len(batch) for batch in pack_batches)
+
+    size = (
+        chunksize
+        if chunksize is not None
+        else default_chunksize(len(rest), workers, max_chunk=max_chunk)
+    )
+    size = max(1, size)
+    chunks = [rest[i : i + size] for i in range(0, len(rest), size)]
+    if (
+        chunksize is not None
+        and explicit_workers
+        and workers > 1
+        and len(rest) >= workers
+        and len(chunks) < workers
+    ):
+        raise CampaignConfigError(
+            f"chunksize {chunksize} splits {len(rest)} per-point tasks "
+            f"into only {len(chunks)} chunks, leaving "
+            f"{workers - len(chunks)} of {workers} workers idle; lower "
+            "chunksize (or the worker count) so every worker gets a chunk"
+        )
 
     def commit(key: str, record: Dict[str, Any]) -> None:
         resolved[key] = record
@@ -343,34 +844,37 @@ def _execute(
         if cache is not None:
             cache.put(key, record)
 
-    size = (
-        chunksize
-        if chunksize is not None
-        else default_chunksize(len(todo), workers)
-    )
-    size = max(1, size)
-    chunks = [todo[i : i + size] for i in range(0, len(todo), size)]
-
     if workers == 1:
-        # In-process, deterministic -- but still chunked so analytic
-        # points ride the vectorised batch path; the journal flushes
-        # after every chunk (the unit of loss on interruption).
+        # In-process, deterministic -- but still batched so packed points
+        # ride the mega-batch path and analytic points the grid path; the
+        # journal flushes after every task (the unit of loss on
+        # interruption).
+        for batch in pack_batches:
+            records = evaluate_points_packed([p for _, p in batch])
+            for (key, _), record in zip(batch, records):
+                commit(key, record)
         for chunk in chunks:
             records = evaluate_points([p for _, p in chunk])
             for (key, _), record in zip(chunk, records):
                 commit(key, record)
-        return len(todo)
+        return len(todo), n_packed
+
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {
-            pool.submit(
+        pending = {}
+        for batch in pack_batches:
+            fut = pool.submit(
+                _evaluate_packed_chunk, [p.to_dict() for _, p in batch]
+            )
+            pending[fut] = batch
+        for chunk in chunks:
+            fut = pool.submit(
                 _evaluate_chunk, [p.to_dict() for _, p in chunk]
-            ): chunk
-            for chunk in chunks
-        }
+            )
+            pending[fut] = chunk
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for fut in done:
                 pending.pop(fut)
                 for key, record in fut.result():
                     commit(key, record)
-    return len(todo)
+    return len(todo), n_packed

@@ -84,9 +84,13 @@ class ScenarioPoint:
         Engine tier request (see :mod:`repro.simulation.dispatch`):
         ``"auto"`` (default) dispatches to the fastest covering
         Monte-Carlo tier, ``"fast-pd"``/``"fast"``/``"step"`` force one,
-        and ``"analytic"`` evaluates the point on the vectorised model
-        layer (:mod:`repro.core.batch`) instead of sampling -- the
-        Monte-Carlo configuration is then ignored.  Participates in the
+        ``"packed"`` requests the cross-point packed execution strategy
+        (:mod:`repro.simulation.packed_engine`; results are
+        bit-identical to the fast tier), and ``"analytic"`` evaluates
+        the point on the vectorised model layer (:mod:`repro.core.batch`)
+        instead of sampling -- the Monte-Carlo configuration is then
+        ignored.  ``auto`` and ``packed`` points are grouped into packed
+        mega-batches by the campaign executor.  Participates in the
         cache key: rows computed by different engine requests are never
         silently mixed.
     labels:

@@ -15,6 +15,8 @@ Usage::
         --engine analytic
     repro-patterns campaign run --scenario platform_catalog \
         --cache-dir .repro-cache --journal fig6.jsonl --workers 8
+    repro-patterns campaign run --scenario error_rate_sweep \
+        --engine packed --pack-rows 500000
     repro-patterns campaign resume --scenario platform_catalog \
         --journal fig6.jsonl
     repro-patterns campaign cache --cache-dir .repro-cache
@@ -244,7 +246,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--chunksize", type=int, default=None,
-        help="scenario points per submitted task (default: heuristic)",
+        help="scenario points per submitted task (default: heuristic; "
+        "validated against --workers)",
+    )
+    p.add_argument(
+        "--max-chunk", type=int, default=None,
+        help="cap on the chunksize heuristic (default: 64)",
+    )
+    p.add_argument(
+        "--pack-rows", type=int, default=None,
+        help="row budget (n_runs x n_patterns summed) per packed "
+        "mega-batch (default: 1000000)",
+    )
+    p.add_argument(
+        "--no-pack", action="store_true",
+        help="disable cross-point packed execution (per-point tasks "
+        "only; results are identical either way)",
     )
     p.add_argument(
         "--clear", action="store_true",
@@ -357,13 +374,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 f"cannot resume: journal {args.journal!r} does not exist"
             )
 
-    result = run_campaign(
-        spec,
-        cache=args.cache_dir,
-        journal_path=args.journal,
-        n_workers=args.workers,
-        chunksize=args.chunksize,
-    )
+    from repro.campaign.executor import CampaignConfigError
+
+    try:
+        result = run_campaign(
+            spec,
+            cache=args.cache_dir,
+            journal_path=args.journal,
+            n_workers=args.workers,
+            chunksize=args.chunksize,
+            max_chunk=args.max_chunk,
+            pack_rows=args.pack_rows,
+            packing=not args.no_pack,
+        )
+    except CampaignConfigError as exc:
+        # Flag mistakes get a one-line message; computation errors keep
+        # their traceback.
+        raise SystemExit(f"campaign configuration error: {exc}")
+    if result.n_journal_corrupt:
+        print(
+            f"note: skipped {result.n_journal_corrupt} corrupt/truncated "
+            "journal line(s); the affected points were recomputed",
+            file=sys.stderr,
+        )
     # Normalise over the union of record keys: heterogeneous scenarios
     # (e.g. sweeps with anchor points) must not lose columns in the
     # table/CSV just because the first record lacks them.

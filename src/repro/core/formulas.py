@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache as _lru_cache
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.builders import (
@@ -237,6 +238,18 @@ def _conditional_n_star(
     return math.sqrt(2.0 * platform.C_D * f * ls / (a * lf))
 
 
+@_lru_cache(maxsize=4096)
+def _unit_pattern(kind: PatternKind, n: int, m: int, r: float) -> Pattern:
+    """Memoised placeholder-period pattern for the integer-shape search.
+
+    ``Pattern`` is frozen/immutable, so the shared instance is safe; the
+    optimiser probes the same ``(kind, n, m, r)`` shapes for every point
+    of a sweep, and validation of the chunk vectors is the dominant cost
+    of each probe.
+    """
+    return build_pattern(kind, 1.0, n=n, m=m, r=r)
+
+
 def _evaluate_shape(
     kind: PatternKind, platform: Platform, n: int, m: int
 ) -> Tuple[OverheadDecomposition, Pattern]:
@@ -245,7 +258,7 @@ def _evaluate_shape(
     The built pattern uses a placeholder period (1.0); only the shape
     matters for ``(o_ef, o_rw)``.
     """
-    pat = build_pattern(kind, 1.0, n=n, m=m, r=platform.r)
+    pat = _unit_pattern(kind, n, m, platform.r)
     # For starred families the intermediate verifications are guaranteed:
     # decompose against a platform view where V == V*.
     plat = platform

@@ -19,10 +19,28 @@ covered by partial verifications on *both* sides.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 from scipy import optimize as _opt
+
+
+@lru_cache(maxsize=1024)
+def _recall_matrix_cached(m: int, r: float) -> np.ndarray:
+    """Shared read-only ``A(m)`` instance per ``(m, r)``.
+
+    The integer-shape search of the Table-1 optimiser evaluates the same
+    handful of matrices dozens of times per optimisation; building each
+    once per process removes that from the per-point hot path.  The
+    cached array is frozen so accidental mutation cannot poison later
+    evaluations.
+    """
+    idx = np.arange(m)
+    dist = np.abs(idx[:, None] - idx[None, :])
+    A = 0.5 * (1.0 + (1.0 - r) ** dist)
+    A.setflags(write=False)
+    return A
 
 
 def recall_matrix(m: int, r: float) -> np.ndarray:
@@ -39,18 +57,35 @@ def recall_matrix(m: int, r: float) -> np.ndarray:
         raise ValueError(f"need at least one chunk, got m={m}")
     if not (0.0 < r <= 1.0):
         raise ValueError(f"recall must be in (0, 1], got {r}")
-    idx = np.arange(m)
-    dist = np.abs(idx[:, None] - idx[None, :])
-    return 0.5 * (1.0 + (1.0 - r) ** dist)
+    return _recall_matrix_cached(int(m), float(r)).copy()
+
+
+@lru_cache(maxsize=4096)
+def _quadratic_form_cached(beta: tuple, r: float) -> float:
+    b = np.asarray(beta, dtype=np.float64)
+    A = _recall_matrix_cached(b.size, r)
+    return float(b @ A @ b)
 
 
 def quadratic_form(beta: Sequence[float], r: float) -> float:
-    """Evaluate ``beta^T A(m) beta`` for chunk fractions ``beta``."""
+    """Evaluate ``beta^T A(m) beta`` for chunk fractions ``beta``.
+
+    Memoised per ``(beta, r)``: patterns repeat the same chunk vector
+    across segments and the optimiser re-evaluates the same shapes, so
+    the quadratic form for a given vector is computed once per process.
+    """
+    if not (0.0 < r <= 1.0):
+        raise ValueError(f"recall must be in (0, 1], got {r}")
+    if type(beta) is tuple and beta and type(beta[0]) is float:
+        # Pattern chunk vectors are already plain-float tuples: use them
+        # as the cache key directly (the hot path of the shape search).
+        # Anything else (nested tuples, ints, arrays) takes the
+        # validating slow path below.
+        return _quadratic_form_cached(beta, float(r))
     b = np.asarray(beta, dtype=np.float64)
     if b.ndim != 1 or b.size < 1:
         raise ValueError("beta must be a non-empty 1-D vector")
-    A = recall_matrix(b.size, r)
-    return float(b @ A @ b)
+    return _quadratic_form_cached(tuple(float(x) for x in b), float(r))
 
 
 def optimal_beta(m: int, r: float) -> np.ndarray:

@@ -151,7 +151,7 @@ class Pattern:
                 f"alpha has {len(self.alpha)} segments but betas has "
                 f"{len(self.betas)}"
             )
-        if any(a <= 0 for a in self.alpha):
+        if min(self.alpha) <= 0:
             raise ValueError(f"segment fractions must be positive, got {self.alpha}")
         total = math.fsum(self.alpha)
         if not math.isclose(total, 1.0, rel_tol=_REL_TOL, abs_tol=_REL_TOL):
@@ -162,9 +162,24 @@ class Pattern:
         object.__setattr__(
             self, "betas", tuple(tuple(float(b) for b in bs) for bs in self.betas)
         )
-        # Validate each beta via Segment construction.
-        for i, bs in enumerate(self.betas):
-            Segment(index=i, work=self.alpha[i] * self.W, chunk_fractions=bs)
+        # Validate each beta (the checks Segment construction applies,
+        # inlined: pattern optimisation builds thousands of candidate
+        # shapes, and per-shape Segment objects dominated its cost).
+        for bs in self.betas:
+            if not bs:
+                raise ValueError("a segment needs at least one chunk")
+            if min(bs) <= 0:
+                raise ValueError(
+                    f"chunk fractions must be positive, got {bs}"
+                )
+            total_b = math.fsum(bs)
+            if not math.isclose(
+                total_b, 1.0, rel_tol=_REL_TOL, abs_tol=_REL_TOL
+            ):
+                raise ValueError(
+                    f"chunk fractions must sum to 1, got {total_b!r} "
+                    f"for {bs}"
+                )
 
     # -- structure accessors -------------------------------------------------
     @property

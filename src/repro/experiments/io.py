@@ -5,7 +5,7 @@ from __future__ import annotations
 import csv
 import json
 import os
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def write_csv(
@@ -73,9 +73,23 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
 
     A truncated final line (the signature of a killed writer) is silently
     dropped rather than aborting the read -- resuming a campaign from a
-    journal must tolerate exactly that failure mode.
+    journal must tolerate exactly that failure mode.  Use
+    :func:`scan_jsonl` to also learn how many lines were dropped.
+    """
+    records, _ = scan_jsonl(path)
+    return records
+
+
+def scan_jsonl(path: str) -> "Tuple[List[Dict[str, Any]], int]":
+    """Read a JSONL file tolerantly, reporting dropped lines.
+
+    Returns ``(records, n_corrupt)``: blank lines are ignored, corrupt or
+    truncated lines (invalid JSON -- e.g. the half-written last line of a
+    killed process) are *counted* and skipped.  Campaign resume surfaces
+    the count so an interrupted run is visible rather than silent.
     """
     records: List[Dict[str, Any]] = []
+    n_corrupt = 0
     with open(path) as fh:
         for line in fh:
             line = line.strip()
@@ -84,8 +98,8 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
             try:
                 records.append(json.loads(line))
             except json.JSONDecodeError:
-                continue
-    return records
+                n_corrupt += 1
+    return records, n_corrupt
 
 
 def _coerce(obj: Any) -> Any:

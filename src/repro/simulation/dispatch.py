@@ -22,6 +22,14 @@ values and sampled runs are different deliverables -- but it is a
 first-class ``engine=`` request everywhere the campaign and experiment
 layers accept one.
 
+A fifth choice, **packed** (:mod:`repro.simulation.packed_engine`), is
+an execution *strategy* rather than new semantics: it runs fast-tier
+simulations for many heterogeneous points in one struct-of-arrays
+mega-batch, with per-point results bit-identical to solo fast runs.  At
+this single-point level it is explicit-only (``engine="packed"``); the
+campaign executor auto-packs multi-point campaigns whose points request
+``auto``.
+
 :func:`select_engine` picks the fastest tier whose semantics cover a
 request; :func:`run_stats` executes the request on that tier and returns
 per-run :class:`~repro.simulation.stats.SimulationStats` -- the shape
@@ -38,6 +46,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional
 
 import numpy as np
@@ -49,7 +58,7 @@ from repro.simulation.stats import SimulationStats
 from repro.simulation.trace import TraceRecorder
 
 #: Accepted values for the ``engine`` request parameter.
-ENGINE_CHOICES = ("auto", "fast-pd", "fast", "step", "analytic")
+ENGINE_CHOICES = ("auto", "fast-pd", "fast", "step", "analytic", "packed")
 
 
 class EngineTier(enum.Enum):
@@ -59,6 +68,11 @@ class EngineTier(enum.Enum):
     FAST_GENERAL = "fast"
     STEP = "step"
     ANALYTIC = "analytic"
+    #: Packed execution strategy: fast-tier semantics, draw-identical
+    #: results, built to batch many heterogeneous points in one call
+    #: (:mod:`repro.simulation.packed_engine`).  Explicit-only at this
+    #: level; the campaign planner auto-packs multi-point campaigns.
+    PACKED = "packed"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -83,8 +97,9 @@ def covers(
         return False  # only the step engine emits per-operation traces
     if tier is EngineTier.FAST_PD:
         return _is_pd_shape(pattern) and not fail_stop_in_operations
-    # FAST_GENERAL covers any shape and both fail-stop settings;
-    # ANALYTIC answers any traceless request with model expectations.
+    # FAST_GENERAL and PACKED cover any shape and both fail-stop
+    # settings; ANALYTIC answers any traceless request with model
+    # expectations.
     return True
 
 
@@ -154,21 +169,50 @@ def _config_entropy(
     e.g. zero errors across an entire figure).  The step engine
     decorrelates naturally through its per-operation draw consumption.
     """
+    return _config_entropy_cached(
+        pattern,
+        platform.lambda_f,
+        platform.lambda_s,
+        platform.C_D,
+        platform.C_M,
+        platform.R_D,
+        platform.R_M,
+        platform.V_star,
+        platform.V,
+        platform.r,
+        bool(fail_stop_in_operations),
+    )
+
+
+@lru_cache(maxsize=4096)
+def _config_entropy_cached(
+    pattern: Pattern,
+    lambda_f: float,
+    lambda_s: float,
+    C_D: float,
+    C_M: float,
+    R_D: float,
+    R_M: float,
+    V_star: float,
+    V: float,
+    r: float,
+    fail_stop_in_operations: bool,
+) -> int:
     blob = repr(
         (
             pattern.W,
             pattern.alpha,
             pattern.betas,
-            platform.lambda_f,
-            platform.lambda_s,
-            platform.C_D,
-            platform.C_M,
-            platform.R_D,
-            platform.R_M,
-            platform.V_star,
-            platform.V,
-            platform.r,
-            bool(fail_stop_in_operations),
+            lambda_f,
+            lambda_s,
+            C_D,
+            C_M,
+            R_D,
+            R_M,
+            V_star,
+            V,
+            r,
+            fail_stop_in_operations,
         )
     ).encode()
     return int.from_bytes(hashlib.sha256(blob).digest()[:8], "little")
@@ -198,6 +242,25 @@ def _tier_rng(
     if isinstance(seed, (list, tuple)):
         return np.random.default_rng([*map(int, seed), entropy])
     return np.random.default_rng([int(seed), entropy])
+
+
+def tier_rng(
+    seed: SeedLike,
+    pattern: Pattern,
+    platform: Platform,
+    fail_stop_in_operations: bool,
+) -> np.random.Generator:
+    """Public alias of the vectorised tiers' per-point seed derivation.
+
+    This is the grouping-invariant RNG contract of the packed engine: a
+    point's generator is one ``SeedSequence`` child keyed by the campaign
+    seed *and* the point's configuration fingerprint, so its draws are
+    the same whether it runs solo on the fast tier or inside any packed
+    batch.  The campaign planner uses this to build
+    :class:`~repro.simulation.packed_engine.PackedJob` streams that are
+    bit-identical to what :func:`run_stats` would consume.
+    """
+    return _tier_rng(seed, pattern, platform, fail_stop_in_operations)
 
 
 def run_stats(
@@ -238,6 +301,26 @@ def run_stats(
             "evaluate_analytic), an experiment's engine='analytic' path, "
             "or campaign points with engine='analytic'"
         )
+
+    if tier is EngineTier.PACKED:
+        from repro.simulation.packed_engine import (
+            PackedJob,
+            simulate_packed_batch,
+        )
+
+        rng = _tier_rng(seed, pattern, platform, fail_stop_in_operations)
+        (batch,) = simulate_packed_batch(
+            [
+                PackedJob(
+                    pattern,
+                    platform,
+                    n_runs * n_patterns,
+                    rng,
+                    fail_stop_in_operations=fail_stop_in_operations,
+                )
+            ]
+        )
+        return DispatchedRuns(runs=batch.to_stats(n_runs), tier=tier)
 
     if tier is EngineTier.FAST_PD:
         from repro.simulation.fast_pd import simulate_pd_batch

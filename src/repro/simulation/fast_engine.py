@@ -27,6 +27,7 @@ instances, reduced per run afterwards (:meth:`GeneralBatchResult.to_stats`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List
 
 import numpy as np
@@ -97,21 +98,110 @@ class GeneralBatchResult:
                 f"{n_runs} equal runs"
             )
         per_run = self.n // n_runs
-        out: List[SimulationStats] = []
-        for i in range(n_runs):
-            sl = slice(i * per_run, (i + 1) * per_run)
-            out.append(
-                SimulationStats(
-                    total_time=float(self.times[sl].sum()),
-                    useful_work=self.pattern_work * per_run,
-                    patterns_completed=per_run,
-                    **{
-                        name: int(self.counters[name][sl].sum())
-                        for name in COUNTER_FIELDS
-                    },
-                )
+        # Row-wise sums over the (n_runs, per_run) views are bit-identical
+        # to per-slice 1-D sums (NumPy's pairwise reduction runs per output
+        # element over the same contiguous data), but cost one NumPy call
+        # per array instead of one per run.
+        run_times = self.times.reshape(n_runs, per_run).sum(axis=1)
+        run_counters = {
+            name: self.counters[name].reshape(n_runs, per_run).sum(axis=1)
+            for name in COUNTER_FIELDS
+        }
+        return [
+            SimulationStats(
+                total_time=float(run_times[i]),
+                useful_work=self.pattern_work * per_run,
+                patterns_completed=per_run,
+                **{
+                    name: int(run_counters[name][i])
+                    for name in COUNTER_FIELDS
+                },
             )
+            for i in range(n_runs)
+        ]
+
+
+@dataclass(frozen=True)
+class ScheduleArrays:
+    """An :class:`OpSchedule` plus the prefix sums the batch engines use.
+
+    Index ``i`` of each prefix array covers the operations strictly
+    before ``i``: wall-clock duration (``P``), silent/compute exposure
+    (``Pc``), and completed partial-verification / guaranteed-
+    verification / memory-checkpoint counts.  The fail-stop exposure is
+    ``P`` when resilience operations are vulnerable and ``Pc``
+    otherwise -- a selection, not a third array.  All arrays are frozen;
+    the struct is shared process-wide per (pattern, cost vector).
+    """
+
+    sched: OpSchedule
+    P: np.ndarray
+    Pc: np.ndarray
+    n_partial_pre: np.ndarray
+    n_guar_pre: np.ndarray
+    n_mem_pre: np.ndarray
+
+
+@lru_cache(maxsize=512)
+def _schedule_arrays_cached(
+    pattern: Pattern,
+    V: float,
+    V_star: float,
+    r: float,
+    C_M: float,
+    C_D: float,
+) -> ScheduleArrays:
+    sched = _op_schedule_for(pattern, V, V_star, r, C_M, C_D)
+    n_ops = sched.n_ops
+    is_comp = sched.kinds == OP_COMPUTE
+    is_ver = sched.kinds == OP_VERIFY
+    durs = sched.durations
+
+    def _prefix(values: np.ndarray) -> np.ndarray:
+        out = np.zeros(n_ops + 1, dtype=np.float64)
+        np.cumsum(values, out=out[1:])
+        out.setflags(write=False)
         return out
+
+    return ScheduleArrays(
+        sched=sched,
+        P=_prefix(durs),
+        Pc=_prefix(np.where(is_comp, durs, 0.0)),
+        n_partial_pre=_prefix(
+            (is_ver & ~sched.guaranteed).astype(np.float64)
+        ),
+        n_guar_pre=_prefix((is_ver & sched.guaranteed).astype(np.float64)),
+        n_mem_pre=_prefix((sched.kinds == OP_MEM_CKPT).astype(np.float64)),
+    )
+
+
+def _op_schedule_for(
+    pattern: Pattern,
+    V: float,
+    V_star: float,
+    r: float,
+    C_M: float,
+    C_D: float,
+) -> OpSchedule:
+    from repro.simulation.model import _op_schedule_cached
+
+    return _op_schedule_cached(pattern, V, V_star, r, C_M, C_D)
+
+
+def schedule_arrays(pattern: Pattern, platform: Platform) -> ScheduleArrays:
+    """Memoised schedule + prefix sums for a (pattern, cost vector) pair.
+
+    Shared by the fast engine and the packed engine so their prefix
+    arithmetic cannot drift: both gather from the same frozen arrays.
+    """
+    return _schedule_arrays_cached(
+        pattern,
+        platform.V,
+        platform.V_star,
+        platform.r,
+        platform.C_M,
+        platform.C_D,
+    )
 
 
 def _recover_batch(
@@ -208,7 +298,8 @@ def simulate_general_batch(
     """
     if n_instances <= 0:
         raise ValueError(f"n_instances must be positive, got {n_instances}")
-    sched = OpSchedule.from_pattern(pattern, platform)
+    arrays = schedule_arrays(pattern, platform)
+    sched = arrays.sched
     n_ops = sched.n_ops
     lf, ls = platform.lambda_f, platform.lambda_s
     R_M = platform.R_M
@@ -217,21 +308,12 @@ def simulate_general_batch(
     # Prefix sums over the schedule (index i = ops strictly before i):
     # wall-clock duration, fail-stop exposure, silent (compute) exposure,
     # and completed-operation counts for the jump path's accounting.
-    is_comp = sched.kinds == OP_COMPUTE
-    is_ver = sched.kinds == OP_VERIFY
-    durs = sched.durations
-
-    def _prefix(values: np.ndarray) -> np.ndarray:
-        out = np.zeros(n_ops + 1, dtype=np.float64)
-        np.cumsum(values, out=out[1:])
-        return out
-
-    P = _prefix(durs)
-    Pc = _prefix(np.where(is_comp, durs, 0.0))  # silent (compute) exposure
+    P = arrays.P
+    Pc = arrays.Pc                              # silent (compute) exposure
     Pv = P if vulnerable_ops else Pc            # fail-stop exposure
-    n_partial_pre = _prefix((is_ver & ~sched.guaranteed).astype(np.float64))
-    n_guar_pre = _prefix((is_ver & sched.guaranteed).astype(np.float64))
-    n_mem_pre = _prefix((sched.kinds == OP_MEM_CKPT).astype(np.float64))
+    n_partial_pre = arrays.n_partial_pre
+    n_guar_pre = arrays.n_guar_pre
+    n_mem_pre = arrays.n_mem_pre
 
     n = n_instances
     pc = np.zeros(n, dtype=np.int64)

@@ -23,6 +23,7 @@ drift between them:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple, Union
 
 import numpy as np
@@ -85,6 +86,33 @@ class ResolvedSegment:
     verif_recalls: Tuple[float, ...]
 
 
+@lru_cache(maxsize=1024)
+def _resolved_segments_cached(
+    pattern: Pattern, V: float, V_star: float, r: float
+) -> Tuple[ResolvedSegment, ...]:
+    """Per-process memo of segment resolution.
+
+    Schedule resolution only depends on the pattern shape and the
+    verification cost vector, and a campaign evaluates the same
+    resolution once per engine call; caching it means the per-point
+    constant work is paid once per process (and once per packed batch)
+    instead of once per call.  ``Pattern`` is a frozen dataclass of
+    floats/tuples, so it is a safe cache key.
+    """
+    segs: List[ResolvedSegment] = []
+    for seg in pattern.segments():
+        lengths = seg.chunk_lengths
+        m = len(lengths)
+        costs = tuple([V] * (m - 1) + [V_star])
+        recalls = tuple([r] * (m - 1) + [1.0])
+        segs.append(
+            ResolvedSegment(
+                chunks=lengths, verif_costs=costs, verif_recalls=recalls
+            )
+        )
+    return tuple(segs)
+
+
 def resolve_segments(
     pattern: Pattern, platform: Platform
 ) -> List[ResolvedSegment]:
@@ -95,18 +123,11 @@ def resolve_segments(
     families pass the guaranteed-verification platform view (see
     :func:`repro.core.formulas.simulation_costs`).
     """
-    segs: List[ResolvedSegment] = []
-    for seg in pattern.segments():
-        lengths = seg.chunk_lengths
-        m = len(lengths)
-        costs = tuple([platform.V] * (m - 1) + [platform.V_star])
-        recalls = tuple([platform.r] * (m - 1) + [1.0])
-        segs.append(
-            ResolvedSegment(
-                chunks=lengths, verif_costs=costs, verif_recalls=recalls
-            )
+    return list(
+        _resolved_segments_cached(
+            pattern, platform.V, platform.V_star, platform.r
         )
-    return segs
+    )
 
 
 def detection_probability(
@@ -169,55 +190,112 @@ class OpSchedule:
     def from_pattern(
         cls, pattern: Pattern, platform: Platform
     ) -> "OpSchedule":
-        """Flatten a pattern x platform pair into the array schedule."""
-        kinds: List[int] = []
-        durations: List[float] = []
-        recalls: List[float] = []
-        guaranteed: List[bool] = []
-        seg_start: List[int] = []
-        seg_index: List[int] = []
-        chunk_index: List[int] = []
+        """Flatten a pattern x platform pair into the array schedule.
 
-        for i, seg in enumerate(resolve_segments(pattern, platform)):
-            start = len(kinds)
-            for j, w in enumerate(seg.chunks):
-                kinds.append(OP_COMPUTE)
-                durations.append(w)
-                recalls.append(0.0)
-                guaranteed.append(False)
-                seg_start.append(start)
-                seg_index.append(i)
-                chunk_index.append(j)
+        Built with strided array writes (one slice assignment per field
+        per segment) rather than per-operation appends; the emitted
+        arrays are element-for-element what the append loop produced.
+        """
+        segs = resolve_segments(pattern, platform)
+        n_segs = len(segs)
+        ms = [len(seg.chunks) for seg in segs]
+        n_ops = 2 * sum(ms) + n_segs + 1  # chunks+verifs, mem ckpts, disk
 
-                r = seg.verif_recalls[j]
-                kinds.append(OP_VERIFY)
-                durations.append(seg.verif_costs[j])
-                recalls.append(r)
-                guaranteed.append(r >= 1.0)
-                seg_start.append(start)
-                seg_index.append(i)
-                chunk_index.append(j)
-            kinds.append(OP_MEM_CKPT)
-            durations.append(platform.C_M)
-            recalls.append(0.0)
-            guaranteed.append(False)
-            seg_start.append(start)
-            seg_index.append(i)
-            chunk_index.append(-1)
-        kinds.append(OP_DISK_CKPT)
-        durations.append(platform.C_D)
-        recalls.append(0.0)
-        guaranteed.append(False)
-        seg_start.append(seg_start[-1])
-        seg_index.append(pattern.n - 1)
-        chunk_index.append(-1)
+        kinds = np.empty(n_ops, dtype=np.int8)
+        durations = np.empty(n_ops, dtype=np.float64)
+        recalls = np.zeros(n_ops, dtype=np.float64)
+        guaranteed = np.zeros(n_ops, dtype=bool)
+        seg_start = np.empty(n_ops, dtype=np.int64)
+        seg_index = np.empty(n_ops, dtype=np.int64)
+        chunk_index = np.empty(n_ops, dtype=np.int64)
+
+        pos = 0
+        for i, (seg, m) in enumerate(zip(segs, ms)):
+            end = pos + 2 * m
+            kinds[pos:end:2] = OP_COMPUTE
+            kinds[pos + 1:end:2] = OP_VERIFY
+            durations[pos:end:2] = seg.chunks
+            durations[pos + 1:end:2] = seg.verif_costs
+            vrec = np.asarray(seg.verif_recalls, dtype=np.float64)
+            recalls[pos + 1:end:2] = vrec
+            guaranteed[pos + 1:end:2] = vrec >= 1.0
+            seg_start[pos:end + 1] = pos
+            seg_index[pos:end + 1] = i
+            chunks = np.arange(m, dtype=np.int64)
+            chunk_index[pos:end:2] = chunks
+            chunk_index[pos + 1:end:2] = chunks
+            kinds[end] = OP_MEM_CKPT
+            durations[end] = platform.C_M
+            chunk_index[end] = -1
+            pos = end + 1
+        kinds[pos] = OP_DISK_CKPT
+        durations[pos] = platform.C_D
+        seg_start[pos] = seg_start[pos - 1]
+        seg_index[pos] = n_segs - 1
+        chunk_index[pos] = -1
 
         return cls(
-            kinds=np.asarray(kinds, dtype=np.int8),
-            durations=np.asarray(durations, dtype=np.float64),
-            recalls=np.asarray(recalls, dtype=np.float64),
-            guaranteed=np.asarray(guaranteed, dtype=bool),
-            segment_start=np.asarray(seg_start, dtype=np.int64),
-            segment_index=np.asarray(seg_index, dtype=np.int64),
-            chunk_index=np.asarray(chunk_index, dtype=np.int64),
+            kinds=kinds,
+            durations=durations,
+            recalls=recalls,
+            guaranteed=guaranteed,
+            segment_start=seg_start,
+            segment_index=seg_index,
+            chunk_index=chunk_index,
         )
+
+
+@lru_cache(maxsize=512)
+def _op_schedule_cached(
+    pattern: Pattern,
+    V: float,
+    V_star: float,
+    r: float,
+    C_M: float,
+    C_D: float,
+) -> OpSchedule:
+    from repro.platforms.platform import ResilienceCosts
+
+    sched = OpSchedule.from_pattern(
+        pattern,
+        Platform(
+            name="<schedule>",
+            nodes=1,
+            lambda_f=0.0,
+            lambda_s=0.0,
+            costs=ResilienceCosts(
+                C_D=C_D, C_M=C_M, R_D=C_D, R_M=C_M, V_star=V_star, V=V, r=r
+            ),
+        ),
+    )
+    for arr in (
+        sched.kinds,
+        sched.durations,
+        sched.recalls,
+        sched.guaranteed,
+        sched.segment_start,
+        sched.segment_index,
+        sched.chunk_index,
+    ):
+        arr.setflags(write=False)
+    return sched
+
+
+def op_schedule(pattern: Pattern, platform: Platform) -> OpSchedule:
+    """Memoised :meth:`OpSchedule.from_pattern` (read-only arrays).
+
+    The schedule only depends on the pattern shape and the platform cost
+    vector, not on the error rates; batch engines resolve the same
+    (pattern, costs) pair once per call, so sharing one frozen instance
+    per process turns per-point schedule construction into a dictionary
+    lookup.  Callers must treat the arrays as immutable (they are marked
+    non-writeable).
+    """
+    return _op_schedule_cached(
+        pattern,
+        platform.V,
+        platform.V_star,
+        platform.r,
+        platform.C_M,
+        platform.C_D,
+    )

@@ -1,0 +1,616 @@
+"""Cross-point packed batch execution: heterogeneous patterns, one call.
+
+The fast engine (:mod:`repro.simulation.fast_engine`) vectorises *within*
+one (pattern, platform) point: a Monte-Carlo campaign of many scenario
+points still pays one engine call -- plus dispatch, schedule resolution
+and stats reduction -- per point.  This module removes that last per-point
+bottleneck: it packs instances from **many different points** into a
+single ragged struct-of-arrays mega-batch (per-row segment tables via
+offset gathers, per-row error rates and recovery costs, mask-based
+sub-setting instead of padding) and advances the entire sweep together.
+The total sweep count of a packed batch is the *maximum* over its points,
+not the sum -- the long per-point tails, where a handful of straggler
+instances keep a whole solo batch looping, overlap instead of serialising.
+
+**Draw identity.**  Every packed job carries its own
+:class:`numpy.random.Generator` -- in the campaign planner, the exact
+per-point generator the fast tier derives from the campaign seed and the
+point's configuration fingerprint (one ``SeedSequence`` child keyed by
+the point's content hash; see :func:`repro.simulation.dispatch.tier_rng`).
+Inside each sweep, every draw site consumes from the per-job generators
+in job order, with the same method, size and instance order the fast
+engine would use for that job's state.  By induction the per-job state
+trajectories -- and therefore times, counters and
+:class:`GeneralBatchResult` reductions -- are **bit-identical** to solo
+:func:`~repro.simulation.fast_engine.simulate_general_batch` runs,
+whatever the packing: solo, pairs, or a whole campaign in one batch.
+``tests/test_packed_engine.py`` asserts exactly this, per point, for
+every layout.  Because results are draw-identical, packed execution does
+not change :data:`~repro.simulation.model.SEMANTICS_VERSION`: cache
+entries computed by the fast tier stay valid.
+
+All per-row arithmetic gathers each row's *own* schedule values from
+concatenated tables (never offset-shifted copies), so no floating-point
+operation differs from the solo engine's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pattern import Pattern
+from repro.platforms.platform import Platform
+from repro.simulation.fast_engine import (
+    GeneralBatchResult,
+    schedule_arrays,
+)
+from repro.simulation.model import (
+    OP_COMPUTE,
+    OP_DISK_CKPT,
+    OP_MEM_CKPT,
+    OP_VERIFY,
+    detection_probability,
+)
+from repro.simulation.stats import COUNTER_FIELDS
+
+#: Debug/telemetry snapshot of the most recent packed batch in this
+#: process: sweep count, peak rows, and cumulative clean/dirty row
+#: visits.  Written (not read) by :func:`simulate_packed_batch`; tests
+#: and benchmarks use it to characterise workloads.
+last_batch_stats: dict = {}
+
+#: Version of the packed execution layer.  Draw identity with the fast
+#: tier is the packed engine's contract (asserted by the invariance test
+#: suite), so this version does **not** participate in the cache keys of
+#: ``auto``/``fast`` points -- their entries are fast-tier entries.  It is
+#: carried only by explicitly ``engine="packed"`` points, whose keys are
+#: new anyway, so a packed-layer fix can invalidate exactly those rows.
+PACKED_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PackedJob:
+    """One point's share of a packed batch.
+
+    Attributes
+    ----------
+    pattern, platform:
+        The simulation configuration (for starred families pass the
+        guaranteed-verification platform view, exactly as for the fast
+        engine).
+    n_instances:
+        Independent pattern instances this job contributes.
+    rng:
+        The job's private generator.  Must not be shared between jobs of
+        one batch: draw identity relies on each job consuming its own
+        stream.
+    fail_stop_in_operations:
+        Whether fail-stop errors strike resilience operations (may differ
+        between jobs of one batch).
+    """
+
+    pattern: Pattern
+    platform: Platform
+    n_instances: int
+    rng: np.random.Generator
+    fail_stop_in_operations: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_instances <= 0:
+            raise ValueError(
+                f"n_instances must be positive, got {self.n_instances}"
+            )
+
+
+class _Pack:
+    """The ragged struct-of-arrays layout of one packed batch."""
+
+    def __init__(self, jobs: Sequence[PackedJob]):
+        J = len(jobs)
+        self.jobs = jobs
+        self.n_ops = np.empty(J, dtype=np.int64)
+        self.lf = np.empty(J, dtype=np.float64)
+        self.ls = np.empty(J, dtype=np.float64)
+        self.R_D = np.empty(J, dtype=np.float64)
+        self.R_M = np.empty(J, dtype=np.float64)
+        self.vuln = np.empty(J, dtype=bool)
+        self.rngs = [job.rng for job in jobs]
+
+        kinds_parts: List[np.ndarray] = []
+        durs_parts: List[np.ndarray] = []
+        recalls_parts: List[np.ndarray] = []
+        guar_parts: List[np.ndarray] = []
+        segstart_parts: List[np.ndarray] = []
+        # Per-job views of the *original* frozen prefix arrays: per-row
+        # values are gathered from concatenated copies, but searchsorted
+        # runs against each job's own array so comparisons are exactly
+        # the solo engine's.
+        self.P_views: List[np.ndarray] = []
+        self.Pc_views: List[np.ndarray] = []
+        self.Pv_views: List[np.ndarray] = []
+
+        P_parts: List[np.ndarray] = []
+        Pc_parts: List[np.ndarray] = []
+        npart_parts: List[np.ndarray] = []
+        nguar_parts: List[np.ndarray] = []
+        nmem_parts: List[np.ndarray] = []
+
+        self.op_off = np.zeros(J + 1, dtype=np.int64)
+        self.pre_off = np.zeros(J + 1, dtype=np.int64)
+        self.row_off = np.zeros(J + 1, dtype=np.int64)
+        for j, job in enumerate(jobs):
+            arrays = schedule_arrays(job.pattern, job.platform)
+            sched = arrays.sched
+            self.n_ops[j] = sched.n_ops
+            self.lf[j] = job.platform.lambda_f
+            self.ls[j] = job.platform.lambda_s
+            self.R_D[j] = job.platform.R_D
+            self.R_M[j] = job.platform.R_M
+            self.vuln[j] = job.fail_stop_in_operations
+            kinds_parts.append(sched.kinds)
+            durs_parts.append(sched.durations)
+            recalls_parts.append(sched.recalls)
+            guar_parts.append(sched.guaranteed)
+            segstart_parts.append(sched.segment_start)
+            P_parts.append(arrays.P)
+            Pc_parts.append(arrays.Pc)
+            npart_parts.append(arrays.n_partial_pre)
+            nguar_parts.append(arrays.n_guar_pre)
+            nmem_parts.append(arrays.n_mem_pre)
+            self.P_views.append(arrays.P)
+            self.Pc_views.append(arrays.Pc)
+            self.Pv_views.append(
+                arrays.P if job.fail_stop_in_operations else arrays.Pc
+            )
+            self.op_off[j + 1] = self.op_off[j] + sched.n_ops
+            self.pre_off[j + 1] = self.pre_off[j] + sched.n_ops + 1
+            self.row_off[j + 1] = self.row_off[j] + job.n_instances
+
+        self.kinds_cat = np.concatenate(kinds_parts)
+        self.durs_cat = np.concatenate(durs_parts)
+        self.recalls_cat = np.concatenate(recalls_parts)
+        self.guar_cat = np.concatenate(guar_parts)
+        self.segstart_cat = np.concatenate(segstart_parts)
+        self.P_cat = np.concatenate(P_parts)
+        self.Pc_cat = np.concatenate(Pc_parts)
+        self.npart_cat = np.concatenate(npart_parts)
+        self.nguar_cat = np.concatenate(nguar_parts)
+        self.nmem_cat = np.concatenate(nmem_parts)
+
+        self.n_rows = int(self.row_off[-1])
+        self.row_job = np.repeat(
+            np.arange(J, dtype=np.int64), [job.n_instances for job in jobs]
+        )
+        # Plain-python copies of the per-job scalars: the sweep loop
+        # touches them once per job per sweep, where NumPy scalar
+        # indexing is measurable overhead.
+        self.lf_list = self.lf.tolist()
+        self.ls_list = self.ls.tolist()
+        self.inv_lf_list = [
+            (1.0 / lf if lf > 0.0 else 0.0) for lf in self.lf_list
+        ]
+        self.inv_ls_list = [
+            (1.0 / ls if ls > 0.0 else 0.0) for ls in self.ls_list
+        ]
+        self.n_ops_list = self.n_ops.tolist()
+        self.R_M_list = self.R_M.tolist()
+        self.vuln_list = self.vuln.tolist()
+
+    def spans(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Group a *sorted* global-row array by job.
+
+        Returns ``(job_ids, bounds)``: job ``job_ids[i]`` owns
+        ``rows[bounds[job_ids[i]] : bounds[job_ids[i] + 1]]``.  Rows are
+        laid out contiguously per job, so a sorted subset keeps each
+        job's instances in solo order.
+        """
+        bounds = np.searchsorted(rows, self.row_off)
+        job_ids = np.nonzero(bounds[1:] > bounds[:-1])[0]
+        return job_ids, bounds
+
+
+def _recover_packed(
+    pack: _Pack,
+    ri: np.ndarray,
+    times: np.ndarray,
+    counters: dict,
+    max_rounds: int,
+) -> None:
+    """Disk recovery for rows ``ri`` (in site order), per-job draws.
+
+    Mirrors :func:`repro.simulation.fast_engine._recover_batch`: the
+    per-job subsequence of ``ri`` is exactly the solo recovery set in
+    solo order, the trivial (invulnerable / zero-rate) jobs take the
+    flat-cost path, and every retry round draws each job's variates from
+    its own generator in subsequence order.
+    """
+    jb = pack.row_job[ri]
+    trivial = ~pack.vuln[jb] | (pack.lf[jb] == 0.0)
+    tidx = ri[trivial]
+    if tidx.size:
+        tj = jb[trivial]
+        times[tidx] += pack.R_D[tj] + pack.R_M[tj]
+        counters["disk_recoveries"][tidx] += 1
+        counters["memory_recoveries"][tidx] += 1
+    rem = ri[~trivial]
+    if not rem.size:
+        return
+    stage = np.zeros(rem.size, dtype=np.int8)
+    rounds = 0
+    while rem.size:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                f"{rem.size} instances still in disk recovery after "
+                f"{max_rounds} rounds; recovery costs are far beyond "
+                "the fail-stop MTBF"
+            )
+        jb = pack.row_job[rem]
+        dur = np.where(stage == 0, pack.R_D[jb], pack.R_M[jb])
+        # Per-job draws in subsequence order: the stable sort groups the
+        # (unsorted) recovery set by job without reordering within a job.
+        order = np.argsort(jb, kind="stable")
+        jb_sorted = jb[order]
+        buf = np.empty(rem.size, dtype=np.float64)
+        edges = np.searchsorted(jb_sorted, np.arange(len(pack.jobs) + 1))
+        for j in np.nonzero(edges[1:] > edges[:-1])[0]:
+            s, e = edges[j], edges[j + 1]
+            buf[s:e] = pack.rngs[j].exponential(
+                pack.inv_lf_list[j], size=e - s
+            )
+        t_fail = np.empty(rem.size, dtype=np.float64)
+        t_fail[order] = buf
+        hit = t_fail < dur
+        times[rem] += np.where(hit, t_fail, dur)
+        counters["fail_stop_errors"][rem[hit]] += 1
+        stage = np.where(hit, 0, stage + 1).astype(np.int8)
+        done = stage == 2
+        fin = rem[done]
+        counters["disk_recoveries"][fin] += 1
+        counters["memory_recoveries"][fin] += 1
+        rem = rem[~done]
+        stage = stage[~done]
+
+
+def simulate_packed_batch(
+    jobs: Sequence[PackedJob],
+    *,
+    max_sweeps: int = 1_000_000,
+) -> List[GeneralBatchResult]:
+    """Simulate many heterogeneous points in one vectorised mega-batch.
+
+    Returns one :class:`GeneralBatchResult` per job, in job order, each
+    bit-identical to what ``simulate_general_batch(job.pattern,
+    job.platform, job.n_instances, job.rng, fail_stop_in_operations=
+    job.fail_stop_in_operations)`` would produce with the same generator
+    state.
+
+    Parameters
+    ----------
+    jobs:
+        The points to pack.  Each must carry a private generator.
+    max_sweeps:
+        Safety bound on NumPy passes over the mega-batch (the packed
+        sweep count is the maximum of the per-job counts, so the solo
+        bound applies unchanged).
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if len({id(job.rng) for job in jobs}) != len(jobs):
+        raise ValueError(
+            "packed jobs must carry distinct generator objects; sharing "
+            "one stream between jobs breaks draw identity with solo runs"
+        )
+    pack = _Pack(jobs)
+    N = pack.n_rows
+    J = len(jobs)
+
+    pc = np.zeros(N, dtype=np.int64)        # local op index within the job
+    pending = np.zeros(N, dtype=np.int64)
+    times = np.zeros(N, dtype=np.float64)
+    counters = {name: np.zeros(N, dtype=np.int64) for name in COUNTER_FIELDS}
+
+    row_job = pack.row_job
+    op_off = pack.op_off
+    pre_off = pack.pre_off
+    n_ops_j = pack.n_ops
+    lf_j, ls_j = pack.lf, pack.ls
+    R_M_j = pack.R_M
+    vuln_j = pack.vuln
+    rngs = pack.rngs
+
+    def _count_span(
+        idx: np.ndarray, ga: np.ndarray, gb: np.ndarray
+    ) -> None:
+        """Credit completed ops in the per-row prefix span [ga, gb)."""
+        counters["partial_verifications"][idx] += (
+            pack.npart_cat[gb] - pack.npart_cat[ga]
+        ).astype(np.int64)
+        counters["guaranteed_verifications"][idx] += (
+            pack.nguar_cat[gb] - pack.nguar_cat[ga]
+        ).astype(np.int64)
+        counters["memory_checkpoints"][idx] += (
+            pack.nmem_cat[gb] - pack.nmem_cat[ga]
+        ).astype(np.int64)
+
+    active = np.arange(N)
+    sweeps = 0
+    clean_visits = 0
+    dirty_visits = 0
+    job_sweeps = 0
+    while active.size:
+        sweeps += 1
+        if sweeps > max_sweeps:
+            raise RuntimeError(
+                f"{active.size} instances still running after {max_sweeps} "
+                "sweeps; some pattern is far beyond its platform MTBF"
+            )
+        pend = pending[active]
+        clean = active[pend == 0]
+        dirty = active[pend > 0]
+        recover: List[np.ndarray] = []
+
+        # ---- clean instances: jump to the next stochastic event ----------
+        if clean.size:
+            a = pc[clean]
+            k = clean.size
+            jb = row_job[clean]
+            b_f = np.empty(k, dtype=np.int64)
+            b_s = np.empty(k, dtype=np.int64)
+            target_v = np.zeros(k, dtype=np.float64)
+            job_ids, bounds = pack.spans(clean)
+            clean_visits += k
+            job_sweeps += job_ids.size
+            # Subnormal rates overflow the division to inf, which is the
+            # correct "no strike within the schedule" outcome.
+            lf_list = pack.lf_list
+            ls_list = pack.ls_list
+            with np.errstate(over="ignore"):
+                for j in job_ids:
+                    s, e = bounds[j], bounds[j + 1]
+                    k_j = e - s
+                    aj = a[s:e]
+                    has_f = lf_list[j] > 0.0
+                    has_s = ls_list[j] > 0.0
+                    if has_f and has_s:
+                        # One fused call: NumPy's exponential stream is
+                        # consumed variate by variate, so drawing 2k at
+                        # once is bit-identical to two k-draws.
+                        draws = rngs[j].standard_exponential(2 * k_j)
+                        e_f, e_s = draws[:k_j], draws[k_j:]
+                    elif has_f or has_s:
+                        draws = rngs[j].standard_exponential(k_j)
+                        e_f = e_s = draws
+                    if has_f:
+                        Pv = pack.Pv_views[j]
+                        tv = Pv[aj] + e_f / lf_list[j]
+                        target_v[s:e] = tv
+                        b_f[s:e] = Pv.searchsorted(tv, side="right") - 1
+                    else:
+                        b_f[s:e] = pack.n_ops_list[j]
+                    if has_s:
+                        Pcv = pack.Pc_views[j]
+                        tc = Pcv[aj] + e_s / ls_list[j]
+                        b_s[s:e] = Pcv.searchsorted(tc, side="right") - 1
+                    else:
+                        b_s[s:e] = pack.n_ops_list[j]
+
+            row_n_ops = n_ops_j[jb]
+            row_pre = pre_off[jb]
+            # A crash in the same compute operation supersedes the silent
+            # strike (matching the step engine), hence <=.
+            crash = (b_f < row_n_ops) & (b_f <= b_s)
+            strike = (b_s < row_n_ops) & (b_s < b_f)
+
+            # One unified pass over all clean rows: every outcome credits
+            # the completed span [a, b_end) -- b_end is the crash op for
+            # crashes, the struck compute + 1 for silent strikes, and the
+            # schedule end for error-free finishes -- and crashes add the
+            # partial crash-op time on top.  Per row this evaluates
+            # exactly the solo engine's expressions (the crash extra term
+            # is +0.0 elsewhere, and all span increments are
+            # non-negative, so adding it is bit-neutral).
+            b_end = np.where(crash, b_f, np.where(strike, b_s + 1, row_n_ops))
+            ga = row_pre + a
+            gb = row_pre + b_end
+            vulnerable = vuln_j[jb]
+            Pv_bf = np.where(vulnerable, pack.P_cat[gb], pack.Pc_cat[gb])
+            extra = np.where(crash, target_v - Pv_bf, 0.0)
+            times[clean] += pack.P_cat[gb] - pack.P_cat[ga] + extra
+            _count_span(clean, ga, gb)
+
+            idx = clean[crash]
+            if idx.size:
+                counters["fail_stop_errors"][idx] += 1
+                recover.append(idx)
+            idx = clean[strike]
+            if idx.size:
+                counters["silent_errors"][idx] += 1
+                pending[idx] = 1
+            fin = ~crash & ~strike
+            idx = clean[fin]
+            counters["disk_checkpoints"][idx] += 1
+            # Crash rows' pc is reset by the recovery block below; strike
+            # rows resume at the op after the struck compute; finished
+            # rows park at the schedule end.
+            pc[clean] = b_end
+
+        # ---- dirty instances: one operation per pass ----------------------
+        if dirty.size:
+            cur = pc[dirty]
+            jb = row_job[dirty]
+            g = op_off[jb] + cur
+            kinds = pack.kinds_cat[g]
+            od = pack.durs_cat[g]
+            k = dirty.size
+            job_ids, bounds = pack.spans(dirty)
+            dirty_visits += k
+            job_sweeps += job_ids.size
+            t_fail = np.zeros(k, dtype=np.float64)
+            has_lf = lf_j[jb] > 0.0
+            inv_lf = pack.inv_lf_list
+            for j in job_ids:
+                if inv_lf[j] > 0.0:
+                    s, e = bounds[j], bounds[j + 1]
+                    t_fail[s:e] = rngs[j].exponential(
+                        inv_lf[j], size=e - s
+                    )
+            vulnerable = np.where(vuln_j[jb], True, kinds == OP_COMPUTE)
+            crashed = has_lf & vulnerable & (t_fail < od)
+            times[dirty] += np.where(crashed, t_fail, od)
+            counters["fail_stop_errors"][dirty[crashed]] += 1
+            if crashed.any():
+                recover.append(dirty[crashed])
+            ok = ~crashed
+
+            # Compute chunks executed while corrupted: more strikes stack.
+            comp = ok & (kinds == OP_COMPUTE)
+            cidx = dirty[comp]
+            if cidx.size:
+                struck = np.zeros(cidx.size, dtype=bool)
+                od_comp = od[comp]
+                cjob_ids, cbounds = pack.spans(cidx)
+                inv_ls = pack.inv_ls_list
+                for j in cjob_ids:
+                    if inv_ls[j] > 0.0:
+                        s, e = cbounds[j], cbounds[j + 1]
+                        struck[s:e] = (
+                            rngs[j].exponential(inv_ls[j], size=e - s)
+                            < od_comp[s:e]
+                        )
+                pending[cidx] += struck
+                counters["silent_errors"][cidx] += struck
+            pc[cidx] += 1
+
+            ver = ok & (kinds == OP_VERIFY)
+            vidx = dirty[ver]
+            if vidx.size:
+                gv = g[ver]
+                guaranteed = pack.guar_cat[gv]
+                counters["guaranteed_verifications"][vidx[guaranteed]] += 1
+                counters["partial_verifications"][vidx[~guaranteed]] += 1
+                p_det = detection_probability(
+                    pack.recalls_cat[gv], pending[vidx]
+                )
+                u = np.empty(vidx.size, dtype=np.float64)
+                vjob_ids, vbounds = pack.spans(vidx)
+                for j in vjob_ids:
+                    s, e = vbounds[j], vbounds[j + 1]
+                    u[s:e] = rngs[j].random(e - s)
+                detected = u < p_det
+                counters["silent_detections_guaranteed"][
+                    vidx[detected & guaranteed]
+                ] += 1
+                counters["silent_detections_partial"][
+                    vidx[detected & ~guaranteed]
+                ] += 1
+                pc[vidx[~detected]] += 1
+                didx = vidx[detected]
+                if didx.size:
+                    # Memory recovery; a fail-stop hit during it escalates
+                    # to a disk recovery and a pattern restart.
+                    esc = np.zeros(didx.size, dtype=bool)
+                    djob_ids, dbounds = pack.spans(didx)
+                    for j in djob_ids:
+                        s, e = dbounds[j], dbounds[j + 1]
+                        rows = didx[s:e]
+                        R_M = pack.R_M_list[j]
+                        if (
+                            pack.vuln_list[j]
+                            and pack.inv_lf_list[j] > 0.0
+                            and R_M > 0.0
+                        ):
+                            t_rec = rngs[j].exponential(
+                                pack.inv_lf_list[j], size=e - s
+                            )
+                            esc_j = t_rec < R_M
+                            esc[s:e] = esc_j
+                            times[rows] += np.where(esc_j, t_rec, R_M)
+                        else:
+                            times[rows] += R_M
+                    counters["fail_stop_errors"][didx[esc]] += 1
+                    good = didx[~esc]
+                    counters["memory_recoveries"][good] += 1
+                    # Roll the segment back to its first operation.
+                    gj = row_job[good]
+                    pc[good] = pack.segstart_cat[op_off[gj] + pc[good]]
+                    pending[good] = 0
+                    if esc.any():
+                        recover.append(didx[esc])
+
+            # Checkpoints are unreachable with a pending corruption (the
+            # guaranteed verification always detects first), but handle
+            # them anyway so the loop is total.
+            midx = dirty[ok & (kinds == OP_MEM_CKPT)]
+            counters["memory_checkpoints"][midx] += 1
+            pc[midx] += 1
+            dcidx = dirty[ok & (kinds == OP_DISK_CKPT)]
+            counters["disk_checkpoints"][dcidx] += 1
+            pc[dcidx] = n_ops_j[row_job[dcidx]]
+
+        # ---- disk recovery + pattern restart ------------------------------
+        if recover:
+            ri = recover[0] if len(recover) == 1 else np.concatenate(recover)
+            _recover_packed(pack, ri, times, counters, max_sweeps)
+            pc[ri] = 0
+            pending[ri] = 0
+
+        active = active[pc[active] < n_ops_j[row_job[active]]]
+
+    last_batch_stats.clear()
+    last_batch_stats.update(
+        n_jobs=J,
+        n_rows=N,
+        sweeps=sweeps,
+        clean_visits=clean_visits,
+        dirty_visits=dirty_visits,
+        job_sweeps=job_sweeps,
+    )
+
+    out: List[GeneralBatchResult] = []
+    for j, job in enumerate(jobs):
+        sl = slice(int(pack.row_off[j]), int(pack.row_off[j + 1]))
+        out.append(
+            GeneralBatchResult(
+                times=times[sl],
+                counters={
+                    name: counters[name][sl] for name in COUNTER_FIELDS
+                },
+                pattern_work=job.pattern.W,
+            )
+        )
+    return out
+
+
+def plan_packs(
+    sizes: Sequence[int],
+    max_rows: int,
+) -> List[List[int]]:
+    """Split job indices into consecutive packs under a row budget.
+
+    Greedy first-fit in input order: each pack holds consecutive jobs
+    whose instance counts sum to at most ``max_rows`` (a single
+    oversized job still gets its own pack).  Used by the campaign
+    planner to bound the packed batch's working-set memory.
+    """
+    if max_rows <= 0:
+        raise ValueError(f"max_rows must be positive, got {max_rows}")
+    packs: List[List[int]] = []
+    current: List[int] = []
+    used = 0
+    for i, size in enumerate(sizes):
+        if size <= 0:
+            raise ValueError(f"job {i} has non-positive size {size}")
+        if current and used + size > max_rows:
+            packs.append(current)
+            current = []
+            used = 0
+        current.append(i)
+        used += size
+    if current:
+        packs.append(current)
+    return packs

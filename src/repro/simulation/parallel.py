@@ -117,11 +117,15 @@ def run_monte_carlo_parallel(
         changes the results.
     engine:
         Engine tier (see :mod:`repro.simulation.dispatch`).  When the
-        request dispatches to a vectorised tier the whole campaign runs
+        request dispatches to a vectorised tier (``fast-pd``, ``fast``,
+        or the ``packed`` execution strategy) the whole campaign runs
         as one in-process NumPy batch -- the batch is faster than a
         process pool for this workload, and the results match the
         sequential runner bit-for-bit because the same generator path is
-        used.  Only the step tier fans out to processes.
+        used.  Only the step tier fans out to processes.  For
+        cross-*configuration* process fan-out, the campaign executor
+        packs whole mega-batches per task instead
+        (:mod:`repro.campaign.executor`).
 
     Notes
     -----

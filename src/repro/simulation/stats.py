@@ -149,6 +149,11 @@ def aggregate_stats(runs: Sequence[SimulationStats]) -> AggregatedStats:
         raise ValueError("need at least one run to aggregate")
     overheads = np.array([r.overhead for r in runs], dtype=np.float64)
     total_times = np.array([r.total_time for r in runs], dtype=np.float64)
+    hours = total_times / SECONDS_PER_HOUR
+    days = total_times / SECONDS_PER_DAY
+    pats = np.array(
+        [max(r.patterns_completed, 1) for r in runs], dtype=np.float64
+    )
     mean_counters: Dict[str, float] = {}
     rates_hour: Dict[str, float] = {}
     rates_day: Dict[str, float] = {}
@@ -156,18 +161,12 @@ def aggregate_stats(runs: Sequence[SimulationStats]) -> AggregatedStats:
     for name in COUNTER_FIELDS:
         vals = np.array([getattr(r, name) for r in runs], dtype=np.float64)
         mean_counters[name] = float(vals.mean())
-        hours = total_times / SECONDS_PER_HOUR
-        days = total_times / SECONDS_PER_DAY
         rates_hour[name] = float(np.mean(vals / hours))
         rates_day[name] = float(np.mean(vals / days))
-        pats = np.array(
-            [max(r.patterns_completed, 1) for r in runs], dtype=np.float64
-        )
         per_pattern[name] = float(np.mean(vals / pats))
     # A combined "verifications" pseudo-counter (partial + guaranteed),
     # plotted by Figures 6c, 7d, 9e, 9i.
     verif_vals = np.array([r.verifications for r in runs], dtype=np.float64)
-    hours = total_times / SECONDS_PER_HOUR
     rates_hour["verifications"] = float(np.mean(verif_vals / hours))
     rates_day["verifications"] = float(
         np.mean(verif_vals / (total_times / SECONDS_PER_DAY))

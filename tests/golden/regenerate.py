@@ -6,6 +6,7 @@ Usage (from the repository root)::
     python tests/golden/regenerate.py            # all fixtures
     python tests/golden/regenerate.py engine     # step engine only
     python tests/golden/regenerate.py tables     # table1/table2 only
+    python tests/golden/regenerate.py packed     # packed campaign only
 
 Only run this after an *intended* semantics change, and bump the
 matching version in the same commit so the campaign result cache does
@@ -21,14 +22,20 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(HERE, os.pardir))  # tests/ (golden_util)
 sys.path.insert(0, os.path.join(HERE, os.pardir, os.pardir, "src"))
 
-from golden_util import write_golden, write_table_goldens  # noqa: E402
+from golden_util import (  # noqa: E402
+    write_golden,
+    write_packed_campaign_golden,
+    write_table_goldens,
+)
 
 if __name__ == "__main__":
     what = sys.argv[1] if len(sys.argv) > 1 else "all"
-    if what not in ("all", "engine", "tables"):
+    if what not in ("all", "engine", "tables", "packed"):
         raise SystemExit(f"unknown fixture selector {what!r}")
     if what in ("all", "engine"):
         print(f"wrote {write_golden()}")
     if what in ("all", "tables"):
         for path in write_table_goldens():
             print(f"wrote {path}")
+    if what in ("all", "packed"):
+        print(f"wrote {write_packed_campaign_golden()}")

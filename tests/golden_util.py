@@ -198,3 +198,73 @@ def load_table_golden(path: str) -> Dict[str, Any]:
     """Load a frozen table fixture."""
     with open(path) as fh:
         return json.load(fh)
+
+
+PACKED_CAMPAIGN_GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "golden",
+    "packed_campaign_golden.json",
+)
+
+
+def packed_campaign_points():
+    """The frozen heterogeneous campaign of the packed-execution fixture.
+
+    Small enough to run in well under a second, heterogeneous enough to
+    cover multiple families, platforms, seeds, both fail-stop settings
+    and an explicit ``engine="packed"`` request.
+    """
+    from repro.campaign.spec import ScenarioPoint, platform_to_dict
+    from repro.platforms.catalog import coastal, hera
+
+    points = []
+    for p_i, base in enumerate((hera(), coastal())):
+        plat = platform_to_dict(base.scaled_rates(factor_f=1.0 + 0.5 * p_i))
+        for kind in ("PD", "PDM", "PDMV"):
+            for seed in (SEED + 1, SEED + 2):
+                points.append(
+                    ScenarioPoint(
+                        mode="simulate",
+                        kind=kind,
+                        platform=plat,
+                        n_patterns=10,
+                        n_runs=4,
+                        seed=seed,
+                        fail_stop_in_operations=bool(p_i == 0),
+                        engine="auto",
+                    )
+                )
+    points.append(
+        ScenarioPoint(
+            mode="simulate",
+            kind="PDMV*",
+            platform=platform_to_dict(hera()),
+            n_patterns=8,
+            n_runs=2,
+            seed=SEED + 3,
+            engine="packed",
+        )
+    )
+    return points
+
+
+def compute_packed_campaign_golden() -> List[Dict[str, Any]]:
+    """Evaluate the fixture campaign through the packed mega-batch path."""
+    from repro.campaign.executor import evaluate_points_packed
+
+    return evaluate_points_packed(packed_campaign_points())
+
+
+def write_packed_campaign_golden() -> str:
+    """Recompute and overwrite the packed-campaign fixture."""
+    return _write_json(
+        PACKED_CAMPAIGN_GOLDEN_PATH,
+        {
+            "comment": (
+                "Packed-campaign records pinned at rtol 1e-12; regenerate "
+                "with tests/golden/regenerate.py packed after an intended "
+                "semantics change (and bump SEMANTICS_VERSION or "
+                "PACKED_VERSION)."
+            ),
+            "records": compute_packed_campaign_golden(),
+        },
+    )

@@ -184,10 +184,24 @@ class TestResume:
             fh.write(lines[2][: len(lines[2]) // 2])
 
         computed = []
-        real = evaluate_point
+        import repro.campaign.executor as executor_mod
+
+        real_packed = executor_mod.evaluate_points_packed
+        real_points = executor_mod.evaluate_points
+
+        def spy_packed(points_):
+            computed.extend(p.kind for p in points_)
+            return real_packed(points_)
+
+        def spy_points(points_):
+            computed.extend(p.kind for p in points_)
+            return real_points(points_)
+
         monkeypatch.setattr(
-            "repro.campaign.executor.evaluate_point",
-            lambda p: computed.append(p.kind) or real(p),
+            "repro.campaign.executor.evaluate_points_packed", spy_packed
+        )
+        monkeypatch.setattr(
+            "repro.campaign.executor.evaluate_points", spy_points
         )
         resumed = run_campaign(points, journal_path=journal, n_workers=1)
         assert computed == ["PDMV"]  # only the lost point
