@@ -1,0 +1,221 @@
+"""Benchmark: the evaluation daemon under concurrent load.
+
+Drives one in-process daemon (the exact ``repro serve`` stack, default
+micro-batching configuration) with a cold heterogeneous workload of
+distinct simulate points, one point per HTTP request, at client
+concurrency **1 / 16 / 64**, recording throughput (points/s) and
+p50/p99 request latency per level.
+
+The sequential arm (concurrency 1) is the one-request-at-a-time
+baseline: every request pays the batch-collection window plus a solo
+engine batch.  Under concurrency the window is *shared* -- requests
+arriving together ride one packed mega-batch -- so throughput scales
+far better than the thread count alone explains.  The asserted floor
+(coalesced >= 3x sequential at concurrency 64; the measured ratio on
+the development box is far higher) pins that micro-batching actually
+batches.  A window-less sequential reference (``--batch-window-ms 0``
+daemon, the best sequential configuration) is also recorded in
+``BENCH_service.json`` for honesty about how much of the ratio the
+window contributes.
+
+A second test pins the coalescing contract under real HTTP load: many
+concurrent identical requests cost exactly one engine computation.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the workload,
+caps concurrency at 16, relaxes the floor to absorb shared-runner
+noise, and leaves the trajectory file untouched.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from _history import write_bench_record
+from repro.service.client import ServiceClient
+from repro.service.server import BackgroundService
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_service.json",
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Points per concurrency level (each level gets a fresh, cold set).
+N_POINTS = 64 if SMOKE else 192
+N_PATTERNS = 20
+N_RUNS = 5
+CONCURRENCY = (1, 16) if SMOKE else (1, 16, 64)
+
+#: Coalesced-vs-sequential throughput floor at the top concurrency.
+MIN_SPEEDUP = 1.5 if SMOKE else 3.0
+
+KINDS = ("PD", "PDV", "PDM", "PDMV*", "PDMV")
+
+
+def _points(arm: int):
+    """N_POINTS distinct cold points; ``arm`` keeps levels disjoint."""
+    base_seed = 31_000_000 + arm * 1_000_000
+    return [
+        {
+            "mode": "simulate",
+            "kind": KINDS[i % len(KINDS)],
+            "platform": "hera",
+            "n_patterns": N_PATTERNS,
+            "n_runs": N_RUNS,
+            "seed": base_seed + i,
+        }
+        for i in range(N_POINTS)
+    ]
+
+
+def _drive(port: int, points, concurrency: int):
+    """One request per point from ``concurrency`` client threads."""
+    latencies = [0.0] * len(points)
+    next_index = iter(range(len(points)))
+    lock = threading.Lock()
+    errors = []
+
+    def worker():
+        client = ServiceClient(port=port)
+        try:
+            while True:
+                with lock:
+                    try:
+                        i = next(next_index)
+                    except StopIteration:
+                        return
+                t0 = time.perf_counter()
+                client.evaluate_one(points[i])
+                latencies[i] = time.perf_counter() - t0
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker) for _ in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return wall, latencies
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_microbatching_throughput(tmp_path):
+    """Throughput/latency at concurrency 1/16/64 + the >= 3x floor."""
+    levels = {}
+    with BackgroundService(cache_dir=str(tmp_path / "cache")) as svc:
+        for arm, concurrency in enumerate(CONCURRENCY):
+            wall, latencies = _drive(
+                svc.port, _points(arm), concurrency
+            )
+            levels[concurrency] = {
+                "points_per_second": N_POINTS / wall,
+                "wall_seconds": wall,
+                "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+                "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+            }
+        stats = svc.scheduler.stats()
+    # The best sequential configuration: no collection window at all.
+    with BackgroundService(
+        cache_dir=str(tmp_path / "cache0"), batch_window_ms=0
+    ) as svc0:
+        wall0, _ = _drive(svc0.port, _points(99), 1)
+
+    top = CONCURRENCY[-1]
+    speedup = (
+        levels[top]["points_per_second"]
+        / levels[1]["points_per_second"]
+    )
+    speedup_vs_windowless = (
+        levels[top]["points_per_second"] / (N_POINTS / wall0)
+    )
+    for concurrency in CONCURRENCY:
+        entry = levels[concurrency]
+        print(
+            f"\nconcurrency {concurrency:3d}: "
+            f"{entry['points_per_second']:8.1f} points/s, "
+            f"p50 {entry['p50_ms']:6.1f} ms, "
+            f"p99 {entry['p99_ms']:6.1f} ms"
+        )
+    print(
+        f"coalesced speedup at {top}: {speedup:.1f}x vs sequential, "
+        f"{speedup_vs_windowless:.1f}x vs window-less sequential; "
+        f"max batch {stats['counters']['max_batch_points']} points"
+    )
+
+    if not SMOKE:
+        write_bench_record(
+            BENCH_PATH,
+            {
+                "bench": "service",
+                "workload": (
+                    f"{N_POINTS} distinct points per level "
+                    f"({'/'.join(map(str, CONCURRENCY))} clients, one "
+                    f"point per request), {N_PATTERNS}x{N_RUNS} MC, "
+                    "default daemon config"
+                ),
+                "levels": {
+                    str(c): levels[c] for c in CONCURRENCY
+                },
+                "speedup_coalesced_vs_sequential": speedup,
+                "speedup_vs_windowless_sequential": (
+                    speedup_vs_windowless
+                ),
+                "windowless_sequential_points_per_second": (
+                    N_POINTS / wall0
+                ),
+                "max_batch_points": (
+                    stats["counters"]["max_batch_points"]
+                ),
+                "engine_batches": stats["counters"]["batches"],
+            },
+        )
+
+    # Micro-batching must actually batch: many requests per engine call
+    # at the top concurrency, and the throughput floor holds.
+    assert stats["counters"]["max_batch_points"] > 1
+    assert speedup >= MIN_SPEEDUP
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_coalesces_identical_load(tmp_path):
+    """Concurrent identical requests: one computation, N answers."""
+    n_clients = 8 if SMOKE else 32
+    point = {
+        "mode": "simulate",
+        "kind": "PDMV",
+        "platform": "hera",
+        "n_patterns": N_PATTERNS,
+        "n_runs": N_RUNS,
+        "seed": 77_000_000,
+    }
+    records = {}
+    with BackgroundService(cache_dir=str(tmp_path / "cache")) as svc:
+
+        def query(i):
+            with ServiceClient(port=svc.port) as client:
+                records[i] = client.evaluate_one(point)
+
+        threads = [
+            threading.Thread(target=query, args=(i,))
+            for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counters = svc.scheduler.stats()["counters"]
+    assert all(records[i] == records[0] for i in range(n_clients))
+    assert counters["computed"] == 1
+    assert counters["engine_points"] == 1

@@ -2,8 +2,9 @@
 """Unified benchmark runner: refresh every ``BENCH_*.json`` trajectory.
 
 Runs the trajectory-tracked benchmark modules (engine tiers, analytic
-layer, packed campaigns) through pytest and lets each append its
-timestamped record to the matching ``BENCH_*.json`` history (see
+layer, packed campaigns, evaluation service) through pytest and lets
+each append its timestamped record to the matching ``BENCH_*.json``
+history (see
 :mod:`benchmarks._history`), so successive PRs accumulate a throughput
 trajectory instead of a single overwritten snapshot.
 
@@ -33,6 +34,7 @@ TRACKED = {
     "engine": "bench_engine.py",
     "analytic": "bench_analytic.py",
     "packed": "bench_packed.py",
+    "service": "bench_service.py",
 }
 
 

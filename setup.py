@@ -1,11 +1,40 @@
-"""Setuptools shim.
+"""Package metadata and entry points.
 
 This environment ships setuptools 65 without the ``wheel`` package, so
-PEP-660 editable installs (``pip install -e .``) cannot generate dist-info
-metadata.  ``python setup.py develop`` (or ``pip install --no-build-isolation
---no-use-pep517 -e .``) works; all real metadata lives in pyproject.toml.
+PEP-660 editable installs (``pip install -e .``) cannot generate
+dist-info metadata.  ``python setup.py develop`` (or ``pip install
+--no-build-isolation --no-use-pep517 -e .``) works.  Without any
+install, ``python -m repro`` works with ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "_version.py")) as fh:
+        return re.search(r'__version__ = "([^"]+)"', fh.read()).group(1)
+
+
+setup(
+    name="repro-patterns",
+    version=_version(),
+    description=(
+        "Multi-level checkpointing resilience patterns: analytic "
+        "optimisation, Monte-Carlo engines, campaigns and an online "
+        "evaluation service"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "repro-patterns=repro.cli:main",
+        ]
+    },
+)

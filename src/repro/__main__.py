@@ -1,0 +1,8 @@
+"""``python -m repro`` entry point (same CLI as the installed script)."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

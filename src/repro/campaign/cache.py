@@ -18,9 +18,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from secrets import token_hex
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro._version import __version__
 from repro.campaign.spec import ScenarioPoint
@@ -162,6 +163,54 @@ class ResultCache:
                 os.unlink(tmp)
             raise
 
+    def get_many(self, keys: Iterable[str]) -> Dict[str, Dict[str, Any]]:
+        """Bulk fetch: present keys and their records, hits/misses counted.
+
+        Keys are grouped by shard and resolved against **one directory
+        listing per shard** instead of one ``open()`` probe per key, so
+        a warm lookup over a large campaign costs a handful of
+        ``listdir`` calls plus one ``open`` per actual hit -- misses
+        (the common case on a cold sweep) never touch a file.  Absent
+        keys are simply missing from the result.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        by_shard: Dict[str, list] = {}
+        for key in keys:
+            by_shard.setdefault(key[:2], []).append(key)
+        for prefix, shard_keys in by_shard.items():
+            shard_dir = os.path.join(self.root, prefix)
+            try:
+                present = set(os.listdir(shard_dir))
+            except FileNotFoundError:
+                self._misses += len(shard_keys)
+                continue
+            for key in shard_keys:
+                name = f"{key}.json"
+                if name not in present:
+                    self._misses += 1
+                    continue
+                try:
+                    with open(os.path.join(shard_dir, name)) as fh:
+                        record = json.load(fh)
+                except (FileNotFoundError, json.JSONDecodeError):
+                    self._misses += 1
+                    continue
+                self._hits += 1
+                out[key] = record
+        return out
+
+    def put_many(self, records: Mapping[str, Dict[str, Any]]) -> None:
+        """Store many records; each write stays individually atomic.
+
+        Batching amortises the per-store bookkeeping (one shard
+        ``makedirs`` per *new* shard via the shard memo) while keeping
+        the temp-file + ``os.replace`` crash safety of :meth:`put` per
+        entry -- a killed bulk write leaves complete entries and temp
+        litter, never a corrupt record.
+        """
+        for key, record in records.items():
+            self.put(key, record)
+
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
 
@@ -197,3 +246,65 @@ class ResultCache:
             os.unlink(self._path(key))
             removed += 1
         return removed
+
+    def prune_older_than(
+        self, days: float, *, dry_run: bool = False
+    ) -> "PruneReport":
+        """Evict entries whose file mtime is older than ``days`` days.
+
+        Long-lived hosts (the ``repro serve`` daemon, shared campaign
+        volumes) use this to bound disk usage: entries are content-
+        addressed and recomputable, so age-based eviction is always
+        safe.  ``dry_run`` reports what *would* be removed without
+        touching anything.  Shard directories emptied by a real prune
+        are removed too (best-effort).  Entries that vanish mid-scan
+        (a concurrent prune or clear) are skipped, not fatal.
+        """
+        if days < 0:
+            raise ValueError(f"days must be >= 0, got {days}")
+        cutoff = time.time() - days * 86400.0
+        n_examined = 0
+        n_pruned = 0
+        bytes_pruned = 0
+        for key, size in list(self._entries()):
+            path = self._path(key)
+            try:
+                mtime = os.path.getmtime(path)
+            except FileNotFoundError:
+                continue
+            n_examined += 1
+            if mtime >= cutoff:
+                continue
+            if not dry_run:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    continue
+            n_pruned += 1
+            bytes_pruned += size
+        if not dry_run and n_pruned:
+            for name in os.listdir(self.root):
+                shard_dir = os.path.join(self.root, name)
+                if not os.path.isdir(shard_dir):
+                    continue
+                try:
+                    os.rmdir(shard_dir)
+                except OSError:
+                    continue  # not empty: keep it
+                self._shards.discard(shard_dir)
+        return PruneReport(
+            n_examined=n_examined,
+            n_pruned=n_pruned,
+            bytes_pruned=bytes_pruned,
+            dry_run=dry_run,
+        )
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What :meth:`ResultCache.prune_older_than` examined and removed."""
+
+    n_examined: int
+    n_pruned: int
+    bytes_pruned: int
+    dry_run: bool

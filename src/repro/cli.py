@@ -20,6 +20,11 @@ Usage::
     repro-patterns campaign resume --scenario platform_catalog \
         --journal fig6.jsonl
     repro-patterns campaign cache --cache-dir .repro-cache
+    repro-patterns campaign cache --cache-dir .repro-cache \
+        --prune-older-than 30 --dry-run
+    repro-patterns serve --cache-dir .repro-cache
+    repro-patterns query --pattern PDMV --platform hera
+    repro-patterns query --points points.json --json out.json
 
 Every command accepts ``--csv PATH`` / ``--json PATH`` to persist the rows
 and ``--full`` to use the paper-scale Monte-Carlo sizes (1000 patterns x
@@ -267,6 +272,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear", action="store_true",
         help="with 'cache': delete every entry",
     )
+    p.add_argument(
+        "--prune-older-than", type=float, default=None, metavar="DAYS",
+        help="with 'cache': evict entries older than DAYS days "
+        "(entries are content-addressed and recomputable, so age-based "
+        "eviction is always safe)",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true",
+        help="with --prune-older-than: report what would be evicted "
+        "without removing anything",
+    )
+    _add_engine(p)
+    _add_common(p)
+
+    from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+    p = sub.add_parser(
+        "serve",
+        help="run the online evaluation daemon (request micro-batching, "
+        "tiered result cache)",
+    )
+    p.add_argument("--host", default=DEFAULT_HOST, help="bind address")
+    p.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"listen port (default {DEFAULT_PORT}; 0 picks an "
+        "ephemeral port)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=None,
+        help="micro-batch collection window in ms (default 5; 0 "
+        "dispatches immediately)",
+    )
+    p.add_argument(
+        "--pack-rows", type=int, default=None,
+        help="row budget (n_runs x n_patterns summed) per evaluation "
+        "batch (default: 1000000)",
+    )
+    p.add_argument(
+        "--mem-entries", type=int, default=None,
+        help="in-memory LRU result tier size (default: 4096 entries)",
+    )
+    p.add_argument(
+        "--eval-workers", type=int, default=None,
+        help="evaluation thread count (default: 2)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="on-disk result cache shared with batch campaigns",
+    )
+    p.add_argument(
+        "--port-file",
+        help="write the bound port here once listening (for scripts "
+        "starting a --port 0 daemon)",
+    )
+
+    p = sub.add_parser(
+        "query", help="query a running evaluation daemon"
+    )
+    p.add_argument("--host", default=DEFAULT_HOST, help="daemon address")
+    p.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="daemon port"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="request timeout in seconds",
+    )
+    p.add_argument(
+        "--points",
+        help="JSON file with a list of scenario points (mixed batches); "
+        "alternative to --pattern/--platform",
+    )
+    p.add_argument(
+        "--pattern",
+        default="PDMV",
+        choices=["PD", "PDV*", "PDV", "PDM", "PDMV*", "PDMV"],
+    )
+    p.add_argument(
+        "--platform", default="hera", choices=platform_names()
+    )
+    p.add_argument(
+        "--health", action="store_true",
+        help="print the daemon's health document and exit",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the daemon's stats document and exit",
+    )
     _add_engine(p)
     _add_common(p)
 
@@ -324,10 +416,30 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.action == "cache":
         if not args.cache_dir:
             raise SystemExit("campaign cache requires --cache-dir")
+        if args.clear and args.prune_older_than is not None:
+            raise SystemExit(
+                "--clear and --prune-older-than are mutually exclusive"
+            )
+        if args.dry_run and args.prune_older_than is None:
+            raise SystemExit("--dry-run requires --prune-older-than")
         cache = ResultCache(args.cache_dir)
         if args.clear:
             removed = cache.clear()
             print(f"cleared {removed} cache entries", file=sys.stderr)
+        if args.prune_older_than is not None:
+            try:
+                report = cache.prune_older_than(
+                    args.prune_older_than, dry_run=args.dry_run
+                )
+            except ValueError as exc:
+                raise SystemExit(f"--prune-older-than: {exc}")
+            verb = "would evict" if report.dry_run else "evicted"
+            print(
+                f"{verb} {report.n_pruned} of {report.n_examined} "
+                f"entries ({report.bytes_pruned} bytes) older than "
+                f"{args.prune_older_than:g} days",
+                file=sys.stderr,
+            )
         print(render_cache_stats(cache))
         return 0
 
@@ -404,12 +516,109 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run the evaluation daemon."""
+    from repro.service.server import ServiceConfig, run_service
+
+    config = ServiceConfig(host=args.host, port=args.port)
+    if args.batch_window_ms is not None:
+        config.batch_window_ms = args.batch_window_ms
+    if args.pack_rows is not None:
+        config.pack_rows = args.pack_rows
+    if args.mem_entries is not None:
+        config.mem_entries = args.mem_entries
+    if args.eval_workers is not None:
+        config.eval_workers = args.eval_workers
+    config.cache_dir = args.cache_dir
+    config.port_file = args.port_file
+    if args.port < 0:
+        raise SystemExit(f"--port must be >= 0, got {args.port}")
+
+    def announce(_scheduler, server) -> None:
+        print(
+            f"repro service listening on "
+            f"http://{server.host}:{server.port} "
+            f"(window {config.batch_window_ms:g} ms, "
+            f"pack-rows {config.pack_rows}, "
+            f"cache {config.cache_dir or 'memory-only'})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        return run_service(config, ready=announce)
+    except ValueError as exc:
+        # Range constraints live with the scheduler/cache constructors
+        # (one source of truth); surface them as one-line flag errors.
+        raise SystemExit(f"serve configuration error: {exc}")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """The ``query`` subcommand: evaluate points on a running daemon."""
+    import json
+
+    from repro.campaign.report import rows_from_records
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.health:
+            print(json.dumps(client.health(), indent=2))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if args.points:
+            try:
+                with open(args.points) as fh:
+                    data = json.load(fh)
+            except (OSError, ValueError) as exc:
+                raise SystemExit(
+                    f"cannot load points file {args.points!r}: {exc}"
+                )
+            points = data if isinstance(data, list) else [data]
+            title = (
+                f"{len(points)} point(s) from {args.points} via "
+                f"{args.host}:{args.port}"
+            )
+        else:
+            n_pat, n_runs = _mc_sizes(args, 100, 50)
+            point: Dict[str, Any] = {
+                "mode": "simulate",
+                "kind": args.pattern,
+                "platform": args.platform,
+                "engine": args.engine,
+                "n_patterns": n_pat,
+                "n_runs": n_runs,
+                "seed": args.seed if args.seed is not None else 20160601,
+            }
+            points = [point]
+            title = (
+                f"{args.pattern} on {args.platform} via "
+                f"{args.host}:{args.port}"
+            )
+        result = client.evaluate(points)
+        rows = rows_from_records(result.records)
+        _emit(rows, format_table(rows, title=title), args)
+        return 0
+    except ServiceError as exc:
+        raise SystemExit(f"service error: {exc}")
+    finally:
+        client.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command == "campaign":
         return _cmd_campaign(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "query":
+        return _cmd_query(args)
 
     if args.command == "table1":
         platform = get_platform(args.platform)

@@ -1,0 +1,147 @@
+"""Blocking client for the evaluation service (stdlib ``http.client``).
+
+One :class:`ServiceClient` holds one keep-alive connection; a stale or
+dropped connection (daemon restart, idle timeout) is re-opened and the
+request retried once -- safe because evaluation is deterministic and
+cached, so a duplicate request is answered from the daemon's cache
+rather than recomputed.
+
+``repro query`` is a thin CLI wrapper around this class.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.campaign.spec import ScenarioPoint
+from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+#: Anything evaluate() accepts as one point.
+PointLike = Union[ScenarioPoint, Mapping[str, Any]]
+
+
+class ServiceError(RuntimeError):
+    """The service was unreachable or answered with an error."""
+
+    def __init__(self, message: str, *, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class EvaluateResult:
+    """An ``/v1/evaluate`` answer: cache keys and records, in order."""
+
+    keys: List[str]
+    records: List[Dict[str, Any]]
+
+
+class ServiceClient:
+    """A blocking HTTP client bound to one daemon."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 300.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport ----------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> Dict[str, Any]:
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        while True:
+            reused = self._conn is not None
+            try:
+                if self._conn is None:
+                    self._conn = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                self._conn.request(
+                    method, path, body=body, headers=headers
+                )
+                response = self._conn.getresponse()
+                status = response.status
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                OSError,
+            ) as exc:
+                self.close()
+                # Only a dead kept-alive connection warrants a retry
+                # (it looks like a drop on the first write/read).
+                # Fresh-connection failures and timeouts are real --
+                # retrying would double the wait and mask the error.
+                if not reused or isinstance(exc, TimeoutError):
+                    raise ServiceError(
+                        f"cannot reach repro service at "
+                        f"{self.host}:{self.port}: {exc}"
+                    ) from exc
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                f"non-JSON response from {self.host}:{self.port} "
+                f"(status {status}): {exc}",
+                status=status,
+            ) from None
+        if status != 200:
+            raise ServiceError(
+                data.get("error", f"service answered {status}"),
+                status=status,
+            )
+        return data
+
+    def close(self) -> None:
+        """Drop the connection (it reopens on the next request)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints ----------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health``."""
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /v1/stats``."""
+        return self._request("GET", "/v1/stats")
+
+    def evaluate(self, points: Sequence[PointLike]) -> EvaluateResult:
+        """``POST /v1/evaluate`` a batch of points, answers in order."""
+        dicts = [
+            p.to_dict() if isinstance(p, ScenarioPoint) else dict(p)
+            for p in points
+        ]
+        data = self._request(
+            "POST", "/v1/evaluate", {"points": dicts}
+        )
+        return EvaluateResult(
+            keys=list(data["keys"]), records=list(data["records"])
+        )
+
+    def evaluate_one(self, point: PointLike) -> Dict[str, Any]:
+        """Evaluate a single point, returning its record."""
+        return self.evaluate([point]).records[0]

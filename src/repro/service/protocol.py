@@ -1,0 +1,128 @@
+"""The service's JSON request/response schema.
+
+``POST /v1/evaluate`` accepts one scenario point or a batch of them,
+in the exact schema of :meth:`ScenarioPoint.to_dict` plus two
+conveniences for hand-written queries:
+
+* ``platform`` may be a Table-2 catalog name (``"hera"``) instead of a
+  full parameter dict;
+* ``mode`` defaults to ``"simulate"``, and simulate requests that omit
+  the Monte-Carlo configuration get the same defaults as the
+  ``repro simulate`` CLI (100 patterns x 50 runs, seed 20160601) -- a
+  minimal ``curl`` body therefore reproduces the CLI's numbers
+  bit-for-bit.
+
+The response carries the campaign cache key and the result record for
+every requested point, in request order.  Records are exactly what the
+campaign executor would journal for the same point (free-form point
+``labels`` merged in), so service output is interchangeable with batch
+output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.campaign.spec import (
+    ScenarioPoint,
+    platform_from_dict,
+    platform_to_dict,
+)
+
+#: Bumped when the request/response schema changes incompatibly.
+PROTOCOL_VERSION = 1
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Monte-Carlo defaults for simulate requests that omit them; these
+#: mirror the ``repro simulate`` CLI so minimal queries match it.
+DEFAULT_N_PATTERNS = 100
+DEFAULT_N_RUNS = 50
+DEFAULT_SEED = 20160601
+
+#: Upper bound on points per request (matches the batch layers' caps).
+MAX_POINTS_PER_REQUEST = 4096
+
+
+class ProtocolError(ValueError):
+    """A malformed request; the server answers 400 with the message."""
+
+
+def point_from_request(data: Any) -> ScenarioPoint:
+    """Build a :class:`ScenarioPoint` from one request item.
+
+    Applies the documented conveniences (catalog platform names, CLI
+    Monte-Carlo defaults) and validates eagerly -- including the
+    platform parameter vector -- so schema mistakes fail the request
+    with a message instead of failing the engine batch mid-flight.
+    """
+    if not isinstance(data, Mapping):
+        raise ProtocolError(
+            f"each point must be a JSON object, got {type(data).__name__}"
+        )
+    desc = dict(data)
+    platform = desc.get("platform")
+    if isinstance(platform, str):
+        from repro.platforms.catalog import get_platform
+
+        try:
+            desc["platform"] = platform_to_dict(get_platform(platform))
+        except KeyError as exc:
+            raise ProtocolError(str(exc).strip('"')) from None
+    desc.setdefault("mode", "simulate")
+    if desc["mode"] == "simulate" and desc.get("engine") != "analytic":
+        desc.setdefault("n_patterns", DEFAULT_N_PATTERNS)
+        desc.setdefault("n_runs", DEFAULT_N_RUNS)
+        desc.setdefault("seed", DEFAULT_SEED)
+    try:
+        point = ScenarioPoint.from_dict(desc)
+        platform_from_dict(point.platform)  # validate the parameter vector
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid scenario point: {exc}") from None
+    return point
+
+
+def parse_evaluate_body(raw: bytes) -> List[ScenarioPoint]:
+    """Parse a ``POST /v1/evaluate`` body into scenario points.
+
+    Accepts ``{"points": [...]}``, a bare list of points, or one bare
+    point object.
+    """
+    try:
+        data = json.loads(raw.decode("utf-8") if raw else "")
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            f"request body is not valid JSON: {exc}"
+        ) from None
+    if isinstance(data, Mapping):
+        items = data.get("points", [data] if data else [])
+    elif isinstance(data, list):
+        items = data
+    else:
+        raise ProtocolError(
+            "evaluate request must be a point object, a list of points, "
+            'or {"points": [...]}'
+        )
+    if not isinstance(items, list):
+        raise ProtocolError('"points" must be a list of point objects')
+    if not items:
+        raise ProtocolError("evaluate request contains no points")
+    if len(items) > MAX_POINTS_PER_REQUEST:
+        raise ProtocolError(
+            f"evaluate request has {len(items)} points; the per-request "
+            f"cap is {MAX_POINTS_PER_REQUEST} (split the batch)"
+        )
+    return [point_from_request(item) for item in items]
+
+
+def evaluate_response(
+    keys: Sequence[str], records: Sequence[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """The ``/v1/evaluate`` response payload."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "keys": list(keys),
+        "records": list(records),
+    }

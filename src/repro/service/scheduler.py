@@ -1,0 +1,352 @@
+"""Request micro-batching: the core of the evaluation daemon.
+
+Concurrent ``/v1/evaluate`` requests land here as scenario points.  For
+each point the scheduler, in order:
+
+1. answers from the :class:`~repro.service.memcache.TieredCache`
+   (memory LRU, then the on-disk campaign cache);
+2. **coalesces** onto an identical in-flight computation -- requests
+   sharing a campaign cache key await one future, so N concurrent
+   identical queries cost exactly one engine invocation;
+3. enqueues the point and lets it ride the next **micro-batch**: the
+   drain loop waits a short window (``batch_window_ms``) after the
+   first enqueue -- or until ``pack_rows`` Monte-Carlo rows are queued
+   -- so that points arriving together are evaluated together.
+
+A batch is evaluated on a small thread pool through
+:func:`~repro.campaign.executor.evaluate_points_packed` -- the same
+routing the campaign executor uses: analytic points grouped per family
+onto :mod:`repro.core.batch`, simulate points packed into one
+struct-of-arrays mega-batch, everything else per point.  Each point's
+random stream comes from :func:`~repro.simulation.dispatch.tier_rng`
+(the grouping-invariant per-point derivation), so service records are
+**bit-identical** to solo CLI runs of the same points, whatever mix of
+requests they were batched with.  Threads -- not processes -- carry the
+work on purpose: the vectorised engines release the GIL inside their
+NumPy kernels, and a resident pool keeps the schedule/optimisation
+memo caches hot across requests, which is the point of a daemon.
+
+Completed records are written through the tiered cache and fanned back
+to every awaiting future.  All counters are surfaced via :meth:`stats`
+(the ``GET /v1/stats`` payload).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.cache import cache_key
+from repro.campaign.spec import ScenarioPoint
+from repro.service.memcache import TieredCache
+
+#: Default micro-batch collection window.  Long enough that requests
+#: issued "at the same time" (one client fan-out, a burst of users)
+#: land in one batch; short enough to be invisible next to engine time.
+DEFAULT_WINDOW_MS = 5.0
+
+#: Default row budget per batch (summed ``n_patterns * n_runs``);
+#: mirrors the campaign executor's mega-batch budget.
+DEFAULT_PACK_ROWS = 1_000_000
+
+#: Default evaluation thread count.  Two lets one batch evaluate while
+#: the next collects; the NumPy kernels release the GIL so this is real
+#: overlap, not time slicing.
+DEFAULT_EVAL_WORKERS = 2
+
+
+def _point_rows(point: ScenarioPoint) -> int:
+    """A point's contribution to the batch row budget."""
+    if point.mode == "simulate" and point.engine != "analytic":
+        return max(1, point.n_patterns * point.n_runs)
+    return 1
+
+
+@dataclass
+class _Pending:
+    """One enqueued computation: a unique cache key awaiting a batch."""
+
+    key: str
+    point: ScenarioPoint
+    rows: int
+    future: "asyncio.Future[Dict[str, Any]]" = field(repr=False)
+
+
+class MicroBatchScheduler:
+    """Coalesce, cache and micro-batch concurrent evaluation requests.
+
+    Parameters
+    ----------
+    cache:
+        The tiered result cache; ``None`` disables caching (in-flight
+        coalescing still works).
+    batch_window_ms:
+        How long the drain loop waits after the first enqueue before
+        cutting a batch, letting concurrent requests pile in.  ``0``
+        dispatches immediately (whatever is queued at that instant
+        still forms one batch).
+    pack_rows:
+        Row budget per batch; a full budget cuts the batch early and
+        oversized queues split into several batches.
+    eval_workers:
+        Evaluation thread count (see the module docstring for why
+        threads).
+    evaluate:
+        The batch evaluation function, ``points -> records`` in order.
+        Defaults to :func:`~repro.campaign.executor.
+        evaluate_points_packed`; tests inject counting wrappers here to
+        assert coalescing.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[TieredCache] = None,
+        *,
+        batch_window_ms: float = DEFAULT_WINDOW_MS,
+        pack_rows: int = DEFAULT_PACK_ROWS,
+        eval_workers: int = DEFAULT_EVAL_WORKERS,
+        evaluate: Optional[
+            Callable[[List[ScenarioPoint]], List[Dict[str, Any]]]
+        ] = None,
+    ):
+        if batch_window_ms < 0:
+            raise ValueError(
+                f"batch_window_ms must be >= 0, got {batch_window_ms}"
+            )
+        if pack_rows < 1:
+            raise ValueError(f"pack_rows must be >= 1, got {pack_rows}")
+        if eval_workers < 1:
+            raise ValueError(
+                f"eval_workers must be >= 1, got {eval_workers}"
+            )
+        if evaluate is None:
+            from repro.campaign.executor import evaluate_points_packed
+
+            evaluate = evaluate_points_packed
+        self._evaluate = evaluate
+        self._cache = cache
+        self.batch_window_ms = float(batch_window_ms)
+        self.pack_rows = int(pack_rows)
+        self.eval_workers = int(eval_workers)
+
+        self._queue: "deque[_Pending]" = deque()
+        self._queued_rows = 0
+        self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._batch_tasks: "set[asyncio.Task]" = set()
+        self._drain_task: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._counters: Dict[str, int] = {
+            "requests": 0,        # submit() calls
+            "points": 0,          # points across all requests
+            "cache_hits": 0,      # points answered by the tiered cache
+            "coalesced": 0,       # points joined onto an in-flight future
+            "computed": 0,        # points that started a new computation
+            "batches": 0,         # engine batches dispatched
+            "engine_points": 0,   # unique points the engine evaluated
+            "batch_failures": 0,  # batches whose evaluation raised
+            "cache_put_failures": 0,
+            "max_batch_points": 0,
+        }
+
+    @property
+    def running(self) -> bool:
+        """Whether the drain loop is active."""
+        return self._drain_task is not None
+
+    async def start(self) -> None:
+        """Bind to the running event loop and start the drain task."""
+        if self.running:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.eval_workers, thread_name_prefix="repro-eval"
+        )
+        self._drain_task = self._loop.create_task(self._drain())
+
+    async def close(self) -> None:
+        """Stop draining, finish in-flight batches, fail queued points."""
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._drain_task
+            self._drain_task = None
+        if self._batch_tasks:
+            await asyncio.gather(
+                *list(self._batch_tasks), return_exceptions=True
+            )
+        while self._queue:
+            pending = self._queue.popleft()
+            self._inflight.pop(pending.key, None)
+            if not pending.future.done():
+                pending.future.set_exception(
+                    RuntimeError("scheduler closed before evaluation")
+                )
+            # Retrieve the exception if nobody is awaiting, so closing
+            # an idle scheduler never logs "exception never retrieved".
+            with suppress(RuntimeError):
+                pending.future.exception()
+        self._queued_rows = 0
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def submit(
+        self, points: Sequence[ScenarioPoint]
+    ) -> Tuple[List[str], List[Dict[str, Any]]]:
+        """Evaluate points, returning ``(cache_keys, records)`` in order.
+
+        Duplicate points within the request, identical concurrent
+        requests and cached points all resolve to one record object;
+        per-point ``labels`` are merged into each returned record
+        exactly as campaign assembly does.
+        """
+        if not self.running:
+            raise RuntimeError(
+                "scheduler is not running; call start() first"
+            )
+        keys = [cache_key(p) for p in points]
+        if not points:
+            return keys, []
+        self._counters["requests"] += 1
+        self._counters["points"] += len(points)
+        unique: Dict[str, ScenarioPoint] = {}
+        for key, point in zip(keys, points):
+            unique.setdefault(key, point)
+        # One bulk lookup for the whole request: the disk tier then
+        # pays one shard listing per prefix instead of one open() probe
+        # per point, which matters on the loop thread.
+        resolved: Dict[str, Dict[str, Any]] = {}
+        if self._cache is not None:
+            resolved = self._cache.get_many(list(unique))
+            self._counters["cache_hits"] += len(resolved)
+        waiting: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        for key, point in unique.items():
+            if key in resolved:
+                continue
+            future = self._inflight.get(key)
+            if future is not None:
+                self._counters["coalesced"] += 1
+            else:
+                future = self._loop.create_future()
+                self._inflight[key] = future
+                rows = _point_rows(point)
+                self._queue.append(_Pending(key, point, rows, future))
+                self._queued_rows += rows
+                self._counters["computed"] += 1
+                self._wake.set()
+            waiting[key] = future
+        if waiting:
+            results = await asyncio.gather(
+                *waiting.values(), return_exceptions=True
+            )
+            for key, result in zip(waiting, results):
+                if isinstance(result, BaseException):
+                    raise result
+                resolved[key] = result
+        return keys, [
+            {**dict(p.labels), **resolved[k]}
+            for k, p in zip(keys, points)
+        ]
+
+    def stats(self) -> Dict[str, Any]:
+        """Configuration, counters and cache state for ``/v1/stats``."""
+        return {
+            "config": {
+                "batch_window_ms": self.batch_window_ms,
+                "pack_rows": self.pack_rows,
+                "eval_workers": self.eval_workers,
+            },
+            "counters": dict(self._counters),
+            "inflight": len(self._inflight),
+            "queued": len(self._queue),
+            "cache": (
+                self._cache.stats() if self._cache is not None else None
+            ),
+        }
+
+    # -- drain loop ---------------------------------------------------------
+    async def _drain(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if not self._queue:
+                continue
+            if self.batch_window_ms > 0:
+                # The micro-batching window: let concurrent requests
+                # pile onto the queue before cutting batches.  Every
+                # enqueue re-signals the wake event, so a burst that
+                # fills the row budget cuts the window short.
+                deadline = (
+                    self._loop.time() + self.batch_window_ms / 1000.0
+                )
+                while self._queued_rows < self.pack_rows:
+                    remaining = deadline - self._loop.time()
+                    if remaining <= 0:
+                        break
+                    self._wake.clear()
+                    try:
+                        await asyncio.wait_for(
+                            self._wake.wait(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            while self._queue:
+                batch = self._take_batch()
+                task = self._loop.create_task(self._run_batch(batch))
+                self._batch_tasks.add(task)
+                task.add_done_callback(self._batch_tasks.discard)
+
+    def _take_batch(self) -> List[_Pending]:
+        """Pop queued points up to the row budget (at least one)."""
+        batch: List[_Pending] = []
+        rows = 0
+        while self._queue:
+            pending = self._queue[0]
+            if batch and rows + pending.rows > self.pack_rows:
+                break
+            batch.append(self._queue.popleft())
+            rows += pending.rows
+        self._queued_rows -= rows
+        return batch
+
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        self._counters["batches"] += 1
+        self._counters["engine_points"] += len(batch)
+        self._counters["max_batch_points"] = max(
+            self._counters["max_batch_points"], len(batch)
+        )
+        points = [p.point for p in batch]
+        try:
+            records = await self._loop.run_in_executor(
+                self._pool, self._evaluate, points
+            )
+        except Exception as exc:
+            self._counters["batch_failures"] += 1
+            for pending in batch:
+                self._inflight.pop(pending.key, None)
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        # Cache BEFORE resolving futures/in-flight entries: a request
+        # arriving between those steps then finds the record in cache,
+        # keeping "one computation per key" airtight.  A failed cache
+        # write (disk full, permissions) must not fail the requests --
+        # the records exist; count it and answer.
+        if self._cache is not None:
+            try:
+                self._cache.put_many(
+                    {p.key: r for p, r in zip(batch, records)}
+                )
+            except OSError:
+                self._counters["cache_put_failures"] += 1
+        for pending, record in zip(batch, records):
+            self._inflight.pop(pending.key, None)
+            if not pending.future.done():
+                pending.future.set_result(record)

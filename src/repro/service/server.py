@@ -1,0 +1,405 @@
+"""The daemon: a minimal asyncio HTTP/1.1 front end for the scheduler.
+
+Stdlib only -- ``asyncio.start_server`` plus a hand-rolled HTTP/1.1
+reader/writer (no framework).  Three endpoints:
+
+* ``POST /v1/evaluate`` -- evaluate one or many scenario points
+  (:mod:`repro.service.protocol` schema); concurrent requests are
+  micro-batched and coalesced by the scheduler.
+* ``GET /v1/health`` -- liveness plus version info.
+* ``GET /v1/stats`` -- scheduler counters, batch configuration and
+  tiered-cache state.
+
+Connections are keep-alive by default (HTTP/1.1 semantics), so a
+client issuing many queries pays TCP setup once.
+
+:func:`run_service` is the blocking ``repro serve`` entry point;
+:class:`BackgroundService` runs the identical stack on a daemon thread
+for tests, benchmarks and embedders.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from contextlib import suppress
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro._version import __version__
+from repro.service.memcache import (
+    DEFAULT_MEM_ENTRIES,
+    LRUCache,
+    TieredCache,
+)
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    evaluate_response,
+    parse_evaluate_body,
+)
+from repro.service.scheduler import (
+    DEFAULT_EVAL_WORKERS,
+    DEFAULT_PACK_ROWS,
+    DEFAULT_WINDOW_MS,
+    MicroBatchScheduler,
+)
+
+#: Reject request bodies beyond this size (a 4096-point batch is ~2 MB).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """An HTTP-level failure to report to the client and move on."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` needs to stand up a daemon."""
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT  # 0 binds an ephemeral port
+    batch_window_ms: float = DEFAULT_WINDOW_MS
+    pack_rows: int = DEFAULT_PACK_ROWS
+    mem_entries: int = DEFAULT_MEM_ENTRIES
+    eval_workers: int = DEFAULT_EVAL_WORKERS
+    cache_dir: Optional[str] = None
+    #: When set, the bound port is written here once listening --
+    #: scripts starting a ``--port 0`` daemon poll this file.
+    port_file: Optional[str] = None
+
+
+class ServiceServer:
+    """The HTTP front end bound to one scheduler."""
+
+    def __init__(
+        self,
+        scheduler: MicroBatchScheduler,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+    ):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._t0 = 0.0
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns ``(host, port)`` with the real port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._t0 = time.monotonic()
+        return self.host, self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _HttpError as exc:
+                    await _write_response(
+                        writer,
+                        exc.status,
+                        {"error": str(exc)},
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, body)
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                await _write_response(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            with suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        path = path.split("?", 1)[0]
+        if path == "/v1/health":
+            if method != "GET":
+                return 405, {"error": f"{path} accepts GET only"}
+            return 200, {
+                "status": "ok",
+                "service": "repro",
+                "version": __version__,
+                "protocol": PROTOCOL_VERSION,
+            }
+        if path == "/v1/stats":
+            if method != "GET":
+                return 405, {"error": f"{path} accepts GET only"}
+            return 200, {
+                "uptime_seconds": round(time.monotonic() - self._t0, 3),
+                **self.scheduler.stats(),
+            }
+        if path == "/v1/evaluate":
+            if method != "POST":
+                return 405, {"error": f"{path} accepts POST only"}
+            try:
+                points = parse_evaluate_body(body)
+            except ProtocolError as exc:
+                return 400, {"error": str(exc)}
+            try:
+                keys, records = await self.scheduler.submit(points)
+            except Exception as exc:  # engine failures -> 500, keep serving
+                return 500, {"error": f"evaluation failed: {exc}"}
+            return 200, evaluate_response(keys, records)
+        return 404, {
+            "error": f"unknown path {path!r}; endpoints: "
+            "POST /v1/evaluate, GET /v1/health, GET /v1/stats"
+        }
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Read one HTTP/1.1 request; ``None`` on clean end-of-stream."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _HttpError(400, "malformed HTTP request line")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise _HttpError(400, "malformed content-length header") from None
+    if length < 0:
+        raise _HttpError(400, "malformed content-length header")
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(
+            413,
+            f"request body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte cap",
+        )
+    body = await reader.readexactly(length) if length > 0 else b""
+    return method, target, headers, body
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Dict[str, Any],
+    *,
+    keep_alive: bool,
+) -> None:
+    blob = json.dumps(payload, default=str).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "content-type: application/json\r\n"
+        f"content-length: {len(blob)}\r\n"
+        f"connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + blob)
+    await writer.drain()
+
+
+# -- service lifecycle -------------------------------------------------------
+async def start_service(
+    config: ServiceConfig,
+) -> Tuple[MicroBatchScheduler, ServiceServer]:
+    """Stand up the cache, scheduler and listening server."""
+    from repro.campaign.cache import ResultCache
+
+    disk = (
+        ResultCache(config.cache_dir)
+        if config.cache_dir is not None
+        else None
+    )
+    cache = TieredCache(LRUCache(config.mem_entries), disk)
+    scheduler = MicroBatchScheduler(
+        cache,
+        batch_window_ms=config.batch_window_ms,
+        pack_rows=config.pack_rows,
+        eval_workers=config.eval_workers,
+    )
+    await scheduler.start()
+    server = ServiceServer(
+        scheduler, host=config.host, port=config.port
+    )
+    await server.start()
+    if config.port_file:
+        _write_port_file(config.port_file, server.port)
+    return scheduler, server
+
+
+def _write_port_file(path: str, port: int) -> None:
+    """Publish the bound port atomically (pollers never see a partial)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as fh:
+        fh.write(f"{port}\n")
+    os.replace(tmp, path)
+
+
+async def _serve_async(
+    config: ServiceConfig,
+    *,
+    ready: Optional[
+        Callable[[MicroBatchScheduler, ServiceServer], None]
+    ] = None,
+    stop: Optional[asyncio.Event] = None,
+) -> None:
+    """Run a full service until ``stop`` is set (or forever)."""
+    scheduler, server = await start_service(config)
+    if ready is not None:
+        ready(scheduler, server)
+    try:
+        if stop is None:
+            await asyncio.Event().wait()  # until cancelled
+        else:
+            await stop.wait()
+    finally:
+        await server.close()
+        await scheduler.close()
+
+
+def run_service(
+    config: ServiceConfig,
+    *,
+    ready: Optional[
+        Callable[[MicroBatchScheduler, ServiceServer], None]
+    ] = None,
+) -> int:
+    """Blocking entry point for ``repro serve``; Ctrl-C exits cleanly."""
+    try:
+        asyncio.run(_serve_async(config, ready=ready))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+class BackgroundService:
+    """A full service on a daemon thread, for tests and benchmarks.
+
+    Runs exactly the stack ``repro serve`` runs (tiered cache,
+    micro-batch scheduler, HTTP server) inside a private event loop::
+
+        with BackgroundService(cache_dir=str(tmp)) as svc:
+            client = ServiceClient(port=svc.port)
+            ...
+
+    The scheduler is exposed for white-box assertions on its counters.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, **overrides):
+        self.config = config if config is not None else ServiceConfig(
+            port=0, **overrides
+        )
+        self.host = self.config.host
+        self.port: Optional[int] = None
+        self.scheduler: Optional[MicroBatchScheduler] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Start the thread; returns ``(host, port)`` once listening."""
+        if self._thread is not None:
+            return self.host, self.port
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("service did not start within 30s")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._error}"
+            ) from self._error
+        return self.host, self.port
+
+    def stop(self) -> None:
+        """Shut the service down and join the thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+
+        def ready(
+            scheduler: MicroBatchScheduler, server: ServiceServer
+        ) -> None:
+            self.scheduler = scheduler
+            self.host, self.port = server.host, server.port
+            self._ready.set()
+
+        await _serve_async(self.config, ready=ready, stop=self._stop)

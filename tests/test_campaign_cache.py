@@ -167,3 +167,153 @@ class TestResultCache:
         root = str(tmp_path / "c")
         ResultCache(root).put(cache_key(point), {"v": 2})
         assert ResultCache(root).get(cache_key(point)) == {"v": 2}
+
+
+class TestBulkOps:
+    """get_many/put_many: one shard listing pass, per-entry atomicity."""
+
+    @staticmethod
+    def _keys(n, *, shard="ab"):
+        # Synthetic hex-style keys; a shared prefix exercises the
+        # one-listing-per-shard path, distinct prefixes the grouping.
+        return [f"{shard}{i:062x}" for i in range(n)]
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        records = {k: {"v": i} for i, k in enumerate(self._keys(5))}
+        cache.put_many(records)
+        assert cache.get_many(list(records)) == records
+
+    def test_absent_keys_are_missing_not_none(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        present, absent = self._keys(2)
+        cache.put(present, {"v": 1})
+        out = cache.get_many([present, absent])
+        assert out == {present: {"v": 1}}
+
+    def test_counters_match_per_key_gets(self, tmp_path):
+        bulk = ResultCache(str(tmp_path / "bulk"))
+        solo = ResultCache(str(tmp_path / "solo"))
+        keys = self._keys(3) + self._keys(2, shard="cd")
+        for target in (bulk, solo):
+            target.put_many({k: {"v": 1} for k in keys[:3]})
+        bulk.get_many(keys)
+        for key in keys:
+            solo.get(key)
+        assert (bulk._hits, bulk._misses) == (solo._hits, solo._misses)
+
+    def test_get_many_on_empty_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.get_many(self._keys(4)) == {}
+        assert cache._misses == 4
+
+    def test_corrupt_entry_skipped(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        good, bad = self._keys(2)
+        cache.put_many({good: {"v": 1}, bad: {"v": 2}})
+        with open(cache._path(bad), "w") as fh:
+            fh.write("{not json")
+        assert cache.get_many([good, bad]) == {good: {"v": 1}}
+
+    def test_bulk_equivalent_to_loop_for_real_points(
+        self, tmp_path, point
+    ):
+        cache = ResultCache(str(tmp_path / "c"))
+        points = []
+        for seed in range(4):
+            data = point.to_dict()
+            data["seed"] = seed
+            points.append(ScenarioPoint.from_dict(data))
+        records = {cache_key(p): {"seed": p.seed} for p in points}
+        cache.put_many(records)
+        for key, record in records.items():
+            assert cache.get(key) == record
+
+
+class TestPrune:
+    @staticmethod
+    def _age(cache, key, days):
+        import time as _time
+
+        old = _time.time() - days * 86400.0
+        os.utime(cache._path(key), (old, old))
+
+    def test_dry_run_reports_without_removing(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        keys = [f"{i:064x}" for i in range(3)]
+        cache.put_many({k: {"v": 1} for k in keys})
+        for key in keys[:2]:
+            self._age(cache, key, days=10)
+        report = cache.prune_older_than(7, dry_run=True)
+        assert report.dry_run
+        assert report.n_examined == 3
+        assert report.n_pruned == 2
+        assert report.bytes_pruned > 0
+        assert cache.stats().entries == 3
+
+    def test_prune_removes_old_entries_and_empty_shards(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        old_key = "aa" + "0" * 62
+        new_key = "bb" + "0" * 62
+        cache.put_many({old_key: {"v": 1}, new_key: {"v": 2}})
+        self._age(cache, old_key, days=30)
+        report = cache.prune_older_than(7)
+        assert not report.dry_run
+        assert report.n_pruned == 1
+        assert cache.get(new_key) == {"v": 2}
+        assert cache.get(old_key) is None
+        assert not os.path.exists(os.path.join(cache.root, "aa"))
+        assert os.path.exists(os.path.join(cache.root, "bb"))
+
+    def test_prune_zero_days_evicts_everything(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.put_many({f"{i:064x}": {"v": i} for i in range(3)})
+        report = cache.prune_older_than(0)
+        assert report.n_pruned == 3
+        assert cache.stats().entries == 0
+
+    def test_put_after_prune_rebuilds_shard(self, tmp_path):
+        """The shard memo survives pruned directories."""
+        cache = ResultCache(str(tmp_path / "c"))
+        key = "aa" + "1" * 62
+        cache.put(key, {"v": 1})
+        cache.prune_older_than(0)
+        cache.put(key, {"v": 2})
+        assert cache.get(key) == {"v": 2}
+
+    def test_negative_days_rejected(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        with pytest.raises(ValueError, match="days"):
+            cache.prune_older_than(-1)
+
+    def test_prune_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.put("aa" + "0" * 62, {"v": 1})
+        self._age(cache, "aa" + "0" * 62, days=5)
+        assert main(
+            ["campaign", "cache", "--cache-dir", cache.root,
+             "--prune-older-than", "3", "--dry-run"]
+        ) == 0
+        assert "would evict 1" in capsys.readouterr().err
+        assert cache.stats().entries == 1
+        assert main(
+            ["campaign", "cache", "--cache-dir", cache.root,
+             "--prune-older-than", "3"]
+        ) == 0
+        assert "evicted 1" in capsys.readouterr().err
+        assert cache.stats().entries == 0
+
+    def test_prune_cli_flag_validation(self, tmp_path):
+        from repro.cli import main
+
+        root = str(tmp_path / "c")
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["campaign", "cache", "--cache-dir", root,
+                  "--clear", "--prune-older-than", "1"])
+        with pytest.raises(SystemExit, match="requires"):
+            main(["campaign", "cache", "--cache-dir", root, "--dry-run"])
+        with pytest.raises(SystemExit, match=">= 0"):
+            main(["campaign", "cache", "--cache-dir", root,
+                  "--prune-older-than", "-1"])

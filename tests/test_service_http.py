@@ -1,0 +1,317 @@
+"""End-to-end tests: daemon + HTTP protocol + blocking client.
+
+One :class:`BackgroundService` per module runs the exact stack
+``repro serve`` runs; requests go through real sockets.
+"""
+
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.campaign.executor import evaluate_point
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_evaluate_body,
+    point_from_request,
+)
+from repro.service.server import BackgroundService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("service-cache"))
+    with BackgroundService(cache_dir=cache_dir) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    with ServiceClient(port=service.port) as c:
+        yield c
+
+
+def _simulate_request(**overrides):
+    base = dict(
+        mode="simulate",
+        kind="PDMV",
+        platform="hera",
+        n_patterns=6,
+        n_runs=3,
+        seed=20160601,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        doc = client.health()
+        assert doc["status"] == "ok"
+        assert doc["service"] == "repro"
+        assert doc["protocol"] == PROTOCOL_VERSION
+
+    def test_stats_shape(self, client):
+        doc = client.stats()
+        assert doc["uptime_seconds"] >= 0
+        assert "counters" in doc and "config" in doc
+        assert doc["cache"]["memory"]["max_entries"] > 0
+        assert doc["cache"]["disk"]["root"]
+
+    def test_evaluate_matches_solo_run(self, client):
+        request = _simulate_request()
+        record = client.evaluate_one(request)
+        solo = evaluate_point(point_from_request(request))
+        assert record == solo
+
+    def test_mixed_batch_golden_vs_solo(self, client):
+        """Mixed analytic/simulate batch: records == solo CLI records."""
+        requests = [
+            _simulate_request(labels={"arm": "mc"}),
+            {"kind": "PD", "platform": "atlas", "engine": "analytic"},
+            {"mode": "optimize", "kind": "PDV", "platform": "coastal"},
+        ]
+        result = client.evaluate(requests)
+        assert len(result.records) == len(result.keys) == 3
+        for request, record in zip(requests, result.records):
+            point = point_from_request(request)
+            assert record == {
+                **dict(point.labels),
+                **evaluate_point(point),
+            }
+        engines = [r.get("engine") for r in result.records]
+        assert engines[:2] == ["fast", "analytic"]
+
+    def test_concurrent_identical_http_requests_coalesce(self, service):
+        """N concurrent POSTs of one point -> exactly one computation."""
+        before = service.scheduler.stats()["counters"]["computed"]
+        request = _simulate_request(seed=424242)
+        records = {}
+
+        def query(i):
+            with ServiceClient(port=service.port) as c:
+                records[i] = c.evaluate_one(request)
+
+        threads = [
+            threading.Thread(target=query, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(records[i] == records[0] for i in range(6))
+        after = service.scheduler.stats()["counters"]["computed"]
+        assert after - before == 1
+
+    def test_keep_alive_connection_reused(self, client):
+        client.health()
+        conn = client._conn
+        client.stats()
+        assert client._conn is conn
+
+    def test_stale_keepalive_connection_retried(self, client):
+        """A dead kept-alive connection is reopened transparently."""
+
+        class Stale:
+            def request(self, *args, **kwargs):
+                raise http.client.RemoteDisconnected("daemon restarted")
+
+            def close(self):
+                pass
+
+        client._conn = Stale()
+        assert client.health()["status"] == "ok"
+
+
+class TestHttpErrors:
+    def _raw(self, service, method, path, body=b"", headers=()):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", service.port, timeout=30
+        )
+        try:
+            conn.request(method, path, body=body, headers=dict(headers))
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_unknown_path_404(self, service):
+        status, doc = self._raw(service, "GET", "/nope")
+        assert status == 404
+        assert "endpoints" in doc["error"]
+
+    def test_wrong_method_405(self, service):
+        assert self._raw(service, "GET", "/v1/evaluate")[0] == 405
+        assert self._raw(service, "POST", "/v1/health")[0] == 405
+        assert self._raw(service, "POST", "/v1/stats")[0] == 405
+
+    def test_bad_json_400(self, service):
+        status, doc = self._raw(
+            service, "POST", "/v1/evaluate", body=b"{nope"
+        )
+        assert status == 400
+        assert "not valid JSON" in doc["error"]
+
+    def test_empty_points_400(self, service):
+        status, doc = self._raw(
+            service, "POST", "/v1/evaluate", body=b'{"points": []}'
+        )
+        assert status == 400
+        assert "no points" in doc["error"]
+
+    def test_unknown_platform_400(self, service):
+        body = json.dumps(
+            {"kind": "PD", "platform": "not-a-machine"}
+        ).encode()
+        status, doc = self._raw(
+            service, "POST", "/v1/evaluate", body=body
+        )
+        assert status == 400
+        assert "unknown platform" in doc["error"]
+
+    def test_unknown_kind_400(self, service):
+        body = json.dumps(
+            {"kind": "XYZ", "platform": "hera"}
+        ).encode()
+        status, doc = self._raw(
+            service, "POST", "/v1/evaluate", body=body
+        )
+        assert status == 400
+        assert "invalid scenario point" in doc["error"]
+
+    def test_oversized_body_413(self, service):
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=30
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/evaluate HTTP/1.1\r\n"
+                b"content-length: 999999999999\r\n\r\n"
+            )
+            reply = sock.recv(65536)
+        assert b"413" in reply.split(b"\r\n", 1)[0]
+
+    def test_negative_content_length_400(self, service):
+        """A negative length must answer 400, not desync keep-alive."""
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=30
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/evaluate HTTP/1.1\r\n"
+                b"content-length: -1\r\n\r\n"
+                b'{"kind": "PD"}'
+            )
+            reply = sock.recv(65536)
+        assert b"400" in reply.split(b"\r\n", 1)[0]
+
+    def test_malformed_request_line_400(self, service):
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=30
+        ) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            reply = sock.recv(65536)
+        assert b"400" in reply.split(b"\r\n", 1)[0]
+
+    def test_client_refused_connection(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(ServiceError, match="cannot reach"):
+            ServiceClient(port=free_port, timeout=5).health()
+
+
+class TestProtocol:
+    def test_defaults_mirror_the_simulate_cli(self):
+        point = point_from_request({"kind": "PDMV", "platform": "hera"})
+        assert point.mode == "simulate"
+        assert (point.n_patterns, point.n_runs) == (100, 50)
+        assert point.seed == 20160601
+
+    def test_analytic_points_skip_mc_defaults(self):
+        point = point_from_request(
+            {"kind": "PD", "platform": "hera", "engine": "analytic"}
+        )
+        assert point.n_patterns == 0 and point.n_runs == 0
+
+    def test_full_platform_dict_passthrough(self, tiny_platform):
+        from repro.campaign.spec import platform_to_dict
+
+        desc = platform_to_dict(tiny_platform)
+        point = point_from_request(
+            {"kind": "PD", "platform": desc, "n_patterns": 2, "n_runs": 2}
+        )
+        assert point.build_platform() == tiny_platform
+
+    def test_invalid_platform_vector_rejected_eagerly(self):
+        with pytest.raises(ProtocolError, match="invalid scenario point"):
+            point_from_request(
+                {"kind": "PD", "platform": {"name": "broken"}}
+            )
+
+    def test_non_object_point_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            point_from_request([1, 2])
+
+    def test_body_shapes(self):
+        single = json.dumps(
+            {"kind": "PD", "platform": "hera"}
+        ).encode()
+        wrapped = json.dumps(
+            {"points": [{"kind": "PD", "platform": "hera"}]}
+        ).encode()
+        bare_list = json.dumps(
+            [{"kind": "PD", "platform": "hera"}]
+        ).encode()
+        for body in (single, wrapped, bare_list):
+            points = parse_evaluate_body(body)
+            assert len(points) == 1 and points[0].kind == "PD"
+
+    def test_non_list_points_rejected(self):
+        with pytest.raises(ProtocolError, match="must be a list"):
+            parse_evaluate_body(b'{"points": 3}')
+        with pytest.raises(ProtocolError, match="point object"):
+            parse_evaluate_body(b'"just a string"')
+
+    def test_request_size_cap(self):
+        from repro.service.protocol import MAX_POINTS_PER_REQUEST
+
+        too_many = [{"kind": "PD", "platform": "hera"}] * (
+            MAX_POINTS_PER_REQUEST + 1
+        )
+        with pytest.raises(ProtocolError, match="cap"):
+            parse_evaluate_body(json.dumps(too_many).encode())
+
+
+class TestLifecycle:
+    def test_port_file_published(self, tmp_path):
+        port_file = tmp_path / "daemon.port"
+        with BackgroundService(
+            port_file=str(port_file), batch_window_ms=0
+        ) as svc:
+            assert int(port_file.read_text().strip()) == svc.port
+
+    def test_explicit_config_object(self):
+        config = ServiceConfig(port=0, batch_window_ms=0)
+        svc = BackgroundService(config)
+        host, port = svc.start()
+        try:
+            assert port > 0
+            with ServiceClient(host, port) as c:
+                assert c.health()["status"] == "ok"
+            # start() is idempotent once running.
+            assert svc.start() == (host, port)
+        finally:
+            svc.stop()
+            svc.stop()  # idempotent
+
+    def test_failed_startup_raises(self, service):
+        # Binding the port the module fixture already holds must fail
+        # loudly, not hang.
+        clash = BackgroundService(
+            ServiceConfig(host="127.0.0.1", port=service.port)
+        )
+        with pytest.raises(RuntimeError, match="failed to start"):
+            clash.start()

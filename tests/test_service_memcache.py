@@ -1,0 +1,111 @@
+"""Unit tests for the in-memory LRU tier and the tiered cache stack."""
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.service.memcache import LRUCache, TieredCache
+
+
+class TestLRUCache:
+    def test_roundtrip_and_counters(self):
+        lru = LRUCache(max_entries=4)
+        assert lru.get("a") is None
+        lru.put("a", {"v": 1})
+        assert lru.get("a") == {"v": 1}
+        stats = lru.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_eviction_is_lru_ordered(self):
+        lru = LRUCache(max_entries=2)
+        lru.put("a", {"v": 1})
+        lru.put("b", {"v": 2})
+        # Touch "a" so "b" becomes the LRU entry.
+        assert lru.get("a") is not None
+        lru.put("c", {"v": 3})
+        assert "b" not in lru
+        assert "a" in lru and "c" in lru
+        assert lru.stats()["evictions"] == 1
+
+    def test_put_refreshes_recency(self):
+        lru = LRUCache(max_entries=2)
+        lru.put("a", {"v": 1})
+        lru.put("b", {"v": 2})
+        lru.put("a", {"v": 10})  # overwrite refreshes recency
+        lru.put("c", {"v": 3})
+        assert "b" not in lru
+        assert lru.get("a") == {"v": 10}
+
+    def test_len_and_clear(self):
+        lru = LRUCache(max_entries=8)
+        for i in range(3):
+            lru.put(f"k{i}", {"v": i})
+        assert len(lru) == 3
+        lru.clear()
+        assert len(lru) == 0
+        assert lru.stats()["entries"] == 0
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            LRUCache(max_entries=0)
+
+    def test_unused_cache_hit_rate_is_zero(self):
+        assert LRUCache().stats()["hit_rate"] == 0.0
+
+
+class TestTieredCache:
+    def test_memory_only_tier_works(self):
+        tier = TieredCache(LRUCache())
+        assert tier.get("k") is None
+        tier.put_many({"k": {"v": 1}})
+        assert tier.get("k") == {"v": 1}
+        stats = tier.stats()
+        assert stats["disk"] is None
+        assert stats["memory"]["entries"] == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        disk = ResultCache(str(tmp_path))
+        disk.put("k", {"v": 7})
+        tier = TieredCache(LRUCache(), disk)
+        assert tier.get("k") == {"v": 7}
+        assert tier.disk_hits == 1
+        # Second read is a pure memory hit: disk counters unchanged.
+        assert tier.get("k") == {"v": 7}
+        assert tier.disk_hits == 1
+        assert tier.memory.hits == 1
+
+    def test_miss_counts_on_both_tiers(self, tmp_path):
+        tier = TieredCache(LRUCache(), ResultCache(str(tmp_path)))
+        assert tier.get("absent") is None
+        assert tier.disk_misses == 1
+        assert tier.memory.misses == 1
+
+    def test_put_many_writes_through(self, tmp_path):
+        disk = ResultCache(str(tmp_path))
+        tier = TieredCache(LRUCache(), disk)
+        tier.put_many({"a": {"v": 1}, "b": {"v": 2}})
+        assert disk.get("a") == {"v": 1}
+        assert disk.get("b") == {"v": 2}
+        assert len(tier.memory) == 2
+
+    def test_get_many_mixes_tiers(self, tmp_path):
+        disk = ResultCache(str(tmp_path))
+        disk.put("ondisk", {"v": 1})
+        tier = TieredCache(LRUCache(), disk)
+        tier.memory.put("inmem", {"v": 2})
+        out = tier.get_many(["ondisk", "inmem", "absent"])
+        assert out == {"ondisk": {"v": 1}, "inmem": {"v": 2}}
+        assert tier.disk_hits == 1
+        assert tier.disk_misses == 1
+        # The disk hit was promoted: a re-read stays in memory.
+        assert tier.get_many(["ondisk"]) == {"ondisk": {"v": 1}}
+        assert tier.disk_hits == 1
+
+    def test_stats_shape(self, tmp_path):
+        tier = TieredCache(LRUCache(), ResultCache(str(tmp_path)))
+        stats = tier.stats()
+        assert stats["disk"]["root"] == str(tmp_path)
+        assert set(stats["disk"]) == {"root", "hits", "misses"}
+        assert stats["memory"]["max_entries"] == tier.memory.max_entries

@@ -1,0 +1,349 @@
+"""Micro-batching scheduler: coalescing, batching, golden equivalence.
+
+The load-bearing assertions of the service layer live here:
+
+* N concurrent identical requests produce exactly ONE engine
+  invocation (an instrumented evaluate counter, not timing);
+* scheduler records are bit-identical to :func:`evaluate_point` --
+  i.e. to what solo CLI runs and batch campaigns produce -- for a
+  mixed analytic/simulate/optimize batch.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.campaign.cache import ResultCache, cache_key
+from repro.campaign.executor import evaluate_point, evaluate_points_packed
+from repro.campaign.spec import ScenarioPoint, platform_to_dict
+from repro.service.memcache import LRUCache, TieredCache
+from repro.service.scheduler import MicroBatchScheduler
+
+
+class CountingEvaluate:
+    """The real batch evaluation, instrumented for dispatch assertions."""
+
+    def __init__(self, fail_first=False):
+        self.calls = 0
+        self.points = 0
+        self.batch_sizes = []
+        self._fail_first = fail_first
+
+    def __call__(self, points):
+        self.calls += 1
+        if self._fail_first:
+            self._fail_first = False
+            raise ValueError("injected engine failure")
+        self.points += len(points)
+        self.batch_sizes.append(len(points))
+        return evaluate_points_packed(points)
+
+
+def _point(platform, **overrides):
+    base = dict(
+        mode="simulate",
+        kind="PDMV",
+        platform=platform_to_dict(platform),
+        n_patterns=4,
+        n_runs=3,
+        seed=11,
+    )
+    base.update(overrides)
+    return ScenarioPoint(**base)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_scheduler(fn, **kwargs):
+    kwargs.setdefault("cache", TieredCache(LRUCache()))
+    scheduler = MicroBatchScheduler(**kwargs)
+    await scheduler.start()
+    try:
+        return await fn(scheduler)
+    finally:
+        await scheduler.close()
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_one_engine_invocation(
+        self, tiny_platform
+    ):
+        """Eight concurrent identical queries -> one computation."""
+        counting = CountingEvaluate()
+        point = _point(tiny_platform)
+
+        async def scenario(scheduler):
+            results = await asyncio.gather(
+                *(scheduler.submit([point]) for _ in range(8))
+            )
+            return results, scheduler.stats()
+
+        results, stats = _run(
+            _with_scheduler(scenario, evaluate=counting)
+        )
+        assert counting.calls == 1
+        assert counting.points == 1
+        records = [records[0] for _, records in results]
+        assert all(rec == records[0] for rec in records)
+        counters = stats["counters"]
+        assert counters["computed"] == 1
+        assert counters["engine_points"] == 1
+        assert counters["coalesced"] + counters["cache_hits"] == 7
+
+    def test_coalesced_records_are_bit_identical_to_solo(
+        self, tiny_platform
+    ):
+        point = _point(tiny_platform)
+        solo = evaluate_point(point)
+
+        async def scenario(scheduler):
+            results = await asyncio.gather(
+                *(scheduler.submit([point]) for _ in range(4))
+            )
+            return [records[0] for _, records in results]
+
+        for record in _run(_with_scheduler(scenario)):
+            assert record == solo
+
+    def test_duplicates_within_one_request(self, tiny_platform):
+        """Same key, different labels: one computation, labels merged."""
+        counting = CountingEvaluate()
+        point = _point(tiny_platform)
+        labeled = _point(tiny_platform, labels={"row": 3})
+
+        async def scenario(scheduler):
+            return await scheduler.submit([point, labeled, point])
+
+        keys, records = _run(
+            _with_scheduler(scenario, evaluate=counting)
+        )
+        assert counting.points == 1
+        assert keys[0] == keys[1] == keys[2]
+        assert records[0] == records[2]
+        assert records[1] == {"row": 3, **records[0]}
+
+
+class TestGoldenEquivalence:
+    def test_mixed_batch_matches_solo_records(
+        self, tiny_platform, hera_platform
+    ):
+        """Analytic + simulate + optimize in one batch == solo runs."""
+        points = [
+            _point(tiny_platform, labels={"arm": "mc"}),
+            _point(tiny_platform, kind="PD", seed=5),
+            ScenarioPoint(
+                mode="simulate",
+                kind="PDV",
+                platform=platform_to_dict(hera_platform),
+                engine="analytic",
+            ),
+            ScenarioPoint(
+                mode="optimize",
+                kind="PDM",
+                platform=platform_to_dict(hera_platform),
+            ),
+        ]
+
+        async def scenario(scheduler):
+            return await scheduler.submit(points)
+
+        keys, records = _run(_with_scheduler(scenario))
+        assert keys == [cache_key(p) for p in points]
+        for point, record in zip(points, records):
+            assert record == {**dict(point.labels), **evaluate_point(point)}
+
+    def test_cached_and_computed_answers_are_identical(
+        self, tiny_platform
+    ):
+        counting = CountingEvaluate()
+        point = _point(tiny_platform)
+
+        async def scenario(scheduler):
+            _, first = await scheduler.submit([point])
+            _, second = await scheduler.submit([point])
+            return first[0], second[0], scheduler.stats()
+
+        first, second, stats = _run(
+            _with_scheduler(scenario, evaluate=counting)
+        )
+        assert counting.calls == 1
+        assert first == second
+        assert stats["counters"]["cache_hits"] == 1
+
+    def test_disk_tier_serves_campaign_warmed_results(
+        self, tiny_platform, tmp_path
+    ):
+        """A daemon sharing --cache-dir answers from campaign entries."""
+        counting = CountingEvaluate()
+        point = _point(tiny_platform)
+        disk = ResultCache(str(tmp_path))
+        disk.put(cache_key(point), evaluate_point(point))
+
+        async def scenario(scheduler):
+            return await scheduler.submit([point])
+
+        _, records = _run(
+            _with_scheduler(
+                scenario,
+                cache=TieredCache(LRUCache(), disk),
+                evaluate=counting,
+            )
+        )
+        assert counting.calls == 0
+        assert records[0] == evaluate_point(point)
+
+
+class TestBatching:
+    def test_pack_rows_splits_batches(self, tiny_platform):
+        counting = CountingEvaluate()
+        points = [_point(tiny_platform, seed=s) for s in (1, 2, 3)]
+
+        async def scenario(scheduler):
+            await scheduler.submit(points)
+            return scheduler.stats()
+
+        # Each point carries 12 rows; a 1-row budget forces one batch
+        # per point (a batch always takes at least one point).
+        stats = _run(
+            _with_scheduler(
+                scenario, evaluate=counting, pack_rows=1
+            )
+        )
+        assert counting.batch_sizes == [1, 1, 1]
+        assert stats["counters"]["batches"] == 3
+
+    def test_one_request_batch_evaluates_together(self, tiny_platform):
+        counting = CountingEvaluate()
+        points = [_point(tiny_platform, seed=s) for s in (1, 2, 3)]
+
+        async def scenario(scheduler):
+            await scheduler.submit(points)
+
+        _run(_with_scheduler(scenario, evaluate=counting))
+        assert counting.batch_sizes == [3]
+
+    def test_full_row_budget_cuts_window_short(self, tiny_platform):
+        """A filled row budget dispatches without waiting the window."""
+        counting = CountingEvaluate()
+        points = [_point(tiny_platform, seed=s) for s in (1, 2)]
+
+        async def scenario(scheduler):
+            # 12 rows per point against a 12-row budget: the queue is
+            # over budget the moment both are enqueued, so the 60 s
+            # window must not delay dispatch (wait_for would expire).
+            _, records = await asyncio.wait_for(
+                scheduler.submit(points), timeout=30
+            )
+            return records
+
+        records = _run(
+            _with_scheduler(
+                scenario,
+                evaluate=counting,
+                batch_window_ms=60_000,
+                pack_rows=12,
+            )
+        )
+        assert counting.batch_sizes == [1, 1]
+        assert records[0] == evaluate_point(points[0])
+
+    def test_zero_window_dispatches_immediately(self, tiny_platform):
+        point = _point(tiny_platform)
+
+        async def scenario(scheduler):
+            _, records = await scheduler.submit([point])
+            return records[0]
+
+        record = _run(
+            _with_scheduler(scenario, batch_window_ms=0)
+        )
+        assert record == evaluate_point(point)
+
+    def test_empty_submit_returns_empty(self):
+        async def scenario(scheduler):
+            return await scheduler.submit([])
+
+        keys, records = _run(_with_scheduler(scenario))
+        assert keys == [] and records == []
+
+
+class TestLifecycleAndErrors:
+    def test_submit_before_start_raises(self, tiny_platform):
+        scheduler = MicroBatchScheduler()
+        with pytest.raises(RuntimeError, match="not running"):
+            _run(scheduler.submit([_point(tiny_platform)]))
+
+    def test_engine_failure_propagates_and_recovers(self, tiny_platform):
+        counting = CountingEvaluate(fail_first=True)
+        point = _point(tiny_platform)
+
+        async def scenario(scheduler):
+            with pytest.raises(ValueError, match="injected"):
+                await scheduler.submit([point])
+            # The failed key left the in-flight table: a retry computes.
+            _, records = await scheduler.submit([point])
+            return records[0], scheduler.stats()
+
+        record, stats = _run(
+            _with_scheduler(scenario, evaluate=counting)
+        )
+        assert record == evaluate_point(point)
+        assert counting.calls == 2
+        assert stats["counters"]["batch_failures"] == 1
+
+    def test_close_fails_queued_points(self, tiny_platform):
+        async def scenario():
+            scheduler = MicroBatchScheduler(
+                cache=TieredCache(LRUCache()), batch_window_ms=60_000
+            )
+            await scheduler.start()
+            task = asyncio.create_task(
+                scheduler.submit([_point(tiny_platform)])
+            )
+            await asyncio.sleep(0.05)  # let it enqueue into the window
+            await scheduler.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await task
+
+        _run(scenario())
+
+    def test_close_is_idempotent_and_start_twice_is_noop(self):
+        async def scenario():
+            scheduler = MicroBatchScheduler()
+            await scheduler.start()
+            await scheduler.start()
+            assert scheduler.running
+            await scheduler.close()
+            await scheduler.close()
+            assert not scheduler.running
+
+        _run(scenario())
+
+    def test_configuration_validated(self):
+        with pytest.raises(ValueError, match="batch_window_ms"):
+            MicroBatchScheduler(batch_window_ms=-1)
+        with pytest.raises(ValueError, match="pack_rows"):
+            MicroBatchScheduler(pack_rows=0)
+        with pytest.raises(ValueError, match="eval_workers"):
+            MicroBatchScheduler(eval_workers=0)
+
+    def test_cache_put_failure_still_answers(
+        self, tiny_platform, monkeypatch
+    ):
+        cache = TieredCache(LRUCache())
+        point = _point(tiny_platform)
+
+        def broken_put_many(records):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache, "put_many", broken_put_many)
+
+        async def scenario(scheduler):
+            _, records = await scheduler.submit([point])
+            return records[0], scheduler.stats()
+
+        record, stats = _run(_with_scheduler(scenario, cache=cache))
+        assert record == evaluate_point(point)
+        assert stats["counters"]["cache_put_failures"] == 1
