@@ -11,6 +11,21 @@ physical configuration differently still share one cache entry.
 Entries are JSON files sharded by key prefix (``root/ab/abcdef...json``),
 written atomically (temp file + ``os.replace``) so a killed campaign never
 leaves a corrupt entry behind.
+
+On disk each entry wraps the record with a version stamp::
+
+    {"~meta": {"schema": 1, "semantics": 2, ...}, "record": {...}}
+
+The stamp (:func:`entry_versions`) names the engine generation that
+computed the record -- ``semantics`` for Monte-Carlo rows, ``analytic``
+for model-layer rows, plus ``packed`` for explicitly packed rows -- so
+operators can see what a long-lived cache holds
+(:meth:`ResultCache.version_counts`, surfaced by ``repro campaign
+cache`` and ``/v1/stats``) and evict one generation precisely
+(:meth:`ResultCache.prune_version`, the ``--prune-version`` flag).
+Records themselves stay byte-identical to what the engines produced;
+readers unwrap transparently, and entries written before the stamp
+existed read fine and count as ``legacy``.
 """
 
 from __future__ import annotations
@@ -83,6 +98,49 @@ def cache_key(point: ScenarioPoint) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+#: Version label for entries written before the ``~meta`` stamp existed.
+LEGACY_VERSION = "legacy"
+
+
+def entry_versions(record: Mapping[str, Any]) -> Dict[str, int]:
+    """The version stamp for a record, derived from its engine label.
+
+    Mirrors the versioning split of :func:`cache_key`: analytic rows
+    are versioned by the model layer alone, Monte-Carlo rows by the
+    simulator semantics, and explicitly packed rows additionally by the
+    packed layer.
+    """
+    engine = record.get("engine")
+    if engine == "analytic":
+        from repro.core.batch import ANALYTIC_VERSION
+
+        return {"schema": CACHE_SCHEMA, "analytic": ANALYTIC_VERSION}
+    meta = {"schema": CACHE_SCHEMA, "semantics": SEMANTICS_VERSION}
+    if engine == "packed":
+        from repro.simulation.packed_engine import PACKED_VERSION
+
+        meta["packed"] = PACKED_VERSION
+    return meta
+
+
+def _entry_labels(data: Any) -> Tuple[str, ...]:
+    """The version labels of one on-disk entry (``("semantics=2",)``...).
+
+    An entry can carry several labels (packed rows are versioned by both
+    the semantics and the packed layer); unwrapped pre-stamp entries
+    yield ``("legacy",)``.
+    """
+    if isinstance(data, Mapping) and "~meta" in data and "record" in data:
+        meta = data["~meta"]
+        if isinstance(meta, Mapping):
+            return tuple(
+                f"{name}={meta[name]}"
+                for name in ("semantics", "analytic", "packed")
+                if name in meta
+            ) or (LEGACY_VERSION,)
+    return (LEGACY_VERSION,)
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """A snapshot of cache state and this process's hit/miss counters."""
@@ -118,6 +176,17 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
+    @staticmethod
+    def _unwrap(data: Any) -> Dict[str, Any]:
+        """The record inside an entry (stamped or legacy passthrough)."""
+        if (
+            isinstance(data, dict)
+            and "~meta" in data
+            and "record" in data
+        ):
+            return data["record"]
+        return data
+
     # -- store operations ---------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Fetch a cached record, counting a hit or miss."""
@@ -129,7 +198,7 @@ class ResultCache:
             self._misses += 1
             return None
         self._hits += 1
-        return record
+        return self._unwrap(record)
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
         """Store a record atomically under its key.
@@ -145,6 +214,7 @@ class ResultCache:
         if shard not in self._shards:
             os.makedirs(shard, exist_ok=True)
             self._shards.add(shard)
+        entry = {"~meta": entry_versions(record), "record": record}
         tmp = f"{path}.{os.getpid()}.{token_hex(8)}.tmp"
         try:
             try:
@@ -155,7 +225,7 @@ class ResultCache:
                 os.makedirs(shard, exist_ok=True)
                 fh = open(tmp, "w")
             with fh:
-                fh.write(json.dumps(record, separators=(",", ":"),
+                fh.write(json.dumps(entry, separators=(",", ":"),
                                     default=str))
             os.replace(tmp, path)
         except BaseException:
@@ -196,7 +266,7 @@ class ResultCache:
                     self._misses += 1
                     continue
                 self._hits += 1
-                out[key] = record
+                out[key] = self._unwrap(record)
         return out
 
     def put_many(self, records: Mapping[str, Dict[str, Any]]) -> None:
@@ -247,6 +317,83 @@ class ResultCache:
             removed += 1
         return removed
 
+    def version_counts(self) -> Dict[str, int]:
+        """Entry counts per version label (``{"semantics=2": 41, ...}``).
+
+        Labels come from each entry's ``~meta`` stamp; a packed row
+        counts under both its ``semantics`` and ``packed`` labels, and
+        pre-stamp entries count as ``legacy``.  Scans (and reads) the
+        whole store, like :meth:`stats` -- an operator's inspection
+        tool, not a hot-path call.
+        """
+        counts: Dict[str, int] = {}
+        for key, _ in self._entries():
+            try:
+                with open(self._path(key)) as fh:
+                    data = json.load(fh)
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue
+            for label in _entry_labels(data):
+                counts[label] = counts.get(label, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def prune_version(
+        self, version: str, *, dry_run: bool = False
+    ) -> "PruneReport":
+        """Evict entries carrying one version label (``"semantics=1"``).
+
+        The surgical companion to :meth:`prune_older_than`: after an
+        engine-generation bump, exactly the superseded entries go
+        (``legacy`` evicts the pre-stamp ones).  Content-addressed
+        entries are always recomputable, so this is always safe.
+        ``dry_run`` reports without touching anything.
+        """
+        version = version.strip()
+        if not version:
+            raise ValueError("version label must be non-empty")
+        n_examined = 0
+        n_pruned = 0
+        bytes_pruned = 0
+        for key, size in list(self._entries()):
+            path = self._path(key)
+            try:
+                with open(path) as fh:
+                    data = json.load(fh)
+            except FileNotFoundError:
+                continue
+            except json.JSONDecodeError:
+                data = None  # unreadable: label it legacy
+            n_examined += 1
+            if version not in _entry_labels(data):
+                continue
+            if not dry_run:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    continue
+            n_pruned += 1
+            bytes_pruned += size
+        if not dry_run and n_pruned:
+            self._cleanup_empty_shards()
+        return PruneReport(
+            n_examined=n_examined,
+            n_pruned=n_pruned,
+            bytes_pruned=bytes_pruned,
+            dry_run=dry_run,
+        )
+
+    def _cleanup_empty_shards(self) -> None:
+        """Drop shard directories a prune emptied (best-effort)."""
+        for name in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, name)
+            if not os.path.isdir(shard_dir):
+                continue
+            try:
+                os.rmdir(shard_dir)
+            except OSError:
+                continue  # not empty: keep it
+            self._shards.discard(shard_dir)
+
     def prune_older_than(
         self, days: float, *, dry_run: bool = False
     ) -> "PruneReport":
@@ -283,15 +430,7 @@ class ResultCache:
             n_pruned += 1
             bytes_pruned += size
         if not dry_run and n_pruned:
-            for name in os.listdir(self.root):
-                shard_dir = os.path.join(self.root, name)
-                if not os.path.isdir(shard_dir):
-                    continue
-                try:
-                    os.rmdir(shard_dir)
-                except OSError:
-                    continue  # not empty: keep it
-                self._shards.discard(shard_dir)
+            self._cleanup_empty_shards()
         return PruneReport(
             n_examined=n_examined,
             n_pruned=n_pruned,

@@ -543,12 +543,15 @@ class CampaignResult:
         return len(self.points)
 
 
-class _Journal:
+class Journal:
     """Append-only JSONL journal of (key, record) pairs.
 
     Corrupt or truncated lines found while loading an existing journal
     (a killed writer's half-line, disk-full artifacts) are counted in
     ``n_corrupt`` and skipped: the affected points simply recompute.
+    Shared with the jobs service, whose server-side job journals use
+    the exact same line format -- a job journal and a ``campaign run``
+    journal of the same spec are interchangeable.
     """
 
     def __init__(self, path: Optional[str]):
@@ -612,6 +615,9 @@ class _Journal:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+
+_Journal = Journal
 
 
 def run_campaign(
@@ -682,7 +688,7 @@ def run_campaign(
         cache = ResultCache(cache)
 
     keys = [cache_key(p) for p in points]
-    journal = _Journal(journal_path)
+    journal = Journal(journal_path)
     resolved: Dict[str, Dict[str, Any]] = {}
     n_journal = 0
     n_cache = 0
@@ -750,12 +756,15 @@ def run_campaign(
     )
 
 
-def _is_packable(point: ScenarioPoint) -> bool:
+def is_packable(point: ScenarioPoint) -> bool:
     """Whether the planner may route a point through the packed engine."""
     return point.mode == "simulate" and point.engine in PACKABLE_ENGINES
 
 
-def _plan_mega_batches(
+_is_packable = is_packable
+
+
+def plan_mega_batches(
     packable: List[Tuple[str, ScenarioPoint]],
     pack_rows: int,
 ) -> List[List[Tuple[str, ScenarioPoint]]]:
@@ -768,7 +777,9 @@ def _plan_mega_batches(
     each (:func:`repro.simulation.packed_engine.plan_packs`).  The plan
     depends only on point content and order -- never on the worker
     count -- so packed campaigns journal identical records under any
-    parallelism.
+    parallelism.  The jobs service reuses this planner to carve a
+    submitted campaign into progress-sized buckets whose rows pack
+    densely (:mod:`repro.service.jobs.fair_share`).
     """
     from repro.simulation.packed_engine import plan_packs
 
@@ -789,10 +800,13 @@ def _plan_mega_batches(
     return batches
 
 
+_plan_mega_batches = plan_mega_batches
+
+
 def _execute(
     todo: List[Tuple[str, ScenarioPoint]],
     resolved: Dict[str, Dict[str, Any]],
-    journal: _Journal,
+    journal: Journal,
     cache: Optional[ResultCache],
     n_workers: Optional[int],
     chunksize: Optional[int],
@@ -811,7 +825,7 @@ def _execute(
     workers = max(1, min(workers, len(todo)))
 
     if packing:
-        packable = [(k, p) for k, p in todo if _is_packable(p)]
+        packable = [(k, p) for k, p in todo if is_packable(p)]
     else:
         packable = []
     packable_keys = {k for k, _ in packable}
@@ -824,7 +838,7 @@ def _execute(
         # never changes results -- only parallelism).
         total_rows = sum(p.n_runs * p.n_patterns for _, p in packable)
         budget = min(budget, max(1, -(-total_rows // workers)))
-    pack_batches = _plan_mega_batches(packable, budget)
+    pack_batches = plan_mega_batches(packable, budget)
     n_packed = sum(len(batch) for batch in pack_batches)
 
     size = (

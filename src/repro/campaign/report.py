@@ -92,7 +92,13 @@ def render_campaign(
 
 
 def cache_stats_rows(cache: ResultCache) -> List[Dict[str, Any]]:
-    """One-row table describing a result cache's on-disk state."""
+    """One-row table describing a result cache's on-disk state.
+
+    Version-label columns (``semantics=2``...) count entries per engine
+    generation, so a long-lived cache shows at a glance how much of it
+    a version bump has stranded (``--prune-version`` evicts exactly one
+    label's entries).
+    """
     stats = cache.stats()
     return [
         {
@@ -102,6 +108,7 @@ def cache_stats_rows(cache: ResultCache) -> List[Dict[str, Any]]:
             "hits": stats.hits,
             "misses": stats.misses,
             "hit_rate": stats.hit_rate,
+            **cache.version_counts(),
         }
     ]
 

@@ -248,6 +248,20 @@ class CampaignSpec:
             engine=str(data.get("engine", "auto")),
         )
 
+    def fingerprint(self) -> str:
+        """Short content hash of the canonical spec JSON.
+
+        Two submissions of the same campaign (whatever their job ids or
+        submitting clients) share a fingerprint, so job listings make
+        duplicate work visible at a glance.
+        """
+        import hashlib
+
+        blob = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
     @classmethod
     def from_json_file(cls, path: str) -> "CampaignSpec":
         """Load a spec from a JSON file."""

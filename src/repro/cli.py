@@ -22,9 +22,14 @@ Usage::
     repro-patterns campaign cache --cache-dir .repro-cache
     repro-patterns campaign cache --cache-dir .repro-cache \
         --prune-older-than 30 --dry-run
-    repro-patterns serve --cache-dir .repro-cache
+    repro-patterns campaign cache --cache-dir .repro-cache \
+        --prune-version semantics=1 --dry-run
+    repro-patterns serve --cache-dir .repro-cache --jobs-dir .repro-jobs
     repro-patterns query --pattern PDMV --platform hera
     repro-patterns query --points points.json --json out.json
+    repro-patterns submit --scenario platform_catalog --client alice
+    repro-patterns jobs
+    repro-patterns results --job j0123456789ab --json records.json
 
 Every command accepts ``--csv PATH`` / ``--json PATH`` to persist the rows
 and ``--full`` to use the paper-scale Monte-Carlo sizes (1000 patterns x
@@ -78,6 +83,19 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
         default="auto",
         choices=list(ENGINE_CHOICES),
         help="simulation engine tier (default: fastest covering tier)",
+    )
+
+
+def _add_daemon_address(parser: argparse.ArgumentParser) -> None:
+    from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+    parser.add_argument("--host", default=DEFAULT_HOST, help="daemon address")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="daemon port"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="request timeout in seconds",
     )
 
 
@@ -279,9 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
         "eviction is always safe)",
     )
     p.add_argument(
+        "--prune-version", default=None, metavar="LABEL",
+        help="with 'cache': evict entries of one engine generation "
+        "(a version label from the cache stats, e.g. 'semantics=1', "
+        "'analytic=1', 'packed=1', or 'legacy' for pre-stamp entries)",
+    )
+    p.add_argument(
         "--dry-run", action="store_true",
-        help="with --prune-older-than: report what would be evicted "
-        "without removing anything",
+        help="with --prune-older-than/--prune-version: report what "
+        "would be evicted without removing anything",
     )
     _add_engine(p)
     _add_common(p)
@@ -326,6 +350,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the bound port here once listening (for scripts "
         "starting a --port 0 daemon)",
     )
+    p.add_argument(
+        "--jobs-dir",
+        help="persistence root for submitted campaign jobs (journals + "
+        "specs; jobs resume across daemon restarts). Without it jobs "
+        "work but do not survive a restart",
+    )
+    p.add_argument(
+        "--job-inflight", type=int, default=None,
+        help="concurrently dispatched job buckets across all jobs "
+        "(default: 2)",
+    )
 
     p = sub.add_parser(
         "query", help="query a running evaluation daemon"
@@ -361,6 +396,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine(p)
     _add_common(p)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a campaign spec to a running daemon as a "
+        "background job",
+    )
+    _add_daemon_address(p)
+    p.add_argument("--spec", help="JSON campaign spec file")
+    p.add_argument(
+        "--scenario",
+        help="registered scenario name (alternative to --spec)",
+    )
+    p.add_argument(
+        "--set",
+        dest="params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario parameter (VALUE parsed as JSON, else string); "
+        "repeatable",
+    )
+    p.add_argument("--name", help="campaign name (default: scenario name)")
+    p.add_argument(
+        "--client", default=None,
+        help="client identity for fair-share scheduling "
+        "(default: anonymous)",
+    )
+    p.add_argument(
+        "--wait", action="store_true",
+        help="stream the job's records to completion and print the "
+        "campaign table (like a local 'campaign run')",
+    )
+    _add_engine(p)
+    _add_common(p)
+
+    p = sub.add_parser(
+        "jobs", help="list (or inspect) a daemon's campaign jobs"
+    )
+    _add_daemon_address(p)
+    p.add_argument(
+        "--job", default=None, metavar="ID",
+        help="print one job's full document as JSON instead of the list",
+    )
+    p.add_argument(
+        "--client", default=None,
+        help="only this client's jobs",
+    )
+    p.add_argument(
+        "--cancel", default=None, metavar="ID",
+        help="cancel a job (idempotent on finished jobs)",
+    )
+    p.add_argument("--csv", help="write rows to a CSV file")
+    p.add_argument("--json", help="write rows to a JSON file")
+
+    p = sub.add_parser(
+        "results",
+        help="stream a campaign job's records from a daemon",
+    )
+    _add_daemon_address(p)
+    p.add_argument(
+        "--job", required=True, metavar="ID", help="job to stream"
+    )
+    p.add_argument(
+        "--offset", type=int, default=0,
+        help="start streaming from this point index (default 0)",
+    )
+    p.add_argument(
+        "--no-follow", action="store_true",
+        help="return only the records finished right now instead of "
+        "polling to completion",
+    )
+    p.add_argument("--csv", help="write rows to a CSV file")
+    p.add_argument("--json", help="write rows to a JSON file")
 
     p = sub.add_parser("fig9", help="error-rate sweeps at 100k nodes")
     p.add_argument(
@@ -401,49 +509,19 @@ def _parse_param_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
     return params
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    """The ``campaign`` subcommand: run / resume / cache."""
-    from repro.campaign.cache import ResultCache
-    from repro.campaign.executor import run_campaign
-    from repro.campaign.registry import scenario_names
-    from repro.campaign.report import (
-        render_cache_stats,
-        render_campaign,
-        rows_from_records,
-    )
-    from repro.campaign.spec import CampaignSpec
+def _build_campaign_spec(args: argparse.Namespace):
+    """Assemble a CampaignSpec from the shared campaign/submit flags.
 
-    if args.action == "cache":
-        if not args.cache_dir:
-            raise SystemExit("campaign cache requires --cache-dir")
-        if args.clear and args.prune_older_than is not None:
-            raise SystemExit(
-                "--clear and --prune-older-than are mutually exclusive"
-            )
-        if args.dry_run and args.prune_older_than is None:
-            raise SystemExit("--dry-run requires --prune-older-than")
-        cache = ResultCache(args.cache_dir)
-        if args.clear:
-            removed = cache.clear()
-            print(f"cleared {removed} cache entries", file=sys.stderr)
-        if args.prune_older_than is not None:
-            try:
-                report = cache.prune_older_than(
-                    args.prune_older_than, dry_run=args.dry_run
-                )
-            except ValueError as exc:
-                raise SystemExit(f"--prune-older-than: {exc}")
-            verb = "would evict" if report.dry_run else "evicted"
-            print(
-                f"{verb} {report.n_pruned} of {report.n_examined} "
-                f"entries ({report.bytes_pruned} bytes) older than "
-                f"{args.prune_older_than:g} days",
-                file=sys.stderr,
-            )
-        print(render_cache_stats(cache))
-        return 0
-
+    ``--spec``/``--scenario``/``--set``/``--name`` pick the campaign;
+    ``--patterns``/``--runs``/``--full``/``--seed``/``--engine`` apply
+    the usual Monte-Carlo overrides -- identically for a local
+    ``campaign run`` and a daemon-side ``submit``, which is what makes
+    the two produce bit-identical records.
+    """
     from dataclasses import replace
+
+    from repro.campaign.registry import scenario_names
+    from repro.campaign.spec import CampaignSpec
 
     overrides = _parse_param_overrides(args.params)
     if args.spec:
@@ -462,7 +540,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             params=overrides,
         )
     else:
-        raise SystemExit("campaign run/resume requires --spec or --scenario")
+        raise SystemExit(
+            f"{args.command} requires --spec or --scenario"
+        )
     if spec.scenario not in scenario_names():
         raise SystemExit(
             f"unknown scenario {spec.scenario!r}; "
@@ -475,6 +555,72 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         spec = replace(spec, seed=args.seed)
     if args.engine != "auto":
         spec = replace(spec, engine=args.engine)
+    return spec
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """The ``campaign`` subcommand: run / resume / cache."""
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.report import (
+        render_cache_stats,
+        render_campaign,
+        rows_from_records,
+    )
+
+    if args.action == "cache":
+        if not args.cache_dir:
+            raise SystemExit("campaign cache requires --cache-dir")
+        exclusive = [
+            args.clear,
+            args.prune_older_than is not None,
+            args.prune_version is not None,
+        ]
+        if sum(exclusive) > 1:
+            raise SystemExit(
+                "--clear, --prune-older-than and --prune-version are "
+                "mutually exclusive"
+            )
+        if args.dry_run and not (exclusive[1] or exclusive[2]):
+            raise SystemExit(
+                "--dry-run requires --prune-older-than or --prune-version"
+            )
+        cache = ResultCache(args.cache_dir)
+        if args.clear:
+            removed = cache.clear()
+            print(f"cleared {removed} cache entries", file=sys.stderr)
+        if args.prune_older_than is not None:
+            try:
+                report = cache.prune_older_than(
+                    args.prune_older_than, dry_run=args.dry_run
+                )
+            except ValueError as exc:
+                raise SystemExit(f"--prune-older-than: {exc}")
+            verb = "would evict" if report.dry_run else "evicted"
+            print(
+                f"{verb} {report.n_pruned} of {report.n_examined} "
+                f"entries ({report.bytes_pruned} bytes) older than "
+                f"{args.prune_older_than:g} days",
+                file=sys.stderr,
+            )
+        if args.prune_version is not None:
+            try:
+                report = cache.prune_version(
+                    args.prune_version, dry_run=args.dry_run
+                )
+            except ValueError as exc:
+                raise SystemExit(f"--prune-version: {exc}")
+            verb = "would evict" if report.dry_run else "evicted"
+            print(
+                f"{verb} {report.n_pruned} of {report.n_examined} "
+                f"entries ({report.bytes_pruned} bytes) labelled "
+                f"{args.prune_version!r}",
+                file=sys.stderr,
+            )
+        print(render_cache_stats(cache))
+        return 0
+
+    spec = _build_campaign_spec(args)
 
     if args.action == "resume":
         if not args.journal:
@@ -531,6 +677,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config.eval_workers = args.eval_workers
     config.cache_dir = args.cache_dir
     config.port_file = args.port_file
+    config.jobs_dir = args.jobs_dir
+    if args.job_inflight is not None:
+        config.job_inflight = args.job_inflight
     if args.port < 0:
         raise SystemExit(f"--port must be >= 0, got {args.port}")
 
@@ -540,7 +689,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"http://{server.host}:{server.port} "
             f"(window {config.batch_window_ms:g} ms, "
             f"pack-rows {config.pack_rows}, "
-            f"cache {config.cache_dir or 'memory-only'})",
+            f"cache {config.cache_dir or 'memory-only'}, "
+            f"jobs {config.jobs_dir or 'memory-only'})",
             file=sys.stderr,
             flush=True,
         )
@@ -607,6 +757,126 @@ def _cmd_query(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """The ``submit`` subcommand: run a campaign as a daemon-side job."""
+    from repro.campaign.report import rows_from_records
+    from repro.service.client import ServiceClient, ServiceError
+
+    spec = _build_campaign_spec(args)
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        doc = client.submit_campaign(spec, client=args.client)
+        print(
+            f"submitted job {doc['id']} ({doc['name']}: "
+            f"{doc['progress']['points']} points, state {doc['state']})",
+            file=sys.stderr,
+        )
+        if not args.wait:
+            print(doc["id"])
+            return 0
+        records = list(client.iter_results(doc["id"]))
+        final = client.job(doc["id"])
+        rows = rows_from_records(records)
+        _emit(
+            rows,
+            format_table(
+                rows,
+                title=f"job {doc['id']} ({final['state']}) -- "
+                f"{spec.name} via {args.host}:{args.port}",
+            ),
+            args,
+        )
+        return 0 if final["state"] == "done" else 1
+    except ServiceError as exc:
+        raise SystemExit(f"service error: {exc}")
+    finally:
+        client.close()
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """The ``jobs`` subcommand: list/inspect/cancel daemon jobs."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.cancel:
+            doc = client.cancel_job(args.cancel)
+            print(
+                f"job {doc['id']} is now {doc['state']}", file=sys.stderr
+            )
+            return 0
+        if args.job:
+            print(json.dumps(client.job(args.job), indent=2))
+            return 0
+        docs = client.jobs(client=args.client)
+        rows = [
+            {
+                "id": d["id"],
+                "name": d["name"],
+                "scenario": d["scenario"],
+                "client": d["client"],
+                "state": d["state"],
+                "points": d["progress"]["points"],
+                "done": d["progress"]["done"],
+                "failed": d["progress"]["failed"],
+            }
+            for d in docs
+        ]
+        _emit(
+            rows,
+            format_table(
+                rows, title=f"jobs on {args.host}:{args.port}"
+            ),
+            args,
+        )
+        return 0
+    except ServiceError as exc:
+        raise SystemExit(f"service error: {exc}")
+    finally:
+        client.close()
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    """The ``results`` subcommand: stream a job's records."""
+    from repro.campaign.report import rows_from_records
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.no_follow:
+            records = []
+            offset = args.offset
+            while True:
+                page = client.job_results(args.job, offset=offset)
+                records.extend(page["records"])
+                offset = page["next_offset"]
+                if not page["records"]:
+                    break
+            state = page["state"]
+        else:
+            records = list(
+                client.iter_results(args.job, offset=args.offset)
+            )
+            state = client.job(args.job)["state"]
+        rows = rows_from_records(records)
+        _emit(
+            rows,
+            format_table(
+                rows,
+                title=f"job {args.job} ({state}) -- "
+                f"{len(records)} record(s) from offset {args.offset}",
+            ),
+            args,
+        )
+        return 0
+    except ServiceError as exc:
+        raise SystemExit(f"service error: {exc}")
+    finally:
+        client.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -619,6 +889,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "query":
         return _cmd_query(args)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
+
+    if args.command == "jobs":
+        return _cmd_jobs(args)
+
+    if args.command == "results":
+        return _cmd_results(args)
 
     if args.command == "table1":
         platform = get_platform(args.platform)

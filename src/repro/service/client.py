@@ -6,17 +6,32 @@ request retried once -- safe because evaluation is deterministic and
 cached, so a duplicate request is answered from the daemon's cache
 rather than recomputed.
 
-``repro query`` is a thin CLI wrapper around this class.
+``repro query`` is a thin CLI wrapper around this class; ``repro
+submit`` / ``repro jobs`` / ``repro results`` wrap the jobs methods
+(:meth:`ServiceClient.submit_campaign`, :meth:`~ServiceClient.jobs`,
+:meth:`~ServiceClient.iter_results`...), which drive the daemon's
+campaign-as-a-service API (:mod:`repro.service.jobs`).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
-from repro.campaign.spec import ScenarioPoint
+from repro.campaign.spec import CampaignSpec, ScenarioPoint
 from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
 
 #: Anything evaluate() accepts as one point.
@@ -33,10 +48,16 @@ class ServiceError(RuntimeError):
 
 @dataclass(frozen=True)
 class EvaluateResult:
-    """An ``/v1/evaluate`` answer: cache keys and records, in order."""
+    """An ``/v1/evaluate`` answer: cache keys and records, in order.
+
+    Since protocol 2 a failed point's record is ``{"error": ...}``
+    (plus its labels) rather than the whole request failing;
+    ``n_failed`` counts them.
+    """
 
     keys: List[str]
     records: List[Dict[str, Any]]
+    n_failed: int = field(default=0)
 
 
 class ServiceClient:
@@ -139,9 +160,110 @@ class ServiceClient:
             "POST", "/v1/evaluate", {"points": dicts}
         )
         return EvaluateResult(
-            keys=list(data["keys"]), records=list(data["records"])
+            keys=list(data["keys"]),
+            records=list(data["records"]),
+            n_failed=int(data.get("n_failed", 0)),
         )
 
     def evaluate_one(self, point: PointLike) -> Dict[str, Any]:
         """Evaluate a single point, returning its record."""
         return self.evaluate([point]).records[0]
+
+    # -- jobs API ------------------------------------------------------------
+    def submit_campaign(
+        self,
+        spec: Union[CampaignSpec, Mapping[str, Any]],
+        client: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """``POST /v1/campaign``: register a background job.
+
+        Returns the new job's document immediately; the campaign runs
+        server-side (poll with :meth:`job`, stream with
+        :meth:`iter_results`).
+        """
+        spec_dict = (
+            spec.to_dict() if isinstance(spec, CampaignSpec) else dict(spec)
+        )
+        payload: Dict[str, Any] = {"spec": spec_dict}
+        if client is not None:
+            payload["client"] = client
+        return self._request("POST", "/v1/campaign", payload)["job"]
+
+    def jobs(self, client: Optional[str] = None) -> List[Dict[str, Any]]:
+        """``GET /v1/jobs``: job documents, oldest first."""
+        path = "/v1/jobs"
+        if client is not None:
+            path += "?" + urllib.parse.urlencode({"client": client})
+        return list(self._request("GET", path)["jobs"])
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>``: one job's state and progress."""
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def job_results(
+        self, job_id: str, *, offset: int = 0, limit: int = 256
+    ) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/results``: one page of finished records."""
+        query = urllib.parse.urlencode(
+            {"offset": offset, "limit": limit}
+        )
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/results?{query}"
+        )
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /v1/jobs/<id>``: cancel (idempotent on terminal)."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def iter_results(
+        self,
+        job_id: str,
+        *,
+        offset: int = 0,
+        limit: int = 256,
+        poll_seconds: float = 0.2,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a job's records in point order as they finish.
+
+        Yields every record from ``offset`` on, polling while the job
+        is still running; concatenating the yields reproduces
+        ``repro campaign run``'s record list exactly.  Stops early if
+        the job reaches a terminal state with points still unresolved
+        (a cancelled job's tail never arrives).
+        """
+        while True:
+            page = self.job_results(job_id, offset=offset, limit=limit)
+            for record in page["records"]:
+                yield record
+            offset = page["next_offset"]
+            if offset >= page["total"]:
+                return
+            if not page["records"] and page["state"] in (
+                "done", "failed", "cancelled"
+            ):
+                return  # terminal with a permanently missing tail
+            if not page["records"]:
+                time.sleep(poll_seconds)
+
+    def wait_job(
+        self,
+        job_id: str,
+        *,
+        poll_seconds: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final document."""
+        t0 = time.monotonic()
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if (
+                timeout is not None
+                and time.monotonic() - t0 > timeout
+            ):
+                raise ServiceError(
+                    f"job {job_id} still {doc['state']!r} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_seconds)

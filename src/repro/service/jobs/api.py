@@ -1,0 +1,145 @@
+"""HTTP route handlers for the jobs API.
+
+Kept out of :mod:`repro.service.server` so the server core stays a
+transport: it parses the request line, splits the query string, and
+asks :class:`JobsApi` whether the path is a jobs route.  All payload
+shapes live here, next to the manager calls that fill them.
+
+Routes (all JSON, protocol 2):
+
+* ``POST /v1/campaign`` -- submit a campaign spec; answers the new
+  job's document immediately (the job runs in the background).
+* ``GET /v1/jobs[?client=name]`` -- list job documents.
+* ``GET /v1/jobs/<id>`` -- one job's document (state, progress).
+* ``GET /v1/jobs/<id>/results[?offset=N&limit=M]`` -- stream finished
+  records in point order; poll ``next_offset`` until ``exhausted``.
+* ``DELETE /v1/jobs/<id>`` -- cancel (idempotent on terminal jobs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.service.jobs.manager import Job, JobManager
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_campaign_body,
+)
+
+#: Default and maximum page size for result streaming.
+DEFAULT_RESULTS_LIMIT = 256
+MAX_RESULTS_LIMIT = 4096
+
+
+def _int_param(
+    query: Mapping[str, str], name: str, default: int
+) -> int:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ProtocolError(
+            f"query parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
+
+
+class JobsApi:
+    """Dispatch jobs-API requests against one :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager):
+        self.manager = manager
+
+    async def handle(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, str],
+        body: bytes,
+    ) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """Answer a jobs route, or ``None`` when the path is not ours."""
+        try:
+            if path == "/v1/campaign":
+                if method != "POST":
+                    return 405, {"error": f"{path} accepts POST only"}
+                return await self._submit(body)
+            if path == "/v1/jobs":
+                if method != "GET":
+                    return 405, {"error": f"{path} accepts GET only"}
+                return self._list(query)
+            if path.startswith("/v1/jobs/"):
+                return await self._job_route(method, path, query)
+        except ProtocolError as exc:
+            return 400, {"error": str(exc)}
+        return None
+
+    # -- handlers -----------------------------------------------------------
+
+    async def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        spec, client = parse_campaign_body(body)
+        try:
+            job = await self.manager.submit(spec, client)
+        except (ValueError, KeyError) as exc:
+            # Unknown scenario (KeyError from the registry) or a
+            # generator that rejected its params.
+            return 400, {"error": f"campaign does not expand: {exc}"}
+        return 200, {
+            "protocol": PROTOCOL_VERSION,
+            "job": self.manager.job_doc(job),
+        }
+
+    def _list(
+        self, query: Mapping[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        jobs = self.manager.list_jobs(client=query.get("client"))
+        return 200, {
+            "protocol": PROTOCOL_VERSION,
+            "jobs": [self.manager.job_doc(j) for j in jobs],
+        }
+
+    async def _job_route(
+        self, method: str, path: str, query: Mapping[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        rest = path[len("/v1/jobs/"):]
+        job_id, _, tail = rest.partition("/")
+        job = self.manager.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        if tail == "":
+            if method == "GET":
+                return 200, {
+                    "protocol": PROTOCOL_VERSION,
+                    "job": self.manager.job_doc(job),
+                }
+            if method == "DELETE":
+                cancelled = await self.manager.cancel(job_id)
+                return 200, {
+                    "protocol": PROTOCOL_VERSION,
+                    "job": self.manager.job_doc(cancelled),
+                }
+            return 405, {"error": f"{path} accepts GET or DELETE"}
+        if tail == "results":
+            if method != "GET":
+                return 405, {"error": f"{path} accepts GET only"}
+            return self._results(job, query)
+        return 404, {"error": f"unknown jobs path {path!r}"}
+
+    def _results(
+        self, job: Job, query: Mapping[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        offset = _int_param(query, "offset", 0)
+        limit = _int_param(query, "limit", DEFAULT_RESULTS_LIMIT)
+        if not 1 <= limit <= MAX_RESULTS_LIMIT:
+            raise ProtocolError(
+                f'"limit" must be in [1, {MAX_RESULTS_LIMIT}], '
+                f"got {limit}"
+            )
+        try:
+            page = self.manager.results_page(
+                job, offset=offset, limit=limit
+            )
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        return 200, {"protocol": PROTOCOL_VERSION, **page}

@@ -153,5 +153,6 @@ class TieredCache:
                 "root": self.disk.root,
                 "hits": self.disk_hits,
                 "misses": self.disk_misses,
+                "versions": self.disk.version_counts(),
             }
         return {"memory": self.memory.stats(), "disk": disk}

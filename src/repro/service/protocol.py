@@ -16,22 +16,37 @@ The response carries the campaign cache key and the result record for
 every requested point, in request order.  Records are exactly what the
 campaign executor would journal for the same point (free-form point
 ``labels`` merged in), so service output is interchangeable with batch
-output.
+output.  Since protocol 2 a point whose evaluation fails yields a
+``{"error": ...}`` record inside a 200 response instead of failing the
+whole request with a 500 (the response's ``n_failed`` counts them).
+
+``POST /v1/campaign`` (the jobs API) accepts a full campaign
+specification -- ``{"spec": {...CampaignSpec...}, "client": "name"}``
+or a bare spec object -- and registers it as a background job; see
+:mod:`repro.service.jobs`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.campaign.spec import (
+    CampaignSpec,
     ScenarioPoint,
     platform_from_dict,
     platform_to_dict,
 )
 
 #: Bumped when the request/response schema changes incompatibly.
-PROTOCOL_VERSION = 1
+#: 2: per-point ``error`` records replaced the all-or-nothing 500 on
+#: ``/v1/evaluate``; the jobs endpoints (``/v1/campaign``, ``/v1/jobs``)
+#: joined the surface.
+PROTOCOL_VERSION = 2
+
+#: Default client identity for job submissions that do not name one;
+#: fair-share treats every anonymous submitter as one client.
+DEFAULT_CLIENT = "anonymous"
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
@@ -118,11 +133,58 @@ def parse_evaluate_body(raw: bytes) -> List[ScenarioPoint]:
 
 
 def evaluate_response(
-    keys: Sequence[str], records: Sequence[Dict[str, Any]]
+    keys: Sequence[str],
+    records: Sequence[Dict[str, Any]],
+    n_failed: int = 0,
 ) -> Dict[str, Any]:
     """The ``/v1/evaluate`` response payload."""
     return {
         "protocol": PROTOCOL_VERSION,
         "keys": list(keys),
         "records": list(records),
+        "n_failed": int(n_failed),
     }
+
+
+def parse_campaign_body(raw: bytes) -> Tuple[CampaignSpec, str]:
+    """Parse a ``POST /v1/campaign`` body into ``(spec, client)``.
+
+    Accepts ``{"spec": {...}, "client": "name"}`` or a bare
+    :meth:`CampaignSpec.to_dict` object (detected by its ``scenario``
+    field).  The spec is validated eagerly -- including the scenario
+    name, via :func:`repro.campaign.registry.get_scenario` -- so a bad
+    submission fails the request instead of failing the job later.
+    """
+    try:
+        data = json.loads(raw.decode("utf-8") if raw else "")
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            f"request body is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(data, Mapping):
+        raise ProtocolError(
+            'campaign request must be {"spec": {...}, "client": ...} '
+            "or a bare campaign spec object"
+        )
+    client: Any = DEFAULT_CLIENT
+    if "spec" in data and "scenario" not in data:
+        client = data.get("client", DEFAULT_CLIENT)
+        spec_data = data["spec"]
+        if not isinstance(spec_data, Mapping):
+            raise ProtocolError('"spec" must be a campaign spec object')
+    else:
+        spec_data = data
+    if not isinstance(client, str) or not client:
+        raise ProtocolError('"client" must be a non-empty string')
+    try:
+        spec = CampaignSpec.from_dict(spec_data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid campaign spec: {exc}") from None
+    from repro.campaign.registry import scenario_names
+
+    if spec.scenario not in scenario_names():
+        raise ProtocolError(
+            f"unknown scenario {spec.scenario!r}; available: "
+            f"{', '.join(scenario_names())}"
+        )
+    return spec, client

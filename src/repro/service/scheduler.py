@@ -38,7 +38,16 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import suppress
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.campaign.cache import cache_key
 from repro.campaign.spec import ScenarioPoint
@@ -59,11 +68,22 @@ DEFAULT_PACK_ROWS = 1_000_000
 DEFAULT_EVAL_WORKERS = 2
 
 
-def _point_rows(point: ScenarioPoint) -> int:
-    """A point's contribution to the batch row budget."""
+def point_rows(point: ScenarioPoint) -> int:
+    """A point's contribution to a batch row budget.
+
+    Shared with the jobs layer, whose fair-share accounting charges
+    clients by the same row currency the batcher packs by.
+    """
     if point.mode == "simulate" and point.engine != "analytic":
         return max(1, point.n_patterns * point.n_runs)
     return 1
+
+
+_point_rows = point_rows
+
+#: A settled per-key outcome: the result record, or the exception the
+#: computation raised.
+Outcome = Union[Dict[str, Any], BaseException]
 
 
 @dataclass
@@ -150,6 +170,7 @@ class MicroBatchScheduler:
             "batches": 0,         # engine batches dispatched
             "engine_points": 0,   # unique points the engine evaluated
             "batch_failures": 0,  # batches whose evaluation raised
+            "point_failures": 0,  # unique points whose evaluation raised
             "cache_put_failures": 0,
             "max_batch_points": 0,
         }
@@ -197,15 +218,18 @@ class MicroBatchScheduler:
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    async def submit(
+    async def resolve(
         self, points: Sequence[ScenarioPoint]
-    ) -> Tuple[List[str], List[Dict[str, Any]]]:
-        """Evaluate points, returning ``(cache_keys, records)`` in order.
+    ) -> Tuple[List[str], Dict[str, Outcome]]:
+        """Evaluate points, returning settled per-unique-key outcomes.
 
-        Duplicate points within the request, identical concurrent
-        requests and cached points all resolve to one record object;
-        per-point ``labels`` are merged into each returned record
-        exactly as campaign assembly does.
+        The low-level entry the jobs layer builds on: duplicate points
+        within the request, identical concurrent requests and cached
+        points all resolve to one outcome per cache key.  An outcome is
+        the **raw** result record (no ``labels`` merged -- exactly what
+        the campaign journal stores) or the exception its evaluation
+        raised; nothing is raised here, so one bad point never poisons
+        its neighbours.
         """
         if not self.running:
             raise RuntimeError(
@@ -213,7 +237,7 @@ class MicroBatchScheduler:
             )
         keys = [cache_key(p) for p in points]
         if not points:
-            return keys, []
+            return keys, {}
         self._counters["requests"] += 1
         self._counters["points"] += len(points)
         unique: Dict[str, ScenarioPoint] = {}
@@ -222,13 +246,13 @@ class MicroBatchScheduler:
         # One bulk lookup for the whole request: the disk tier then
         # pays one shard listing per prefix instead of one open() probe
         # per point, which matters on the loop thread.
-        resolved: Dict[str, Dict[str, Any]] = {}
+        outcomes: Dict[str, Outcome] = {}
         if self._cache is not None:
-            resolved = self._cache.get_many(list(unique))
-            self._counters["cache_hits"] += len(resolved)
+            outcomes = dict(self._cache.get_many(list(unique)))
+            self._counters["cache_hits"] += len(outcomes)
         waiting: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
         for key, point in unique.items():
-            if key in resolved:
+            if key in outcomes:
                 continue
             future = self._inflight.get(key)
             if future is not None:
@@ -236,7 +260,7 @@ class MicroBatchScheduler:
             else:
                 future = self._loop.create_future()
                 self._inflight[key] = future
-                rows = _point_rows(point)
+                rows = point_rows(point)
                 self._queue.append(_Pending(key, point, rows, future))
                 self._queued_rows += rows
                 self._counters["computed"] += 1
@@ -246,14 +270,51 @@ class MicroBatchScheduler:
             results = await asyncio.gather(
                 *waiting.values(), return_exceptions=True
             )
-            for key, result in zip(waiting, results):
-                if isinstance(result, BaseException):
-                    raise result
-                resolved[key] = result
-        return keys, [
-            {**dict(p.labels), **resolved[k]}
-            for k, p in zip(keys, points)
-        ]
+            outcomes.update(zip(waiting, results))
+        return keys, outcomes
+
+    async def submit(
+        self, points: Sequence[ScenarioPoint]
+    ) -> Tuple[List[str], List[Dict[str, Any]]]:
+        """Evaluate points, returning ``(cache_keys, records)`` in order.
+
+        Per-point ``labels`` are merged into each returned record
+        exactly as campaign assembly does.  The first failed point's
+        exception is re-raised (all-or-nothing); front ends that want
+        per-point error reporting use :meth:`submit_settled`.
+        """
+        keys, outcomes = await self.resolve(points)
+        records: List[Dict[str, Any]] = []
+        for key, point in zip(keys, points):
+            outcome = outcomes[key]
+            if isinstance(outcome, BaseException):
+                raise outcome
+            records.append({**dict(point.labels), **outcome})
+        return keys, records
+
+    async def submit_settled(
+        self, points: Sequence[ScenarioPoint]
+    ) -> Tuple[List[str], List[Dict[str, Any]], int]:
+        """Evaluate points; failures become per-point ``error`` records.
+
+        Returns ``(cache_keys, records, n_failed)``.  A point whose
+        evaluation raised yields ``{**labels, "error": <message>}``
+        instead of failing the whole request -- the ``/v1/evaluate``
+        contract since protocol 2.
+        """
+        keys, outcomes = await self.resolve(points)
+        records: List[Dict[str, Any]] = []
+        n_failed = 0
+        for key, point in zip(keys, points):
+            outcome = outcomes[key]
+            if isinstance(outcome, BaseException):
+                n_failed += 1
+                records.append(
+                    {**dict(point.labels), "error": str(outcome)}
+                )
+            else:
+                records.append({**dict(point.labels), **outcome})
+        return keys, records, n_failed
 
     def stats(self) -> Dict[str, Any]:
         """Configuration, counters and cache state for ``/v1/stats``."""
@@ -329,10 +390,7 @@ class MicroBatchScheduler:
             )
         except Exception as exc:
             self._counters["batch_failures"] += 1
-            for pending in batch:
-                self._inflight.pop(pending.key, None)
-                if not pending.future.done():
-                    pending.future.set_exception(exc)
+            await self._isolate_failed_batch(batch, exc)
             return
         # Cache BEFORE resolving futures/in-flight entries: a request
         # arriving between those steps then finds the record in cache,
@@ -350,3 +408,53 @@ class MicroBatchScheduler:
             self._inflight.pop(pending.key, None)
             if not pending.future.done():
                 pending.future.set_result(record)
+
+    async def _isolate_failed_batch(
+        self, batch: List[_Pending], exc: Exception
+    ) -> None:
+        """Attribute a failed batch to the points that actually fail.
+
+        A mega-batch evaluates as one engine call, so one degenerate
+        point would otherwise fail every point batched with it.  On
+        failure each point is re-evaluated solo: the innocents still
+        answer (and are cached), and only the genuinely failing points
+        carry the exception.  A single-point batch needs no re-run --
+        the failure is its own.
+        """
+        if len(batch) == 1:
+            outcomes: List[Any] = [exc]
+        else:
+            outcomes = list(
+                await asyncio.gather(
+                    *(
+                        self._loop.run_in_executor(
+                            self._pool, self._evaluate, [p.point]
+                        )
+                        for p in batch
+                    ),
+                    return_exceptions=True,
+                )
+            )
+            outcomes = [
+                o if isinstance(o, BaseException) else o[0]
+                for o in outcomes
+            ]
+        good = {
+            p.key: o
+            for p, o in zip(batch, outcomes)
+            if not isinstance(o, BaseException)
+        }
+        if self._cache is not None and good:
+            try:
+                self._cache.put_many(good)
+            except OSError:
+                self._counters["cache_put_failures"] += 1
+        for pending, outcome in zip(batch, outcomes):
+            self._inflight.pop(pending.key, None)
+            if pending.future.done():
+                continue
+            if isinstance(outcome, BaseException):
+                self._counters["point_failures"] += 1
+                pending.future.set_exception(outcome)
+            else:
+                pending.future.set_result(outcome)

@@ -1,14 +1,19 @@
 """The daemon: a minimal asyncio HTTP/1.1 front end for the scheduler.
 
 Stdlib only -- ``asyncio.start_server`` plus a hand-rolled HTTP/1.1
-reader/writer (no framework).  Three endpoints:
+reader/writer (no framework).  Endpoints:
 
 * ``POST /v1/evaluate`` -- evaluate one or many scenario points
   (:mod:`repro.service.protocol` schema); concurrent requests are
-  micro-batched and coalesced by the scheduler.
+  micro-batched and coalesced by the scheduler.  Since protocol 2 a
+  failing point yields a per-point ``error`` record inside a 200
+  response instead of failing the whole request.
+* ``POST /v1/campaign`` and ``GET|DELETE /v1/jobs...`` -- the jobs API
+  (:mod:`repro.service.jobs`): submit whole campaign specs as
+  journaled background jobs, poll progress, stream results, cancel.
 * ``GET /v1/health`` -- liveness plus version info.
-* ``GET /v1/stats`` -- scheduler counters, batch configuration and
-  tiered-cache state.
+* ``GET /v1/stats`` -- scheduler counters, batch configuration,
+  tiered-cache state and job-manager counters.
 
 Connections are keep-alive by default (HTTP/1.1 semantics), so a
 client issuing many queries pays TCP setup once.
@@ -25,11 +30,18 @@ import json
 import os
 import threading
 import time
+import urllib.parse
 from contextlib import suppress
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro._version import __version__
+from repro.service.jobs.api import JobsApi
+from repro.service.jobs.manager import (
+    DEFAULT_MAX_INFLIGHT,
+    JobManager,
+)
+from repro.service.jobs.store import JobStore
 from repro.service.memcache import (
     DEFAULT_MEM_ENTRIES,
     LRUCache,
@@ -85,6 +97,11 @@ class ServiceConfig:
     #: When set, the bound port is written here once listening --
     #: scripts starting a ``--port 0`` daemon poll this file.
     port_file: Optional[str] = None
+    #: Jobs persistence root.  ``None`` keeps jobs memory-only (still
+    #: fully functional, but lost on restart).
+    jobs_dir: Optional[str] = None
+    #: Concurrently dispatched job buckets across all jobs.
+    job_inflight: int = DEFAULT_MAX_INFLIGHT
 
 
 class ServiceServer:
@@ -96,8 +113,10 @@ class ServiceServer:
         *,
         host: str = DEFAULT_HOST,
         port: int = 0,
+        jobs_api: Optional[JobsApi] = None,
     ):
         self.scheduler = scheduler
+        self.jobs_api = jobs_api
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -161,7 +180,11 @@ class ServiceServer:
     async def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, Any]]:
-        path = path.split("?", 1)[0]
+        path, _, raw_query = path.partition("?")
+        query = {
+            k: v[0]
+            for k, v in urllib.parse.parse_qs(raw_query).items()
+        }
         if path == "/v1/health":
             if method != "GET":
                 return 405, {"error": f"{path} accepts GET only"}
@@ -174,10 +197,13 @@ class ServiceServer:
         if path == "/v1/stats":
             if method != "GET":
                 return 405, {"error": f"{path} accepts GET only"}
-            return 200, {
+            payload = {
                 "uptime_seconds": round(time.monotonic() - self._t0, 3),
                 **self.scheduler.stats(),
             }
+            if self.jobs_api is not None:
+                payload["jobs"] = self.jobs_api.manager.stats()
+            return 200, payload
         if path == "/v1/evaluate":
             if method != "POST":
                 return 405, {"error": f"{path} accepts POST only"}
@@ -186,13 +212,22 @@ class ServiceServer:
             except ProtocolError as exc:
                 return 400, {"error": str(exc)}
             try:
-                keys, records = await self.scheduler.submit(points)
-            except Exception as exc:  # engine failures -> 500, keep serving
+                keys, records, n_failed = (
+                    await self.scheduler.submit_settled(points)
+                )
+            except Exception as exc:  # scheduler torn down mid-request
                 return 500, {"error": f"evaluation failed: {exc}"}
-            return 200, evaluate_response(keys, records)
+            return 200, evaluate_response(keys, records, n_failed)
+        if self.jobs_api is not None:
+            answer = await self.jobs_api.handle(
+                method, path, query, body
+            )
+            if answer is not None:
+                return answer
         return 404, {
             "error": f"unknown path {path!r}; endpoints: "
-            "POST /v1/evaluate, GET /v1/health, GET /v1/stats"
+            "POST /v1/evaluate, POST /v1/campaign, GET /v1/jobs, "
+            "GET /v1/health, GET /v1/stats"
         }
 
 
@@ -253,8 +288,8 @@ async def _write_response(
 # -- service lifecycle -------------------------------------------------------
 async def start_service(
     config: ServiceConfig,
-) -> Tuple[MicroBatchScheduler, ServiceServer]:
-    """Stand up the cache, scheduler and listening server."""
+) -> Tuple[MicroBatchScheduler, ServiceServer, JobManager]:
+    """Stand up the cache, scheduler, job manager and listening server."""
     from repro.campaign.cache import ResultCache
 
     disk = (
@@ -270,13 +305,25 @@ async def start_service(
         eval_workers=config.eval_workers,
     )
     await scheduler.start()
+    store = (
+        JobStore(config.jobs_dir)
+        if config.jobs_dir is not None
+        else None
+    )
+    manager = JobManager(
+        scheduler, store, max_inflight=config.job_inflight
+    )
+    await manager.start()
     server = ServiceServer(
-        scheduler, host=config.host, port=config.port
+        scheduler,
+        host=config.host,
+        port=config.port,
+        jobs_api=JobsApi(manager),
     )
     await server.start()
     if config.port_file:
         _write_port_file(config.port_file, server.port)
-    return scheduler, server
+    return scheduler, server, manager
 
 
 def _write_port_file(path: str, port: int) -> None:
@@ -298,7 +345,7 @@ async def _serve_async(
     stop: Optional[asyncio.Event] = None,
 ) -> None:
     """Run a full service until ``stop`` is set (or forever)."""
-    scheduler, server = await start_service(config)
+    scheduler, server, manager = await start_service(config)
     if ready is not None:
         ready(scheduler, server)
     try:
@@ -308,6 +355,7 @@ async def _serve_async(
             await stop.wait()
     finally:
         await server.close()
+        await manager.close()
         await scheduler.close()
 
 
@@ -336,7 +384,8 @@ class BackgroundService:
             client = ServiceClient(port=svc.port)
             ...
 
-    The scheduler is exposed for white-box assertions on its counters.
+    The scheduler and job manager are exposed for white-box assertions
+    on their counters.
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None, **overrides):
@@ -346,6 +395,7 @@ class BackgroundService:
         self.host = self.config.host
         self.port: Optional[int] = None
         self.scheduler: Optional[MicroBatchScheduler] = None
+        self.manager: Optional[JobManager] = None
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -399,6 +449,8 @@ class BackgroundService:
             scheduler: MicroBatchScheduler, server: ServiceServer
         ) -> None:
             self.scheduler = scheduler
+            if server.jobs_api is not None:
+                self.manager = server.jobs_api.manager
             self.host, self.port = server.host, server.port
             self._ready.set()
 

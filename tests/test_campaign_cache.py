@@ -5,7 +5,12 @@ import os
 
 import pytest
 
-from repro.campaign.cache import ResultCache, cache_key
+from repro.campaign.cache import (
+    LEGACY_VERSION,
+    ResultCache,
+    cache_key,
+    entry_versions,
+)
 from repro.campaign.spec import ScenarioPoint, platform_to_dict
 
 
@@ -317,3 +322,163 @@ class TestPrune:
         with pytest.raises(SystemExit, match=">= 0"):
             main(["campaign", "cache", "--cache-dir", root,
                   "--prune-older-than", "-1"])
+
+
+class TestVersions:
+    """Entry version stamps, counts and surgical per-label eviction."""
+
+    KEYS = [f"{shard}{i:062x}" for i, shard in enumerate(
+        ("aa", "aa", "bb", "cc")
+    )]
+
+    def _mixed_cache(self, tmp_path):
+        """fast + packed + analytic entries plus one pre-stamp file."""
+        cache = ResultCache(str(tmp_path / "c"))
+        fast, packed, analytic, legacy = self.KEYS
+        cache.put(fast, {"engine": "fast", "v": 1})
+        cache.put(packed, {"engine": "packed", "v": 2})
+        cache.put(analytic, {"engine": "analytic", "v": 3})
+        # A pre-stamp entry: the raw record, no ~meta wrapper.
+        os.makedirs(os.path.dirname(cache._path(legacy)), exist_ok=True)
+        with open(cache._path(legacy), "w") as fh:
+            json.dump({"engine": "fast", "v": 4}, fh)
+        return cache
+
+    def test_entries_are_stamped_on_disk(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        record = {"engine": "fast", "H*": 0.25}
+        cache.put(self.KEYS[0], record)
+        with open(cache._path(self.KEYS[0])) as fh:
+            on_disk = json.load(fh)
+        assert on_disk == {
+            "~meta": entry_versions(record),
+            "record": record,
+        }
+        # Readers unwrap transparently -- stored bytes, same record.
+        assert cache.get(self.KEYS[0]) == record
+
+    def test_entry_versions_follow_the_engine(self):
+        from repro.core.batch import ANALYTIC_VERSION
+        from repro.simulation.model import SEMANTICS_VERSION
+        from repro.simulation.packed_engine import PACKED_VERSION
+
+        assert entry_versions({"engine": "analytic"}) == {
+            "schema": 1, "analytic": ANALYTIC_VERSION
+        }
+        assert entry_versions({"engine": "fast"}) == {
+            "schema": 1, "semantics": SEMANTICS_VERSION
+        }
+        assert entry_versions({"engine": "packed"}) == {
+            "schema": 1,
+            "semantics": SEMANTICS_VERSION,
+            "packed": PACKED_VERSION,
+        }
+        # Records with no engine label (optimize rows) version like
+        # Monte-Carlo rows: conservative over-invalidation.
+        assert "semantics" in entry_versions({})
+
+    def test_legacy_entries_still_read(self, tmp_path):
+        cache = self._mixed_cache(tmp_path)
+        assert cache.get(self.KEYS[3]) == {"engine": "fast", "v": 4}
+
+    def test_version_counts_mixed_store(self, tmp_path):
+        cache = self._mixed_cache(tmp_path)
+        counts = cache.version_counts()
+        # The packed entry counts under BOTH its semantics and packed
+        # labels; the pre-stamp file counts as legacy.
+        assert counts["analytic=1"] == 1
+        assert counts[LEGACY_VERSION] == 1
+        assert counts["packed=1"] == 1
+        assert counts["semantics=2"] == 2
+        assert cache.stats().entries == 4
+
+    def test_prune_one_label_exactly(self, tmp_path):
+        cache = self._mixed_cache(tmp_path)
+        report = cache.prune_version("semantics=2")
+        assert not report.dry_run
+        assert report.n_examined == 4
+        assert report.n_pruned == 2  # fast + packed, nothing else
+        assert report.bytes_pruned > 0
+        assert cache.get(self.KEYS[2]) == {"engine": "analytic", "v": 3}
+        assert cache.get(self.KEYS[3]) == {"engine": "fast", "v": 4}
+        assert cache.version_counts() == {
+            "analytic=1": 1, LEGACY_VERSION: 1
+        }
+        # The aa shard emptied (both its entries were semantics=2).
+        assert not os.path.exists(os.path.join(cache.root, "aa"))
+
+    def test_prune_legacy_label(self, tmp_path):
+        cache = self._mixed_cache(tmp_path)
+        report = cache.prune_version(LEGACY_VERSION)
+        assert report.n_pruned == 1
+        assert cache.stats().entries == 3
+        assert cache.get(self.KEYS[3]) is None
+
+    def test_dry_run_reports_without_removing(self, tmp_path):
+        cache = self._mixed_cache(tmp_path)
+        report = cache.prune_version("packed=1", dry_run=True)
+        assert report.dry_run
+        assert report.n_pruned == 1
+        assert cache.stats().entries == 4
+
+    def test_unknown_label_prunes_nothing(self, tmp_path):
+        cache = self._mixed_cache(tmp_path)
+        report = cache.prune_version("semantics=9999")
+        assert report.n_pruned == 0
+        assert cache.stats().entries == 4
+
+    def test_empty_label_rejected(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        for label in ("", "   "):
+            with pytest.raises(ValueError, match="non-empty"):
+                cache.prune_version(label)
+
+    def test_corrupt_entry_prunes_as_legacy(self, tmp_path):
+        """Unreadable files: skipped by counts, evictable as legacy."""
+        cache = self._mixed_cache(tmp_path)
+        with open(cache._path(self.KEYS[0]), "w") as fh:
+            fh.write("{not json")
+        assert cache.version_counts()[LEGACY_VERSION] == 1
+        report = cache.prune_version(LEGACY_VERSION)
+        assert report.n_pruned == 2  # the pre-stamp AND the corrupt one
+
+    def test_cache_cli_shows_version_columns(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = self._mixed_cache(tmp_path)
+        assert main(
+            ["campaign", "cache", "--cache-dir", cache.root]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "semantics=2" in out
+        assert "analytic=1" in out
+        assert LEGACY_VERSION in out
+
+    def test_prune_version_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = self._mixed_cache(tmp_path)
+        assert main(
+            ["campaign", "cache", "--cache-dir", cache.root,
+             "--prune-version", "semantics=2", "--dry-run"]
+        ) == 0
+        assert "would evict 2" in capsys.readouterr().err
+        assert cache.stats().entries == 4
+        assert main(
+            ["campaign", "cache", "--cache-dir", cache.root,
+             "--prune-version", "semantics=2"]
+        ) == 0
+        assert "evicted 2" in capsys.readouterr().err
+        assert cache.stats().entries == 2
+
+    def test_prune_version_cli_validation(self, tmp_path):
+        from repro.cli import main
+
+        root = str(tmp_path / "c")
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["campaign", "cache", "--cache-dir", root,
+                  "--prune-version", "legacy",
+                  "--prune-older-than", "1"])
+        with pytest.raises(SystemExit, match="non-empty"):
+            main(["campaign", "cache", "--cache-dir", root,
+                  "--prune-version", ""])

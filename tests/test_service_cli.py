@@ -160,6 +160,129 @@ class TestQuery:
             )
 
 
+class TestJobsCli:
+    """submit / jobs / results: the daemon-side campaign verbs."""
+
+    COMMON = [
+        "--scenario", "family_comparison", "--set", "platform=hera",
+        "--patterns", "2", "--runs", "2",
+    ]
+
+    @staticmethod
+    def _expected_rows(seed):
+        from repro.campaign.executor import run_campaign
+        from repro.campaign.report import rows_from_records
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            name="family_comparison",
+            scenario="family_comparison",
+            params={"platform": "hera"},
+            n_patterns=2,
+            n_runs=2,
+            seed=seed,
+        )
+        return rows_from_records(run_campaign(spec).records)
+
+    def test_submit_parsing(self):
+        args = build_parser().parse_args(
+            ["submit", "--scenario", "family_comparison",
+             "--set", "platform=hera", "--set", 'kinds=["PD"]',
+             "--client", "alice", "--wait"]
+        )
+        assert args.command == "submit"
+        assert args.params == ["platform=hera", 'kinds=["PD"]']
+        assert args.client == "alice" and args.wait
+
+    def test_results_parsing(self):
+        args = build_parser().parse_args(
+            ["results", "--job", "jabc", "--offset", "4", "--no-follow"]
+        )
+        assert (args.job, args.offset, args.no_follow) == ("jabc", 4, True)
+
+    def test_submit_requires_spec_or_scenario(self):
+        with pytest.raises(SystemExit, match="requires --spec or --scenario"):
+            main(["submit"])
+
+    def test_submit_unknown_scenario_rejected_before_dialing(self):
+        # No daemon is running on the default port: the spec must be
+        # rejected locally, before any connection attempt.
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["submit", "--scenario", "no-such-scenario"])
+
+    def test_submit_wait_matches_local_campaign(
+        self, service, tmp_path, capsys
+    ):
+        """--wait streams records identical to a local campaign run."""
+        out = tmp_path / "rows.json"
+        assert main(
+            ["submit", "--port", str(service.port), *self.COMMON,
+             "--seed", "5", "--wait", "--json", str(out)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "submitted job" in captured.err
+        assert json.loads(out.read_text()) == self._expected_rows(5)
+
+    def test_submit_poll_stream_roundtrip(
+        self, service, tmp_path, capsys
+    ):
+        """Fire-and-forget submit, poll via jobs, fetch via results."""
+        import time
+
+        assert main(
+            ["submit", "--port", str(service.port), *self.COMMON,
+             "--seed", "6", "--client", "alice"]
+        ) == 0
+        captured = capsys.readouterr()
+        job_id = captured.out.strip()
+        assert job_id.startswith("j") and len(job_id) == 13
+
+        deadline = time.monotonic() + 60
+        while True:
+            assert main(
+                ["jobs", "--port", str(service.port), "--job", job_id]
+            ) == 0
+            doc = json.loads(capsys.readouterr().out)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                break
+            assert time.monotonic() < deadline, "job never finished"
+            time.sleep(0.05)
+        assert doc["state"] == "done"
+
+        assert main(
+            ["jobs", "--port", str(service.port), "--client", "alice"]
+        ) == 0
+        listing = capsys.readouterr().out
+        assert job_id in listing and "alice" in listing
+
+        out = tmp_path / "rows.json"
+        assert main(
+            ["results", "--port", str(service.port), "--job", job_id,
+             "--no-follow", "--json", str(out)]
+        ) == 0
+        assert json.loads(out.read_text()) == self._expected_rows(6)
+
+    def test_jobs_cancel_is_idempotent_from_the_cli(
+        self, service, capsys
+    ):
+        assert main(
+            ["submit", "--port", str(service.port), *self.COMMON,
+             "--seed", "5"]
+        ) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert main(
+            ["jobs", "--port", str(service.port), "--cancel", job_id]
+        ) == 0
+        assert f"job {job_id} is now " in capsys.readouterr().err
+
+    def test_results_unknown_job_exits_with_message(self, service):
+        with pytest.raises(SystemExit, match="service error"):
+            main(
+                ["results", "--port", str(service.port),
+                 "--job", "jdeadbeef0000", "--no-follow"]
+            )
+
+
 class TestServeDaemon:
     def test_serve_daemon_subprocess_roundtrip(self, tmp_path):
         """``repro serve`` as a real process: the CI smoke in miniature."""

@@ -127,6 +127,40 @@ class TestEndpoints:
         assert client.health()["status"] == "ok"
 
 
+class TestSettledEvaluate:
+    def test_failed_point_becomes_error_record(self, service, client):
+        """One bad point: 200, per-point error record, innocents answer."""
+        real = service.scheduler._evaluate
+
+        def flaky(points):
+            if any(p.seed == 99111 for p in points):
+                raise ValueError("injected engine failure")
+            return real(points)
+
+        before = service.scheduler.stats()["counters"]
+        service.scheduler._evaluate = flaky
+        try:
+            requests = [
+                _simulate_request(seed=99110, labels={"arm": "good"}),
+                _simulate_request(seed=99111, labels={"arm": "bad"}),
+            ]
+            result = client.evaluate(requests)
+        finally:
+            service.scheduler._evaluate = real
+        assert result.n_failed == 1
+        good, bad = result.records
+        solo = evaluate_point(point_from_request(requests[0]))
+        assert good == {"arm": "good", **solo}
+        assert bad == {"arm": "bad", "error": "injected engine failure"}
+        after = service.scheduler.stats()["counters"]
+        assert after["point_failures"] - before["point_failures"] == 1
+
+    def test_clean_batch_reports_zero_failures(self, client):
+        result = client.evaluate([_simulate_request(seed=99112)])
+        assert result.n_failed == 0
+        assert "error" not in result.records[0]
+
+
 class TestHttpErrors:
     def _raw(self, service, method, path, body=b"", headers=()):
         conn = http.client.HTTPConnection(

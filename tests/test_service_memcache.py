@@ -104,8 +104,15 @@ class TestTieredCache:
         assert tier.disk_hits == 1
 
     def test_stats_shape(self, tmp_path):
-        tier = TieredCache(LRUCache(), ResultCache(str(tmp_path)))
+        disk = ResultCache(str(tmp_path))
+        disk.put("k", {"engine": "fast-pd", "v": 1})
+        tier = TieredCache(LRUCache(), disk)
         stats = tier.stats()
         assert stats["disk"]["root"] == str(tmp_path)
-        assert set(stats["disk"]) == {"root", "hits", "misses"}
+        assert set(stats["disk"]) == {
+            "root", "hits", "misses", "versions"
+        }
+        # The version breakdown mirrors ResultCache.version_counts().
+        assert stats["disk"]["versions"] == disk.version_counts()
+        assert sum(stats["disk"]["versions"].values()) >= 1
         assert stats["memory"]["max_entries"] == tier.memory.max_entries

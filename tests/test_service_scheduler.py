@@ -269,6 +269,104 @@ class TestBatching:
         assert keys == [] and records == []
 
 
+class FailingSeed:
+    """Real evaluation, except batches containing one seed always raise."""
+
+    def __init__(self, bad_seed=666):
+        self.calls = 0
+        self.bad_seed = bad_seed
+
+    def __call__(self, points):
+        self.calls += 1
+        if any(p.seed == self.bad_seed for p in points):
+            raise ValueError("injected point failure")
+        return evaluate_points_packed(points)
+
+
+class TestSettledResolution:
+    """resolve()/submit_settled(): per-point failure isolation."""
+
+    def test_resolve_returns_raw_unlabelled_outcomes(self, tiny_platform):
+        """Outcomes are journal-format records: labels NOT merged."""
+        point = _point(tiny_platform, labels={"arm": "a"})
+
+        async def scenario(scheduler):
+            return await scheduler.resolve([point])
+
+        keys, outcomes = _run(_with_scheduler(scenario))
+        assert keys == [cache_key(point)]
+        record = outcomes[keys[0]]
+        assert "arm" not in record
+        assert record == evaluate_point(point)
+
+    def test_one_bad_point_does_not_poison_the_batch(self, tiny_platform):
+        """Innocents in a failed mega-batch still answer (and cache)."""
+        counting = FailingSeed(bad_seed=666)
+        good = [_point(tiny_platform, seed=s) for s in (1, 2)]
+        bad = _point(tiny_platform, seed=666, labels={"arm": "bad"})
+
+        async def scenario(scheduler):
+            keys, records, n_failed = await scheduler.submit_settled(
+                [*good, bad]
+            )
+            # The innocents were cached by the isolation pass: a
+            # repeat costs no further engine calls.
+            calls_after_first = counting.calls
+            await scheduler.submit_settled(good)
+            return (
+                records, n_failed, calls_after_first,
+                counting.calls, scheduler.stats(),
+            )
+
+        records, n_failed, calls1, calls2, stats = _run(
+            _with_scheduler(scenario, evaluate=counting)
+        )
+        assert n_failed == 1
+        assert records[0] == evaluate_point(good[0])
+        assert records[1] == evaluate_point(good[1])
+        assert records[2] == {"arm": "bad", "error": "injected point failure"}
+        # One failed 3-point batch, then three solo isolation runs.
+        assert calls1 == 4
+        assert calls2 == calls1
+        counters = stats["counters"]
+        assert counters["batch_failures"] == 1
+        assert counters["point_failures"] == 1
+
+    def test_single_point_failed_batch_is_not_rerun(self, tiny_platform):
+        """A 1-point batch owns its failure: no isolation re-run."""
+        counting = FailingSeed(bad_seed=666)
+        point = _point(tiny_platform, seed=666)
+
+        async def scenario(scheduler):
+            _, records, n_failed = await scheduler.submit_settled([point])
+            return records, n_failed, scheduler.stats()
+
+        records, n_failed, stats = _run(
+            _with_scheduler(scenario, evaluate=counting)
+        )
+        assert n_failed == 1
+        assert records == [{"error": "injected point failure"}]
+        assert counting.calls == 1
+        assert stats["counters"]["point_failures"] == 1
+
+    def test_all_good_settled_matches_submit(self, tiny_platform):
+        points = [_point(tiny_platform, seed=s) for s in (7, 8)]
+
+        async def scenario(scheduler):
+            keys, records, n_failed = await scheduler.submit_settled(
+                points
+            )
+            keys2, records2 = await scheduler.submit(points)
+            return keys, records, n_failed, keys2, records2
+
+        keys, records, n_failed, keys2, records2 = _run(
+            _with_scheduler(scenario)
+        )
+        assert n_failed == 0
+        assert keys == keys2
+        assert records == records2
+
+
 class TestLifecycleAndErrors:
     def test_submit_before_start_raises(self, tiny_platform):
         scheduler = MicroBatchScheduler()
