@@ -35,6 +35,7 @@ TRACKED = {
     "analytic": "bench_analytic.py",
     "packed": "bench_packed.py",
     "service": "bench_service.py",
+    "replay": "bench_replay.py",
 }
 
 

@@ -30,6 +30,9 @@ Usage::
     repro-patterns submit --scenario platform_catalog --client alice
     repro-patterns jobs
     repro-patterns results --job j0123456789ab --json records.json
+    repro-patterns serve --autotune --cache-dir .repro-cache
+    repro-patterns loadtest --shape bursty --rate 40 --duration 5
+    repro-patterns loadtest --trace trace.jsonl --assert-p99-ms 250
 
 Every command accepts ``--csv PATH`` / ``--json PATH`` to persist the rows
 and ``--full`` to use the paper-scale Monte-Carlo sizes (1000 patterns x
@@ -361,6 +364,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="concurrently dispatched job buckets across all jobs "
         "(default: 2)",
     )
+    p.add_argument(
+        "--autotune", action="store_true",
+        help="adaptively retune --batch-window-ms/--pack-rows from the "
+        "observed arrival rate (quiet traffic gets a near-zero window, "
+        "bursts get a wide one); live values and controller decisions "
+        "appear in /v1/stats",
+    )
+    p.add_argument(
+        "--autotune-interval-ms", type=float, default=None,
+        help="controller sampling period in ms (default 250)",
+    )
+    p.add_argument(
+        "--autotune-window-floor-ms", type=float, default=None,
+        help="smallest window the controller may set (default 0.5)",
+    )
+    p.add_argument(
+        "--autotune-window-ceil-ms", type=float, default=None,
+        help="largest window the controller may set (default 25)",
+    )
 
     p = sub.add_parser(
         "query", help="query a running evaluation daemon"
@@ -469,6 +491,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", help="write rows to a CSV file")
     p.add_argument("--json", help="write rows to a JSON file")
+
+    from repro.loadgen.traces import TRACE_SHAPES
+
+    p = sub.add_parser(
+        "loadtest",
+        help="replay an arrival trace against a daemon and report "
+        "latency SLOs (p50/p95/p99, throughput)",
+    )
+    _add_daemon_address(p)
+    p.add_argument(
+        "--trace", default=None,
+        help="JSONL arrival trace to replay (from --save-trace or "
+        "repro.loadgen.traces); alternative to --shape",
+    )
+    p.add_argument(
+        "--shape", default="poisson", choices=list(TRACE_SHAPES),
+        help="generated arrival process (default: poisson)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=50.0,
+        help="mean arrival rate in requests/s (bursty: quiet-phase "
+        "base rate; default 50)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=5.0,
+        help="trace horizon in seconds (default 5)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=20160601,
+        help="trace seed: same shape/rate/duration/seed => identical "
+        "request schedule and points (default 20160601)",
+    )
+    p.add_argument(
+        "--point-patterns", type=int, default=None, metavar="N",
+        help="patterns per simulate point in the generated mix "
+        "(default 4)",
+    )
+    p.add_argument(
+        "--point-runs", type=int, default=None, metavar="N",
+        help="runs per pattern in the generated mix (default 2)",
+    )
+    p.add_argument(
+        "--analytic-fraction", type=float, default=0.0,
+        help="fraction of arrivals evaluated on the analytic tier",
+    )
+    p.add_argument(
+        "--duplicate-fraction", type=float, default=0.0,
+        help="fraction of arrivals re-issuing an earlier point "
+        "(exercises coalescing/cache)",
+    )
+    p.add_argument(
+        "--mode", default="open", choices=["open", "closed"],
+        help="open: fire at trace timestamps (SLO discipline); "
+        "closed: fixed worker pool back-to-back (saturation)",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=32,
+        help="client pool size (default 32)",
+    )
+    p.add_argument(
+        "--warmup", type=int, default=None, metavar="N",
+        help="drop the first N completions from every latency/"
+        "throughput figure (default: 5%% of the trace)",
+    )
+    p.add_argument(
+        "--save-trace", default=None, metavar="PATH",
+        help="also write the replayed trace as JSONL (recorded traces "
+        "replay byte-for-byte)",
+    )
+    p.add_argument(
+        "--assert-p99-ms", type=float, default=None, metavar="MS",
+        help="exit 1 unless the measured p99 latency is <= MS "
+        "(the CI SLO gate)",
+    )
+    p.add_argument(
+        "--assert-throughput-rps", type=float, default=None,
+        metavar="RPS",
+        help="exit 1 unless measured throughput is >= RPS",
+    )
+    p.add_argument(
+        "--json", help="write the full SLO report to a JSON file"
+    )
 
     p = sub.add_parser("fig9", help="error-rate sweeps at 100k nodes")
     p.add_argument(
@@ -680,14 +784,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config.jobs_dir = args.jobs_dir
     if args.job_inflight is not None:
         config.job_inflight = args.job_inflight
+    config.autotune = args.autotune
+    config.autotune_interval_ms = args.autotune_interval_ms
+    config.autotune_window_floor_ms = args.autotune_window_floor_ms
+    config.autotune_window_ceil_ms = args.autotune_window_ceil_ms
     if args.port < 0:
         raise SystemExit(f"--port must be >= 0, got {args.port}")
 
     def announce(_scheduler, server) -> None:
+        batching = (
+            "adaptive"
+            if config.autotune
+            else f"window {config.batch_window_ms:g} ms"
+        )
         print(
             f"repro service listening on "
             f"http://{server.host}:{server.port} "
-            f"(window {config.batch_window_ms:g} ms, "
+            f"({batching}, "
             f"pack-rows {config.pack_rows}, "
             f"cache {config.cache_dir or 'memory-only'}, "
             f"jobs {config.jobs_dir or 'memory-only'})",
@@ -877,6 +990,159 @@ def _cmd_results(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _render_latency(block: Dict[str, Any]) -> str:
+    """One-line latency block for the loadtest report."""
+    return (
+        f"p50 {block['p50_ms']:8.2f} ms   "
+        f"p95 {block['p95_ms']:8.2f} ms   "
+        f"p99 {block['p99_ms']:8.2f} ms   "
+        f"mean {block['mean_ms']:8.2f} ms   "
+        f"ewma {block['ewma_ms']:8.2f} ms"
+    )
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """The ``loadtest`` subcommand: trace in, SLO report out."""
+    from repro.loadgen.replay import WorkloadReplayer
+    from repro.loadgen.traces import (
+        PointMix,
+        load_trace,
+        make_trace,
+        save_trace,
+    )
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.trace:
+        try:
+            events = load_trace(args.trace)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot load trace {args.trace!r}: {exc}"
+            )
+        if not events:
+            raise SystemExit(f"trace {args.trace!r} has no events")
+        source = args.trace
+    else:
+        try:
+            mix = PointMix(
+                analytic_fraction=args.analytic_fraction,
+                duplicate_fraction=args.duplicate_fraction,
+                n_patterns=(
+                    args.point_patterns
+                    if args.point_patterns is not None
+                    else 4
+                ),
+                n_runs=(
+                    args.point_runs
+                    if args.point_runs is not None
+                    else 2
+                ),
+            )
+            events = make_trace(
+                args.shape,
+                rate=args.rate,
+                duration_s=args.duration,
+                seed=args.seed,
+                mix=mix,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"loadtest configuration error: {exc}")
+        source = (
+            f"{args.shape} (rate {args.rate:g}/s, {args.duration:g}s, "
+            f"seed {args.seed})"
+        )
+    if args.save_trace:
+        save_trace(events, args.save_trace)
+        print(
+            f"wrote {len(events)} events to {args.save_trace}",
+            file=sys.stderr,
+        )
+    warmup = (
+        args.warmup
+        if args.warmup is not None
+        else max(1, len(events) // 20)
+    )
+    try:
+        with ServiceClient(
+            args.host, args.port, timeout=args.timeout
+        ) as probe:
+            probe.health()  # fail fast with a clear message
+        replayer = WorkloadReplayer(
+            args.host,
+            args.port,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+        )
+        result = replayer.run(events)
+    except (ServiceError, ValueError) as exc:
+        raise SystemExit(f"service error: {exc}")
+    report = result.report(warmup_drop=warmup)
+    report["trace"] = source
+
+    print(
+        f"replayed {report['n_requests']} requests from {source} "
+        f"({args.mode} loop, concurrency {args.concurrency}) in "
+        f"{result.wall_s:.2f}s against {args.host}:{args.port}"
+    )
+    print(
+        f"  measured {report['n_measured']} "
+        f"({report['n_warmup_dropped']} warm-up dropped), "
+        f"errors {report['n_errors']}, "
+        f"throughput {report['throughput_rps']:.1f} req/s"
+    )
+    if report["latency"] is not None:
+        print(f"  latency  {_render_latency(report['latency'])}")
+        for name, block in report["classes"].items():
+            print(
+                f"  {name:>8s} n={block['n']:<5d} "
+                f"{_render_latency(block)}"
+            )
+    if args.json:
+        write_json(report, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+
+    failures: List[str] = []
+    asserting = (
+        args.assert_p99_ms is not None
+        or args.assert_throughput_rps is not None
+    )
+    if asserting and report["n_errors"]:
+        failures.append(f"{report['n_errors']} request(s) failed")
+    if args.assert_p99_ms is not None:
+        p99 = (
+            report["latency"]["p99_ms"]
+            if report["latency"] is not None
+            else float("inf")
+        )
+        verdict = "ok" if p99 <= args.assert_p99_ms else "FAIL"
+        print(
+            f"SLO p99 {p99:.2f} ms <= {args.assert_p99_ms:g} ms: "
+            f"{verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append(
+                f"p99 {p99:.2f} ms exceeds {args.assert_p99_ms:g} ms"
+            )
+    if args.assert_throughput_rps is not None:
+        rps = report["throughput_rps"]
+        verdict = (
+            "ok" if rps >= args.assert_throughput_rps else "FAIL"
+        )
+        print(
+            f"SLO throughput {rps:.1f} req/s >= "
+            f"{args.assert_throughput_rps:g} req/s: {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append(
+                f"throughput {rps:.1f} req/s below "
+                f"{args.assert_throughput_rps:g} req/s"
+            )
+    for failure in failures:
+        print(f"SLO FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -898,6 +1164,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "results":
         return _cmd_results(args)
+
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
 
     if args.command == "table1":
         platform = get_platform(args.platform)

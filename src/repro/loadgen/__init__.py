@@ -1,0 +1,54 @@
+"""Workload replay and SLO measurement for the evaluation daemon.
+
+The service benchmarks before this package measured *microbenchmark*
+shapes: N clients hammering the daemon back-to-back.  Real traffic has
+an arrival process -- quiet stretches, Poisson noise, shock bursts --
+and the question that matters operationally is not "how fast is one
+packed batch" but "what latency does the p99 request see under *this*
+arrival process, and does the batching configuration hold the SLO".
+
+* :mod:`repro.loadgen.traces` -- deterministic arrival-trace
+  generation: ``constant``, ``poisson`` and ``bursty`` (shock-decay)
+  shapes over a seeded mixed point workload, plus JSONL persistence so
+  recorded traces replay byte-for-byte.
+* :mod:`repro.loadgen.slo` -- the measurement vocabulary shared by the
+  replayer and the benchmarks: warm-up drop, EWMA latency tracking,
+  percentile/throughput summaries.
+* :mod:`repro.loadgen.replay` -- :class:`WorkloadReplayer`, an
+  open-loop (fire at trace timestamps) or closed-loop (fixed worker
+  pool) driver over real HTTP against a running daemon.
+
+Everything is deterministic under a seed: the same ``(shape, rate,
+duration, seed)`` produces the identical request schedule and the
+identical scenario points, and replayed result records are
+bit-identical to solo ``repro simulate`` runs of the same points --
+the harness is itself a verification instrument.
+
+``repro loadtest`` is the CLI entry; ``benchmarks/bench_replay.py``
+records p50/p95/p99 + throughput trajectories into
+``BENCH_replay.json``.
+"""
+
+from repro.loadgen.replay import ReplayResult, RequestRecord, WorkloadReplayer
+from repro.loadgen.slo import drop_warmup, ewma, summarize
+from repro.loadgen.traces import (
+    TRACE_SHAPES,
+    TraceEvent,
+    load_trace,
+    make_trace,
+    save_trace,
+)
+
+__all__ = [
+    "ReplayResult",
+    "RequestRecord",
+    "TRACE_SHAPES",
+    "TraceEvent",
+    "WorkloadReplayer",
+    "drop_warmup",
+    "ewma",
+    "load_trace",
+    "make_trace",
+    "save_trace",
+    "summarize",
+]

@@ -1,0 +1,228 @@
+"""Replay arrival traces against a running daemon, over real HTTP.
+
+:class:`WorkloadReplayer` drives a :class:`~repro.service.client.
+ServiceClient` pool at a trace's schedule in one of two disciplines:
+
+* **open-loop** (the default) -- each request fires at its trace
+  timestamp regardless of whether earlier requests have answered; the
+  arrival process is the trace's, and queueing delay shows up as
+  latency.  This is the discipline SLOs are defined under: real
+  clients do not politely wait for each other.
+* **closed-loop** -- ``concurrency`` workers issue requests
+  back-to-back, ignoring timestamps: the saturation discipline of
+  ``bench_service.py``, useful for peak-throughput measurement.
+
+Each request is one ``POST /v1/evaluate`` of one trace event's point,
+timed wall-to-wall (client-side, like a user would measure).  Results
+are collected as :class:`RequestRecord` in completion order --
+:meth:`ReplayResult.report` summarises them through
+:func:`repro.loadgen.slo.summarize` (warm-up drop, EWMA, percentiles,
+throughput), and :meth:`ReplayResult.result_records` returns the raw
+service answers in trace order for bit-identity assertions against
+solo ``repro simulate`` runs.
+
+The replayer is deterministic in everything but wall-clock latency:
+the same trace produces the same request sequence and, because the
+daemon's evaluation is deterministic, the same result records --
+whatever the concurrency, discipline, or how requests were batched
+server-side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.loadgen.slo import summarize
+from repro.loadgen.traces import TraceEvent
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+#: Default client pool size (open loop: max in-flight requests).
+DEFAULT_CONCURRENCY = 32
+
+#: Replay disciplines.
+MODES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One replayed request, client-side view."""
+
+    #: Trace event index this request replayed.
+    index: int
+    request_class: str
+    #: Scheduled arrival offset (the trace's ``t``).
+    scheduled_t: float
+    #: Actual send offset from replay start; ``start_t - scheduled_t``
+    #: is dispatch lateness (pool saturation in open loop).
+    start_t: float
+    latency_s: float
+    ok: bool
+    error: Optional[str] = None
+    #: The service's result records for this request (one per point).
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class ReplayResult:
+    """Everything one replay produced."""
+
+    mode: str
+    concurrency: int
+    wall_s: float
+    #: Request records in completion order (what EWMA/warm-up act on).
+    requests: List[RequestRecord]
+
+    def result_records(self) -> List[List[Dict[str, Any]]]:
+        """Service answers in **trace order** (bit-identity view)."""
+        by_index = sorted(self.requests, key=lambda r: r.index)
+        return [r.records for r in by_index]
+
+    def report(self, *, warmup_drop: int = 0) -> Dict[str, Any]:
+        """The SLO report: summary stats plus replay metadata."""
+        out = summarize(self.requests, warmup_drop=warmup_drop)
+        out["mode"] = self.mode
+        out["concurrency"] = self.concurrency
+        out["wall_s"] = self.wall_s
+        if self.requests:
+            out["max_dispatch_lateness_ms"] = 1e3 * max(
+                r.start_t - r.scheduled_t for r in self.requests
+            )
+        return out
+
+
+class WorkloadReplayer:
+    """Drive a trace against one daemon; see the module docstring."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        mode: str = "open",
+        concurrency: int = DEFAULT_CONCURRENCY,
+        timeout: float = 120.0,
+    ):
+        if mode not in MODES:
+            raise ValueError(
+                f"mode must be one of {MODES}, got {mode!r}"
+            )
+        if concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {concurrency}"
+            )
+        self.host = host
+        self.port = int(port)
+        self.mode = mode
+        self.concurrency = int(concurrency)
+        self.timeout = timeout
+        self._local = threading.local()
+
+    def _client(self) -> ServiceClient:
+        """One keep-alive client per worker thread."""
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = ServiceClient(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.client = client
+        return client
+
+    def _call_one(
+        self, index: int, event: TraceEvent, t0: float
+    ) -> RequestRecord:
+        start = time.perf_counter()
+        ok = True
+        error: Optional[str] = None
+        answers: List[Dict[str, Any]] = []
+        try:
+            result = self._client().evaluate([event.point])
+            answers = result.records
+            if result.n_failed:
+                ok = False
+                error = str(
+                    next(
+                        (r["error"] for r in answers if "error" in r),
+                        "point evaluation failed",
+                    )
+                )
+        except ServiceError as exc:
+            ok = False
+            error = str(exc)
+            # Drop the thread's connection so the next request starts
+            # clean rather than inheriting a half-read socket.
+            self._client().close()
+        latency = time.perf_counter() - start
+        return RequestRecord(
+            index=index,
+            request_class=event.request_class,
+            scheduled_t=event.t,
+            start_t=start - t0,
+            latency_s=latency,
+            ok=ok,
+            error=error,
+            records=answers,
+        )
+
+    def run(self, events: Sequence[TraceEvent]) -> ReplayResult:
+        """Replay ``events``; returns completion-ordered records."""
+        ordered = sorted(events, key=lambda e: e.t)
+        indexed = sorted(
+            range(len(events)), key=lambda i: events[i].t
+        )
+        done: List[RequestRecord] = []
+        done_lock = threading.Lock()
+        t0 = time.perf_counter()
+
+        def finish(record: RequestRecord) -> None:
+            with done_lock:
+                done.append(record)
+
+        if self.mode == "open":
+            with ThreadPoolExecutor(
+                max_workers=self.concurrency,
+                thread_name_prefix="repro-replay",
+            ) as pool:
+                futures = []
+                for i, event in zip(indexed, ordered):
+                    delay = t0 + event.t - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    futures.append(
+                        pool.submit(self._call_one, i, event, t0)
+                    )
+                for future in futures:
+                    finish(future.result())
+        else:
+            queue = iter(list(zip(indexed, ordered)))
+            queue_lock = threading.Lock()
+
+            def worker() -> None:
+                while True:
+                    with queue_lock:
+                        try:
+                            i, event = next(queue)
+                        except StopIteration:
+                            return
+                    finish(self._call_one(i, event, t0))
+
+            threads = [
+                threading.Thread(target=worker)
+                for _ in range(self.concurrency)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        wall = time.perf_counter() - t0
+        done.sort(key=lambda r: r.start_t + r.latency_s)
+        return ReplayResult(
+            mode=self.mode,
+            concurrency=self.concurrency,
+            wall_s=wall,
+            requests=done,
+        )

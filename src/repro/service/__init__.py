@@ -25,6 +25,11 @@ Start a daemon with ``repro serve``; query it with ``repro query`` or
 plain ``curl``.
 """
 
+from repro.service.autotune import (
+    AdaptiveBatchController,
+    AutotuneRunner,
+    ControllerConfig,
+)
 from repro.service.client import EvaluateResult, ServiceClient, ServiceError
 from repro.service.memcache import LRUCache, TieredCache
 from repro.service.protocol import (
@@ -42,7 +47,10 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "AdaptiveBatchController",
+    "AutotuneRunner",
     "BackgroundService",
+    "ControllerConfig",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "EvaluateResult",

@@ -1,0 +1,327 @@
+"""Adaptive micro-batch tuning from observed arrival rate.
+
+The daemon's two batching knobs trade latency against throughput:
+
+* ``batch_window_ms`` -- how long the first request of a batch waits
+  for company.  Under light traffic the window is pure added latency
+  (nobody else arrives); under heavy traffic it is the whole point
+  (requests arriving together ride one packed mega-batch).
+* ``pack_rows`` -- the Monte-Carlo row budget per engine batch; too
+  small and a backlog drains in many under-filled batches.
+
+Static values force the operator to guess the traffic.
+:class:`AdaptiveBatchController` closes the loop instead: it smooths
+the observed **compute-arrival rate** (points entering the batch
+queue -- cache hits and coalesced duplicates need no batching and are
+excluded) with an EWMA, then maps rate to a window through a bounded
+monotone ramp::
+
+    window(rate) = floor + (ceil - floor) * clip((rate - low) / (high - low), 0, 1)
+
+Low rate => floor (don't tax quiet traffic with waiting); high rate =>
+ceiling (batch aggressively when batching pays).  Monotonicity and the
+bounds are load-bearing -- the property tests in
+``tests/test_autotune.py`` pin them -- and the ramp is deliberately
+*memoryless in rate*: all smoothing lives in the EWMA, so convergence
+on a constant-rate trace follows from EWMA convergence.
+
+``pack_rows`` scales with the observed rows-per-point so a batch holds
+about ``target_batch_points`` points, and is raised further when a
+backlog (queued rows) exceeds it, letting bursts drain in few large
+batches.
+
+Decisions are applied through
+:meth:`~repro.service.scheduler.MicroBatchScheduler.reconfigure` with
+relative **hysteresis**: a knob moves only when the decision differs
+from the live value by more than ``hysteresis`` (fractionally), so a
+converged controller stops issuing reconfigures instead of jittering.
+
+:class:`AutotuneRunner` is the asyncio glue: a periodic task that
+samples scheduler counters, feeds the controller and applies its
+decisions; its :meth:`~AutotuneRunner.stats` appear under
+``"autotune"`` in ``GET /v1/stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from contextlib import suppress
+from dataclasses import asdict, dataclass
+from typing import Any, Deque, Dict, Optional
+
+from repro.service.scheduler import MicroBatchScheduler
+
+#: Default sampling period for the server-side runner.
+DEFAULT_INTERVAL_MS = 250.0
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Bounds and gains of the adaptive controller."""
+
+    #: Window bounds (ms).  The floor is the quiet-traffic window --
+    #: keep it near zero so light load pays almost no batching tax.
+    window_floor_ms: float = 0.5
+    window_ceil_ms: float = 25.0
+    #: Rate ramp (computed points/s): at or below ``low_rate_rps`` the
+    #: window sits on the floor, at or above ``high_rate_rps`` on the
+    #: ceiling, linear in between.
+    low_rate_rps: float = 20.0
+    high_rate_rps: float = 400.0
+    #: Row-budget sizing aim: a batch should hold about this many
+    #: points at the observed rows-per-point.
+    target_batch_points: int = 64
+    pack_rows_floor: int = 1_000
+    pack_rows_ceil: int = 4_000_000
+    #: EWMA weight of the newest rate sample.
+    alpha: float = 0.3
+    #: Minimum relative change before a knob is actually retuned.
+    hysteresis: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.window_floor_ms < 0:
+            raise ValueError(
+                f"window_floor_ms must be >= 0, got {self.window_floor_ms}"
+            )
+        if self.window_ceil_ms < self.window_floor_ms:
+            raise ValueError(
+                "window_ceil_ms must be >= window_floor_ms, got "
+                f"{self.window_ceil_ms} < {self.window_floor_ms}"
+            )
+        if self.low_rate_rps < 0 or self.high_rate_rps <= self.low_rate_rps:
+            raise ValueError(
+                "need 0 <= low_rate_rps < high_rate_rps, got "
+                f"{self.low_rate_rps} / {self.high_rate_rps}"
+            )
+        if self.target_batch_points < 1:
+            raise ValueError(
+                "target_batch_points must be >= 1, got "
+                f"{self.target_batch_points}"
+            )
+        if self.pack_rows_floor < 1:
+            raise ValueError(
+                f"pack_rows_floor must be >= 1, got {self.pack_rows_floor}"
+            )
+        if self.pack_rows_ceil < self.pack_rows_floor:
+            raise ValueError(
+                "pack_rows_ceil must be >= pack_rows_floor, got "
+                f"{self.pack_rows_ceil} < {self.pack_rows_floor}"
+            )
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.hysteresis < 0:
+            raise ValueError(
+                f"hysteresis must be >= 0, got {self.hysteresis}"
+            )
+
+
+class AdaptiveBatchController:
+    """Map observed load to batching knobs; see the module docstring."""
+
+    def __init__(self, config: Optional[ControllerConfig] = None):
+        self.config = config if config is not None else ControllerConfig()
+        self._rate: Optional[float] = None
+        self._rows_per_point: Optional[float] = None
+        self._queue_rows = 0
+        self._observations = 0
+        self._applied = 0
+        self._history: Deque[Dict[str, Any]] = deque(maxlen=32)
+
+    # -- observation --------------------------------------------------------
+    def observe(
+        self,
+        *,
+        points: int,
+        rows: int,
+        queue_rows: int,
+        dt_s: float,
+    ) -> None:
+        """Feed one sampling interval's deltas.
+
+        ``points``/``rows`` are the *computed* points and Monte-Carlo
+        rows that entered the batch queue during the interval;
+        ``queue_rows`` is the backlog at sample time.
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be > 0, got {dt_s}")
+        if points < 0 or rows < 0 or queue_rows < 0:
+            raise ValueError(
+                "points, rows and queue_rows must be >= 0, got "
+                f"{points}/{rows}/{queue_rows}"
+            )
+        alpha = self.config.alpha
+        sample_rate = points / dt_s
+        self._rate = (
+            sample_rate
+            if self._rate is None
+            else alpha * sample_rate + (1.0 - alpha) * self._rate
+        )
+        if points > 0:
+            sample_rpp = rows / points
+            self._rows_per_point = (
+                sample_rpp
+                if self._rows_per_point is None
+                else alpha * sample_rpp
+                + (1.0 - alpha) * self._rows_per_point
+            )
+        self._queue_rows = int(queue_rows)
+        self._observations += 1
+
+    # -- decision -----------------------------------------------------------
+    def window_for_rate(self, rate_rps: float) -> float:
+        """The monotone bounded ramp: rate in, window (ms) out."""
+        cfg = self.config
+        span = cfg.high_rate_rps - cfg.low_rate_rps
+        frac = (max(0.0, rate_rps) - cfg.low_rate_rps) / span
+        frac = min(1.0, max(0.0, frac))
+        window = (
+            cfg.window_floor_ms
+            + (cfg.window_ceil_ms - cfg.window_floor_ms) * frac
+        )
+        # The arithmetic can round a hair past the bounds; the bounds
+        # are the contract, so clamp.
+        return min(cfg.window_ceil_ms, max(cfg.window_floor_ms, window))
+
+    def pack_rows_for_load(
+        self, rows_per_point: float, queue_rows: int
+    ) -> int:
+        """Row budget: ~``target_batch_points`` points, backlog-aware."""
+        cfg = self.config
+        want = cfg.target_batch_points * max(1.0, rows_per_point)
+        want = max(want, float(queue_rows))
+        return int(
+            min(cfg.pack_rows_ceil, max(cfg.pack_rows_floor, want))
+        )
+
+    def decide(self) -> Dict[str, Any]:
+        """The current decision (pure; no scheduler interaction)."""
+        rate = self._rate if self._rate is not None else 0.0
+        rpp = (
+            self._rows_per_point
+            if self._rows_per_point is not None
+            else 1.0
+        )
+        return {
+            "batch_window_ms": self.window_for_rate(rate),
+            "pack_rows": self.pack_rows_for_load(rpp, self._queue_rows),
+            "rate_rps": rate,
+        }
+
+    def _moved(self, new: float, old: float, *, scale: float) -> bool:
+        """Did a knob move beyond hysteresis (relative, floored)?"""
+        return abs(new - old) > self.config.hysteresis * max(
+            abs(old), scale
+        )
+
+    def apply(
+        self, scheduler: MicroBatchScheduler
+    ) -> Optional[Dict[str, Any]]:
+        """Decide and, if past hysteresis, reconfigure ``scheduler``.
+
+        Returns the applied decision, or ``None`` when the live
+        configuration is already within hysteresis of it (a converged
+        controller goes quiet).
+        """
+        decision = self.decide()
+        changes: Dict[str, Any] = {}
+        if self._moved(
+            decision["batch_window_ms"],
+            scheduler.batch_window_ms,
+            scale=0.1,  # 0.1 ms: keeps a 0-window from pinning forever
+        ):
+            changes["batch_window_ms"] = decision["batch_window_ms"]
+        if self._moved(
+            float(decision["pack_rows"]),
+            float(scheduler.pack_rows),
+            scale=1.0,
+        ):
+            changes["pack_rows"] = decision["pack_rows"]
+        if not changes:
+            return None
+        scheduler.reconfigure(**changes)
+        self._applied += 1
+        applied = {**decision, "changed": sorted(changes)}
+        self._history.append(applied)
+        return applied
+
+    def stats(self) -> Dict[str, Any]:
+        """Controller state for ``/v1/stats``."""
+        return {
+            "config": asdict(self.config),
+            "rate_rps": self._rate,
+            "rows_per_point": self._rows_per_point,
+            "queue_rows": self._queue_rows,
+            "observations": self._observations,
+            "applied": self._applied,
+            "last_decision": (
+                self._history[-1] if self._history else None
+            ),
+        }
+
+
+class AutotuneRunner:
+    """Periodic asyncio task feeding a controller from scheduler stats."""
+
+    def __init__(
+        self,
+        scheduler: MicroBatchScheduler,
+        controller: Optional[AdaptiveBatchController] = None,
+        *,
+        interval_ms: float = DEFAULT_INTERVAL_MS,
+    ):
+        if interval_ms <= 0:
+            raise ValueError(
+                f"interval_ms must be > 0, got {interval_ms}"
+            )
+        self.scheduler = scheduler
+        self.controller = (
+            controller
+            if controller is not None
+            else AdaptiveBatchController()
+        )
+        self.interval_ms = float(interval_ms)
+        self._task: Optional[asyncio.Task] = None
+
+    async def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run()
+            )
+
+    async def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        stats = self.scheduler.stats()
+        prev_points = stats["counters"]["computed"]
+        prev_rows = stats["counters"]["computed_rows"]
+        prev_t = loop.time()
+        while True:
+            await asyncio.sleep(self.interval_ms / 1000.0)
+            stats = self.scheduler.stats()
+            now = loop.time()
+            counters = stats["counters"]
+            self.controller.observe(
+                points=counters["computed"] - prev_points,
+                rows=counters["computed_rows"] - prev_rows,
+                queue_rows=stats["queued_rows"],
+                dt_s=now - prev_t,
+            )
+            prev_points = counters["computed"]
+            prev_rows = counters["computed_rows"]
+            prev_t = now
+            self.controller.apply(self.scheduler)
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/v1/stats`` ``"autotune"`` section."""
+        return {
+            "enabled": True,
+            "interval_ms": self.interval_ms,
+            **self.controller.stats(),
+        }

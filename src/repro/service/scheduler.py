@@ -167,12 +167,14 @@ class MicroBatchScheduler:
             "cache_hits": 0,      # points answered by the tiered cache
             "coalesced": 0,       # points joined onto an in-flight future
             "computed": 0,        # points that started a new computation
+            "computed_rows": 0,   # their summed Monte-Carlo rows
             "batches": 0,         # engine batches dispatched
             "engine_points": 0,   # unique points the engine evaluated
             "batch_failures": 0,  # batches whose evaluation raised
             "point_failures": 0,  # unique points whose evaluation raised
             "cache_put_failures": 0,
             "max_batch_points": 0,
+            "reconfigures": 0,    # live reconfigure() calls applied
         }
 
     @property
@@ -264,6 +266,7 @@ class MicroBatchScheduler:
                 self._queue.append(_Pending(key, point, rows, future))
                 self._queued_rows += rows
                 self._counters["computed"] += 1
+                self._counters["computed_rows"] += rows
                 self._wake.set()
             waiting[key] = future
         if waiting:
@@ -316,6 +319,51 @@ class MicroBatchScheduler:
                 records.append({**dict(point.labels), **outcome})
         return keys, records, n_failed
 
+    def reconfigure(
+        self,
+        *,
+        batch_window_ms: Optional[float] = None,
+        pack_rows: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Retune the batching knobs on a live scheduler.
+
+        The seam the adaptive controller (:mod:`repro.service.autotune`)
+        drives: new values apply from the *current* collection window
+        on -- the drain loop re-reads both knobs every time it wakes,
+        and reconfiguring wakes it -- and queued requests are never
+        dropped or duplicated by a change (points already queued simply
+        ride the next batch cut under the new budget; shrinking
+        ``pack_rows`` below a single point's rows still dispatches that
+        point alone, exactly as at construction time).
+
+        Validation matches the constructor.  Returns the live config.
+        Safe from any thread: the knobs are plain attribute writes, and
+        the wake-up is marshalled onto the event loop.
+        """
+        if batch_window_ms is not None:
+            if batch_window_ms < 0:
+                raise ValueError(
+                    f"batch_window_ms must be >= 0, got {batch_window_ms}"
+                )
+            self.batch_window_ms = float(batch_window_ms)
+        if pack_rows is not None:
+            if pack_rows < 1:
+                raise ValueError(
+                    f"pack_rows must be >= 1, got {pack_rows}"
+                )
+            self.pack_rows = int(pack_rows)
+        if batch_window_ms is not None or pack_rows is not None:
+            self._counters["reconfigures"] += 1
+            if self._loop is not None and self._wake is not None:
+                # Wake a drain loop sleeping on the old window so a
+                # shorter window (or smaller row budget) takes effect
+                # immediately, not after the old deadline.
+                self._loop.call_soon_threadsafe(self._wake.set)
+        return {
+            "batch_window_ms": self.batch_window_ms,
+            "pack_rows": self.pack_rows,
+        }
+
     def stats(self) -> Dict[str, Any]:
         """Configuration, counters and cache state for ``/v1/stats``."""
         return {
@@ -327,6 +375,7 @@ class MicroBatchScheduler:
             "counters": dict(self._counters),
             "inflight": len(self._inflight),
             "queued": len(self._queue),
+            "queued_rows": self._queued_rows,
             "cache": (
                 self._cache.stats() if self._cache is not None else None
             ),
@@ -343,11 +392,15 @@ class MicroBatchScheduler:
                 # The micro-batching window: let concurrent requests
                 # pile onto the queue before cutting batches.  Every
                 # enqueue re-signals the wake event, so a burst that
-                # fills the row budget cuts the window short.
-                deadline = (
-                    self._loop.time() + self.batch_window_ms / 1000.0
-                )
+                # fills the row budget cuts the window short.  The
+                # deadline is recomputed from the live window each
+                # iteration (reconfigure() also signals the event), so
+                # retuning applies to the window in progress.
+                window_start = self._loop.time()
                 while self._queued_rows < self.pack_rows:
+                    deadline = (
+                        window_start + self.batch_window_ms / 1000.0
+                    )
                     remaining = deadline - self._loop.time()
                     if remaining <= 0:
                         break

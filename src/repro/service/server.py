@@ -36,6 +36,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro._version import __version__
+from repro.service.autotune import (
+    AdaptiveBatchController,
+    AutotuneRunner,
+    ControllerConfig,
+    DEFAULT_INTERVAL_MS,
+)
 from repro.service.jobs.api import JobsApi
 from repro.service.jobs.manager import (
     DEFAULT_MAX_INFLIGHT,
@@ -102,6 +108,14 @@ class ServiceConfig:
     jobs_dir: Optional[str] = None
     #: Concurrently dispatched job buckets across all jobs.
     job_inflight: int = DEFAULT_MAX_INFLIGHT
+    #: Adaptive micro-batch tuning (:mod:`repro.service.autotune`):
+    #: when on, a periodic controller retunes ``batch_window_ms`` and
+    #: ``pack_rows`` from the observed compute-arrival rate, between
+    #: ``autotune_window_floor_ms`` and ``autotune_window_ceil_ms``.
+    autotune: bool = False
+    autotune_interval_ms: Optional[float] = None
+    autotune_window_floor_ms: Optional[float] = None
+    autotune_window_ceil_ms: Optional[float] = None
 
 
 class ServiceServer:
@@ -114,9 +128,11 @@ class ServiceServer:
         host: str = DEFAULT_HOST,
         port: int = 0,
         jobs_api: Optional[JobsApi] = None,
+        autotune: Optional["AutotuneRunner"] = None,
     ):
         self.scheduler = scheduler
         self.jobs_api = jobs_api
+        self.autotune = autotune
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -201,6 +217,11 @@ class ServiceServer:
                 "uptime_seconds": round(time.monotonic() - self._t0, 3),
                 **self.scheduler.stats(),
             }
+            payload["autotune"] = (
+                self.autotune.stats()
+                if self.autotune is not None
+                else {"enabled": False}
+            )
             if self.jobs_api is not None:
                 payload["jobs"] = self.jobs_api.manager.stats()
             return 200, payload
@@ -314,11 +335,35 @@ async def start_service(
         scheduler, store, max_inflight=config.job_inflight
     )
     await manager.start()
+    autotune: Optional[AutotuneRunner] = None
+    if config.autotune:
+        controller_fields: Dict[str, Any] = {}
+        if config.autotune_window_floor_ms is not None:
+            controller_fields["window_floor_ms"] = (
+                config.autotune_window_floor_ms
+            )
+        if config.autotune_window_ceil_ms is not None:
+            controller_fields["window_ceil_ms"] = (
+                config.autotune_window_ceil_ms
+            )
+        autotune = AutotuneRunner(
+            scheduler,
+            AdaptiveBatchController(
+                ControllerConfig(**controller_fields)
+            ),
+            interval_ms=(
+                config.autotune_interval_ms
+                if config.autotune_interval_ms is not None
+                else DEFAULT_INTERVAL_MS
+            ),
+        )
+        await autotune.start()
     server = ServiceServer(
         scheduler,
         host=config.host,
         port=config.port,
         jobs_api=JobsApi(manager),
+        autotune=autotune,
     )
     await server.start()
     if config.port_file:
@@ -355,6 +400,8 @@ async def _serve_async(
             await stop.wait()
     finally:
         await server.close()
+        if server.autotune is not None:
+            await server.autotune.close()
         await manager.close()
         await scheduler.close()
 
@@ -396,6 +443,7 @@ class BackgroundService:
         self.port: Optional[int] = None
         self.scheduler: Optional[MicroBatchScheduler] = None
         self.manager: Optional[JobManager] = None
+        self.autotune: Optional[AutotuneRunner] = None
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -451,6 +499,7 @@ class BackgroundService:
             self.scheduler = scheduler
             if server.jobs_api is not None:
                 self.manager = server.jobs_api.manager
+            self.autotune = server.autotune
             self.host, self.port = server.host, server.port
             self._ready.set()
 

@@ -1,0 +1,273 @@
+"""Property tests for the adaptive micro-batch controller.
+
+The controller's contract (pinned here with ``hypothesis``):
+
+* **bounds** -- whatever it has observed, the decided window lies in
+  ``[window_floor_ms, window_ceil_ms]`` and the row budget in
+  ``[pack_rows_floor, pack_rows_ceil]``;
+* **monotonicity** -- the rate-to-window map never decreases in rate:
+  a higher arrival rate never shrinks the window below what a lower
+  rate got (and never below the floor);
+* **convergence** -- fed a constant-rate stream, the controller
+  settles: the EWMA converges, the decided window stops moving, and
+  hysteresis makes ``apply`` go quiet (returns ``None``) instead of
+  jittering the scheduler forever.
+
+Plus the asyncio integration: a ``BackgroundService(autotune=True)``
+exposes live controller state under ``/v1/stats`` and actually
+reconfigures the scheduler under load.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.loadgen.replay import WorkloadReplayer
+from repro.loadgen.traces import make_trace
+from repro.service.autotune import (
+    AdaptiveBatchController,
+    AutotuneRunner,
+    ControllerConfig,
+)
+from repro.service.client import ServiceClient
+from repro.service.server import BackgroundService
+
+#: Rate samples spanning quiet to far-past-ceiling traffic.
+rates = st.floats(
+    min_value=0.0, max_value=1e4,
+    allow_nan=False, allow_infinity=False,
+)
+
+#: Randomised-but-valid controller configurations.
+configs = st.builds(
+    ControllerConfig,
+    window_floor_ms=st.floats(min_value=0.0, max_value=5.0),
+    window_ceil_ms=st.floats(min_value=5.0, max_value=100.0),
+    low_rate_rps=st.floats(min_value=0.0, max_value=100.0),
+    high_rate_rps=st.floats(min_value=101.0, max_value=5e3),
+    target_batch_points=st.integers(min_value=1, max_value=512),
+    pack_rows_floor=st.integers(min_value=1, max_value=10_000),
+    pack_rows_ceil=st.integers(min_value=10_000, max_value=10**7),
+    alpha=st.floats(min_value=0.01, max_value=1.0),
+    hysteresis=st.floats(min_value=0.0, max_value=0.5),
+)
+
+#: One observation interval: (points, rows-per-point, queue_rows).
+observations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=1_000),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestProperties:
+    @given(config=configs, feed=observations)
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_always_respected(self, config, feed):
+        """No observation history can push a decision out of bounds."""
+        controller = AdaptiveBatchController(config)
+        for points, rpp, queue_rows in feed:
+            controller.observe(
+                points=points,
+                rows=points * rpp,
+                queue_rows=queue_rows,
+                dt_s=0.25,
+            )
+            decision = controller.decide()
+            assert (
+                config.window_floor_ms
+                <= decision["batch_window_ms"]
+                <= config.window_ceil_ms
+            )
+            assert (
+                config.pack_rows_floor
+                <= decision["pack_rows"]
+                <= config.pack_rows_ceil
+            )
+
+    @given(config=configs, rate_a=rates, rate_b=rates)
+    @settings(max_examples=200, deadline=None)
+    def test_window_monotone_in_rate(self, config, rate_a, rate_b):
+        """Higher rate => never a smaller window (and never sub-floor)."""
+        controller = AdaptiveBatchController(config)
+        lo, hi = sorted((rate_a, rate_b))
+        w_lo = controller.window_for_rate(lo)
+        w_hi = controller.window_for_rate(hi)
+        assert w_hi >= w_lo
+        assert w_lo >= config.window_floor_ms
+        assert w_hi <= config.window_ceil_ms
+
+    @given(
+        config=configs,
+        points=st.integers(min_value=0, max_value=5_000),
+        rpp=st.integers(min_value=1, max_value=500),
+        queue_rows=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_convergence_on_constant_rate(
+        self, config, points, rpp, queue_rows
+    ):
+        """A constant-rate feed settles and ``apply`` goes quiet."""
+        controller = AdaptiveBatchController(config)
+        for _ in range(200):
+            controller.observe(
+                points=points,
+                rows=points * rpp,
+                queue_rows=queue_rows,
+                dt_s=0.25,
+            )
+        # The EWMA has converged onto the true sample rate...
+        assert math.isclose(
+            controller.decide()["rate_rps"],
+            points / 0.25,
+            rel_tol=1e-6,
+            abs_tol=1e-9,
+        )
+        # ...so the decision is a fixed point: one more observation
+        # does not move it.
+        before = controller.decide()
+        controller.observe(
+            points=points,
+            rows=points * rpp,
+            queue_rows=queue_rows,
+            dt_s=0.25,
+        )
+        after = controller.decide()
+        assert math.isclose(
+            before["batch_window_ms"],
+            after["batch_window_ms"],
+            rel_tol=1e-6,
+            abs_tol=1e-9,
+        )
+        assert before["pack_rows"] == after["pack_rows"]
+
+
+class TestApplyHysteresis:
+    def _converged_scheduler_stub(self, decision):
+        class _Sched:
+            batch_window_ms = decision["batch_window_ms"]
+            pack_rows = decision["pack_rows"]
+
+            def reconfigure(self, **kw):  # pragma: no cover
+                raise AssertionError(
+                    f"reconfigure called on converged knobs: {kw}"
+                )
+
+        return _Sched()
+
+    @given(config=configs, feed=observations)
+    @settings(max_examples=100, deadline=None)
+    def test_apply_is_quiet_at_the_fixed_point(self, config, feed):
+        """When live knobs equal the decision, apply() returns None."""
+        controller = AdaptiveBatchController(config)
+        for points, rpp, queue_rows in feed:
+            controller.observe(
+                points=points,
+                rows=points * rpp,
+                queue_rows=queue_rows,
+                dt_s=0.25,
+            )
+        scheduler = self._converged_scheduler_stub(controller.decide())
+        assert controller.apply(scheduler) is None
+
+    def test_apply_moves_past_hysteresis(self):
+        controller = AdaptiveBatchController()
+
+        class _Sched:
+            batch_window_ms = 5.0
+            pack_rows = 100_000
+            calls = []
+
+            def reconfigure(self, **kw):
+                self.calls.append(kw)
+
+        # Far past the ramp: decision is the ceiling window.
+        for _ in range(20):
+            controller.observe(
+                points=1000, rows=4000, queue_rows=0, dt_s=0.25
+            )
+        scheduler = _Sched()
+        applied = controller.apply(scheduler)
+        assert applied is not None
+        assert "batch_window_ms" in applied["changed"]
+        assert scheduler.calls
+        assert controller.stats()["applied"] == 1
+        assert controller.stats()["last_decision"] == applied
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window_floor_ms=-1.0),
+            dict(window_floor_ms=10.0, window_ceil_ms=5.0),
+            dict(low_rate_rps=100.0, high_rate_rps=100.0),
+            dict(low_rate_rps=-1.0),
+            dict(target_batch_points=0),
+            dict(pack_rows_floor=0),
+            dict(pack_rows_floor=100, pack_rows_ceil=10),
+            dict(alpha=0.0),
+            dict(alpha=1.5),
+            dict(hysteresis=-0.1),
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ControllerConfig(**kwargs)
+
+    def test_bad_observation_rejected(self):
+        controller = AdaptiveBatchController()
+        with pytest.raises(ValueError, match="dt_s"):
+            controller.observe(
+                points=1, rows=1, queue_rows=0, dt_s=0.0
+            )
+        with pytest.raises(ValueError):
+            controller.observe(
+                points=-1, rows=0, queue_rows=0, dt_s=1.0
+            )
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval_ms"):
+            AutotuneRunner(object(), interval_ms=0.0)
+
+
+class TestServiceIntegration:
+    def test_autotuned_daemon_exposes_and_steers(self, tmp_path):
+        """End-to-end: live /v1/stats autotune section + reconfigures."""
+        trace = make_trace(
+            "poisson", rate=120.0, duration_s=1.5, seed=4242
+        )
+        with BackgroundService(
+            cache_dir=str(tmp_path / "cache"),
+            autotune=True,
+            autotune_interval_ms=50.0,
+        ) as svc:
+            with ServiceClient(port=svc.port) as client:
+                baseline = client.stats()
+                assert baseline["autotune"]["enabled"] is True
+                assert baseline["autotune"]["interval_ms"] == 50.0
+                WorkloadReplayer(port=svc.port).run(trace)
+                stats = client.stats()
+            autotune = stats["autotune"]
+            assert autotune["observations"] > 0
+            assert autotune["rate_rps"] is not None
+            # 120 computed points/s is past the default 20 rps knee, so
+            # the controller must have widened the window at least once.
+            assert autotune["applied"] > 0
+            assert stats["counters"]["reconfigures"] > 0
+            assert autotune["last_decision"]["batch_window_ms"] > (
+                autotune["config"]["window_floor_ms"]
+            )
+
+    def test_static_daemon_reports_disabled(self, tmp_path):
+        with BackgroundService(
+            cache_dir=str(tmp_path / "cache")
+        ) as svc:
+            with ServiceClient(port=svc.port) as client:
+                stats = client.stats()
+        assert stats["autotune"] == {"enabled": False}

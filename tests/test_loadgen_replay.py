@@ -1,0 +1,210 @@
+"""Workload replay against a live daemon: bit-identity and SLO reports.
+
+One :class:`BackgroundService` per module; every replay here goes over
+real HTTP through the full scheduler/cache stack.  The load-bearing
+assertion is the acceptance golden from the roadmap: records replayed
+through the daemon -- whatever the concurrency, discipline, or how the
+scheduler batched them -- are **field-by-field identical** to solo
+:func:`repro.campaign.executor.evaluate_point` runs (the ``repro
+simulate`` path).
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.executor import evaluate_point
+from repro.cli import main
+from repro.loadgen.replay import ReplayResult, RequestRecord, WorkloadReplayer
+from repro.loadgen.slo import drop_warmup, ewma, summarize
+from repro.loadgen.traces import PointMix, TraceEvent, make_trace
+from repro.service.protocol import point_from_request
+from repro.service.server import BackgroundService
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("replay-cache"))
+    with BackgroundService(cache_dir=cache_dir) as svc:
+        yield svc
+
+
+def _mixed_trace(seed=77, rate=60.0, duration_s=1.5):
+    mix = PointMix(analytic_fraction=0.25, duplicate_fraction=0.25)
+    return make_trace(
+        "poisson", rate=rate, duration_s=duration_s, seed=seed, mix=mix
+    )
+
+
+class TestBitIdentity:
+    def test_replay_matches_solo_simulate(self, service):
+        """Every replayed record == the solo-CLI evaluation of its point."""
+        events = _mixed_trace()
+        result = WorkloadReplayer(port=service.port).run(events)
+        assert all(r.ok for r in result.requests)
+        records = result.result_records()
+        assert len(records) == len(events)
+        for event, answer in zip(events, records):
+            solo = evaluate_point(point_from_request(event.point))
+            assert answer == [solo]
+
+    def test_repeat_replay_identical_records(self, service):
+        """Same trace twice -> byte-identical service answers."""
+        events = _mixed_trace(seed=78)
+        first = WorkloadReplayer(port=service.port).run(events)
+        second = WorkloadReplayer(
+            port=service.port, concurrency=4
+        ).run(events)
+        assert first.result_records() == second.result_records()
+
+    def test_closed_loop_same_records(self, service):
+        """The discipline changes timing, never results."""
+        events = _mixed_trace(seed=79, rate=40.0, duration_s=1.0)
+        open_loop = WorkloadReplayer(
+            port=service.port, mode="open"
+        ).run(events)
+        closed_loop = WorkloadReplayer(
+            port=service.port, mode="closed", concurrency=8
+        ).run(events)
+        assert (
+            open_loop.result_records() == closed_loop.result_records()
+        )
+
+
+class TestReplayMechanics:
+    def test_report_shape(self, service):
+        events = _mixed_trace(seed=80, rate=40.0, duration_s=1.0)
+        result = WorkloadReplayer(port=service.port).run(events)
+        report = result.report(warmup_drop=3)
+        assert report["n_requests"] == len(events)
+        assert report["n_warmup_dropped"] == 3
+        assert report["n_measured"] == len(events) - 3
+        assert report["n_errors"] == 0
+        assert report["mode"] == "open"
+        assert report["throughput_rps"] > 0
+        for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "ewma_ms"):
+            assert report["latency"][key] > 0
+        # The mix produces all three request classes at these fractions.
+        assert set(report["classes"]) == {
+            "analytic", "repeat", "simulate"
+        }
+        assert report["max_dispatch_lateness_ms"] >= 0
+
+    def test_requests_in_completion_order(self, service):
+        events = _mixed_trace(seed=81, rate=40.0, duration_s=1.0)
+        result = WorkloadReplayer(port=service.port).run(events)
+        ends = [r.start_t + r.latency_s for r in result.requests]
+        assert ends == sorted(ends)
+
+    def test_failed_points_are_recorded_not_raised(self, service):
+        events = [
+            TraceEvent(0.0, {"kind": "PDMV", "platform": "hera",
+                             "n_patterns": 2, "n_runs": 2, "seed": 1}),
+            TraceEvent(0.01, {"kind": "NOPE", "platform": "hera"}),
+        ]
+        result = WorkloadReplayer(port=service.port).run(events)
+        by_index = sorted(result.requests, key=lambda r: r.index)
+        assert by_index[0].ok
+        assert not by_index[1].ok
+        assert by_index[1].error
+        assert result.report()["n_errors"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            WorkloadReplayer(mode="sideways")
+        with pytest.raises(ValueError, match="concurrency"):
+            WorkloadReplayer(concurrency=0)
+
+
+class TestSLOHelpers:
+    def test_drop_warmup(self):
+        assert drop_warmup([1, 2, 3, 4], 2) == [3, 4]
+        assert drop_warmup([1, 2], 0) == [1, 2]
+        # Over-dropping keeps the last sample so stats stay defined.
+        assert drop_warmup([1, 2], 10) == [2]
+        assert drop_warmup([], 3) == []
+        with pytest.raises(ValueError):
+            drop_warmup([1], -1)
+
+    def test_ewma(self):
+        assert ewma([]) is None
+        assert ewma([5.0]) == 5.0
+        assert ewma([0.0, 10.0], alpha=0.5) == 5.0
+        with pytest.raises(ValueError):
+            ewma([1.0], alpha=0.0)
+
+    def test_summarize_all_failed(self):
+        records = [
+            RequestRecord(
+                index=0, request_class="simulate", scheduled_t=0.0,
+                start_t=0.0, latency_s=0.1, ok=False, error="boom",
+            )
+        ]
+        report = summarize(records)
+        assert report["n_errors"] == 1
+        assert report["latency"] is None
+        assert report["throughput_rps"] == 0.0
+
+    def test_result_records_empty(self):
+        result = ReplayResult(
+            mode="open", concurrency=1, wall_s=0.0, requests=[]
+        )
+        assert result.result_records() == []
+        assert result.report()["n_requests"] == 0
+
+
+class TestLoadtestCLI:
+    def _run(self, service, *extra):
+        return main(
+            [
+                "loadtest", "--port", str(service.port),
+                "--shape", "constant", "--rate", "25", "--duration",
+                "1", "--seed", "42", *extra,
+            ]
+        )
+
+    def test_exit_zero_and_report_json(self, service, tmp_path):
+        out = tmp_path / "report.json"
+        assert self._run(service, "--json", str(out)) == 0
+        report = json.loads(out.read_text())
+        assert report["n_requests"] == 25
+        assert report["n_errors"] == 0
+        assert report["latency"]["p99_ms"] > 0
+
+    def test_slo_gates(self, service):
+        # A generous p99 bound passes; an impossible one exits 1.
+        assert self._run(service, "--assert-p99-ms", "60000") == 0
+        assert self._run(service, "--assert-p99-ms", "0.000001") == 1
+        assert (
+            self._run(service, "--assert-throughput-rps", "1e9") == 1
+        )
+
+    def test_save_and_replay_trace(self, service, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert self._run(service, "--save-trace", str(path)) == 0
+        assert (
+            main(
+                ["loadtest", "--port", str(service.port),
+                 "--trace", str(path)]
+            )
+            == 0
+        )
+
+    def test_missing_trace_fails(self, service, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load trace"):
+            main(
+                ["loadtest", "--port", str(service.port),
+                 "--trace", str(tmp_path / "absent.jsonl")]
+            )
+
+    def test_no_daemon_fails_fast(self, unused_port=None):
+        with pytest.raises(SystemExit, match="service error"):
+            main(
+                ["loadtest", "--port", "1", "--timeout", "2",
+                 "--shape", "constant", "--rate", "5",
+                 "--duration", "1"]
+            )
+
+    def test_closed_mode(self, service):
+        assert self._run(service, "--mode", "closed",
+                         "--concurrency", "4") == 0

@@ -1,0 +1,183 @@
+"""Trace generation: determinism, shapes, persistence, point validity.
+
+The replay harness is a verification instrument, so its own inputs
+must be reproducible: the same ``(shape, rate, duration, seed, mix)``
+has to yield the identical arrival schedule and the identical points,
+run after run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.loadgen.traces import (
+    MIX_KINDS,
+    PointMix,
+    TRACE_SHAPES,
+    TraceEvent,
+    load_trace,
+    make_trace,
+    save_trace,
+)
+from repro.service.protocol import point_from_request
+
+
+def _dicts(events):
+    return [e.to_dict() for e in events]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("shape", TRACE_SHAPES)
+    def test_same_seed_same_trace(self, shape):
+        """Two generations with one seed: identical timestamps AND points."""
+        kwargs = dict(rate=40.0, duration_s=2.0, seed=1234)
+        assert _dicts(make_trace(shape, **kwargs)) == _dicts(
+            make_trace(shape, **kwargs)
+        )
+
+    @pytest.mark.parametrize("shape", TRACE_SHAPES)
+    def test_different_seed_different_trace(self, shape):
+        a = make_trace(shape, rate=40.0, duration_s=2.0, seed=1)
+        b = make_trace(shape, rate=40.0, duration_s=2.0, seed=2)
+        assert _dicts(a) != _dicts(b)
+
+    def test_mixed_trace_deterministic(self):
+        mix = PointMix(analytic_fraction=0.3, duplicate_fraction=0.2)
+        kwargs = dict(rate=60.0, duration_s=2.0, seed=99, mix=mix)
+        assert _dicts(make_trace("poisson", **kwargs)) == _dicts(
+            make_trace("poisson", **kwargs)
+        )
+
+    def test_same_seed_same_points_across_shapes(self):
+        """Event i carries the same work whatever the arrival shape."""
+        a = make_trace("constant", rate=30.0, duration_s=2.0, seed=5)
+        b = make_trace("poisson", rate=30.0, duration_s=2.0, seed=5)
+        n = min(len(a), len(b))
+        assert [e.point for e in a[:n]] == [e.point for e in b[:n]]
+
+
+class TestShapes:
+    def test_constant_is_equally_spaced(self):
+        events = make_trace("constant", rate=50.0, duration_s=2.0, seed=0)
+        assert len(events) == 100
+        gaps = np.diff([e.t for e in events])
+        assert np.allclose(gaps, 0.02)
+
+    def test_poisson_rate_is_roughly_right(self):
+        events = make_trace(
+            "poisson", rate=200.0, duration_s=5.0, seed=7
+        )
+        # 1000 expected arrivals; 5 sigma ~ 158.
+        assert 800 <= len(events) <= 1200
+
+    def test_bursty_exceeds_base_rate(self):
+        """Shocks add arrivals beyond the quiet-phase base process."""
+        base = make_trace("poisson", rate=20.0, duration_s=5.0, seed=3)
+        bursty = make_trace(
+            "bursty",
+            rate=20.0,
+            duration_s=5.0,
+            seed=3,
+            shock_factor=10.0,
+            shock_rate=1.0,
+        )
+        assert len(bursty) > len(base)
+
+    def test_all_arrivals_inside_horizon(self):
+        for shape in TRACE_SHAPES:
+            for event in make_trace(
+                shape, rate=30.0, duration_s=1.5, seed=11
+            ):
+                assert 0.0 <= event.t < 1.5
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace shape"):
+            make_trace("sawtooth", rate=1.0, duration_s=1.0, seed=0)
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(rate=0.0), dict(rate=-1.0)]
+    )
+    def test_bad_rate_rejected(self, kwargs):
+        with pytest.raises(ValueError, match="rate"):
+            make_trace("poisson", duration_s=1.0, seed=0, **kwargs)
+
+
+class TestMix:
+    def test_points_validate_through_protocol(self):
+        mix = PointMix(analytic_fraction=0.25, duplicate_fraction=0.25)
+        events = make_trace(
+            "poisson", rate=80.0, duration_s=2.0, seed=21, mix=mix
+        )
+        for event in events:
+            point_from_request(event.point)  # raises on schema errors
+
+    def test_simulate_points_have_unique_seeds(self):
+        events = make_trace("constant", rate=50.0, duration_s=2.0, seed=4)
+        seeds = [e.point["seed"] for e in events]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_duplicates_reissue_earlier_points(self):
+        mix = PointMix(duplicate_fraction=0.5)
+        events = make_trace(
+            "poisson", rate=100.0, duration_s=2.0, seed=13, mix=mix
+        )
+        repeats = [e for e in events if e.request_class == "repeat"]
+        originals = [
+            e.point for e in events if e.request_class != "repeat"
+        ]
+        assert repeats, "expected some repeated points at 50% dup rate"
+        for repeat in repeats:
+            assert repeat.point in originals
+
+    def test_classes_follow_fractions(self):
+        mix = PointMix(analytic_fraction=1.0)
+        events = make_trace(
+            "constant", rate=20.0, duration_s=1.0, seed=2, mix=mix
+        )
+        assert {e.request_class for e in events} == {"analytic"}
+        assert all(e.point["engine"] == "analytic" for e in events)
+
+    def test_kinds_cycle(self):
+        events = make_trace(
+            "constant", rate=10.0, duration_s=1.0, seed=0
+        )
+        assert [e.point["kind"] for e in events] == list(MIX_KINDS * 2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(analytic_fraction=1.5),
+            dict(duplicate_fraction=-0.1),
+            dict(analytic_fraction=0.7, duplicate_fraction=0.7),
+            dict(n_patterns=0),
+        ],
+    )
+    def test_bad_mix_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PointMix(**kwargs)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        mix = PointMix(analytic_fraction=0.2, duplicate_fraction=0.1)
+        events = make_trace(
+            "bursty", rate=30.0, duration_s=2.0, seed=17, mix=mix
+        )
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(events, path)
+        assert _dicts(load_trace(path)) == _dicts(events)
+
+    def test_save_overwrites(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(
+            make_trace("constant", rate=10.0, duration_s=1.0, seed=1),
+            path,
+        )
+        short = make_trace("constant", rate=5.0, duration_s=1.0, seed=2)
+        save_trace(short, path)
+        assert _dicts(load_trace(path)) == _dicts(short)
+
+    def test_event_roundtrip(self):
+        event = TraceEvent(
+            0.25, {"kind": "PD", "platform": "hera"}, "analytic"
+        )
+        assert TraceEvent.from_dict(event.to_dict()) == event
