@@ -36,6 +36,7 @@ TRACKED = {
     "packed": "bench_packed.py",
     "service": "bench_service.py",
     "replay": "bench_replay.py",
+    "fleet": "bench_fleet.py",
 }
 
 

@@ -383,6 +383,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--autotune-window-ceil-ms", type=float, default=None,
         help="largest window the controller may set (default 25)",
     )
+    p.add_argument(
+        "--eval-procs", type=int, default=None, metavar="N",
+        help="resident evaluation worker processes; scheduler batches "
+        "fan out across them in row-budgeted buckets with records "
+        "bit-identical to in-process evaluation (default: 0, "
+        "in-process)",
+    )
+    p.add_argument(
+        "--rate-rows-per-s", type=float, default=None, metavar="ROWS",
+        help="per-client admission rate in Monte-Carlo rows/s "
+        "(token bucket; over-rate requests get 429 + Retry-After). "
+        "Default: no admission control",
+    )
+    p.add_argument(
+        "--burst-rows", type=int, default=None, metavar="ROWS",
+        help="per-client burst capacity in rows (default: 2 seconds "
+        "of --rate-rows-per-s)",
+    )
+    p.add_argument(
+        "--queue-rows", type=int, default=None, metavar="ROWS",
+        help="global cap on admitted-but-unanswered rows; beyond it "
+        "requests are shed with 503 (default: unbounded)",
+    )
+    p.add_argument(
+        "--job-ttl-days", type=float, default=None, metavar="DAYS",
+        help="garbage-collect finished jobs in --jobs-dir this many "
+        "days after completion (queued/running jobs are never "
+        "collected; default: keep forever)",
+    )
 
     p = sub.add_parser(
         "query", help="query a running evaluation daemon"
@@ -468,6 +497,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cancel", default=None, metavar="ID",
         help="cancel a job (idempotent on finished jobs)",
+    )
+    p.add_argument(
+        "--prune", type=float, default=None, metavar="DAYS",
+        help="offline cleanup: delete terminal job dirs under "
+        "--jobs-dir older than DAYS days (no daemon needed; running "
+        "jobs are never touched)",
+    )
+    p.add_argument(
+        "--jobs-dir", default=None,
+        help="jobs directory for --prune (the daemon's --jobs-dir)",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true",
+        help="with --prune: list what would be deleted, delete nothing",
     )
     p.add_argument("--csv", help="write rows to a CSV file")
     p.add_argument("--json", help="write rows to a JSON file")
@@ -788,8 +831,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config.autotune_interval_ms = args.autotune_interval_ms
     config.autotune_window_floor_ms = args.autotune_window_floor_ms
     config.autotune_window_ceil_ms = args.autotune_window_ceil_ms
+    if args.eval_procs is not None:
+        config.eval_procs = args.eval_procs
+    config.rate_rows_per_s = args.rate_rows_per_s
+    config.burst_rows = args.burst_rows
+    if args.queue_rows is not None:
+        config.queue_rows = args.queue_rows
+    config.job_ttl_days = args.job_ttl_days
     if args.port < 0:
         raise SystemExit(f"--port must be >= 0, got {args.port}")
+    if (
+        args.burst_rows is not None or args.queue_rows is not None
+    ) and args.rate_rows_per_s is None:
+        raise SystemExit(
+            "--burst-rows/--queue-rows require --rate-rows-per-s "
+            "(they configure admission control)"
+        )
 
     def announce(_scheduler, server) -> None:
         batching = (
@@ -797,11 +854,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if config.autotune
             else f"window {config.batch_window_ms:g} ms"
         )
+        fleet = (
+            f"fleet {config.eval_procs} procs"
+            if config.eval_procs
+            else "in-process"
+        )
+        admission = (
+            f"admission {config.rate_rows_per_s:g} rows/s"
+            if config.rate_rows_per_s is not None
+            else "admission off"
+        )
         print(
             f"repro service listening on "
             f"http://{server.host}:{server.port} "
             f"({batching}, "
             f"pack-rows {config.pack_rows}, "
+            f"{fleet}, {admission}, "
             f"cache {config.cache_dir or 'memory-only'}, "
             f"jobs {config.jobs_dir or 'memory-only'})",
             file=sys.stderr,
@@ -907,10 +975,32 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
-    """The ``jobs`` subcommand: list/inspect/cancel daemon jobs."""
+    """The ``jobs`` subcommand: list/inspect/cancel/prune daemon jobs."""
     import json
 
     from repro.service.client import ServiceClient, ServiceError
+
+    if args.prune is not None:
+        # Offline path: walks the jobs dir directly, no daemon needed.
+        from repro.service.jobs.store import JobStore
+
+        if not args.jobs_dir:
+            raise SystemExit("--prune requires --jobs-dir")
+        if args.prune < 0:
+            raise SystemExit(
+                f"--prune must be >= 0 days, got {args.prune}"
+            )
+        store = JobStore(args.jobs_dir)
+        pruned = store.prune(args.prune, dry_run=args.dry_run)
+        verb = "would delete" if args.dry_run else "deleted"
+        for job_id, state in pruned:
+            print(f"{verb} {job_id} ({state})")
+        print(
+            f"{verb} {len(pruned)} terminal job(s) older than "
+            f"{args.prune:g} day(s) under {store.root}",
+            file=sys.stderr,
+        )
+        return 0
 
     client = ServiceClient(args.host, args.port, timeout=args.timeout)
     try:

@@ -65,6 +65,9 @@ class RequestRecord:
     error: Optional[str] = None
     #: The service's result records for this request (one per point).
     records: List[Dict[str, Any]] = field(default_factory=list)
+    #: HTTP status of the final answer (``None`` when the service was
+    #: unreachable); 429/503 make admission rejections countable.
+    status: Optional[int] = 200
 
 
 @dataclass
@@ -88,6 +91,12 @@ class ReplayResult:
         out["mode"] = self.mode
         out["concurrency"] = self.concurrency
         out["wall_s"] = self.wall_s
+        out["n_rejected_429"] = sum(
+            1 for r in self.requests if r.status == 429
+        )
+        out["n_shed_503"] = sum(
+            1 for r in self.requests if r.status == 503
+        )
         if self.requests:
             out["max_dispatch_lateness_ms"] = 1e3 * max(
                 r.start_t - r.scheduled_t for r in self.requests
@@ -106,6 +115,8 @@ class WorkloadReplayer:
         mode: str = "open",
         concurrency: int = DEFAULT_CONCURRENCY,
         timeout: float = 120.0,
+        client_name: Optional[str] = None,
+        retry_429: int = 2,
     ):
         if mode not in MODES:
             raise ValueError(
@@ -120,6 +131,12 @@ class WorkloadReplayer:
         self.mode = mode
         self.concurrency = int(concurrency)
         self.timeout = timeout
+        #: Identity sent to the daemon's admission controller; the
+        #: whole replay counts as one client, like one real tenant.
+        self.client_name = client_name
+        #: Per-request 429 retries the underlying client absorbs by
+        #: honouring ``Retry-After``; 0 records every rejection raw.
+        self.retry_429 = int(retry_429)
         self._local = threading.local()
 
     def _client(self) -> ServiceClient:
@@ -127,7 +144,11 @@ class WorkloadReplayer:
         client = getattr(self._local, "client", None)
         if client is None:
             client = ServiceClient(
-                self.host, self.port, timeout=self.timeout
+                self.host,
+                self.port,
+                timeout=self.timeout,
+                client_name=self.client_name,
+                retry_429=self.retry_429,
             )
             self._local.client = client
         return client
@@ -139,6 +160,7 @@ class WorkloadReplayer:
         ok = True
         error: Optional[str] = None
         answers: List[Dict[str, Any]] = []
+        status: Optional[int] = 200
         try:
             result = self._client().evaluate([event.point])
             answers = result.records
@@ -153,9 +175,13 @@ class WorkloadReplayer:
         except ServiceError as exc:
             ok = False
             error = str(exc)
-            # Drop the thread's connection so the next request starts
-            # clean rather than inheriting a half-read socket.
-            self._client().close()
+            status = exc.status
+            if exc.status not in (429, 503):
+                # Drop the thread's connection so the next request
+                # starts clean rather than inheriting a half-read
+                # socket.  An admission rejection is a complete,
+                # well-formed exchange -- keep the connection.
+                self._client().close()
         latency = time.perf_counter() - start
         return RequestRecord(
             index=index,
@@ -166,6 +192,7 @@ class WorkloadReplayer:
             ok=ok,
             error=error,
             records=answers,
+            status=status,
         )
 
     def run(self, events: Sequence[TraceEvent]) -> ReplayResult:

@@ -1,0 +1,266 @@
+"""Traffic discipline in front of the scheduler: rate limits + shedding.
+
+The daemon's micro-batcher happily absorbs any burst -- by queueing it.
+Under sustained overload that queue grows without bound: every request
+is eventually answered, seconds late, and memory grows with the
+backlog.  Real serving needs **admission control**: decide *at the
+front door* whether a request may enter, and if not, tell the client
+exactly what to do about it.
+
+Two independent disciplines, checked in order:
+
+1. **Bounded admission queue** (global).  ``queue_rows`` caps the
+   Monte-Carlo rows admitted but not yet answered, across all clients.
+   A request that would push the backlog past the cap is **shed** with
+   ``503`` -- the load-shedding contract: the daemon is momentarily
+   saturated, try another replica or back off.  Shedding is checked
+   first so a saturated daemon stays cheap to reject from and no
+   client's token budget is burned on a request that cannot run.
+
+2. **Per-client token bucket** (fairness).  Each client owns a bucket
+   holding up to ``burst_rows`` row-tokens, refilled continuously at
+   ``rate_rows_per_s``.  Rows are the currency -- the same unit the
+   micro-batcher packs by and fair-share charges by -- so one client
+   streaming huge Monte-Carlo points is throttled identically to one
+   streaming many small ones.  A request that outruns its bucket gets
+   ``429`` with a ``Retry-After`` telling it exactly when the bucket
+   will cover it; a request larger than the whole burst capacity can
+   never be admitted and the 429 says to split it instead.
+
+Both checks are **deterministic**: buckets advance only on explicit
+``now`` timestamps (the server passes the event-loop clock; tests pass
+trace timestamps), so a saved arrival trace admits and rejects the
+exact same requests on every replay.
+
+Client identity comes from the ``X-Repro-Client`` request header
+(``anonymous`` when absent), mirroring the jobs API's fair-share
+identity.  Per-client counters (admitted / rejected / shed / rows) are
+surfaced under ``"admission"`` in ``GET /v1/stats``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Client identity header (case-insensitive on the wire; the server
+#: lower-cases header names).  Shared with the client and replayer.
+CLIENT_HEADER = "x-repro-client"
+
+#: Fallback identity for requests that do not name a client; matches
+#: the jobs API's anonymous fair-share identity.
+ANONYMOUS_CLIENT = "anonymous"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the front door (``repro serve --rate-rows-per-s ...``)."""
+
+    #: Per-client sustained row budget (tokens refilled per second).
+    rate_rows_per_s: float
+    #: Per-client bucket capacity: the largest burst admitted at once.
+    burst_rows: int
+    #: Global cap on admitted-but-unanswered rows; beyond it requests
+    #: are shed with 503 instead of queueing.  ``0`` disables the cap.
+    queue_rows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_rows_per_s <= 0:
+            raise ValueError(
+                f"rate_rows_per_s must be > 0, got {self.rate_rows_per_s}"
+            )
+        if self.burst_rows < 1:
+            raise ValueError(
+                f"burst_rows must be >= 1, got {self.burst_rows}"
+            )
+        if self.queue_rows < 0:
+            raise ValueError(
+                f"queue_rows must be >= 0, got {self.queue_rows}"
+            )
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission decision.
+
+    ``status`` is ``None`` when admitted, else the HTTP status to
+    answer (429 or 503).  ``retry_after_s`` accompanies a 429 whose
+    deficit a waiting client can actually cover.
+    """
+
+    admitted: bool
+    rows: int
+    status: Optional[int] = None
+    retry_after_s: Optional[float] = None
+    error: Optional[str] = None
+
+
+class TokenBucket:
+    """One client's row-token bucket; deterministic in ``now``.
+
+    The bucket starts full (a fresh client may burst immediately) and
+    refills continuously: ``tokens = min(burst, tokens + rate * dt)``.
+    Time never runs backwards -- a stale ``now`` (concurrent callers
+    racing on the event loop) reuses the newest timestamp seen, so
+    replaying a trace of ``(now, rows)`` pairs is reproducible.
+    """
+
+    def __init__(self, rate_rows_per_s: float, burst_rows: int):
+        self.rate = float(rate_rows_per_s)
+        self.burst = float(burst_rows)
+        self.tokens = self.burst
+        self._t_last: Optional[float] = None
+
+    def _refill(self, now: float) -> None:
+        if self._t_last is None:
+            self._t_last = now
+            return
+        if now > self._t_last:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._t_last) * self.rate
+            )
+            self._t_last = now
+
+    def take(self, rows: int, now: float) -> Optional[float]:
+        """Try to take ``rows`` tokens; ``None`` on success.
+
+        On failure returns the seconds until the bucket will cover the
+        request (``inf`` when ``rows`` exceeds the burst capacity and
+        waiting can never help).
+        """
+        self._refill(now)
+        if rows <= self.tokens:
+            self.tokens -= rows
+            return None
+        if rows > self.burst:
+            return math.inf
+        return (rows - self.tokens) / self.rate
+
+
+@dataclass
+class _ClientState:
+    bucket: TokenBucket
+    counters: Dict[str, int] = field(
+        default_factory=lambda: {
+            "admitted": 0,
+            "rejected_429": 0,
+            "shed_503": 0,
+            "rows_admitted": 0,
+        }
+    )
+
+
+class AdmissionController:
+    """The front door: per-client buckets plus the global queue bound.
+
+    Single-threaded by design -- every call happens on the daemon's
+    event loop (or a test driving it synchronously), so there is no
+    locking and decisions are strictly ordered.
+    """
+
+    def __init__(self, config: AdmissionConfig):
+        self.config = config
+        self._clients: Dict[str, _ClientState] = {}
+        self._outstanding_rows = 0
+        self._peak_outstanding_rows = 0
+        self._shed_total = 0
+        self._rejected_total = 0
+        self._admitted_total = 0
+
+    @property
+    def outstanding_rows(self) -> int:
+        """Rows admitted and not yet released (the bounded queue)."""
+        return self._outstanding_rows
+
+    def _client(self, name: str) -> _ClientState:
+        state = self._clients.get(name)
+        if state is None:
+            state = _ClientState(
+                TokenBucket(
+                    self.config.rate_rows_per_s, self.config.burst_rows
+                )
+            )
+            self._clients[name] = state
+        return state
+
+    def admit(self, client: str, rows: int, now: float) -> Admission:
+        """Decide one request; admitted rows must be :meth:`release`\\ d."""
+        rows = max(1, int(rows))
+        state = self._client(client or ANONYMOUS_CLIENT)
+        cap = self.config.queue_rows
+        if cap and self._outstanding_rows + rows > cap:
+            state.counters["shed_503"] += 1
+            self._shed_total += 1
+            return Admission(
+                admitted=False,
+                rows=rows,
+                status=503,
+                error=(
+                    f"admission queue full ({self._outstanding_rows} of "
+                    f"{cap} rows in flight); back off and retry"
+                ),
+            )
+        wait = state.bucket.take(rows, now)
+        if wait is not None:
+            state.counters["rejected_429"] += 1
+            self._rejected_total += 1
+            if math.isinf(wait):
+                return Admission(
+                    admitted=False,
+                    rows=rows,
+                    status=429,
+                    error=(
+                        f"request of {rows} rows exceeds the per-client "
+                        f"burst capacity ({self.config.burst_rows} rows); "
+                        "split the batch"
+                    ),
+                )
+            return Admission(
+                admitted=False,
+                rows=rows,
+                status=429,
+                retry_after_s=wait,
+                error=(
+                    f"client {client!r} rate-limited: {rows} rows "
+                    f"requested, bucket refills at "
+                    f"{self.config.rate_rows_per_s:g} rows/s; retry in "
+                    f"{wait:.3f}s"
+                ),
+            )
+        state.counters["admitted"] += 1
+        state.counters["rows_admitted"] += rows
+        self._admitted_total += 1
+        self._outstanding_rows += rows
+        self._peak_outstanding_rows = max(
+            self._peak_outstanding_rows, self._outstanding_rows
+        )
+        return Admission(admitted=True, rows=rows)
+
+    def release(self, admission: Admission) -> None:
+        """Return an admitted request's rows to the queue budget."""
+        if admission.admitted:
+            self._outstanding_rows = max(
+                0, self._outstanding_rows - admission.rows
+            )
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``"admission"`` section of ``GET /v1/stats``."""
+        return {
+            "config": {
+                "rate_rows_per_s": self.config.rate_rows_per_s,
+                "burst_rows": self.config.burst_rows,
+                "queue_rows": self.config.queue_rows,
+            },
+            "outstanding_rows": self._outstanding_rows,
+            "peak_outstanding_rows": self._peak_outstanding_rows,
+            "counters": {
+                "admitted": self._admitted_total,
+                "rejected_429": self._rejected_total,
+                "shed_503": self._shed_total,
+            },
+            "clients": {
+                name: dict(state.counters)
+                for name, state in sorted(self._clients.items())
+            },
+        }

@@ -2,9 +2,21 @@
 
 One :class:`ServiceClient` holds one keep-alive connection; a stale or
 dropped connection (daemon restart, idle timeout) is re-opened and the
-request retried once -- safe because evaluation is deterministic and
-cached, so a duplicate request is answered from the daemon's cache
-rather than recomputed.
+request retried once -- but **only for idempotent requests**.
+``/v1/evaluate`` qualifies despite being a POST (evaluation is
+deterministic and cached, a duplicate is answered from the daemon's
+cache); ``POST /v1/campaign`` qualifies only because
+:meth:`~ServiceClient.submit_campaign` attaches an idempotency key,
+making the daemon deduplicate a resubmission.  A non-idempotent
+request on a dead connection raises instead of silently doubling the
+side effect.
+
+Since protocol 3 the daemon may answer ``429`` (rate-limited, with
+``Retry-After``) or ``503`` (load shed).  The client honours
+``Retry-After`` by sleeping and retrying up to ``retry_429`` times;
+``503`` and an exhausted 429 budget surface as :class:`ServiceError`
+with the status (and ``retry_after`` when the daemon supplied one) so
+callers can implement their own back-off.
 
 ``repro query`` is a thin CLI wrapper around this class; ``repro
 submit`` / ``repro jobs`` / ``repro results`` wrap the jobs methods
@@ -17,6 +29,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import secrets
 import time
 import urllib.parse
 from dataclasses import dataclass, field
@@ -39,11 +52,23 @@ PointLike = Union[ScenarioPoint, Mapping[str, Any]]
 
 
 class ServiceError(RuntimeError):
-    """The service was unreachable or answered with an error."""
+    """The service was unreachable or answered with an error.
 
-    def __init__(self, message: str, *, status: Optional[int] = None):
+    ``status`` is the HTTP status when one was received;
+    ``retry_after`` carries the daemon's back-off hint (seconds) on a
+    rate-limit rejection the client did not absorb itself.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 @dataclass(frozen=True)
@@ -69,22 +94,41 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         *,
         timeout: float = 300.0,
+        client_name: Optional[str] = None,
+        retry_429: int = 2,
+        max_retry_after_s: float = 30.0,
     ):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        #: Identity sent as ``X-Repro-Client`` -- the name admission
+        #: control and job fair-share account this client under.
+        self.client_name = client_name
+        #: How many 429s to absorb per request by honouring
+        #: ``Retry-After``; 0 surfaces every 429 to the caller.
+        self.retry_429 = int(retry_429)
+        #: Never sleep longer than this per honoured 429 -- a daemon
+        #: asking for more is effectively saying "come back later".
+        self.max_retry_after_s = float(max_retry_after_s)
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport ----------------------------------------------------------
-    def _request(
-        self, method: str, path: str, payload: Any = None
-    ) -> Dict[str, Any]:
-        body = (
-            json.dumps(payload).encode("utf-8")
-            if payload is not None
-            else None
-        )
-        headers = {"Content-Type": "application/json"} if body else {}
+    def _send(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+        *,
+        idempotent: bool,
+    ):
+        """One exchange, reconnecting through a dead keep-alive.
+
+        The stale-connection retry applies only to ``idempotent``
+        requests: a POST with side effects that dies mid-flight is
+        ambiguous (the daemon may have processed it), so it surfaces
+        as an error rather than being silently re-sent.
+        """
         while True:
             reused = self._conn is not None
             try:
@@ -96,9 +140,11 @@ class ServiceClient:
                     method, path, body=body, headers=headers
                 )
                 response = self._conn.getresponse()
-                status = response.status
-                raw = response.read()
-                break
+                return (
+                    response.status,
+                    response.read(),
+                    response.getheader("Retry-After"),
+                )
             except (
                 http.client.HTTPException,
                 ConnectionError,
@@ -114,20 +160,73 @@ class ServiceClient:
                         f"cannot reach repro service at "
                         f"{self.host}:{self.port}: {exc}"
                     ) from exc
-        try:
-            data = json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise ServiceError(
-                f"non-JSON response from {self.host}:{self.port} "
-                f"(status {status}): {exc}",
-                status=status,
-            ) from None
-        if status != 200:
-            raise ServiceError(
-                data.get("error", f"service answered {status}"),
-                status=status,
+                if not idempotent:
+                    raise ServiceError(
+                        f"connection to {self.host}:{self.port} dropped "
+                        f"mid-request: {exc}; not retrying a "
+                        f"non-idempotent {method} (the daemon may have "
+                        "already processed it)"
+                    ) from exc
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        *,
+        idempotent: Optional[bool] = None,
+    ) -> Dict[str, Any]:
+        if idempotent is None:
+            idempotent = method in ("GET", "HEAD", "PUT", "DELETE")
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        if self.client_name:
+            headers["X-Repro-Client"] = self.client_name
+        budget_429 = max(0, self.retry_429)
+        while True:
+            status, raw, retry_header = self._send(
+                method, path, body, headers, idempotent=idempotent
             )
-        return data
+            try:
+                data = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ServiceError(
+                    f"non-JSON response from {self.host}:{self.port} "
+                    f"(status {status}): {exc}",
+                    status=status,
+                ) from None
+            if status == 200:
+                return data
+            retry_after: Optional[float] = None
+            if isinstance(data, dict) and isinstance(
+                data.get("retry_after_s"), (int, float)
+            ):
+                retry_after = float(data["retry_after_s"])
+            elif retry_header is not None:
+                try:
+                    retry_after = float(retry_header)
+                except ValueError:
+                    retry_after = None
+            if (
+                status == 429
+                and budget_429 > 0
+                and retry_after is not None
+                and retry_after <= self.max_retry_after_s
+            ):
+                budget_429 -= 1
+                time.sleep(max(0.0, retry_after))
+                continue
+            raise ServiceError(
+                data.get("error", f"service answered {status}")
+                if isinstance(data, dict)
+                else f"service answered {status}",
+                status=status,
+                retry_after=retry_after,
+            )
 
     def close(self) -> None:
         """Drop the connection (it reopens on the next request)."""
@@ -156,8 +255,11 @@ class ServiceClient:
             p.to_dict() if isinstance(p, ScenarioPoint) else dict(p)
             for p in points
         ]
+        # POST by verb, idempotent by construction: evaluation is
+        # deterministic and cached, so re-sending over a fresh
+        # connection cannot change any answer.
         data = self._request(
-            "POST", "/v1/evaluate", {"points": dicts}
+            "POST", "/v1/evaluate", {"points": dicts}, idempotent=True
         )
         return EvaluateResult(
             keys=list(data["keys"]),
@@ -174,20 +276,35 @@ class ServiceClient:
         self,
         spec: Union[CampaignSpec, Mapping[str, Any]],
         client: Optional[str] = None,
+        *,
+        idempotency_key: Optional[str] = None,
     ) -> Dict[str, Any]:
         """``POST /v1/campaign``: register a background job.
 
         Returns the new job's document immediately; the campaign runs
         server-side (poll with :meth:`job`, stream with
         :meth:`iter_results`).
+
+        A fresh ``idempotency_key`` is generated when none is given,
+        so the submission is safe to retry over a dropped connection:
+        the daemon answers a resubmission with the job the first
+        attempt created instead of starting a duplicate.  Pass your
+        own key to make retries safe across *client* restarts too.
         """
         spec_dict = (
             spec.to_dict() if isinstance(spec, CampaignSpec) else dict(spec)
         )
-        payload: Dict[str, Any] = {"spec": spec_dict}
+        if idempotency_key is None:
+            idempotency_key = "ck-" + secrets.token_hex(8)
+        payload: Dict[str, Any] = {
+            "spec": spec_dict,
+            "idempotency_key": idempotency_key,
+        }
         if client is not None:
             payload["client"] = client
-        return self._request("POST", "/v1/campaign", payload)["job"]
+        return self._request(
+            "POST", "/v1/campaign", payload, idempotent=True
+        )["job"]
 
     def jobs(self, client: Optional[str] = None) -> List[Dict[str, Any]]:
         """``GET /v1/jobs``: job documents, oldest first."""

@@ -1,0 +1,206 @@
+"""Resident process fleet behind the micro-batch scheduler.
+
+One daemon process tops out at roughly one core of Monte-Carlo: the
+:class:`~repro.service.scheduler.MicroBatchScheduler` evaluates its
+mega-batches on an in-process thread pool, and NumPy holds the GIL for
+only part of each engine call.  :class:`EvalFleet` lifts that ceiling
+by fanning every scheduler batch out to **N resident worker
+processes**:
+
+* The pool is created once at service startup (fork context, the
+  campaign executor's precedent) and stays warm -- each worker keeps
+  its imports, schedule/optimisation memo caches and NumPy buffers
+  across batches, so per-batch cost is IPC plus compute, never
+  interpreter start-up.
+* Each batch is carved into row-budgeted buckets by the **same
+  planner the jobs layer uses**
+  (:func:`repro.service.jobs.fair_share.plan_job_buckets`):
+  compatibility bucketing plus row-budget splitting, with the budget
+  shrunk to ``ceil(total_rows / procs)`` so one batch spreads across
+  the whole fleet instead of filling one worker's default budget.
+* Workers evaluate through
+  :func:`~repro.campaign.executor.evaluate_points_packed`, whose
+  per-point records are **bit-identical** to solo
+  :func:`~repro.campaign.executor.evaluate_point` runs under any
+  packing -- ``tier_rng``'s placement-invariant per-point streams make
+  the worker count invisible in the results.  The fleet reassembles
+  records in input order, so swapping it in for in-process evaluation
+  changes throughput and nothing else.
+
+The scheduler takes the fleet as its injectable ``evaluate`` callable
+(``MicroBatchScheduler(..., evaluate=fleet.evaluate)``); ``repro serve
+--eval-procs N`` wires it up, and the fleet's counters surface under
+``"fleet"`` in ``GET /v1/stats``.
+
+Failure isolation note: the scheduler already quarantines a failing
+batch by re-running its points solo; a point that raises inside a
+worker propagates out of :meth:`EvalFleet.evaluate` exactly like an
+in-process failure, so that machinery keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.campaign.executor import DEFAULT_PACK_ROWS
+from repro.campaign.spec import ScenarioPoint
+from repro.service.jobs.fair_share import (
+    bucket_rows,
+    plan_job_buckets,
+    point_rows,
+)
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pay the heavy imports once per worker.
+
+    Under ``fork`` the parent's modules arrive pre-imported, but under
+    ``spawn`` (or a parent that forked before importing the engine)
+    this is where each resident worker loads NumPy and the simulation
+    tiers -- before the first batch, not during it.
+    """
+    import repro.campaign.executor  # noqa: F401
+    import repro.simulation.packed_engine  # noqa: F401
+
+
+def _noop() -> None:
+    """Spawn-forcing task; see the prewarm in :class:`EvalFleet`."""
+
+
+def _evaluate_bucket(
+    point_dicts: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Worker entry: one row-budgeted bucket of serialised points."""
+    from repro.campaign.executor import evaluate_points_packed
+
+    points = [ScenarioPoint.from_dict(d) for d in point_dicts]
+    return evaluate_points_packed(points)
+
+
+class EvalFleet:
+    """A resident process pool evaluating scheduler batches.
+
+    ``procs`` is the worker count; ``pack_rows`` bounds one bucket's
+    Monte-Carlo rows (the effective budget also shrinks to spread each
+    batch across the fleet).  :meth:`evaluate` is thread-safe -- the
+    scheduler calls it from several executor threads at once and
+    ``ProcessPoolExecutor.submit`` serialises internally.
+    """
+
+    def __init__(
+        self,
+        procs: int,
+        *,
+        pack_rows: int = DEFAULT_PACK_ROWS,
+    ):
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        if pack_rows < 1:
+            raise ValueError(f"pack_rows must be >= 1, got {pack_rows}")
+        self.procs = int(procs)
+        self.pack_rows = int(pack_rows)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=self.procs,
+            mp_context=context,
+            initializer=_warm_worker,
+        )
+        # Force every worker to fork NOW, not lazily on first batch:
+        # the executor spawns one process per submit while none are
+        # idle, and the service creates the fleet *before* binding its
+        # listening socket -- forking later would hand each worker a
+        # copy of live connection FDs, holding client connections open
+        # long after the server closes them.
+        for prewarm in [
+            self._pool.submit(_noop) for _ in range(self.procs)
+        ]:
+            prewarm.result()
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "batches": 0,
+            "buckets": 0,
+            "points": 0,
+            "rows": 0,
+            "max_bucket_rows": 0,
+            "max_batch_buckets": 0,
+        }
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(
+        self, points: Sequence[ScenarioPoint]
+    ) -> List[Dict[str, Any]]:
+        """Evaluate one scheduler batch across the fleet, in order.
+
+        Bucket planning depends only on point content and order --
+        never on ``procs`` -- and every bucket is evaluated through
+        the placement-invariant packed path, so the records match an
+        in-process :func:`evaluate_points_packed` call bit for bit.
+        """
+        if self._pool is None:
+            raise RuntimeError("EvalFleet is closed")
+        if not points:
+            return []
+        # Index-keyed items: input position is the reassembly address
+        # (cache keys may legitimately repeat within a batch).
+        items = [(str(i), p) for i, p in enumerate(points)]
+        total_rows = sum(point_rows(p) for p in points)
+        budget = min(
+            self.pack_rows,
+            max(1, -(-total_rows // self.procs)),
+        )
+        buckets = plan_job_buckets(items, budget)
+        futures = [
+            (
+                bucket,
+                self._pool.submit(
+                    _evaluate_bucket, [p.to_dict() for _, p in bucket]
+                ),
+            )
+            for bucket in buckets
+        ]
+        out: List[Optional[Dict[str, Any]]] = [None] * len(points)
+        for bucket, future in futures:
+            for (key, _), record in zip(bucket, future.result()):
+                out[int(key)] = record
+        with self._lock:
+            self._counters["batches"] += 1
+            self._counters["buckets"] += len(buckets)
+            self._counters["points"] += len(points)
+            self._counters["rows"] += total_rows
+            self._counters["max_bucket_rows"] = max(
+                self._counters["max_bucket_rows"],
+                max(bucket_rows(b) for b in buckets),
+            )
+            self._counters["max_batch_buckets"] = max(
+                self._counters["max_batch_buckets"], len(buckets)
+            )
+        return out  # type: ignore[return-value]
+
+    # -- introspection / lifecycle -------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The ``"fleet"`` section of ``GET /v1/stats``."""
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            "procs": self.procs,
+            "pack_rows": self.pack_rows,
+            "counters": counters,
+        }
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "EvalFleet":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

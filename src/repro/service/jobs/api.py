@@ -78,9 +78,11 @@ class JobsApi:
     # -- handlers -----------------------------------------------------------
 
     async def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
-        spec, client = parse_campaign_body(body)
+        spec, client, idempotency_key = parse_campaign_body(body)
         try:
-            job = await self.manager.submit(spec, client)
+            job = await self.manager.submit(
+                spec, client, idempotency_key=idempotency_key
+            )
         except (ValueError, KeyError) as exc:
             # Unknown scenario (KeyError from the registry) or a
             # generator that rejected its params.

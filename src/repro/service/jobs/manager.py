@@ -147,7 +147,16 @@ class JobManager:
     pack_rows:
         Row budget used to carve jobs into buckets; defaults to the
         scheduler's own budget so job buckets fill its mega-batches.
+    job_ttl_days:
+        Age (days since finishing) past which terminal jobs are
+        garbage-collected -- removed from memory and, when persisted,
+        from the jobs dir.  ``None`` keeps jobs forever (the historical
+        behaviour, which let ``--jobs-dir`` accumulate without bound).
+        Queued/running jobs are never collected.
     """
+
+    #: How often the background GC sweep runs when a TTL is set.
+    GC_INTERVAL_S = 60.0
 
     def __init__(
         self,
@@ -156,10 +165,15 @@ class JobManager:
         *,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         pack_rows: Optional[int] = None,
+        job_ttl_days: Optional[float] = None,
     ):
         if max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if job_ttl_days is not None and job_ttl_days < 0:
+            raise ValueError(
+                f"job_ttl_days must be >= 0, got {job_ttl_days}"
             )
         if isinstance(store, str):
             store = JobStore(store)
@@ -169,21 +183,29 @@ class JobManager:
         self.pack_rows = int(
             scheduler.pack_rows if pack_rows is None else pack_rows
         )
+        self.job_ttl_days = (
+            float(job_ttl_days) if job_ttl_days is not None else None
+        )
         self._jobs: Dict[str, Job] = {}
+        #: ``(client, idempotency_key) -> job_id`` for safe resubmits.
+        self._idempotency: Dict[tuple, str] = {}
         self._fair = FairShare()
         self._seq = 0
         self._inflight_total = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._wake: Optional[asyncio.Event] = None
         self._pump_task: Optional[asyncio.Task] = None
+        self._gc_task: Optional[asyncio.Task] = None
         self._bucket_tasks: "set[asyncio.Task]" = set()
         self._counters: Dict[str, int] = {
             "submitted": 0,   # jobs accepted via submit()
             "resumed": 0,     # non-terminal jobs re-queued at startup
+            "deduplicated": 0,  # submits answered by an existing job
             "done": 0,
             "failed": 0,
             "cancelled": 0,
             "buckets_dispatched": 0,
+            "gc_collected": 0,  # terminal jobs removed by the TTL sweep
         }
 
     @property
@@ -202,10 +224,17 @@ class JobManager:
             for loaded in self._store.load_all():
                 self._restore(loaded)
         self._pump_task = self._loop.create_task(self._pump())
+        if self.job_ttl_days is not None:
+            self._gc_task = self._loop.create_task(self._gc_loop())
         self._wake.set()
 
     async def close(self) -> None:
         """Stop the pump, let in-flight buckets settle, close journals."""
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._gc_task
+            self._gc_task = None
         if self._pump_task is not None:
             self._pump_task.cancel()
             with suppress(asyncio.CancelledError):
@@ -231,6 +260,9 @@ class JobManager:
             seq=self._next_seq(),
             created=float(envelope.get("created", 0.0)),
         )
+        idem = envelope.get("idempotency_key")
+        if idem:
+            self._idempotency[(job.client, str(idem))] = job.job_id
         try:
             job.points = spec.points()
             from repro.campaign.cache import cache_key
@@ -272,17 +304,40 @@ class JobManager:
 
     # -- submission and queries ---------------------------------------------
 
-    async def submit(self, spec: CampaignSpec, client: str) -> Job:
+    async def submit(
+        self,
+        spec: CampaignSpec,
+        client: str,
+        idempotency_key: Optional[str] = None,
+    ) -> Job:
         """Register a campaign as a background job and wake the pump.
 
         Expands the spec eagerly (a generator error fails the
         submission, not the job), persists ``spec.json``, opens the
         journal, and queues the missing points' buckets.
+
+        ``idempotency_key`` makes resubmission safe: a second submit
+        carrying the same ``(client, key)`` pair returns the job the
+        first one created instead of starting a duplicate -- the
+        contract that lets the HTTP client retry ``POST /v1/campaign``
+        over a dead keep-alive connection without double-submitting.
         """
         if not self.running:
             raise RuntimeError(
                 "job manager is not running; call start() first"
             )
+        if idempotency_key:
+            existing_id = self._idempotency.get(
+                (client, idempotency_key)
+            )
+            existing = (
+                self._jobs.get(existing_id)
+                if existing_id is not None
+                else None
+            )
+            if existing is not None:
+                self._counters["deduplicated"] += 1
+                return existing
         points = spec.points()
         if not points:
             raise ValueError("campaign has no scenario points")
@@ -298,15 +353,15 @@ class JobManager:
             keys=[cache_key(p) for p in points],
         )
         if self._store is not None:
-            self._store.save_spec(
-                job.job_id,
-                {
-                    "spec": spec.to_dict(),
-                    "client": client,
-                    "created": job.created,
-                    "fingerprint": spec.fingerprint(),
-                },
-            )
+            envelope = {
+                "spec": spec.to_dict(),
+                "client": client,
+                "created": job.created,
+                "fingerprint": spec.fingerprint(),
+            }
+            if idempotency_key:
+                envelope["idempotency_key"] = idempotency_key
+            self._store.save_spec(job.job_id, envelope)
             journal = self._store.open_journal(job.job_id)
             job.journal = journal
             job.resolved = dict(journal.existing)
@@ -314,6 +369,8 @@ class JobManager:
             job.n_from_journal = len(journal.existing)
         self._plan(job)
         self._jobs[job.job_id] = job
+        if idempotency_key:
+            self._idempotency[(client, idempotency_key)] = job.job_id
         self._counters["submitted"] += 1
         if not job.buckets:
             self._maybe_finish(job)
@@ -415,6 +472,46 @@ class JobManager:
             "exhausted": job.terminal and i >= n,
         }
 
+    # -- garbage collection --------------------------------------------------
+
+    def gc(self, now: Optional[float] = None) -> List[str]:
+        """Collect terminal jobs older than the TTL; returns their ids.
+
+        A job is collectable when it is terminal, has no in-flight
+        buckets, and finished more than ``job_ttl_days`` ago (jobs
+        restored without a ``finished`` timestamp fall back to their
+        creation time).  Queued/running jobs are never touched.  No-op
+        when no TTL is configured.
+        """
+        if self.job_ttl_days is None:
+            return []
+        now = time.time() if now is None else now
+        cutoff = now - self.job_ttl_days * 86400.0
+        collected: List[str] = []
+        for job_id, job in list(self._jobs.items()):
+            if not job.terminal or job.inflight > 0:
+                continue
+            age_ref = job.finished if job.finished else job.created
+            if age_ref >= cutoff:
+                continue
+            self._release_journal(job)
+            del self._jobs[job_id]
+            idem_keys = [
+                k for k, v in self._idempotency.items() if v == job_id
+            ]
+            for k in idem_keys:
+                del self._idempotency[k]
+            if self._store is not None:
+                self._store.delete_job(job_id)
+            collected.append(job_id)
+        self._counters["gc_collected"] += len(collected)
+        return collected
+
+    async def _gc_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.GC_INTERVAL_S)
+            self.gc()
+
     def stats(self) -> Dict[str, Any]:
         """Manager counters for the ``/v1/stats`` payload."""
         by_state: Dict[str, int] = {}
@@ -424,6 +521,7 @@ class JobManager:
             "config": {
                 "max_inflight": self.max_inflight,
                 "pack_rows": self.pack_rows,
+                "job_ttl_days": self.job_ttl_days,
                 "jobs_dir": (
                     self._store.root if self._store is not None else None
                 ),

@@ -25,7 +25,8 @@ from __future__ import annotations
 import json
 import os
 import re
-from typing import Any, Dict, List, Optional
+import shutil
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.campaign.executor import Journal
 from repro.campaign.spec import CampaignSpec
@@ -138,3 +139,67 @@ class JobStore:
             key=lambda j: (j["envelope"].get("created", 0.0), j["job_id"])
         )
         return jobs
+
+    def delete_job(self, job_id: str) -> bool:
+        """Remove one job's directory; ``True`` if something was removed.
+
+        Only ids matching the job-dir shape are ever deleted -- a
+        corrupted id can not escape the jobs root.
+        """
+        if not _JOB_ID_RE.match(job_id):
+            return False
+        path = os.path.join(self.root, job_id)
+        if not os.path.isdir(path):
+            return False
+        shutil.rmtree(path, ignore_errors=True)
+        return not os.path.isdir(path)
+
+    def prune(
+        self,
+        ttl_days: float,
+        *,
+        now: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> List[Tuple[str, str]]:
+        """Offline TTL cleanup: delete old **terminal** job dirs.
+
+        The ``repro jobs --prune`` path, safe to run against a live
+        daemon's jobs dir: only directories carrying a ``state.json``
+        terminal marker are candidates (queued/running jobs have none),
+        aged by the marker's ``finished`` timestamp with the file's
+        mtime as fallback.  Unreadable-spec directories are left alone
+        -- deleting what we cannot read is how backups die.  Returns
+        ``(job_id, state)`` pairs (the would-be list under
+        ``dry_run``).
+        """
+        if ttl_days < 0:
+            raise ValueError(f"ttl_days must be >= 0, got {ttl_days}")
+        import time
+
+        cutoff = (time.time() if now is None else now) - ttl_days * 86400.0
+        pruned: List[Tuple[str, str]] = []
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        for name in names:
+            if not _JOB_ID_RE.match(name):
+                continue
+            state_path = os.path.join(self.root, name, STATE_FILE)
+            try:
+                with open(state_path) as fh:
+                    state = json.load(fh)
+            except (OSError, ValueError):
+                continue  # no/torn terminal marker: not collectable
+            finished = state.get("finished")
+            if not isinstance(finished, (int, float)) or not finished:
+                try:
+                    finished = os.path.getmtime(state_path)
+                except OSError:
+                    continue
+            if finished >= cutoff:
+                continue
+            pruned.append((name, str(state.get("state", "?"))))
+            if not dry_run:
+                self.delete_job(name)
+        return pruned

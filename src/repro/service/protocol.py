@@ -29,7 +29,7 @@ or a bare spec object -- and registers it as a background job; see
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.campaign.spec import (
     CampaignSpec,
@@ -42,7 +42,13 @@ from repro.campaign.spec import (
 #: 2: per-point ``error`` records replaced the all-or-nothing 500 on
 #: ``/v1/evaluate``; the jobs endpoints (``/v1/campaign``, ``/v1/jobs``)
 #: joined the surface.
-PROTOCOL_VERSION = 2
+#: 3: admission control joined the surface -- ``/v1/evaluate`` may
+#: answer ``429`` (with a ``Retry-After`` header and an exact
+#: ``retry_after_s`` in the body) or ``503`` when the daemon sheds
+#: load; the client identifies itself via the ``X-Repro-Client``
+#: header; ``POST /v1/campaign`` accepts an ``idempotency_key`` making
+#: resubmission safe.
+PROTOCOL_VERSION = 3
 
 #: Default client identity for job submissions that do not name one;
 #: fair-share treats every anonymous submitter as one client.
@@ -146,14 +152,20 @@ def evaluate_response(
     }
 
 
-def parse_campaign_body(raw: bytes) -> Tuple[CampaignSpec, str]:
-    """Parse a ``POST /v1/campaign`` body into ``(spec, client)``.
+def parse_campaign_body(
+    raw: bytes,
+) -> Tuple[CampaignSpec, str, Optional[str]]:
+    """Parse a ``POST /v1/campaign`` body.
 
-    Accepts ``{"spec": {...}, "client": "name"}`` or a bare
-    :meth:`CampaignSpec.to_dict` object (detected by its ``scenario``
-    field).  The spec is validated eagerly -- including the scenario
-    name, via :func:`repro.campaign.registry.get_scenario` -- so a bad
+    Returns ``(spec, client, idempotency_key)``.  Accepts
+    ``{"spec": {...}, "client": "name", "idempotency_key": "..."}`` or
+    a bare :meth:`CampaignSpec.to_dict` object (detected by its
+    ``scenario`` field).  The spec is validated eagerly -- including
+    the scenario name, via
+    :func:`repro.campaign.registry.get_scenario` -- so a bad
     submission fails the request instead of failing the job later.
+    The optional idempotency key (protocol 3) lets a client retry a
+    submission without double-creating the job.
     """
     try:
         data = json.loads(raw.decode("utf-8") if raw else "")
@@ -167,8 +179,10 @@ def parse_campaign_body(raw: bytes) -> Tuple[CampaignSpec, str]:
             "or a bare campaign spec object"
         )
     client: Any = DEFAULT_CLIENT
+    idempotency_key: Any = None
     if "spec" in data and "scenario" not in data:
         client = data.get("client", DEFAULT_CLIENT)
+        idempotency_key = data.get("idempotency_key")
         spec_data = data["spec"]
         if not isinstance(spec_data, Mapping):
             raise ProtocolError('"spec" must be a campaign spec object')
@@ -176,6 +190,12 @@ def parse_campaign_body(raw: bytes) -> Tuple[CampaignSpec, str]:
         spec_data = data
     if not isinstance(client, str) or not client:
         raise ProtocolError('"client" must be a non-empty string')
+    if idempotency_key is not None and (
+        not isinstance(idempotency_key, str) or not idempotency_key
+    ):
+        raise ProtocolError(
+            '"idempotency_key" must be a non-empty string when given'
+        )
     try:
         spec = CampaignSpec.from_dict(spec_data)
     except (KeyError, TypeError, ValueError) as exc:
@@ -187,4 +207,4 @@ def parse_campaign_body(raw: bytes) -> Tuple[CampaignSpec, str]:
             f"unknown scenario {spec.scenario!r}; available: "
             f"{', '.join(scenario_names())}"
         )
-    return spec, client
+    return spec, client, idempotency_key

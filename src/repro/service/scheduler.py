@@ -366,7 +366,7 @@ class MicroBatchScheduler:
 
     def stats(self) -> Dict[str, Any]:
         """Configuration, counters and cache state for ``/v1/stats``."""
-        return {
+        payload = {
             "config": {
                 "batch_window_ms": self.batch_window_ms,
                 "pack_rows": self.pack_rows,
@@ -380,6 +380,14 @@ class MicroBatchScheduler:
                 self._cache.stats() if self._cache is not None else None
             ),
         }
+        # An injected evaluator that can introspect itself (the process
+        # fleet) reports through the scheduler, keeping /v1/stats whole.
+        evaluator_stats = getattr(self._evaluate, "__self__", None)
+        if evaluator_stats is not None and hasattr(
+            evaluator_stats, "stats"
+        ):
+            payload["evaluator"] = evaluator_stats.stats()
+        return payload
 
     # -- drain loop ---------------------------------------------------------
     async def _drain(self) -> None:

@@ -36,6 +36,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro._version import __version__
+from repro.service.admission import (
+    ANONYMOUS_CLIENT,
+    AdmissionConfig,
+    AdmissionController,
+    CLIENT_HEADER,
+)
 from repro.service.autotune import (
     AdaptiveBatchController,
     AutotuneRunner,
@@ -61,11 +67,13 @@ from repro.service.protocol import (
     evaluate_response,
     parse_evaluate_body,
 )
+from repro.service.fleet import EvalFleet
 from repro.service.scheduler import (
     DEFAULT_EVAL_WORKERS,
     DEFAULT_PACK_ROWS,
     DEFAULT_WINDOW_MS,
     MicroBatchScheduler,
+    point_rows,
 )
 
 #: Reject request bodies beyond this size (a 4096-point batch is ~2 MB).
@@ -77,7 +85,9 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -116,6 +126,22 @@ class ServiceConfig:
     autotune_interval_ms: Optional[float] = None
     autotune_window_floor_ms: Optional[float] = None
     autotune_window_ceil_ms: Optional[float] = None
+    #: Resident evaluation processes (:mod:`repro.service.fleet`).
+    #: ``0`` keeps evaluation in-process (the single-core default);
+    #: ``N >= 1`` fans scheduler batches out to N warm workers.
+    eval_procs: int = 0
+    #: Admission control (:mod:`repro.service.admission`): per-client
+    #: sustained row rate.  ``None`` leaves the front door wide open.
+    rate_rows_per_s: Optional[float] = None
+    #: Per-client burst capacity in rows; defaults to two seconds of
+    #: the sustained rate when admission is on.
+    burst_rows: Optional[int] = None
+    #: Global bound on admitted-but-unanswered rows (0 = unbounded);
+    #: beyond it requests are shed with 503.
+    queue_rows: int = 0
+    #: Age (days since finishing) past which terminal jobs in
+    #: ``jobs_dir`` are garbage-collected.  ``None`` keeps them forever.
+    job_ttl_days: Optional[float] = None
 
 
 class ServiceServer:
@@ -129,10 +155,14 @@ class ServiceServer:
         port: int = 0,
         jobs_api: Optional[JobsApi] = None,
         autotune: Optional["AutotuneRunner"] = None,
+        admission: Optional[AdmissionController] = None,
+        fleet: Optional[EvalFleet] = None,
     ):
         self.scheduler = scheduler
         self.jobs_api = jobs_api
         self.autotune = autotune
+        self.admission = admission
+        self.fleet = fleet
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -172,13 +202,28 @@ class ServiceServer:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._dispatch(method, path, body)
+                status, payload = await self._dispatch(
+                    method, path, headers, body
+                )
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 )
+                extra_headers = None
+                if status == 429 and payload.get("retry_after_s"):
+                    # Header granularity is whole seconds (RFC 9110);
+                    # the exact float rides in the JSON body.
+                    extra_headers = {
+                        "retry-after": str(
+                            max(1, int(-(-payload["retry_after_s"] // 1)))
+                        )
+                    }
                 await _write_response(
-                    writer, status, payload, keep_alive=keep_alive
+                    writer,
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    extra_headers=extra_headers,
                 )
                 if not keep_alive:
                     break
@@ -194,7 +239,11 @@ class ServiceServer:
                 await writer.wait_closed()
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
     ) -> Tuple[int, Dict[str, Any]]:
         path, _, raw_query = path.partition("?")
         query = {
@@ -222,6 +271,11 @@ class ServiceServer:
                 if self.autotune is not None
                 else {"enabled": False}
             )
+            payload["admission"] = (
+                self.admission.stats()
+                if self.admission is not None
+                else {"enabled": False}
+            )
             if self.jobs_api is not None:
                 payload["jobs"] = self.jobs_api.manager.stats()
             return 200, payload
@@ -232,12 +286,27 @@ class ServiceServer:
                 points = parse_evaluate_body(body)
             except ProtocolError as exc:
                 return 400, {"error": str(exc)}
+            admitted = None
+            if self.admission is not None:
+                admitted = self.admission.admit(
+                    headers.get(CLIENT_HEADER, ANONYMOUS_CLIENT),
+                    sum(point_rows(p) for p in points),
+                    asyncio.get_running_loop().time(),
+                )
+                if not admitted.admitted:
+                    payload: Dict[str, Any] = {"error": admitted.error}
+                    if admitted.retry_after_s is not None:
+                        payload["retry_after_s"] = admitted.retry_after_s
+                    return admitted.status, payload
             try:
                 keys, records, n_failed = (
                     await self.scheduler.submit_settled(points)
                 )
             except Exception as exc:  # scheduler torn down mid-request
                 return 500, {"error": f"evaluation failed: {exc}"}
+            finally:
+                if admitted is not None:
+                    self.admission.release(admitted)
             return 200, evaluate_response(keys, records, n_failed)
         if self.jobs_api is not None:
             answer = await self.jobs_api.handle(
@@ -271,6 +340,13 @@ async def _read_request(
         name, sep, value = raw.decode("latin-1").partition(":")
         if sep:
             headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        # Without this check a chunked POST (no content-length) would
+        # read as an *empty* body and come back as a baffling schema
+        # error; name the real problem instead.
+        raise _HttpError(
+            400, "chunked bodies unsupported, send content-length"
+        )
     try:
         length = int(headers.get("content-length", "0") or "0")
     except ValueError:
@@ -293,13 +369,19 @@ async def _write_response(
     payload: Dict[str, Any],
     *,
     keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> None:
     blob = json.dumps(payload, default=str).encode("utf-8")
+    extra = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (extra_headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         "content-type: application/json\r\n"
         f"content-length: {len(blob)}\r\n"
         f"connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         "\r\n"
     )
     writer.write(head.encode("latin-1") + blob)
@@ -319,11 +401,20 @@ async def start_service(
         else None
     )
     cache = TieredCache(LRUCache(config.mem_entries), disk)
+    fleet: Optional[EvalFleet] = None
+    if config.eval_procs >= 1:
+        # Create the pool before the event loop grows threads: the
+        # fork start method snapshots the parent, and forking early
+        # keeps that snapshot small and thread-free.
+        fleet = EvalFleet(
+            config.eval_procs, pack_rows=config.pack_rows
+        )
     scheduler = MicroBatchScheduler(
         cache,
         batch_window_ms=config.batch_window_ms,
         pack_rows=config.pack_rows,
         eval_workers=config.eval_workers,
+        evaluate=fleet.evaluate if fleet is not None else None,
     )
     await scheduler.start()
     store = (
@@ -332,9 +423,26 @@ async def start_service(
         else None
     )
     manager = JobManager(
-        scheduler, store, max_inflight=config.job_inflight
+        scheduler,
+        store,
+        max_inflight=config.job_inflight,
+        job_ttl_days=config.job_ttl_days,
     )
     await manager.start()
+    admission: Optional[AdmissionController] = None
+    if config.rate_rows_per_s is not None:
+        burst = (
+            config.burst_rows
+            if config.burst_rows is not None
+            else max(1, int(2 * config.rate_rows_per_s))
+        )
+        admission = AdmissionController(
+            AdmissionConfig(
+                rate_rows_per_s=config.rate_rows_per_s,
+                burst_rows=burst,
+                queue_rows=config.queue_rows,
+            )
+        )
     autotune: Optional[AutotuneRunner] = None
     if config.autotune:
         controller_fields: Dict[str, Any] = {}
@@ -345,6 +453,17 @@ async def start_service(
         if config.autotune_window_ceil_ms is not None:
             controller_fields["window_ceil_ms"] = (
                 config.autotune_window_ceil_ms
+            )
+        if fleet is not None and fleet.procs > 1:
+            # Fleet-aware rate signal: N workers absorb ~N times the
+            # arrival rate before batching pays, so the window ramp's
+            # thresholds scale with the fleet size.
+            defaults = ControllerConfig()
+            controller_fields.setdefault(
+                "low_rate_rps", defaults.low_rate_rps * fleet.procs
+            )
+            controller_fields.setdefault(
+                "high_rate_rps", defaults.high_rate_rps * fleet.procs
             )
         autotune = AutotuneRunner(
             scheduler,
@@ -364,6 +483,8 @@ async def start_service(
         port=config.port,
         jobs_api=JobsApi(manager),
         autotune=autotune,
+        admission=admission,
+        fleet=fleet,
     )
     await server.start()
     if config.port_file:
@@ -404,6 +525,10 @@ async def _serve_async(
             await server.autotune.close()
         await manager.close()
         await scheduler.close()
+        if server.fleet is not None:
+            # After the scheduler: its in-flight batches are the
+            # fleet's last callers.
+            server.fleet.close()
 
 
 def run_service(
@@ -444,6 +569,8 @@ class BackgroundService:
         self.scheduler: Optional[MicroBatchScheduler] = None
         self.manager: Optional[JobManager] = None
         self.autotune: Optional[AutotuneRunner] = None
+        self.fleet: Optional[EvalFleet] = None
+        self.admission: Optional[AdmissionController] = None
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -500,6 +627,8 @@ class BackgroundService:
             if server.jobs_api is not None:
                 self.manager = server.jobs_api.manager
             self.autotune = server.autotune
+            self.fleet = server.fleet
+            self.admission = server.admission
             self.host, self.port = server.host, server.port
             self._ready.set()
 

@@ -126,6 +126,39 @@ class TestEndpoints:
         client._conn = Stale()
         assert client.health()["status"] == "ok"
 
+    def test_stale_connection_not_retried_for_non_idempotent_post(
+        self, client
+    ):
+        """A non-idempotent POST dying mid-flight raises, never re-sends."""
+        calls = []
+
+        class Stale:
+            def request(self, *args, **kwargs):
+                calls.append(args)
+                raise http.client.RemoteDisconnected("daemon restarted")
+
+            def close(self):
+                pass
+
+        client._conn = Stale()
+        with pytest.raises(ServiceError, match="non-idempotent POST"):
+            client._request("POST", "/v1/campaign", {"spec": {}})
+        assert len(calls) == 1  # exactly one attempt, no silent retry
+
+    def test_evaluate_is_retried_over_stale_connection(self, client):
+        """POST /v1/evaluate is idempotent by construction: retried."""
+
+        class Stale:
+            def request(self, *args, **kwargs):
+                raise http.client.RemoteDisconnected("daemon restarted")
+
+            def close(self):
+                pass
+
+        client._conn = Stale()
+        record = client.evaluate_one(_simulate_request(seed=99113))
+        assert "error" not in record
+
 
 class TestSettledEvaluate:
     def test_failed_point_becomes_error_record(self, service, client):
@@ -240,6 +273,21 @@ class TestHttpErrors:
             )
             reply = sock.recv(65536)
         assert b"400" in reply.split(b"\r\n", 1)[0]
+
+    def test_chunked_transfer_encoding_400(self, service):
+        """A chunked POST gets a clear 400, not an empty-body error."""
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=30
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/evaluate HTTP/1.1\r\n"
+                b"transfer-encoding: chunked\r\n\r\n"
+                b'e\r\n{"points": []}\r\n0\r\n\r\n'
+            )
+            reply = sock.recv(65536)
+        assert b"400" in reply.split(b"\r\n", 1)[0]
+        assert b"chunked bodies unsupported" in reply
+        assert b"content-length" in reply
 
     def test_malformed_request_line_400(self, service):
         with socket.create_connection(
