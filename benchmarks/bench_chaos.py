@@ -1,0 +1,164 @@
+"""Benchmark: chaos replay -- scheduled worker kills under a bursty trace.
+
+The robustness acceptance gate of the fault-tolerance layer, run as a
+measured trajectory.  A real daemon (``--eval-procs 2``) replays a
+bursty arrival trace while the fault harness SIGKILLs fleet workers on
+a deterministic schedule (``kill@N`` fleet-batch ordinals).  Gates,
+all unconditional:
+
+* **Zero wrong answers, zero transport errors**: every request in the
+  replay resolves to a correct record -- no client-visible failures at
+  all while workers die and the pool rebuilds.
+* **Bit-identity through crashes**: replayed records are field-by-field
+  identical to solo :func:`repro.campaign.executor.evaluate_point`
+  runs (``tier_rng`` placement invariance covers pool rebuilds).
+* **Bounded recovery**: each injected kill costs exactly one pool
+  rebuild (no rebuild storms), no bucket ever reaches the quarantine
+  ladder, and the scheduler never trips its circuit breaker -- the
+  daemon ends the run healthy and undegraded, without a restart.
+
+The replay runs with adaptive hedging armed (``hedge_percentile``), so
+``BENCH_chaos.json`` also records how many straggler requests -- the
+ones stalled behind a pool rebuild -- fired hedges.  Smoke mode
+(``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the trace and leaves the
+trajectory file untouched.
+"""
+
+import os
+
+import pytest
+
+from _history import write_bench_record
+from repro.campaign.executor import evaluate_point
+from repro.loadgen.replay import WorkloadReplayer
+from repro.loadgen.traces import PointMix, make_trace
+from repro.service.client import ServiceClient
+from repro.service.protocol import point_from_request
+from repro.service.server import BackgroundService
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_chaos.json",
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Quiet-phase arrival rate and horizon of the bursty trace.
+RATE = 25.0 if SMOKE else 40.0
+DURATION_S = 0.6 if SMOKE else 2.0
+#: Deterministic kill schedule (fleet-batch ordinals).
+FAULTS = "kill@2" if SMOKE else "kill@2,kill@5"
+N_KILLS = FAULTS.count("kill@")
+
+TRACE_SEED = 20160601
+
+
+def _solo(point_dict):
+    return evaluate_point(point_from_request(point_dict))
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_replay_survives_worker_kills(tmp_path):
+    events = make_trace(
+        "bursty",
+        rate=RATE,
+        duration_s=DURATION_S,
+        seed=TRACE_SEED,
+        mix=PointMix(n_patterns=2, n_runs=2),
+    )
+    assert len(events) >= 8, "trace too small to exercise the schedule"
+
+    with BackgroundService(
+        cache_dir=str(tmp_path / "cache"),
+        batch_window_ms=0,
+        eval_procs=2,
+        faults=FAULTS,
+    ) as svc:
+        result = WorkloadReplayer(
+            port=svc.port,
+            concurrency=8,
+            hedge_percentile=95.0,
+            hedge_min_samples=8,
+        ).run(events)
+        report = result.report()
+        fleet_counters = svc.fleet.stats()["counters"]
+        scheduler_stats = svc.scheduler.stats()
+        with ServiceClient(port=svc.port) as client:
+            health = client.health()
+            faults = client.stats()["faults"]
+            # Recovery without restart: fresh post-chaos work answers.
+            probe = {
+                "mode": "simulate", "kind": "PDMV", "platform": "hera",
+                "n_patterns": 4, "n_runs": 3, "seed": 70_000_001,
+            }
+            post_chaos = client.evaluate_one(probe)
+
+    # Gate 1: zero wrong answers, zero transport errors.
+    errors = [r for r in result.requests if not r.ok]
+    assert not errors, (
+        f"{len(errors)} request(s) failed under chaos: "
+        f"{[(r.status, r.error) for r in errors[:3]]}"
+    )
+    assert report["n_errors"] == 0
+
+    # Gate 2: bit-identity through crashes (whole trace in smoke, a
+    # deterministic stride in full -- the replay is the slow part, the
+    # solo reference runs are pure compute).
+    answers = result.result_records()
+    stride = 1 if SMOKE else max(1, len(events) // 16)
+    checked = 0
+    for i in range(0, len(events), stride):
+        assert answers[i] == [_solo(events[i].point)], (
+            f"record {i} diverged from solo evaluation after chaos"
+        )
+        checked += 1
+    assert post_chaos == _solo(probe)
+
+    # Gate 3: the scheduled kills actually fired and recovery stayed
+    # bounded -- one rebuild per kill, no quarantine ladder, breaker
+    # closed, daemon healthy without restart.
+    assert faults["counters"]["kills_injected"] == N_KILLS
+    assert fleet_counters["pool_rebuilds"] >= 1
+    assert fleet_counters["pool_rebuilds"] <= N_KILLS + 1
+    assert fleet_counters["quarantined_points"] == 0
+    assert scheduler_stats["degraded"] is False
+    assert scheduler_stats["counters"]["circuit_breaker_trips"] == 0
+    assert health["status"] == "ok" and health["ready"] is True
+
+    print(
+        f"\nchaos: {report['n_requests']} requests over "
+        f"{result.wall_s:.2f}s, {N_KILLS} worker kill(s), "
+        f"{fleet_counters['pool_rebuilds']} pool rebuild(s), "
+        f"0 errors, {checked} records verified bit-identical, "
+        f"{report['n_hedged']} hedged ({report['n_hedge_wins']} won)"
+    )
+
+    if not SMOKE:
+        write_bench_record(
+            BENCH_PATH,
+            {
+                "bench": "chaos",
+                "workload": (
+                    f"bursty trace, rate {RATE:g}/s x {DURATION_S:g}s "
+                    f"({len(events)} requests), eval_procs 2, "
+                    f"faults {FAULTS!r}, hedging past p95"
+                ),
+                "n_requests": report["n_requests"],
+                "n_errors": report["n_errors"],
+                "n_kills_injected": faults["counters"]["kills_injected"],
+                "pool_rebuilds": fleet_counters["pool_rebuilds"],
+                "quarantined_points": fleet_counters[
+                    "quarantined_points"
+                ],
+                "records_checked_bit_identical": checked,
+                "degraded": scheduler_stats["degraded"],
+                "n_hedged": report["n_hedged"],
+                "n_hedge_wins": report["n_hedge_wins"],
+                "throughput_rps": report["throughput_rps"],
+                "p99_ms": (
+                    report["latency"]["p99_ms"]
+                    if report["latency"] is not None
+                    else None
+                ),
+            },
+        )

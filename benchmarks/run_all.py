@@ -37,6 +37,7 @@ TRACKED = {
     "service": "bench_service.py",
     "replay": "bench_replay.py",
     "fleet": "bench_fleet.py",
+    "chaos": "bench_chaos.py",
 }
 
 

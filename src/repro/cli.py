@@ -412,6 +412,20 @@ def build_parser() -> argparse.ArgumentParser:
         "days after completion (queued/running jobs are never "
         "collected; default: keep forever)",
     )
+    p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault-injection plan for chaos testing, "
+        "e.g. 'kill@2,drop@1,delay@3:0.1' (kill a fleet worker at "
+        "batch 2, drop connection 1, delay eval call 3 by 0.1s); "
+        "also honours the REPRO_FAULTS environment variable. "
+        "Injection counters appear under 'faults' in /v1/stats",
+    )
+    p.add_argument(
+        "--drain-grace-s", type=float, default=None, metavar="S",
+        help="graceful-drain budget on SIGTERM/SIGINT: how long to "
+        "wait for in-flight requests before force-closing their "
+        "connections (default 10)",
+    )
 
     p = sub.add_parser(
         "query", help="query a running evaluation daemon"
@@ -614,6 +628,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless measured throughput is >= RPS",
     )
     p.add_argument(
+        "--hedge-ms", type=float, default=None, metavar="MS",
+        help="hedge requests: duplicate any request still unanswered "
+        "after MS milliseconds on a second connection, first answer "
+        "wins (server-side coalescing makes the loser nearly free)",
+    )
+    p.add_argument(
+        "--hedge-percentile", type=float, default=None, metavar="P",
+        help="adaptive hedging: hedge past the P-th percentile of the "
+        "latencies observed so far in this replay (mutually exclusive "
+        "with --hedge-ms)",
+    )
+    p.add_argument(
         "--json", help="write the full SLO report to a JSON file"
     )
 
@@ -811,6 +837,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: run the evaluation daemon."""
+    from repro.service.faults import FleetUnavailableError
     from repro.service.server import ServiceConfig, run_service
 
     config = ServiceConfig(host=args.host, port=args.port)
@@ -838,6 +865,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.queue_rows is not None:
         config.queue_rows = args.queue_rows
     config.job_ttl_days = args.job_ttl_days
+    config.faults = args.faults
+    if args.drain_grace_s is not None:
+        config.drain_grace_s = args.drain_grace_s
     if args.port < 0:
         raise SystemExit(f"--port must be >= 0, got {args.port}")
     if (
@@ -882,6 +912,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Range constraints live with the scheduler/cache constructors
         # (one source of truth); surface them as one-line flag errors.
         raise SystemExit(f"serve configuration error: {exc}")
+    except FleetUnavailableError as exc:
+        # A worker died during constructor warm-up: fail fast with the
+        # cause instead of hanging at the first batch.
+        raise SystemExit(f"serve startup failed: {exc}")
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -1163,6 +1197,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             mode=args.mode,
             concurrency=args.concurrency,
             timeout=args.timeout,
+            hedge_after_s=(
+                args.hedge_ms / 1e3
+                if args.hedge_ms is not None
+                else None
+            ),
+            hedge_percentile=args.hedge_percentile,
         )
         result = replayer.run(events)
     except (ServiceError, ValueError) as exc:
@@ -1181,6 +1221,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         f"errors {report['n_errors']}, "
         f"throughput {report['throughput_rps']:.1f} req/s"
     )
+    if report["n_hedged"] or report["n_connect_retries"]:
+        print(
+            f"  resilience hedged {report['n_hedged']} "
+            f"(won {report['n_hedge_wins']}), "
+            f"connect retries {report['n_connect_retries']}"
+        )
     if report["latency"] is not None:
         print(f"  latency  {_render_latency(report['latency'])}")
         for name, block in report["classes"].items():

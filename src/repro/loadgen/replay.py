@@ -79,6 +79,9 @@ class ReplayResult:
     wall_s: float
     #: Request records in completion order (what EWMA/warm-up act on).
     requests: List[RequestRecord]
+    #: Client resilience counters summed over the worker pool
+    #: (``connect_retries``, ``hedges_fired``, ``hedge_wins``).
+    client_counters: Dict[str, int] = field(default_factory=dict)
 
     def result_records(self) -> List[List[Dict[str, Any]]]:
         """Service answers in **trace order** (bit-identity view)."""
@@ -96,6 +99,11 @@ class ReplayResult:
         )
         out["n_shed_503"] = sum(
             1 for r in self.requests if r.status == 503
+        )
+        out["n_hedged"] = self.client_counters.get("hedges_fired", 0)
+        out["n_hedge_wins"] = self.client_counters.get("hedge_wins", 0)
+        out["n_connect_retries"] = self.client_counters.get(
+            "connect_retries", 0
         )
         if self.requests:
             out["max_dispatch_lateness_ms"] = 1e3 * max(
@@ -117,6 +125,9 @@ class WorkloadReplayer:
         timeout: float = 120.0,
         client_name: Optional[str] = None,
         retry_429: int = 2,
+        hedge_after_s: Optional[float] = None,
+        hedge_percentile: Optional[float] = None,
+        hedge_min_samples: int = 20,
     ):
         if mode not in MODES:
             raise ValueError(
@@ -125,6 +136,18 @@ class WorkloadReplayer:
         if concurrency < 1:
             raise ValueError(
                 f"concurrency must be >= 1, got {concurrency}"
+            )
+        if hedge_after_s is not None and hedge_percentile is not None:
+            raise ValueError(
+                "hedge_after_s and hedge_percentile are mutually "
+                "exclusive (fixed delay vs. adaptive delay)"
+            )
+        if hedge_percentile is not None and not (
+            0 < hedge_percentile < 100
+        ):
+            raise ValueError(
+                f"hedge_percentile must be in (0, 100), got "
+                f"{hedge_percentile}"
             )
         self.host = host
         self.port = int(port)
@@ -137,7 +160,21 @@ class WorkloadReplayer:
         #: Per-request 429 retries the underlying client absorbs by
         #: honouring ``Retry-After``; 0 records every rejection raw.
         self.retry_429 = int(retry_429)
+        #: Fixed hedge delay in seconds (``None`` = no fixed hedging).
+        self.hedge_after_s = hedge_after_s
+        #: Adaptive hedging: hedge after this percentile of the
+        #: latencies observed *so far in this replay* -- the classic
+        #: tail-taming policy ("hedge past p95").  Needs
+        #: ``hedge_min_samples`` completed requests before arming.
+        self.hedge_percentile = hedge_percentile
+        self.hedge_min_samples = int(hedge_min_samples)
         self._local = threading.local()
+        #: Every client the worker pool created, for counter roll-up.
+        self._clients: List[ServiceClient] = []
+        self._clients_lock = threading.Lock()
+        #: Completed-request latencies feeding the percentile policy.
+        self._latency_window: List[float] = []
+        self._latency_lock = threading.Lock()
 
     def _client(self) -> ServiceClient:
         """One keep-alive client per worker thread."""
@@ -151,7 +188,42 @@ class WorkloadReplayer:
                 retry_429=self.retry_429,
             )
             self._local.client = client
+            with self._clients_lock:
+                self._clients.append(client)
         return client
+
+    def _hedge_delay(self) -> Optional[float]:
+        """The hedge delay for the next request, or ``None``."""
+        if self.hedge_after_s is not None:
+            return max(0.0, self.hedge_after_s)
+        if self.hedge_percentile is None:
+            return None
+        with self._latency_lock:
+            n = len(self._latency_window)
+            if n < max(1, self.hedge_min_samples):
+                return None  # not armed yet: too little signal
+            ordered = sorted(self._latency_window)
+        rank = min(
+            n - 1, max(0, int(n * self.hedge_percentile / 100.0))
+        )
+        # Floor of 1ms: hedging below timer resolution just doubles
+        # every request.
+        return max(1e-3, ordered[rank])
+
+    def _observe_latency(self, latency_s: float) -> None:
+        if self.hedge_percentile is None:
+            return
+        with self._latency_lock:
+            self._latency_window.append(latency_s)
+
+    def _summed_counters(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        with self._clients_lock:
+            clients = list(self._clients)
+        for client in clients:
+            for name, value in client.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
 
     def _call_one(
         self, index: int, event: TraceEvent, t0: float
@@ -162,7 +234,9 @@ class WorkloadReplayer:
         answers: List[Dict[str, Any]] = []
         status: Optional[int] = 200
         try:
-            result = self._client().evaluate([event.point])
+            result = self._client().evaluate(
+                [event.point], hedge_after_s=self._hedge_delay()
+            )
             answers = result.records
             if result.n_failed:
                 ok = False
@@ -183,6 +257,7 @@ class WorkloadReplayer:
                 # well-formed exchange -- keep the connection.
                 self._client().close()
         latency = time.perf_counter() - start
+        self._observe_latency(latency)
         return RequestRecord(
             index=index,
             request_class=event.request_class,
@@ -252,4 +327,5 @@ class WorkloadReplayer:
             concurrency=self.concurrency,
             wall_s=wall,
             requests=done,
+            client_counters=self._summed_counters(),
         )

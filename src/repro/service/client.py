@@ -29,9 +29,12 @@ from __future__ import annotations
 
 import http.client
 import json
+import queue
 import secrets
+import threading
 import time
 import urllib.parse
+from contextlib import suppress
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -85,6 +88,14 @@ class EvaluateResult:
     n_failed: int = field(default=0)
 
 
+def _parse_evaluate(data: Dict[str, Any]) -> EvaluateResult:
+    return EvaluateResult(
+        keys=list(data["keys"]),
+        records=list(data["records"]),
+        n_failed=int(data.get("n_failed", 0)),
+    )
+
+
 class ServiceClient:
     """A blocking HTTP client bound to one daemon."""
 
@@ -97,6 +108,9 @@ class ServiceClient:
         client_name: Optional[str] = None,
         retry_429: int = 2,
         max_retry_after_s: float = 30.0,
+        connect_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
     ):
         self.host = host
         self.port = int(port)
@@ -110,6 +124,21 @@ class ServiceClient:
         #: Never sleep longer than this per honoured 429 -- a daemon
         #: asking for more is effectively saying "come back later".
         self.max_retry_after_s = float(max_retry_after_s)
+        #: Extra attempts after a refused connection (daemon restart
+        #: window); safe for *every* method because a refused connect
+        #: provably never reached the daemon.
+        self.connect_retries = int(connect_retries)
+        #: Exponential back-off between connect retries:
+        #: ``base * 2^(attempt-1)`` capped at ``backoff_max_s``.
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        #: Resilience counters, aggregated by ``repro loadtest``
+        #: reports: connect retries spent, hedges fired, hedge wins.
+        self.counters: Dict[str, int] = {
+            "connect_retries": 0,
+            "hedges_fired": 0,
+            "hedge_wins": 0,
+        }
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport ----------------------------------------------------------
@@ -127,8 +156,13 @@ class ServiceClient:
         The stale-connection retry applies only to ``idempotent``
         requests: a POST with side effects that dies mid-flight is
         ambiguous (the daemon may have processed it), so it surfaces
-        as an error rather than being silently re-sent.
+        as an error rather than being silently re-sent.  A *refused*
+        connection is different -- the request provably never reached
+        the daemon -- so it gets ``connect_retries`` extra attempts
+        with exponential back-off regardless of method (covers the
+        daemon-restart window).
         """
+        connect_attempts = 0
         while True:
             reused = self._conn is not None
             try:
@@ -151,6 +185,20 @@ class ServiceClient:
                 OSError,
             ) as exc:
                 self.close()
+                if (
+                    isinstance(exc, ConnectionRefusedError)
+                    and connect_attempts < self.connect_retries
+                ):
+                    connect_attempts += 1
+                    self.counters["connect_retries"] += 1
+                    time.sleep(
+                        min(
+                            self.backoff_max_s,
+                            self.backoff_base_s
+                            * (2 ** (connect_attempts - 1)),
+                        )
+                    )
+                    continue
                 # Only a dead kept-alive connection warrants a retry
                 # (it looks like a drop on the first write/read).
                 # Fresh-connection failures and timeouts are real --
@@ -249,23 +297,109 @@ class ServiceClient:
         """``GET /v1/stats``."""
         return self._request("GET", "/v1/stats")
 
-    def evaluate(self, points: Sequence[PointLike]) -> EvaluateResult:
-        """``POST /v1/evaluate`` a batch of points, answers in order."""
+    def evaluate(
+        self,
+        points: Sequence[PointLike],
+        *,
+        hedge_after_s: Optional[float] = None,
+    ) -> EvaluateResult:
+        """``POST /v1/evaluate`` a batch of points, answers in order.
+
+        ``hedge_after_s`` arms a hedged request: if no answer arrives
+        within that many seconds, an identical request is fired on a
+        second connection and the first answer wins.  Evaluation is
+        deterministic and the daemon coalesces duplicate in-flight
+        points, so the loser costs (almost) nothing server-side.
+        ``None`` (the default) never hedges.
+        """
         dicts = [
             p.to_dict() if isinstance(p, ScenarioPoint) else dict(p)
             for p in points
         ]
+        payload = {"points": dicts}
+        if hedge_after_s is not None:
+            return self._hedged_evaluate(payload, hedge_after_s)
         # POST by verb, idempotent by construction: evaluation is
         # deterministic and cached, so re-sending over a fresh
         # connection cannot change any answer.
         data = self._request(
-            "POST", "/v1/evaluate", {"points": dicts}, idempotent=True
+            "POST", "/v1/evaluate", payload, idempotent=True
         )
-        return EvaluateResult(
-            keys=list(data["keys"]),
-            records=list(data["records"]),
-            n_failed=int(data.get("n_failed", 0)),
+        return _parse_evaluate(data)
+
+    def _clone(self) -> "ServiceClient":
+        """A fresh client with this one's configuration (no shared conn)."""
+        return ServiceClient(
+            self.host,
+            self.port,
+            timeout=self.timeout,
+            client_name=self.client_name,
+            retry_429=self.retry_429,
+            max_retry_after_s=self.max_retry_after_s,
+            connect_retries=self.connect_retries,
+            backoff_base_s=self.backoff_base_s,
+            backoff_max_s=self.backoff_max_s,
         )
+
+    def _hedged_evaluate(
+        self, payload: Dict[str, Any], hedge_after_s: float
+    ) -> EvaluateResult:
+        """Primary + (maybe) one hedge, first answer wins.
+
+        Both attempts run on fresh throwaway connections in daemon
+        threads -- never the shared keep-alive connection, so an
+        abandoned loser can block on its read forever without
+        corrupting this client's next request or wedging interpreter
+        exit (daemon threads are never joined).
+        """
+        answers: "queue.Queue" = queue.Queue()
+
+        def attempt(kind: str) -> None:
+            peer = self._clone()
+            try:
+                data = peer._request(
+                    "POST", "/v1/evaluate", payload, idempotent=True
+                )
+                answers.put((kind, data, None))
+            except BaseException as exc:
+                answers.put((kind, None, exc))
+            finally:
+                with suppress(Exception):
+                    peer.close()
+                self.counters["connect_retries"] += (
+                    peer.counters["connect_retries"]
+                )
+
+        threading.Thread(
+            target=attempt, args=("primary",), daemon=True
+        ).start()
+        outstanding = 1
+        hedged = False
+        first_error: Optional[BaseException] = None
+        while True:
+            try:
+                kind, data, exc = answers.get(
+                    timeout=None if hedged else max(0.0, hedge_after_s)
+                )
+            except queue.Empty:
+                # Hedging is a tail-latency tool, not a retry loop:
+                # at most one duplicate, then wait for whoever answers.
+                hedged = True
+                outstanding += 1
+                self.counters["hedges_fired"] += 1
+                threading.Thread(
+                    target=attempt, args=("hedge",), daemon=True
+                ).start()
+                continue
+            outstanding -= 1
+            if exc is None:
+                if kind == "hedge":
+                    self.counters["hedge_wins"] += 1
+                return _parse_evaluate(data)
+            if first_error is None:
+                first_error = exc
+            if outstanding == 0:
+                raise first_error
 
     def evaluate_one(self, point: PointLike) -> Dict[str, Any]:
         """Evaluate a single point, returning its record."""

@@ -30,28 +30,66 @@ processes**:
 The scheduler takes the fleet as its injectable ``evaluate`` callable
 (``MicroBatchScheduler(..., evaluate=fleet.evaluate)``); ``repro serve
 --eval-procs N`` wires it up, and the fleet's counters surface under
-``"fleet"`` in ``GET /v1/stats``.
+``"evaluator"`` in ``GET /v1/stats``.
 
-Failure isolation note: the scheduler already quarantines a failing
-batch by re-running its points solo; a point that raises inside a
-worker propagates out of :meth:`EvalFleet.evaluate` exactly like an
-in-process failure, so that machinery keeps working unchanged.
+Crash recovery
+--------------
+A worker dying mid-batch (OOM kill, segfault in a native extension, a
+chaos-injected ``kill@N``) breaks the whole ``ProcessPoolExecutor``:
+every in-flight future raises ``BrokenProcessPool`` and the pool never
+accepts work again.  Instead of letting that poison the scheduler
+forever, :meth:`EvalFleet.evaluate`:
+
+1. **rebuilds** the pool (fork + warm-up, exactly like startup) and
+   **re-executes** the buckets that had not completed -- safe by
+   construction, because ``tier_rng``'s placement invariance makes a
+   retried bucket's records bit-identical to the records the dead
+   worker would have produced;
+2. retries each bucket a bounded number of times, then **bisects** a
+   repeatedly-crashing bucket so the innocents in it still answer;
+3. **quarantines** a single point that keeps crashing workers: its
+   cache key goes on a deny list and further evaluations raise
+   :class:`~repro.service.faults.PoisonPointError` immediately (a
+   per-point error record downstream), never touching the pool again.
+
+If the pool cannot be *rebuilt* (fork failing, warm-up dying -- an
+infrastructure problem, not a point problem), evaluation raises
+:class:`~repro.service.faults.FleetUnavailableError`; the scheduler's
+circuit breaker then degrades to in-process evaluation.  A worker that
+dies during the **constructor** warm-up fails fast with a clear
+message instead of surfacing as an opaque ``BrokenProcessPool`` at the
+first batch.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import threading
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import suppress
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign.cache import cache_key
 from repro.campaign.executor import DEFAULT_PACK_ROWS
 from repro.campaign.spec import ScenarioPoint
+from repro.service.faults import (
+    FaultInjector,
+    FleetUnavailableError,
+    InjectedFault,
+    PoisonPointError,
+)
 from repro.service.jobs.fair_share import (
+    Bucket,
     bucket_rows,
     plan_job_buckets,
     point_rows,
 )
+
+#: Pool-crash retries per bucket before bisection kicks in.
+DEFAULT_BUCKET_RETRIES = 2
 
 
 def _warm_worker() -> None:
@@ -66,14 +104,33 @@ def _warm_worker() -> None:
     import repro.simulation.packed_engine  # noqa: F401
 
 
+def _crash_on_warm() -> None:
+    """Chaos initializer (``crash-prewarm``): die during warm-up."""
+    os._exit(43)
+
+
 def _noop() -> None:
     """Spawn-forcing task; see the prewarm in :class:`EvalFleet`."""
 
 
 def _evaluate_bucket(
-    point_dicts: Sequence[Dict[str, Any]]
+    point_dicts: Sequence[Dict[str, Any]],
+    poison_seeds: Tuple[int, ...] = (),
 ) -> List[Dict[str, Any]]:
-    """Worker entry: one row-budgeted bucket of serialised points."""
+    """Worker entry: one row-budgeted bucket of serialised points.
+
+    ``poison_seeds`` is the chaos harness's fail-stop model: a bucket
+    containing a simulate point with one of these seeds hard-exits the
+    worker, exactly like a segfault would -- the deterministic stand-in
+    the bisection-quarantine tests and benches are built on.
+    """
+    if poison_seeds:
+        for d in point_dicts:
+            if (
+                d.get("mode", "simulate") == "simulate"
+                and d.get("seed") in poison_seeds
+            ):
+                os._exit(17)
     from repro.campaign.executor import evaluate_points_packed
 
     points = [ScenarioPoint.from_dict(d) for d in point_dicts]
@@ -85,9 +142,11 @@ class EvalFleet:
 
     ``procs`` is the worker count; ``pack_rows`` bounds one bucket's
     Monte-Carlo rows (the effective budget also shrinks to spread each
-    batch across the fleet).  :meth:`evaluate` is thread-safe -- the
-    scheduler calls it from several executor threads at once and
-    ``ProcessPoolExecutor.submit`` serialises internally.
+    batch across the fleet); ``bucket_retries`` bounds pool rebuilds
+    per bucket before bisection.  :meth:`evaluate` is thread-safe --
+    the scheduler calls it from several executor threads at once, and
+    pool rebuilds are generation-guarded so concurrent failures trigger
+    exactly one rebuild.
     """
 
     def __init__(
@@ -95,33 +154,37 @@ class EvalFleet:
         procs: int,
         *,
         pack_rows: int = DEFAULT_PACK_ROWS,
+        bucket_retries: int = DEFAULT_BUCKET_RETRIES,
+        injector: Optional[FaultInjector] = None,
     ):
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
         if pack_rows < 1:
             raise ValueError(f"pack_rows must be >= 1, got {pack_rows}")
+        if bucket_retries < 0:
+            raise ValueError(
+                f"bucket_retries must be >= 0, got {bucket_retries}"
+            )
         self.procs = int(procs)
         self.pack_rows = int(pack_rows)
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context()
-        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
-            max_workers=self.procs,
-            mp_context=context,
-            initializer=_warm_worker,
+        self.bucket_retries = int(bucket_retries)
+        self._injector = injector
+        self._poison_seeds: Tuple[int, ...] = (
+            tuple(sorted(injector.plan.poison_seeds))
+            if injector is not None
+            else ()
         )
-        # Force every worker to fork NOW, not lazily on first batch:
-        # the executor spawns one process per submit while none are
-        # idle, and the service creates the fleet *before* binding its
-        # listening socket -- forking later would hand each worker a
-        # copy of live connection FDs, holding client connections open
-        # long after the server closes them.
-        for prewarm in [
-            self._pool.submit(_noop) for _ in range(self.procs)
-        ]:
-            prewarm.result()
+        self._initializer = (
+            _crash_on_warm
+            if injector is not None and injector.plan.crash_prewarm
+            else _warm_worker
+        )
         self._lock = threading.Lock()
+        self._pool_lock = threading.Lock()
+        self._generation = 0
+        self._closed = False
+        self._broken = False
+        self._quarantine: set = set()
         self._counters: Dict[str, int] = {
             "batches": 0,
             "buckets": 0,
@@ -129,7 +192,132 @@ class EvalFleet:
             "rows": 0,
             "max_bucket_rows": 0,
             "max_batch_buckets": 0,
+            "pool_rebuilds": 0,
+            "bucket_retries": 0,
+            "bisections": 0,
+            "quarantined_points": 0,
         }
+        self._pool: Optional[ProcessPoolExecutor] = self._make_pool(
+            at_startup=True
+        )
+
+    # -- pool lifecycle ------------------------------------------------------
+    def _make_pool(self, *, at_startup: bool = False) -> ProcessPoolExecutor:
+        """Fork and warm a fresh worker pool, failing fast and clearly.
+
+        A worker dying during warm-up used to surface as an opaque
+        hang/``BrokenProcessPool`` at the first batch; now it raises
+        here, at ``repro serve`` startup (or mid-recovery as
+        :class:`FleetUnavailableError`), naming the real problem.
+        """
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        pool = ProcessPoolExecutor(
+            max_workers=self.procs,
+            mp_context=context,
+            initializer=self._initializer,
+        )
+        # Force every worker to fork NOW, not lazily on first batch:
+        # the executor spawns one process per submit while none are
+        # idle, and the service creates the fleet *before* binding its
+        # listening socket -- forking later would hand each worker a
+        # copy of live connection FDs, holding client connections open
+        # long after the server closes them.
+        try:
+            for prewarm in [
+                pool.submit(_noop) for _ in range(self.procs)
+            ]:
+                prewarm.result()
+        except BaseException as exc:
+            pool.shutdown(wait=False, cancel_futures=True)
+            message = (
+                f"fleet worker died during warm-up "
+                f"(--eval-procs {self.procs}): {exc!r}. A worker "
+                "process exited before serving its first batch -- "
+                "check memory limits and engine imports in the worker "
+                "environment"
+            )
+            if at_startup:
+                raise FleetUnavailableError(message) from exc
+            raise FleetUnavailableError(
+                f"could not rebuild the worker pool: {message}"
+            ) from exc
+        return pool
+
+    def _current_pool(self) -> Tuple[ProcessPoolExecutor, int]:
+        """The live pool and its generation (for rebuild coordination)."""
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("EvalFleet is closed")
+            if self._pool is None or self._broken:
+                raise FleetUnavailableError(
+                    "fleet worker pool is gone and could not be rebuilt"
+                )
+            return self._pool, self._generation
+
+    def _ensure_rebuilt(self, broken_generation: int) -> None:
+        """Rebuild the pool generation that just broke (exactly once).
+
+        Several scheduler threads can observe the same broken pool;
+        the generation guard makes the first one rebuild and the rest
+        reuse its result.  A failed rebuild marks the fleet broken so
+        callers degrade instead of rebuild-storming.
+        """
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("EvalFleet is closed")
+            if self._broken:
+                raise FleetUnavailableError(
+                    "fleet worker pool is gone and could not be rebuilt"
+                )
+            if self._generation != broken_generation:
+                return  # another thread already rebuilt
+            old, self._pool = self._pool, None
+            if old is not None:
+                with suppress(Exception):
+                    old.shutdown(wait=False, cancel_futures=True)
+            try:
+                self._pool = self._make_pool()
+            except FleetUnavailableError:
+                self._broken = True
+                raise
+            self._generation += 1
+            with self._lock:
+                self._counters["pool_rebuilds"] += 1
+
+    def _submit_bucket(self, bucket: Bucket) -> Tuple[int, "Future"]:
+        """Submit one bucket, riding through an already-broken pool.
+
+        A pool killed *between* batches breaks at ``submit`` time, not
+        at ``result`` time; rebuild and resubmit.  Termination is
+        guaranteed because a rebuild either yields a warm, verified
+        pool or raises :class:`FleetUnavailableError`.
+        """
+        payload = [p.to_dict() for _, p in bucket]
+        while True:
+            pool, generation = self._current_pool()
+            try:
+                return generation, pool.submit(
+                    _evaluate_bucket, payload, self._poison_seeds
+                )
+            except BrokenProcessPool:
+                self._ensure_rebuilt(generation)
+            except RuntimeError:
+                # shutdown raced with us; report through the usual path
+                self._current_pool()
+                raise
+
+    def _kill_one_worker(self) -> None:
+        """Chaos hook: SIGKILL the lowest-pid live worker (``kill@N``)."""
+        with self._pool_lock:
+            pool = self._pool
+        processes = getattr(pool, "_processes", None) or {}
+        for pid in sorted(processes):
+            with suppress(ProcessLookupError, PermissionError):
+                os.kill(pid, signal.SIGKILL)
+            return
 
     # -- evaluation ----------------------------------------------------------
     def evaluate(
@@ -140,12 +328,35 @@ class EvalFleet:
         Bucket planning depends only on point content and order --
         never on ``procs`` -- and every bucket is evaluated through
         the placement-invariant packed path, so the records match an
-        in-process :func:`evaluate_points_packed` call bit for bit.
+        in-process :func:`evaluate_points_packed` call bit for bit,
+        **including across pool rebuilds**: a retried bucket replays
+        the exact per-point RNG streams the crashed attempt started.
         """
-        if self._pool is None:
-            raise RuntimeError("EvalFleet is closed")
+        self._current_pool()  # closed/broken checks up front
         if not points:
             return []
+        batch_fault = None
+        if self._injector is not None:
+            fault = self._injector.eval_call()
+            if fault.delay_s > 0:
+                import time
+
+                time.sleep(fault.delay_s)
+            if fault.raise_now:
+                raise InjectedFault(
+                    f"injected evaluation failure "
+                    f"(eval call {fault.ordinal})"
+                )
+            batch_fault = self._injector.fleet_batch()
+        if self._quarantine:
+            for point in points:
+                key = cache_key(point)
+                if key in self._quarantine:
+                    raise PoisonPointError(
+                        f"point {key} is quarantined: it repeatedly "
+                        "crashed fleet workers and will not be "
+                        "re-evaluated"
+                    )
         # Index-keyed items: input position is the reassembly address
         # (cache keys may legitimately repeat within a batch).
         items = [(str(i), p) for i, p in enumerate(points)]
@@ -155,19 +366,50 @@ class EvalFleet:
             max(1, -(-total_rows // self.procs)),
         )
         buckets = plan_job_buckets(items, budget)
-        futures = [
-            (
-                bucket,
-                self._pool.submit(
-                    _evaluate_bucket, [p.to_dict() for _, p in bucket]
-                ),
-            )
-            for bucket in buckets
-        ]
         out: List[Optional[Dict[str, Any]]] = [None] * len(points)
-        for bucket, future in futures:
-            for (key, _), record in zip(bucket, future.result()):
-                out[int(key)] = record
+        # (bucket, crashes-so-far) work list; crashed buckets re-enter
+        # it until their retry budget is spent, then split in half.
+        pending: List[Tuple[Bucket, int]] = [(b, 0) for b in buckets]
+        first_round = True
+        # A dead worker breaks EVERY in-flight future, so a concurrent
+        # crash cannot be blamed on any one bucket -- an innocent
+        # sharing the pool with a poisonous point must not accumulate
+        # strikes toward quarantine.  After the first crash we run one
+        # bucket per round: a bucket that then crashes did it alone,
+        # and only those solo crashes count.
+        serial = False
+        while pending:
+            if serial:
+                round_items, pending = [pending[0]], pending[1:]
+            else:
+                round_items, pending = list(pending), []
+            submitted = [
+                (bucket, crashes, *self._submit_bucket(bucket))
+                for bucket, crashes in round_items
+            ]
+            if (
+                first_round
+                and batch_fault is not None
+                and batch_fault.kill
+            ):
+                self._kill_one_worker()
+            first_round = False
+            solo = len(submitted) == 1
+            for bucket, crashes, generation, future in submitted:
+                try:
+                    records = future.result()
+                except BrokenProcessPool:
+                    self._ensure_rebuilt(generation)
+                    if solo:
+                        pending.extend(
+                            self._plan_retry(bucket, crashes + 1)
+                        )
+                    else:
+                        pending.append((bucket, crashes))
+                    serial = True
+                    continue
+                for (key, _), record in zip(bucket, records):
+                    out[int(key)] = record
         with self._lock:
             self._counters["batches"] += 1
             self._counters["buckets"] += len(buckets)
@@ -182,20 +424,59 @@ class EvalFleet:
             )
         return out  # type: ignore[return-value]
 
+    def _plan_retry(
+        self, bucket: Bucket, crashes: int
+    ) -> List[Tuple[Bucket, int]]:
+        """Decide a crashed bucket's fate: retry, bisect or quarantine.
+
+        Retries are bounded (``bucket_retries``); past the budget a
+        multi-point bucket splits in half -- each half re-entering with
+        one remaining attempt, so a genuinely poisonous point is
+        cornered in ~log2(bucket) extra crashes -- and a single
+        repeatedly-crashing point is convicted and quarantined.
+        """
+        with self._lock:
+            self._counters["bucket_retries"] += 1
+        if crashes <= self.bucket_retries:
+            return [(bucket, crashes)]
+        if len(bucket) > 1:
+            with self._lock:
+                self._counters["bisections"] += 1
+            mid = len(bucket) // 2
+            resume_at = max(self.bucket_retries, 1) - 1
+            return [
+                (bucket[:mid], resume_at),
+                (bucket[mid:], resume_at),
+            ]
+        key = cache_key(bucket[0][1])
+        self._quarantine.add(key)
+        with self._lock:
+            self._counters["quarantined_points"] += 1
+        raise PoisonPointError(
+            f"point {key} crashed a fleet worker "
+            f"{crashes} time(s) (pool rebuilt each time) and is now "
+            "quarantined; it will answer as a per-point error"
+        )
+
     # -- introspection / lifecycle -------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """The ``"fleet"`` section of ``GET /v1/stats``."""
+        """The ``"evaluator"`` section of ``GET /v1/stats``."""
         with self._lock:
             counters = dict(self._counters)
         return {
             "procs": self.procs,
             "pack_rows": self.pack_rows,
+            "bucket_retries": self.bucket_retries,
+            "quarantine_size": len(self._quarantine),
+            "broken": self._broken,
             "counters": counters,
         }
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        pool, self._pool = self._pool, None
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 

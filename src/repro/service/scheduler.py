@@ -49,8 +49,11 @@ from typing import (
     Union,
 )
 
+from concurrent.futures.process import BrokenProcessPool
+
 from repro.campaign.cache import cache_key
 from repro.campaign.spec import ScenarioPoint
+from repro.service.faults import FleetUnavailableError
 from repro.service.memcache import TieredCache
 
 #: Default micro-batch collection window.  Long enough that requests
@@ -66,6 +69,15 @@ DEFAULT_PACK_ROWS = 1_000_000
 #: the next collects; the NumPy kernels release the GIL so this is real
 #: overlap, not time slicing.
 DEFAULT_EVAL_WORKERS = 2
+
+#: Consecutive fleet-infrastructure failures before the circuit breaker
+#: stops trying the fleet and routes every batch to the in-process
+#: fallback.
+DEFAULT_FLEET_FAILURE_THRESHOLD = 3
+
+#: Evaluate failures that mean "the evaluator is gone", not "this batch
+#: is bad": the fallback gets the batch and the circuit breaker counts.
+FLEET_INFRA_ERRORS = (FleetUnavailableError, BrokenProcessPool)
 
 
 def point_rows(point: ScenarioPoint) -> int:
@@ -120,6 +132,17 @@ class MicroBatchScheduler:
         Defaults to :func:`~repro.campaign.executor.
         evaluate_points_packed`; tests inject counting wrappers here to
         assert coalescing.
+    fallback_evaluate:
+        Graceful-degradation path for an injected ``evaluate`` that can
+        disappear (the process fleet): when ``evaluate`` raises a fleet
+        infrastructure error (:data:`FLEET_INFRA_ERRORS`), the batch is
+        re-run through this callable instead of failing, and after
+        ``fleet_failure_threshold`` *consecutive* such failures the
+        circuit breaker opens -- every subsequent batch goes straight
+        to the fallback (``"degraded": true`` plus counters in
+        ``/v1/stats``).
+    fleet_failure_threshold:
+        Consecutive fleet failures that open the circuit breaker.
     """
 
     def __init__(
@@ -132,6 +155,10 @@ class MicroBatchScheduler:
         evaluate: Optional[
             Callable[[List[ScenarioPoint]], List[Dict[str, Any]]]
         ] = None,
+        fallback_evaluate: Optional[
+            Callable[[List[ScenarioPoint]], List[Dict[str, Any]]]
+        ] = None,
+        fleet_failure_threshold: int = DEFAULT_FLEET_FAILURE_THRESHOLD,
     ):
         if batch_window_ms < 0:
             raise ValueError(
@@ -143,11 +170,21 @@ class MicroBatchScheduler:
             raise ValueError(
                 f"eval_workers must be >= 1, got {eval_workers}"
             )
+        if fleet_failure_threshold < 1:
+            raise ValueError(
+                f"fleet_failure_threshold must be >= 1, got "
+                f"{fleet_failure_threshold}"
+            )
         if evaluate is None:
             from repro.campaign.executor import evaluate_points_packed
 
             evaluate = evaluate_points_packed
         self._evaluate = evaluate
+        self._fallback = fallback_evaluate
+        self.fleet_failure_threshold = int(fleet_failure_threshold)
+        self._consecutive_fleet_failures = 0
+        self._circuit_open = False
+        self._draining = False
         self._cache = cache
         self.batch_window_ms = float(batch_window_ms)
         self.pack_rows = int(pack_rows)
@@ -175,6 +212,9 @@ class MicroBatchScheduler:
             "cache_put_failures": 0,
             "max_batch_points": 0,
             "reconfigures": 0,    # live reconfigure() calls applied
+            "fleet_failures": 0,  # evaluate raised a fleet infra error
+            "fallback_batches": 0,  # batches answered by the fallback
+            "circuit_breaker_trips": 0,  # times the breaker opened
         }
 
     @property
@@ -188,18 +228,34 @@ class MicroBatchScheduler:
             return
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
+        self._draining = False
         self._pool = ThreadPoolExecutor(
             max_workers=self.eval_workers, thread_name_prefix="repro-eval"
         )
         self._drain_task = self._loop.create_task(self._drain())
 
-    async def close(self) -> None:
-        """Stop draining, finish in-flight batches, fail queued points."""
+    async def close(self, *, flush: bool = False) -> None:
+        """Stop draining and finish in-flight batches.
+
+        With ``flush=False`` (teardown) queued-but-unbatched points
+        fail with a clear error.  With ``flush=True`` (graceful drain,
+        the SIGTERM path) the remaining queue is cut into batches and
+        **evaluated** first, so every request already accepted gets a
+        real answer before the scheduler stops.  New submissions are
+        refused either way once closing begins.
+        """
+        self._draining = True
         if self._drain_task is not None:
             self._drain_task.cancel()
             with suppress(asyncio.CancelledError):
                 await self._drain_task
             self._drain_task = None
+        if flush and self._loop is not None and self._pool is not None:
+            while self._queue:
+                batch = self._take_batch()
+                task = self._loop.create_task(self._run_batch(batch))
+                self._batch_tasks.add(task)
+                task.add_done_callback(self._batch_tasks.discard)
         if self._batch_tasks:
             await asyncio.gather(
                 *list(self._batch_tasks), return_exceptions=True
@@ -236,6 +292,10 @@ class MicroBatchScheduler:
         if not self.running:
             raise RuntimeError(
                 "scheduler is not running; call start() first"
+            )
+        if self._draining:
+            raise RuntimeError(
+                "scheduler is draining and not accepting new work"
             )
         keys = [cache_key(p) for p in points]
         if not points:
@@ -376,6 +436,9 @@ class MicroBatchScheduler:
             "inflight": len(self._inflight),
             "queued": len(self._queue),
             "queued_rows": self._queued_rows,
+            #: Circuit breaker open: batches run in-process, not on the
+            #: injected evaluator (the fleet), until restart.
+            "degraded": self._circuit_open,
             "cache": (
                 self._cache.stats() if self._cache is not None else None
             ),
@@ -438,6 +501,26 @@ class MicroBatchScheduler:
         self._queued_rows -= rows
         return batch
 
+    def _active_evaluate(
+        self,
+    ) -> Tuple[Callable[..., List[Dict[str, Any]]], bool]:
+        """The callable batches run through, and whether it's the fallback."""
+        if self._circuit_open and self._fallback is not None:
+            return self._fallback, True
+        return self._evaluate, False
+
+    def _record_fleet_failure(self) -> None:
+        """Count one fleet infrastructure failure; maybe open the breaker."""
+        self._counters["fleet_failures"] += 1
+        self._consecutive_fleet_failures += 1
+        if (
+            not self._circuit_open
+            and self._consecutive_fleet_failures
+            >= self.fleet_failure_threshold
+        ):
+            self._circuit_open = True
+            self._counters["circuit_breaker_trips"] += 1
+
     async def _run_batch(self, batch: List[_Pending]) -> None:
         self._counters["batches"] += 1
         self._counters["engine_points"] += len(batch)
@@ -445,14 +528,37 @@ class MicroBatchScheduler:
             self._counters["max_batch_points"], len(batch)
         )
         points = [p.point for p in batch]
+        evaluate, on_fallback = self._active_evaluate()
         try:
             records = await self._loop.run_in_executor(
-                self._pool, self._evaluate, points
+                self._pool, evaluate, points
             )
+            if not on_fallback:
+                self._consecutive_fleet_failures = 0
+        except FLEET_INFRA_ERRORS as exc:
+            if on_fallback or self._fallback is None:
+                self._counters["batch_failures"] += 1
+                await self._isolate_failed_batch(batch, exc)
+                return
+            # Graceful degradation: the fleet is gone (not the batch);
+            # answer in-process and let the breaker decide whether to
+            # keep trying the fleet on future batches.
+            self._record_fleet_failure()
+            on_fallback = True
+            try:
+                records = await self._loop.run_in_executor(
+                    self._pool, self._fallback, points
+                )
+            except Exception as fallback_exc:
+                self._counters["batch_failures"] += 1
+                await self._isolate_failed_batch(batch, fallback_exc)
+                return
         except Exception as exc:
             self._counters["batch_failures"] += 1
             await self._isolate_failed_batch(batch, exc)
             return
+        if on_fallback:
+            self._counters["fallback_batches"] += 1
         # Cache BEFORE resolving futures/in-flight entries: a request
         # arriving between those steps then finds the record in cache,
         # keeping "one computation per key" airtight.  A failed cache
@@ -485,11 +591,12 @@ class MicroBatchScheduler:
         if len(batch) == 1:
             outcomes: List[Any] = [exc]
         else:
+            evaluate, _ = self._active_evaluate()
             outcomes = list(
                 await asyncio.gather(
                     *(
                         self._loop.run_in_executor(
-                            self._pool, self._evaluate, [p.point]
+                            self._pool, evaluate, [p.point]
                         )
                         for p in batch
                     ),

@@ -28,12 +28,14 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
+import sys
 import threading
 import time
 import urllib.parse
 from contextlib import suppress
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro._version import __version__
 from repro.service.admission import (
@@ -48,6 +50,7 @@ from repro.service.autotune import (
     ControllerConfig,
     DEFAULT_INTERVAL_MS,
 )
+from repro.service.faults import FaultInjector, FaultPlan, wrap_evaluate
 from repro.service.jobs.api import JobsApi
 from repro.service.jobs.manager import (
     DEFAULT_MAX_INFLIGHT,
@@ -142,6 +145,14 @@ class ServiceConfig:
     #: Age (days since finishing) past which terminal jobs in
     #: ``jobs_dir`` are garbage-collected.  ``None`` keeps them forever.
     job_ttl_days: Optional[float] = None
+    #: Deterministic fault-injection plan
+    #: (:mod:`repro.service.faults` grammar, e.g. ``"kill@2,drop@1"``).
+    #: ``None`` falls back to the ``REPRO_FAULTS`` environment
+    #: variable; empty/absent disables injection entirely.
+    faults: Optional[str] = None
+    #: How long a graceful drain waits for in-flight requests before
+    #: force-closing their connections.
+    drain_grace_s: float = 10.0
 
 
 class ServiceServer:
@@ -157,15 +168,24 @@ class ServiceServer:
         autotune: Optional["AutotuneRunner"] = None,
         admission: Optional[AdmissionController] = None,
         fleet: Optional[EvalFleet] = None,
+        injector: Optional[FaultInjector] = None,
     ):
         self.scheduler = scheduler
         self.jobs_api = jobs_api
         self.autotune = autotune
         self.admission = admission
         self.fleet = fleet
+        self.injector = injector
         self.host = host
         self.port = port
+        #: Readiness gate: set during graceful shutdown.  Liveness
+        #: (``/v1/health``) stays 200 while draining; readiness
+        #: (``/v1/health?check=ready``) flips to 503 and new work is
+        #: refused so load balancers route around this instance.
+        self.draining = False
         self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._active_requests = 0
         self._t0 = 0.0
 
     async def start(self) -> Tuple[str, int]:
@@ -177,16 +197,37 @@ class ServiceServer:
         self._t0 = time.monotonic()
         return self.host, self.port
 
-    async def close(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+    async def close(self, *, grace_s: float = 10.0) -> None:
+        """Stop accepting and drain: the first step of shutdown.
+
+        Stops the listener, waits up to ``grace_s`` for in-flight
+        requests to answer (the scheduler is still live at this point,
+        so they finish normally), then closes the remaining keep-alive
+        connections -- idle clients just see EOF, and ``wait_closed``
+        can never hang on a silent connection (Python >= 3.12 waits
+        for all connection handlers).
+        """
+        self.draining = True
+        if self._server is None:
+            return
+        self._server.close()
+        deadline = time.monotonic() + max(0.0, grace_s)
+        while self._active_requests and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for writer in list(self._connections):
+            with suppress(Exception):
+                writer.close()
+        with suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(
+                self._server.wait_closed(), max(0.1, grace_s)
+            )
+        self._server = None
 
     # -- connection handling ------------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -201,14 +242,23 @@ class ServiceServer:
                     break
                 if request is None:
                     break
+                if (
+                    self.injector is not None
+                    and self.injector.drop_request()
+                ):
+                    break  # scheduled drop: close without answering
                 method, path, headers, body = request
-                status, payload = await self._dispatch(
-                    method, path, headers, body
-                )
+                self._active_requests += 1
+                try:
+                    status, payload = await self._dispatch(
+                        method, path, headers, body
+                    )
+                finally:
+                    self._active_requests -= 1
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
-                )
+                ) and not self.draining
                 extra_headers = None
                 if status == 429 and payload.get("retry_after_s"):
                     # Header granularity is whole seconds (RFC 9110);
@@ -234,6 +284,7 @@ class ServiceServer:
         ):
             pass  # client went away mid-request; nothing to answer
         finally:
+            self._connections.discard(writer)
             writer.close()
             with suppress(ConnectionError):
                 await writer.wait_closed()
@@ -253,12 +304,19 @@ class ServiceServer:
         if path == "/v1/health":
             if method != "GET":
                 return 405, {"error": f"{path} accepts GET only"}
-            return 200, {
+            ready = not self.draining
+            payload = {
                 "status": "ok",
                 "service": "repro",
                 "version": __version__,
                 "protocol": PROTOCOL_VERSION,
+                "ready": ready,
             }
+            if query.get("check") == "ready" and not ready:
+                # Liveness stays 200 while draining (the process is
+                # healthy); readiness flips so balancers stop routing.
+                return 503, {**payload, "error": "daemon is draining"}
+            return 200, payload
         if path == "/v1/stats":
             if method != "GET":
                 return 405, {"error": f"{path} accepts GET only"}
@@ -278,10 +336,17 @@ class ServiceServer:
             )
             if self.jobs_api is not None:
                 payload["jobs"] = self.jobs_api.manager.stats()
+            if self.injector is not None:
+                payload["faults"] = self.injector.stats()
             return 200, payload
         if path == "/v1/evaluate":
             if method != "POST":
                 return 405, {"error": f"{path} accepts POST only"}
+            if self.draining:
+                return 503, {
+                    "error": "daemon is draining and not accepting "
+                    "new work"
+                }
             try:
                 points = parse_evaluate_body(body)
             except ProtocolError as exc:
@@ -401,20 +466,42 @@ async def start_service(
         else None
     )
     cache = TieredCache(LRUCache(config.mem_entries), disk)
+    fault_spec = (
+        config.faults
+        if config.faults is not None
+        else os.environ.get("REPRO_FAULTS", "")
+    )
+    plan = FaultPlan.parse(fault_spec)
+    injector = FaultInjector(plan) if plan.enabled else None
     fleet: Optional[EvalFleet] = None
     if config.eval_procs >= 1:
         # Create the pool before the event loop grows threads: the
         # fork start method snapshots the parent, and forking early
-        # keeps that snapshot small and thread-free.
+        # keeps that snapshot small and thread-free.  A warm-up
+        # failure raises FleetUnavailableError here, so `repro serve`
+        # fails fast instead of hanging at the first batch.
         fleet = EvalFleet(
-            config.eval_procs, pack_rows=config.pack_rows
+            config.eval_procs,
+            pack_rows=config.pack_rows,
+            injector=injector,
         )
+    evaluate = fleet.evaluate if fleet is not None else None
+    fallback = None
+    if fleet is not None:
+        from repro.campaign.executor import evaluate_points_packed
+
+        fallback = evaluate_points_packed
+    elif injector is not None and plan.touches_eval:
+        from repro.campaign.executor import evaluate_points_packed
+
+        evaluate = wrap_evaluate(evaluate_points_packed, injector)
     scheduler = MicroBatchScheduler(
         cache,
         batch_window_ms=config.batch_window_ms,
         pack_rows=config.pack_rows,
         eval_workers=config.eval_workers,
-        evaluate=fleet.evaluate if fleet is not None else None,
+        evaluate=evaluate,
+        fallback_evaluate=fallback,
     )
     await scheduler.start()
     store = (
@@ -485,6 +572,7 @@ async def start_service(
         autotune=autotune,
         admission=admission,
         fleet=fleet,
+        injector=injector,
     )
     await server.start()
     if config.port_file:
@@ -494,12 +582,27 @@ async def start_service(
 
 def _write_port_file(path: str, port: int) -> None:
     """Publish the bound port atomically (pollers never see a partial)."""
+    if os.path.exists(path):
+        # Leftover from an abnormal exit (a clean drain removes it):
+        # overwrite, but say so -- a poller racing two daemons on one
+        # port file is otherwise maddening to diagnose.
+        print(
+            f"warning: overwriting stale port file {path}",
+            file=sys.stderr,
+        )
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
     tmp = f"{path}.{os.getpid()}.tmp"
     with open(tmp, "w") as fh:
         fh.write(f"{port}\n")
     os.replace(tmp, path)
+
+
+def _remove_port_file(path: Optional[str]) -> None:
+    """Drain-path cleanup; missing files are fine."""
+    if path:
+        with suppress(OSError):
+            os.remove(path)
 
 
 async def _serve_async(
@@ -509,26 +612,40 @@ async def _serve_async(
         Callable[[MicroBatchScheduler, ServiceServer], None]
     ] = None,
     stop: Optional[asyncio.Event] = None,
+    install_signal_handlers: bool = False,
 ) -> None:
-    """Run a full service until ``stop`` is set (or forever)."""
+    """Run a full service until ``stop`` is set (or forever).
+
+    On exit the drain order is: stop accepting HTTP and answer what is
+    in flight, then stop the autotuner, flush job journals, flush the
+    scheduler's remaining queue (``close(flush=True)`` evaluates
+    already-accepted batches instead of abandoning their futures),
+    close the fleet, and finally remove the port file -- its absence
+    is the external signal that the daemon is truly gone.
+    """
     scheduler, server, manager = await start_service(config)
+    if stop is None:
+        stop = asyncio.Event()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, stop.set)
     if ready is not None:
         ready(scheduler, server)
     try:
-        if stop is None:
-            await asyncio.Event().wait()  # until cancelled
-        else:
-            await stop.wait()
+        await stop.wait()
     finally:
-        await server.close()
+        await server.close(grace_s=config.drain_grace_s)
         if server.autotune is not None:
             await server.autotune.close()
         await manager.close()
-        await scheduler.close()
+        await scheduler.close(flush=True)
         if server.fleet is not None:
             # After the scheduler: its in-flight batches are the
             # fleet's last callers.
             server.fleet.close()
+        _remove_port_file(config.port_file)
 
 
 def run_service(
@@ -538,9 +655,16 @@ def run_service(
         Callable[[MicroBatchScheduler, ServiceServer], None]
     ] = None,
 ) -> int:
-    """Blocking entry point for ``repro serve``; Ctrl-C exits cleanly."""
+    """Blocking entry point for ``repro serve``.
+
+    SIGTERM and SIGINT trigger a graceful drain (see
+    :func:`_serve_async`) rather than an abrupt exit, so supervisors
+    sending TERM get flushed journals and a removed port file.
+    """
     try:
-        asyncio.run(_serve_async(config, ready=ready))
+        asyncio.run(
+            _serve_async(config, ready=ready, install_signal_handlers=True)
+        )
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
     return 0
@@ -571,6 +695,7 @@ class BackgroundService:
         self.autotune: Optional[AutotuneRunner] = None
         self.fleet: Optional[EvalFleet] = None
         self.admission: Optional[AdmissionController] = None
+        self.server: Optional[ServiceServer] = None
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -629,6 +754,7 @@ class BackgroundService:
             self.autotune = server.autotune
             self.fleet = server.fleet
             self.admission = server.admission
+            self.server = server
             self.host, self.port = server.host, server.port
             self._ready.set()
 
