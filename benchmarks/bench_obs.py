@@ -1,0 +1,188 @@
+"""Benchmark: observability must be (nearly) free, and recording exact.
+
+Two claims guard the tentpole of the observability PR:
+
+1. **Overhead floor.**  The obs hooks (trace ring, histograms, span
+   stamping) ride the daemon's hot path, so the same closed-loop
+   workload is driven against an obs-off daemon and an obs-on daemon
+   (every request traced -- the worst case, since untraced traffic
+   skips span allocation entirely).  Two arms:
+
+   * *Serving* -- each measured round uses a fresh trace (cold cache),
+     so requests do real evaluation work, which is what the daemon is
+     for.  Overhead must stay within ``MAX_OVERHEAD`` (5 % full-mode).
+   * *Cached* -- the same trace replayed against a warm cache, so every
+     request is a pure memory-lookup round-trip of a few hundred
+     microseconds.  This is the obs hooks' worst case *and* this
+     harness's worst case: the client's eight threads share the
+     daemon's GIL, so every lock and allocation is amplified by GIL
+     handoffs a real out-of-process client never sees.  It gets its
+     own looser cap (``MAX_CACHED_OVERHEAD``) as a regression tripwire.
+
+   Best-of-N interleaved runs per arm absorb scheduler jitter.
+
+2. **Deterministic recording.**  A live daemon's ``--record-trace``
+   capture, replayed twice through fresh daemons via the loadgen
+   replayer, must produce byte-identical result records both times
+   *and* match the original live answers -- the capture is a faithful,
+   replayable workload, not a lossy log.
+
+Results land in ``BENCH_obs.json``.  Smoke mode
+(``REPRO_BENCH_SMOKE=1``, CI) shrinks the workload, relaxes both caps
+for shared-runner noise, and does not write the file.
+"""
+
+import json
+import os
+
+import pytest
+
+from _history import write_bench_record
+from repro.loadgen.replay import WorkloadReplayer
+from repro.loadgen.traces import load_trace, make_trace
+from repro.service.server import BackgroundService
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_obs.json",
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Closed-loop workload sizing (rate only sets the trace length here).
+N_REQUESTS = 80 if SMOKE else 400
+CONCURRENCY = 8
+
+#: Max tolerated throughput loss with observability on.  Full mode
+#: holds the issue's 5 % line on the serving arm; the cached arm's cap
+#: absorbs the in-process GIL amplification described above.  Smoke
+#: relaxes both for shared-runner noise.
+MAX_OVERHEAD = 0.15 if SMOKE else 0.05
+MAX_CACHED_OVERHEAD = 0.35 if SMOKE else 0.20
+
+#: Interleaved measurement rounds per arm; best-of filters jitter.
+ROUNDS = 2 if SMOKE else 3
+
+SEED = 20160601
+
+
+def _workload(round_no=0):
+    return make_trace(
+        "constant",
+        rate=50.0,
+        duration_s=N_REQUESTS / 50.0,
+        seed=SEED + round_no,
+    )
+
+
+def _throughput(port, events):
+    replayer = WorkloadReplayer(
+        port=port, mode="closed", concurrency=CONCURRENCY
+    )
+    result = replayer.run(events)
+    assert all(r.ok for r in result.requests), "replay errors"
+    return len(result.requests) / result.wall_s, result
+
+
+@pytest.mark.benchmark(group="obs")
+def test_observability_overhead_and_deterministic_replay(tmp_path):
+    rounds = [_workload(r) for r in range(ROUNDS)]
+
+    # -- arm 1a: serving (cold-cache) throughput, obs on vs off ----------
+    serve_off = serve_on = 0.0
+    with BackgroundService(observability=False) as svc_off, \
+            BackgroundService() as svc_on:
+        # Warm both daemons (thread pools, memo caches) off the clock.
+        warm = _workload(len(rounds))[: max(4, N_REQUESTS // 10)]
+        _throughput(svc_off.port, warm)
+        _throughput(svc_on.port, warm)
+        # Each round is a fresh trace, so both daemons evaluate every
+        # point; interleaving keeps machine drift out of the ratio.
+        for events in rounds:
+            serve_off = max(serve_off, _throughput(svc_off.port, events)[0])
+            serve_on = max(serve_on, _throughput(svc_on.port, events)[0])
+
+        # -- arm 1b: cached round-trips (GIL-amplified worst case) -------
+        cached_off = cached_on = 0.0
+        for _ in range(ROUNDS):
+            cached_off = max(
+                cached_off, _throughput(svc_off.port, rounds[0])[0]
+            )
+            cached_on = max(
+                cached_on, _throughput(svc_on.port, rounds[0])[0]
+            )
+        on_stats = svc_on.obs.h_request_latency.snapshot()
+    serve_overhead = 1.0 - serve_on / serve_off
+    cached_overhead = 1.0 - cached_on / cached_off
+    print(
+        f"\n serving: {serve_off:8.1f} -> {serve_on:8.1f} req/s "
+        f"({serve_overhead:+.1%}, cap {MAX_OVERHEAD:.0%})"
+        f"\n cached:  {cached_off:8.1f} -> {cached_on:8.1f} req/s "
+        f"({cached_overhead:+.1%}, cap {MAX_CACHED_OVERHEAD:.0%})"
+        f"\n {on_stats[2]} requests traced on the on-arm"
+    )
+    # Every request in the on-arm really was traced (worst case).
+    assert on_stats[2] >= (2 * ROUNDS) * N_REQUESTS
+
+    # -- arm 2: record a live run, replay the capture twice --------------
+    events = rounds[0]
+    capture = str(tmp_path / "capture.jsonl")
+    with BackgroundService(record_trace=capture) as svc:
+        _, live = _throughput(svc.port, events)
+    recorded = load_trace(capture)
+    assert len(recorded) == len(events)
+    replays = []
+    for _ in range(2):
+        with BackgroundService() as svc:
+            _, result = _throughput(svc.port, recorded)
+        replays.append(result.result_records())
+    assert replays[0] == replays[1], (
+        "recorded-trace replay is not deterministic"
+    )
+
+    # The capture is in *arrival* order (concurrent clients race), so
+    # compare the answer sets order-independently against the live run.
+    def _canonical(record_lists):
+        return sorted(json.dumps(r, sort_keys=True) for r in record_lists)
+
+    assert _canonical(replays[0]) == _canonical(
+        live.result_records()
+    ), "replayed records diverge from the live run's answers"
+    print(
+        f" recorded {len(recorded)} arrivals; two replays + live run "
+        "bit-identical"
+    )
+
+    if not SMOKE:
+        write_bench_record(
+            BENCH_PATH,
+            {
+                "bench": "obs",
+                "workload": (
+                    f"closed-loop x{CONCURRENCY}, {N_REQUESTS} "
+                    f"requests/round (4x2 MC mixed points), best of "
+                    f"{ROUNDS} rounds per arm"
+                ),
+                "throughput_obs_off_rps": serve_off,
+                "throughput_obs_on_rps": serve_on,
+                "overhead_frac": serve_overhead,
+                "overhead_cap": MAX_OVERHEAD,
+                "cached_obs_off_rps": cached_off,
+                "cached_obs_on_rps": cached_on,
+                "cached_overhead_frac": cached_overhead,
+                "cached_overhead_cap": MAX_CACHED_OVERHEAD,
+                "recorded_arrivals": len(recorded),
+                "replay_deterministic": True,
+            },
+        )
+
+    assert serve_overhead <= MAX_OVERHEAD, (
+        f"observability costs {serve_overhead:.1%} serving throughput "
+        f"(cap {MAX_OVERHEAD:.0%}): "
+        f"{serve_on:.1f} vs {serve_off:.1f} req/s"
+    )
+    assert cached_overhead <= MAX_CACHED_OVERHEAD, (
+        f"observability costs {cached_overhead:.1%} cached throughput "
+        f"(cap {MAX_CACHED_OVERHEAD:.0%}): "
+        f"{cached_on:.1f} vs {cached_off:.1f} req/s"
+    )

@@ -38,6 +38,7 @@ TRACKED = {
     "replay": "bench_replay.py",
     "fleet": "bench_fleet.py",
     "chaos": "bench_chaos.py",
+    "obs": "bench_obs.py",
 }
 
 

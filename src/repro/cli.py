@@ -426,6 +426,33 @@ def build_parser() -> argparse.ArgumentParser:
         "wait for in-flight requests before force-closing their "
         "connections (default 10)",
     )
+    p.add_argument(
+        "--no-obs", action="store_true",
+        help="disable observability entirely (request tracing, "
+        "GET /metrics, GET /v1/trace); the default keeps it on",
+    )
+    p.add_argument(
+        "--log-json", action="store_true",
+        help="structured JSON logging to stderr: one object per line "
+        "with trace IDs (requests, admission rejections, job "
+        "lifecycle)",
+    )
+    p.add_argument(
+        "--slow-request-ms", type=float, default=None, metavar="MS",
+        help="log a slow_request event for requests at or above this "
+        "server-side latency (works without --log-json)",
+    )
+    p.add_argument(
+        "--record-trace", default=None, metavar="FILE",
+        help="journal every admitted /v1/evaluate arrival to FILE as "
+        "a replayable arrival trace (JSONL; replay it with "
+        "'repro loadtest --trace FILE')",
+    )
+    p.add_argument(
+        "--trace-buffer", type=int, default=None, metavar="N",
+        help="completed request traces kept for GET /v1/trace "
+        "(default 256)",
+    )
 
     p = sub.add_parser(
         "query", help="query a running evaluation daemon"
@@ -638,6 +665,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="adaptive hedging: hedge past the P-th percentile of the "
         "latencies observed so far in this replay (mutually exclusive "
         "with --hedge-ms)",
+    )
+    p.add_argument(
+        "--slowest", type=int, default=None, metavar="N",
+        help="report the N slowest requests with their daemon trace "
+        "IDs (look each one up via GET /v1/trace/<id>)",
     )
     p.add_argument(
         "--json", help="write the full SLO report to a JSON file"
@@ -868,6 +900,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config.faults = args.faults
     if args.drain_grace_s is not None:
         config.drain_grace_s = args.drain_grace_s
+    config.observability = not args.no_obs
+    config.log_json = args.log_json
+    config.slow_request_ms = args.slow_request_ms
+    config.record_trace = args.record_trace
+    if args.trace_buffer is not None:
+        config.trace_buffer = args.trace_buffer
+    if args.no_obs and (
+        args.log_json
+        or args.slow_request_ms is not None
+        or args.record_trace is not None
+        or args.trace_buffer is not None
+    ):
+        raise SystemExit(
+            "--no-obs conflicts with --log-json/--slow-request-ms/"
+            "--record-trace/--trace-buffer (they all need the "
+            "observability subsystem)"
+        )
     if args.port < 0:
         raise SystemExit(f"--port must be >= 0, got {args.port}")
     if (
@@ -1209,6 +1258,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         raise SystemExit(f"service error: {exc}")
     report = result.report(warmup_drop=warmup)
     report["trace"] = source
+    if args.slowest is not None:
+        report["slowest"] = result.slowest(args.slowest)
 
     print(
         f"replayed {report['n_requests']} requests from {source} "
@@ -1233,6 +1284,19 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             print(
                 f"  {name:>8s} n={block['n']:<5d} "
                 f"{_render_latency(block)}"
+            )
+    if args.slowest is not None:
+        print(f"  slowest {len(report['slowest'])} request(s):")
+        for entry in report["slowest"]:
+            trace_ref = (
+                f"trace {entry['trace_id']}"
+                if entry["trace_id"]
+                else "no trace id (daemon obs off?)"
+            )
+            print(
+                f"    #{entry['index']:<5d} {entry['class']:>8s} "
+                f"{entry['latency_ms']:9.2f} ms  "
+                f"status {entry['status']}  {trace_ref}"
             )
     if args.json:
         write_json(report, args.json)

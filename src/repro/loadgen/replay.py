@@ -68,6 +68,9 @@ class RequestRecord:
     #: HTTP status of the final answer (``None`` when the service was
     #: unreachable); 429/503 make admission rejections countable.
     status: Optional[int] = 200
+    #: Daemon-assigned trace ID (protocol 4); cross-reference with
+    #: ``GET /v1/trace/<id>`` to see the request's server-side spans.
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -110,6 +113,28 @@ class ReplayResult:
                 r.start_t - r.scheduled_t for r in self.requests
             )
         return out
+
+    def slowest(self, n: int) -> List[Dict[str, Any]]:
+        """The ``n`` slowest requests, worst first, with trace IDs.
+
+        The bridge from a latency percentile to a concrete answer:
+        each entry carries the daemon's ``trace_id``, so the matching
+        span timeline is one ``GET /v1/trace/<id>`` away (while the
+        request is still in the daemon's trace ring).
+        """
+        worst = sorted(
+            self.requests, key=lambda r: r.latency_s, reverse=True
+        )[: max(0, int(n))]
+        return [
+            {
+                "index": r.index,
+                "class": r.request_class,
+                "latency_ms": round(1e3 * r.latency_s, 3),
+                "status": r.status,
+                "trace_id": r.trace_id,
+            }
+            for r in worst
+        ]
 
 
 class WorkloadReplayer:
@@ -233,11 +258,13 @@ class WorkloadReplayer:
         error: Optional[str] = None
         answers: List[Dict[str, Any]] = []
         status: Optional[int] = 200
+        trace_id: Optional[str] = None
         try:
             result = self._client().evaluate(
                 [event.point], hedge_after_s=self._hedge_delay()
             )
             answers = result.records
+            trace_id = result.trace_id
             if result.n_failed:
                 ok = False
                 error = str(
@@ -268,6 +295,7 @@ class WorkloadReplayer:
             error=error,
             records=answers,
             status=status,
+            trace_id=trace_id,
         )
 
     def run(self, events: Sequence[TraceEvent]) -> ReplayResult:

@@ -44,6 +44,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.service.obs import Observability
+
 #: Client identity header (case-insensitive on the wire; the server
 #: lower-cases header names).  Shared with the client and replayer.
 CLIENT_HEADER = "x-repro-client"
@@ -159,8 +161,15 @@ class AdmissionController:
     locking and decisions are strictly ordered.
     """
 
-    def __init__(self, config: AdmissionConfig):
+    def __init__(
+        self,
+        config: AdmissionConfig,
+        obs: Optional[Observability] = None,
+    ):
         self.config = config
+        #: Observability hub: rejections become structured log events
+        #: (``--log-json``) carrying the client and decision.
+        self._obs = obs
         self._clients: Dict[str, _ClientState] = {}
         self._outstanding_rows = 0
         self._peak_outstanding_rows = 0
@@ -192,6 +201,14 @@ class AdmissionController:
         if cap and self._outstanding_rows + rows > cap:
             state.counters["shed_503"] += 1
             self._shed_total += 1
+            if self._obs is not None:
+                self._obs.event(
+                    "admission_shed",
+                    client=client or ANONYMOUS_CLIENT,
+                    rows=rows,
+                    outstanding_rows=self._outstanding_rows,
+                    queue_rows=cap,
+                )
             return Admission(
                 admitted=False,
                 rows=rows,
@@ -205,6 +222,15 @@ class AdmissionController:
         if wait is not None:
             state.counters["rejected_429"] += 1
             self._rejected_total += 1
+            if self._obs is not None:
+                self._obs.event(
+                    "admission_reject",
+                    client=client or ANONYMOUS_CLIENT,
+                    rows=rows,
+                    retry_after_s=(
+                        None if math.isinf(wait) else round(wait, 4)
+                    ),
+                )
             if math.isinf(wait):
                 return Admission(
                     admitted=False,

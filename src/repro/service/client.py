@@ -86,13 +86,18 @@ class EvaluateResult:
     keys: List[str]
     records: List[Dict[str, Any]]
     n_failed: int = field(default=0)
+    #: Daemon-assigned request trace ID (protocol 4); look the request
+    #: up in ``GET /v1/trace/<id>`` while it is still in the ring.
+    trace_id: Optional[str] = field(default=None)
 
 
 def _parse_evaluate(data: Dict[str, Any]) -> EvaluateResult:
+    trace_id = data.get("trace_id")
     return EvaluateResult(
         keys=list(data["keys"]),
         records=list(data["records"]),
         n_failed=int(data.get("n_failed", 0)),
+        trace_id=trace_id if isinstance(trace_id, str) else None,
     )
 
 

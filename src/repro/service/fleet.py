@@ -67,6 +67,7 @@ import multiprocessing
 import os
 import signal
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import suppress
@@ -87,6 +88,7 @@ from repro.service.jobs.fair_share import (
     plan_job_buckets,
     point_rows,
 )
+from repro.service.obs import Observability, current_sink
 
 #: Pool-crash retries per bucket before bisection kicks in.
 DEFAULT_BUCKET_RETRIES = 2
@@ -116,13 +118,19 @@ def _noop() -> None:
 def _evaluate_bucket(
     point_dicts: Sequence[Dict[str, Any]],
     poison_seeds: Tuple[int, ...] = (),
-) -> List[Dict[str, Any]]:
+    timed: bool = False,
+) -> Any:
     """Worker entry: one row-budgeted bucket of serialised points.
 
     ``poison_seeds`` is the chaos harness's fail-stop model: a bucket
     containing a simulate point with one of these seeds hard-exits the
     worker, exactly like a segfault would -- the deterministic stand-in
     the bisection-quarantine tests and benches are built on.
+
+    ``timed`` (observability: a traced request is riding the batch)
+    wraps the same records -- untouched, bit-identity preserved -- in
+    an envelope carrying the worker PID and in-worker evaluation time
+    for the per-worker bucket spans of ``GET /v1/trace/<id>``.
     """
     if poison_seeds:
         for d in point_dicts:
@@ -134,6 +142,14 @@ def _evaluate_bucket(
     from repro.campaign.executor import evaluate_points_packed
 
     points = [ScenarioPoint.from_dict(d) for d in point_dicts]
+    if timed:
+        t0 = time.perf_counter()
+        records = evaluate_points_packed(points)
+        return {
+            "records": records,
+            "pid": os.getpid(),
+            "eval_s": time.perf_counter() - t0,
+        }
     return evaluate_points_packed(points)
 
 
@@ -156,6 +172,7 @@ class EvalFleet:
         pack_rows: int = DEFAULT_PACK_ROWS,
         bucket_retries: int = DEFAULT_BUCKET_RETRIES,
         injector: Optional[FaultInjector] = None,
+        obs: Optional[Observability] = None,
     ):
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
@@ -179,7 +196,14 @@ class EvalFleet:
             if injector is not None and injector.plan.crash_prewarm
             else _warm_worker
         )
-        self._lock = threading.Lock()
+        self._obs = obs
+        # With observability on, the counter lock IS the hub's shared
+        # stats lock: /v1/stats and /metrics snapshots then can never
+        # observe fleet counters mid-update relative to the rest of
+        # the payload (one uncontended acquire per batch).
+        self._lock = (
+            obs.stats_lock if obs is not None else threading.Lock()
+        )
         self._pool_lock = threading.Lock()
         self._generation = 0
         self._closed = False
@@ -287,21 +311,25 @@ class EvalFleet:
             with self._lock:
                 self._counters["pool_rebuilds"] += 1
 
-    def _submit_bucket(self, bucket: Bucket) -> Tuple[int, "Future"]:
+    def _submit_bucket(
+        self, bucket: Bucket, timed: bool = False
+    ) -> Tuple[int, "Future", float]:
         """Submit one bucket, riding through an already-broken pool.
 
         A pool killed *between* batches breaks at ``submit`` time, not
         at ``result`` time; rebuild and resubmit.  Termination is
         guaranteed because a rebuild either yields a warm, verified
-        pool or raises :class:`FleetUnavailableError`.
+        pool or raises :class:`FleetUnavailableError`.  Returns the
+        submit timestamp too (the bucket span's start when traced).
         """
         payload = [p.to_dict() for _, p in bucket]
         while True:
             pool, generation = self._current_pool()
             try:
+                t_sub = time.perf_counter() if timed else 0.0
                 return generation, pool.submit(
-                    _evaluate_bucket, payload, self._poison_seeds
-                )
+                    _evaluate_bucket, payload, self._poison_seeds, timed
+                ), t_sub
             except BrokenProcessPool:
                 self._ensure_rebuilt(generation)
             except RuntimeError:
@@ -339,8 +367,6 @@ class EvalFleet:
         if self._injector is not None:
             fault = self._injector.eval_call()
             if fault.delay_s > 0:
-                import time
-
                 time.sleep(fault.delay_s)
             if fault.raise_now:
                 raise InjectedFault(
@@ -357,6 +383,12 @@ class EvalFleet:
                         "crashed fleet workers and will not be "
                         "re-evaluated"
                     )
+        # Observability: the thread-local sink is armed by the
+        # scheduler (same executor thread) only when a request trace
+        # is riding this batch; ``timed`` buckets report per-worker
+        # spans through it without touching the records themselves.
+        sink = current_sink() if self._obs is not None else None
+        timed = sink is not None
         # Index-keyed items: input position is the reassembly address
         # (cache keys may legitimately repeat within a batch).
         items = [(str(i), p) for i, p in enumerate(points)]
@@ -365,7 +397,18 @@ class EvalFleet:
             self.pack_rows,
             max(1, -(-total_rows // self.procs)),
         )
+        t_plan0 = time.perf_counter() if self._obs is not None else 0.0
         buckets = plan_job_buckets(items, budget)
+        if self._obs is not None:
+            for b in buckets:
+                self._obs.h_bucket_rows.observe(bucket_rows(b))
+            if sink is not None:
+                sink.add(
+                    "pack",
+                    t_plan0,
+                    time.perf_counter(),
+                    {"buckets": len(buckets), "bucket_budget": budget},
+                )
         out: List[Optional[Dict[str, Any]]] = [None] * len(points)
         # (bucket, crashes-so-far) work list; crashed buckets re-enter
         # it until their retry budget is spent, then split in half.
@@ -384,7 +427,7 @@ class EvalFleet:
             else:
                 round_items, pending = list(pending), []
             submitted = [
-                (bucket, crashes, *self._submit_bucket(bucket))
+                (bucket, crashes, *self._submit_bucket(bucket, timed))
                 for bucket, crashes in round_items
             ]
             if (
@@ -395,9 +438,9 @@ class EvalFleet:
                 self._kill_one_worker()
             first_round = False
             solo = len(submitted) == 1
-            for bucket, crashes, generation, future in submitted:
+            for bucket, crashes, generation, future, t_sub in submitted:
                 try:
-                    records = future.result()
+                    answer = future.result()
                 except BrokenProcessPool:
                     self._ensure_rebuilt(generation)
                     if solo:
@@ -408,6 +451,23 @@ class EvalFleet:
                         pending.append((bucket, crashes))
                     serial = True
                     continue
+                if timed and isinstance(answer, dict):
+                    records = answer["records"]
+                    sink.add(
+                        "bucket",
+                        t_sub,
+                        time.perf_counter(),
+                        {
+                            "points": len(bucket),
+                            "rows": bucket_rows(bucket),
+                            "worker_pid": answer["pid"],
+                            "worker_eval_ms": round(
+                                1e3 * answer["eval_s"], 3
+                            ),
+                        },
+                    )
+                else:
+                    records = answer
                 for (key, _), record in zip(bucket, records):
                     out[int(key)] = record
         with self._lock:

@@ -49,6 +49,7 @@ from repro.service.jobs.fair_share import (
     plan_job_buckets,
 )
 from repro.service.jobs.store import JobStore
+from repro.service.obs import Observability
 from repro.service.scheduler import MicroBatchScheduler
 
 #: Job lifecycle states.
@@ -166,6 +167,7 @@ class JobManager:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         pack_rows: Optional[int] = None,
         job_ttl_days: Optional[float] = None,
+        obs: Optional["Observability"] = None,
     ):
         if max_inflight < 1:
             raise ValueError(
@@ -179,6 +181,9 @@ class JobManager:
             store = JobStore(store)
         self._scheduler = scheduler
         self._store = store
+        #: Observability hub: job lifecycle transitions become
+        #: structured log events under ``repro serve --log-json``.
+        self._obs = obs
         self.max_inflight = int(max_inflight)
         self.pack_rows = int(
             scheduler.pack_rows if pack_rows is None else pack_rows
@@ -372,6 +377,14 @@ class JobManager:
         if idempotency_key:
             self._idempotency[(client, idempotency_key)] = job.job_id
         self._counters["submitted"] += 1
+        if self._obs is not None:
+            self._obs.event(
+                "job_submitted",
+                job_id=job.job_id,
+                client=client,
+                scenario=spec.scenario,
+                n_points=len(job.keys),
+            )
         if not job.buckets:
             self._maybe_finish(job)
         self._wake.set()
@@ -400,6 +413,10 @@ class JobManager:
         job.state = "cancelled"
         job.finished = time.time()
         self._counters["cancelled"] += 1
+        if self._obs is not None:
+            self._obs.event(
+                "job_cancelled", job_id=job.job_id, client=job.client
+            )
         self._persist_terminal(job)
         if job.inflight == 0:
             self._release_journal(job)
@@ -630,6 +647,20 @@ class JobManager:
         else:
             job.state = "done"
             self._counters["done"] += 1
+        if self._obs is not None:
+            self._obs.event(
+                "job_finished",
+                job_id=job.job_id,
+                client=job.client,
+                state=job.state,
+                n_points=len(job.keys),
+                n_failed=len(job.failed),
+                duration_s=(
+                    round(job.finished - job.started, 3)
+                    if job.started
+                    else None
+                ),
+            )
         self._persist_terminal(job)
         self._release_journal(job)
 

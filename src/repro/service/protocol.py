@@ -48,7 +48,12 @@ from repro.campaign.spec import (
 #: load; the client identifies itself via the ``X-Repro-Client``
 #: header; ``POST /v1/campaign`` accepts an ``idempotency_key`` making
 #: resubmission safe.
-PROTOCOL_VERSION = 3
+#: 4: observability joined the surface -- ``/v1/evaluate`` responses
+#: carry a ``trace_id`` (echoing ``X-Repro-Trace-Id`` when the client
+#: supplied one) and the daemon serves ``GET /metrics`` (Prometheus
+#: text) and ``GET /v1/trace[/<id>]`` (recent request span timelines).
+#: Additive: protocol-3 clients are unaffected.
+PROTOCOL_VERSION = 4
 
 #: Default client identity for job submissions that do not name one;
 #: fair-share treats every anonymous submitter as one client.
@@ -142,14 +147,18 @@ def evaluate_response(
     keys: Sequence[str],
     records: Sequence[Dict[str, Any]],
     n_failed: int = 0,
+    trace_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The ``/v1/evaluate`` response payload."""
-    return {
+    payload = {
         "protocol": PROTOCOL_VERSION,
         "keys": list(keys),
         "records": list(records),
         "n_failed": int(n_failed),
     }
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    return payload
 
 
 def parse_campaign_body(

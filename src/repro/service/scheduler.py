@@ -34,6 +34,7 @@ to every awaiting future.  All counters are surfaced via :meth:`stats`
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import suppress
@@ -55,6 +56,12 @@ from repro.campaign.cache import cache_key
 from repro.campaign.spec import ScenarioPoint
 from repro.service.faults import FleetUnavailableError
 from repro.service.memcache import TieredCache
+from repro.service.obs import (
+    BatchSink,
+    Observability,
+    RequestTrace,
+    run_with_sink,
+)
 
 #: Default micro-batch collection window.  Long enough that requests
 #: issued "at the same time" (one client fan-out, a burst of users)
@@ -106,6 +113,39 @@ class _Pending:
     point: ScenarioPoint
     rows: int
     future: "asyncio.Future[Dict[str, Any]]" = field(repr=False)
+    #: Observability only (``None`` when tracing is off): when the
+    #: point was enqueued, and the request traces riding this key --
+    #: the original submitter plus any coalescers.
+    enqueued_t: float = 0.0
+    traces: Optional[List[RequestTrace]] = field(
+        default=None, repr=False
+    )
+
+
+def _evaluate_with_spans(
+    sink: BatchSink,
+    t_cut: float,
+    evaluate: Callable[[List[ScenarioPoint]], List[Dict[str, Any]]],
+    points: List[ScenarioPoint],
+) -> List[Dict[str, Any]]:
+    """Executor-thread wrapper stamping queue-wait/execute spans.
+
+    Runs *inside* the evaluation thread so the queue-wait span measures
+    real executor dispatch delay, and the thread-local sink is armed on
+    the same thread the fleet's ``evaluate`` runs on (contextvars do
+    not cross ``run_in_executor``).
+    """
+    t0 = time.perf_counter()
+    sink.add("queue_wait", t_cut, t0)
+    try:
+        return run_with_sink(sink, evaluate, points)
+    finally:
+        sink.add(
+            "execute",
+            t0,
+            time.perf_counter(),
+            {"batch_points": len(points)},
+        )
 
 
 class MicroBatchScheduler:
@@ -159,6 +199,7 @@ class MicroBatchScheduler:
             Callable[[List[ScenarioPoint]], List[Dict[str, Any]]]
         ] = None,
         fleet_failure_threshold: int = DEFAULT_FLEET_FAILURE_THRESHOLD,
+        obs: Optional[Observability] = None,
     ):
         if batch_window_ms < 0:
             raise ValueError(
@@ -190,9 +231,15 @@ class MicroBatchScheduler:
         self.pack_rows = int(pack_rows)
         self.eval_workers = int(eval_workers)
 
+        #: Observability hub; ``None`` keeps every hook a no-op.
+        self._obs = obs
         self._queue: "deque[_Pending]" = deque()
         self._queued_rows = 0
         self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        #: key -> queued/in-flight pending, maintained only when
+        #: tracing is on, so a coalescing request can attach its trace
+        #: to the computation it joined.
+        self._pending_by_key: Dict[str, _Pending] = {}
         self._batch_tasks: "set[asyncio.Task]" = set()
         self._drain_task: Optional[asyncio.Task] = None
         self._wake: Optional[asyncio.Event] = None
@@ -263,6 +310,7 @@ class MicroBatchScheduler:
         while self._queue:
             pending = self._queue.popleft()
             self._inflight.pop(pending.key, None)
+            self._pending_by_key.pop(pending.key, None)
             if not pending.future.done():
                 pending.future.set_exception(
                     RuntimeError("scheduler closed before evaluation")
@@ -277,7 +325,10 @@ class MicroBatchScheduler:
             self._pool = None
 
     async def resolve(
-        self, points: Sequence[ScenarioPoint]
+        self,
+        points: Sequence[ScenarioPoint],
+        *,
+        trace: Optional[RequestTrace] = None,
     ) -> Tuple[List[str], Dict[str, Outcome]]:
         """Evaluate points, returning settled per-unique-key outcomes.
 
@@ -310,20 +361,41 @@ class MicroBatchScheduler:
         # per point, which matters on the loop thread.
         outcomes: Dict[str, Outcome] = {}
         if self._cache is not None:
+            t_cache0 = time.perf_counter() if trace is not None else 0.0
             outcomes = dict(self._cache.get_many(list(unique)))
             self._counters["cache_hits"] += len(outcomes)
+            if trace is not None:
+                trace.span(
+                    "cache_lookup",
+                    t_cache0,
+                    time.perf_counter(),
+                    {"keys": len(unique), "hits": len(outcomes)},
+                )
         waiting: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        tracing = self._obs is not None
         for key, point in unique.items():
             if key in outcomes:
                 continue
             future = self._inflight.get(key)
             if future is not None:
                 self._counters["coalesced"] += 1
+                if trace is not None:
+                    joined = self._pending_by_key.get(key)
+                    if joined is not None:
+                        if joined.traces is None:
+                            joined.traces = []
+                        joined.traces.append(trace)
             else:
                 future = self._loop.create_future()
                 self._inflight[key] = future
                 rows = point_rows(point)
-                self._queue.append(_Pending(key, point, rows, future))
+                pending = _Pending(key, point, rows, future)
+                if tracing:
+                    pending.enqueued_t = time.perf_counter()
+                    if trace is not None:
+                        pending.traces = [trace]
+                    self._pending_by_key[key] = pending
+                self._queue.append(pending)
                 self._queued_rows += rows
                 self._counters["computed"] += 1
                 self._counters["computed_rows"] += rows
@@ -356,7 +428,10 @@ class MicroBatchScheduler:
         return keys, records
 
     async def submit_settled(
-        self, points: Sequence[ScenarioPoint]
+        self,
+        points: Sequence[ScenarioPoint],
+        *,
+        trace: Optional[RequestTrace] = None,
     ) -> Tuple[List[str], List[Dict[str, Any]], int]:
         """Evaluate points; failures become per-point ``error`` records.
 
@@ -365,7 +440,8 @@ class MicroBatchScheduler:
         instead of failing the whole request -- the ``/v1/evaluate``
         contract since protocol 2.
         """
-        keys, outcomes = await self.resolve(points)
+        keys, outcomes = await self.resolve(points, trace=trace)
+        t_unpack0 = time.perf_counter() if trace is not None else 0.0
         records: List[Dict[str, Any]] = []
         n_failed = 0
         for key, point in zip(keys, points):
@@ -377,6 +453,8 @@ class MicroBatchScheduler:
                 )
             else:
                 records.append({**dict(point.labels), **outcome})
+        if trace is not None:
+            trace.span("unpack", t_unpack0, time.perf_counter())
         return keys, records, n_failed
 
     def reconfigure(
@@ -490,6 +568,8 @@ class MicroBatchScheduler:
 
     def _take_batch(self) -> List[_Pending]:
         """Pop queued points up to the row budget (at least one)."""
+        if self._obs is not None:
+            self._obs.h_queue_depth.observe(len(self._queue))
         batch: List[_Pending] = []
         rows = 0
         while self._queue:
@@ -521,6 +601,21 @@ class MicroBatchScheduler:
             self._circuit_open = True
             self._counters["circuit_breaker_trips"] += 1
 
+    def _dispatch_evaluate(
+        self,
+        evaluate: Callable[..., List[Dict[str, Any]]],
+        points: List[ScenarioPoint],
+        sink: Optional[BatchSink],
+        t_cut: float,
+    ) -> "asyncio.Future":
+        """Run one engine call on the pool, span-wrapped when traced."""
+        if sink is not None:
+            return self._loop.run_in_executor(
+                self._pool, _evaluate_with_spans, sink, t_cut,
+                evaluate, points,
+            )
+        return self._loop.run_in_executor(self._pool, evaluate, points)
+
     async def _run_batch(self, batch: List[_Pending]) -> None:
         self._counters["batches"] += 1
         self._counters["engine_points"] += len(batch)
@@ -529,9 +624,19 @@ class MicroBatchScheduler:
         )
         points = [p.point for p in batch]
         evaluate, on_fallback = self._active_evaluate()
+        # Observability: a span sink is allocated only when at least
+        # one request trace rides this batch, so untraced traffic (and
+        # obs-off daemons) pay nothing here.
+        sink: Optional[BatchSink] = None
+        t_cut = 0.0
+        if self._obs is not None:
+            self._obs.h_batch_points.observe(len(batch))
+            if any(p.traces for p in batch):
+                sink = BatchSink()
+                t_cut = time.perf_counter()
         try:
-            records = await self._loop.run_in_executor(
-                self._pool, evaluate, points
+            records = await self._dispatch_evaluate(
+                evaluate, points, sink, t_cut
             )
             if not on_fallback:
                 self._consecutive_fleet_failures = 0
@@ -546,8 +651,8 @@ class MicroBatchScheduler:
             self._record_fleet_failure()
             on_fallback = True
             try:
-                records = await self._loop.run_in_executor(
-                    self._pool, self._fallback, points
+                records = await self._dispatch_evaluate(
+                    self._fallback, points, sink, t_cut
                 )
             except Exception as fallback_exc:
                 self._counters["batch_failures"] += 1
@@ -559,6 +664,8 @@ class MicroBatchScheduler:
             return
         if on_fallback:
             self._counters["fallback_batches"] += 1
+        if self._obs is not None:
+            self._stamp_batch_spans(batch, sink, t_cut, on_fallback)
         # Cache BEFORE resolving futures/in-flight entries: a request
         # arriving between those steps then finds the record in cache,
         # keeping "one computation per key" airtight.  A failed cache
@@ -573,8 +680,34 @@ class MicroBatchScheduler:
                 self._counters["cache_put_failures"] += 1
         for pending, record in zip(batch, records):
             self._inflight.pop(pending.key, None)
+            self._pending_by_key.pop(pending.key, None)
             if not pending.future.done():
                 pending.future.set_result(record)
+
+    def _stamp_batch_spans(
+        self,
+        batch: List[_Pending],
+        sink: Optional[BatchSink],
+        t_cut: float,
+        on_fallback: bool,
+    ) -> None:
+        """Fan batch-level spans out to every trace riding the batch."""
+        bucket_spans = sink.spans if sink is not None else []
+        for pending in batch:
+            if not pending.traces:
+                continue
+            for trace in pending.traces:
+                meta: Dict[str, Any] = {
+                    "window_ms": self.batch_window_ms,
+                    "batch_points": len(batch),
+                }
+                if on_fallback:
+                    meta["fallback"] = True
+                trace.span(
+                    "batch_window", pending.enqueued_t, t_cut, meta
+                )
+                if bucket_spans:
+                    trace.add_spans(bucket_spans)
 
     async def _isolate_failed_batch(
         self, batch: List[_Pending], exc: Exception
@@ -619,6 +752,7 @@ class MicroBatchScheduler:
                 self._counters["cache_put_failures"] += 1
         for pending, outcome in zip(batch, outcomes):
             self._inflight.pop(pending.key, None)
+            self._pending_by_key.pop(pending.key, None)
             if pending.future.done():
                 continue
             if isinstance(outcome, BaseException):

@@ -14,6 +14,10 @@ reader/writer (no framework).  Endpoints:
 * ``GET /v1/health`` -- liveness plus version info.
 * ``GET /v1/stats`` -- scheduler counters, batch configuration,
   tiered-cache state and job-manager counters.
+* ``GET /metrics`` -- the same counters plus native histograms in
+  Prometheus text exposition format (:mod:`repro.service.obs`).
+* ``GET /v1/trace`` / ``GET /v1/trace/<id>`` -- span timelines of
+  recently completed requests (the trace ring).
 
 Connections are keep-alive by default (HTTP/1.1 semantics), so a
 client issuing many queries pays TCP setup once.
@@ -61,6 +65,12 @@ from repro.service.memcache import (
     DEFAULT_MEM_ENTRIES,
     LRUCache,
     TieredCache,
+)
+from repro.service.obs import (
+    DEFAULT_TRACE_BUFFER,
+    Observability,
+    RequestTrace,
+    TRACE_HEADER,
 )
 from repro.service.protocol import (
     DEFAULT_HOST,
@@ -153,6 +163,21 @@ class ServiceConfig:
     #: How long a graceful drain waits for in-flight requests before
     #: force-closing their connections.
     drain_grace_s: float = 10.0
+    #: Observability (:mod:`repro.service.obs`): request tracing,
+    #: ``GET /metrics`` and ``GET /v1/trace``.  On by default -- the
+    #: hooks are allocation-light; ``--no-obs`` turns the whole
+    #: subsystem off (both endpoints then answer 404).
+    observability: bool = True
+    #: Structured JSON logging to stderr (``repro serve --log-json``).
+    log_json: bool = False
+    #: Log a ``slow_request`` event for requests at or above this
+    #: server-side latency (works with or without ``--log-json``).
+    slow_request_ms: Optional[float] = None
+    #: Journal every admitted ``/v1/evaluate`` arrival to this file as
+    #: a replayable ``repro loadtest --trace`` JSONL.
+    record_trace: Optional[str] = None
+    #: Completed traces kept for ``GET /v1/trace``.
+    trace_buffer: int = DEFAULT_TRACE_BUFFER
 
 
 class ServiceServer:
@@ -169,6 +194,7 @@ class ServiceServer:
         admission: Optional[AdmissionController] = None,
         fleet: Optional[EvalFleet] = None,
         injector: Optional[FaultInjector] = None,
+        obs: Optional[Observability] = None,
     ):
         self.scheduler = scheduler
         self.jobs_api = jobs_api
@@ -176,6 +202,7 @@ class ServiceServer:
         self.admission = admission
         self.fleet = fleet
         self.injector = injector
+        self.obs = obs
         self.host = host
         self.port = port
         #: Readiness gate: set during graceful shutdown.  Liveness
@@ -187,6 +214,7 @@ class ServiceServer:
         self._connections: Set[asyncio.StreamWriter] = set()
         self._active_requests = 0
         self._t0 = 0.0
+        self._started_wall = 0.0
 
     async def start(self) -> Tuple[str, int]:
         """Bind and listen; returns ``(host, port)`` with the real port."""
@@ -195,6 +223,7 @@ class ServiceServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._t0 = time.monotonic()
+        self._started_wall = time.time()
         return self.host, self.port
 
     async def close(self, *, grace_s: float = 10.0) -> None:
@@ -248,10 +277,19 @@ class ServiceServer:
                 ):
                     break  # scheduled drop: close without answering
                 method, path, headers, body = request
+                trace: Optional[RequestTrace] = None
+                if (
+                    self.obs is not None
+                    and method == "POST"
+                    and path.partition("?")[0] == "/v1/evaluate"
+                ):
+                    trace = self.obs.begin_trace(
+                        headers.get(TRACE_HEADER)
+                    )
                 self._active_requests += 1
                 try:
                     status, payload = await self._dispatch(
-                        method, path, headers, body
+                        method, path, headers, body, trace=trace
                     )
                 finally:
                     self._active_requests -= 1
@@ -259,8 +297,12 @@ class ServiceServer:
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 ) and not self.draining
-                extra_headers = None
-                if status == 429 and payload.get("retry_after_s"):
+                extra_headers: Optional[Dict[str, str]] = None
+                if (
+                    status == 429
+                    and isinstance(payload, dict)
+                    and payload.get("retry_after_s")
+                ):
                     # Header granularity is whole seconds (RFC 9110);
                     # the exact float rides in the JSON body.
                     extra_headers = {
@@ -268,6 +310,10 @@ class ServiceServer:
                             max(1, int(-(-payload["retry_after_s"] // 1)))
                         )
                     }
+                if trace is not None:
+                    extra_headers = dict(extra_headers or {})
+                    extra_headers[TRACE_HEADER] = trace.trace_id
+                t_respond = time.perf_counter()
                 await _write_response(
                     writer,
                     status,
@@ -275,6 +321,11 @@ class ServiceServer:
                     keep_alive=keep_alive,
                     extra_headers=extra_headers,
                 )
+                if trace is not None:
+                    trace.span(
+                        "respond", t_respond, time.perf_counter()
+                    )
+                    self.obs.finish_trace(trace, status)
                 if not keep_alive:
                     break
         except (
@@ -289,13 +340,51 @@ class ServiceServer:
             with suppress(ConnectionError):
                 await writer.wait_closed()
 
+    def _stats_payload(self) -> Dict[str, Any]:
+        """Assemble the ``/v1/stats`` document (also feeds /metrics).
+
+        With observability on, the whole snapshot is taken under the
+        shared ``stats_lock`` (the same lock the fleet's counters
+        update under), so no subsystem is read mid-update relative to
+        another.
+        """
+        payload = {
+            "uptime_seconds": round(time.monotonic() - self._t0, 3),
+            "uptime_s": round(time.monotonic() - self._t0, 3),
+            "version": __version__,
+            "started_at": round(self._started_wall, 3),
+            **self.scheduler.stats(),
+        }
+        payload["autotune"] = (
+            self.autotune.stats()
+            if self.autotune is not None
+            else {"enabled": False}
+        )
+        payload["admission"] = (
+            self.admission.stats()
+            if self.admission is not None
+            else {"enabled": False}
+        )
+        if self.jobs_api is not None:
+            payload["jobs"] = self.jobs_api.manager.stats()
+        if self.injector is not None:
+            payload["faults"] = self.injector.stats()
+        return payload
+
+    def _stats_snapshot(self) -> Dict[str, Any]:
+        if self.obs is not None:
+            with self.obs.stats_lock:
+                return self._stats_payload()
+        return self._stats_payload()
+
     async def _dispatch(
         self,
         method: str,
         path: str,
         headers: Dict[str, str],
         body: bytes,
-    ) -> Tuple[int, Dict[str, Any]]:
+        trace: Optional[RequestTrace] = None,
+    ) -> Tuple[int, Any]:
         path, _, raw_query = path.partition("?")
         query = {
             k: v[0]
@@ -320,25 +409,44 @@ class ServiceServer:
         if path == "/v1/stats":
             if method != "GET":
                 return 405, {"error": f"{path} accepts GET only"}
-            payload = {
-                "uptime_seconds": round(time.monotonic() - self._t0, 3),
-                **self.scheduler.stats(),
+            return 200, self._stats_snapshot()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": f"{path} accepts GET only"}
+            if self.obs is None:
+                return 404, {
+                    "error": "observability is disabled (--no-obs); "
+                    "/metrics is unavailable"
+                }
+            # A str payload is written as text/plain (exposition 0.0.4).
+            return 200, self.obs.render_metrics(self._stats_snapshot())
+        if path == "/v1/trace" or path.startswith("/v1/trace/"):
+            if method != "GET":
+                return 405, {"error": "/v1/trace accepts GET only"}
+            if self.obs is None:
+                return 404, {
+                    "error": "observability is disabled (--no-obs); "
+                    "/v1/trace is unavailable"
+                }
+            trace_id = path[len("/v1/trace/"):]
+            if trace_id:
+                found = self.obs.traces.get(trace_id)
+                if found is None:
+                    return 404, {
+                        "error": f"trace {trace_id!r} is not in the "
+                        f"ring (last {len(self.obs.traces)} completed "
+                        "requests are kept)"
+                    }
+                return 200, {"trace": found.to_dict()}
+            try:
+                limit = max(1, min(int(query.get("limit", 50)), 1000))
+            except ValueError:
+                return 400, {"error": '"limit" must be an integer'}
+            return 200, {
+                "traces": [
+                    t.summary() for t in self.obs.traces.recent(limit)
+                ]
             }
-            payload["autotune"] = (
-                self.autotune.stats()
-                if self.autotune is not None
-                else {"enabled": False}
-            )
-            payload["admission"] = (
-                self.admission.stats()
-                if self.admission is not None
-                else {"enabled": False}
-            )
-            if self.jobs_api is not None:
-                payload["jobs"] = self.jobs_api.manager.stats()
-            if self.injector is not None:
-                payload["faults"] = self.injector.stats()
-            return 200, payload
         if path == "/v1/evaluate":
             if method != "POST":
                 return 405, {"error": f"{path} accepts POST only"}
@@ -347,32 +455,58 @@ class ServiceServer:
                     "error": "daemon is draining and not accepting "
                     "new work"
                 }
+            t_parse = time.perf_counter()
             try:
                 points = parse_evaluate_body(body)
             except ProtocolError as exc:
                 return 400, {"error": str(exc)}
+            if trace is not None:
+                trace.n_points = len(points)
+                trace.span(
+                    "parse", t_parse, time.perf_counter(),
+                    {"bytes": len(body)},
+                )
             admitted = None
             if self.admission is not None:
+                t_admit = time.perf_counter()
                 admitted = self.admission.admit(
                     headers.get(CLIENT_HEADER, ANONYMOUS_CLIENT),
                     sum(point_rows(p) for p in points),
                     asyncio.get_running_loop().time(),
                 )
+                if trace is not None:
+                    trace.span(
+                        "admission", t_admit, time.perf_counter(),
+                        {"admitted": admitted.admitted},
+                    )
                 if not admitted.admitted:
                     payload: Dict[str, Any] = {"error": admitted.error}
                     if admitted.retry_after_s is not None:
                         payload["retry_after_s"] = admitted.retry_after_s
                     return admitted.status, payload
+            if self.obs is not None and self.obs.recorder is not None:
+                # Journal admitted arrivals on the loop clock -- the
+                # same clock admission replays under.
+                self.obs.recorder.record(
+                    points, asyncio.get_running_loop().time()
+                )
             try:
                 keys, records, n_failed = (
-                    await self.scheduler.submit_settled(points)
+                    await self.scheduler.submit_settled(
+                        points, trace=trace
+                    )
                 )
             except Exception as exc:  # scheduler torn down mid-request
                 return 500, {"error": f"evaluation failed: {exc}"}
             finally:
                 if admitted is not None:
                     self.admission.release(admitted)
-            return 200, evaluate_response(keys, records, n_failed)
+            return 200, evaluate_response(
+                keys,
+                records,
+                n_failed,
+                trace_id=trace.trace_id if trace is not None else None,
+            )
         if self.jobs_api is not None:
             answer = await self.jobs_api.handle(
                 method, path, query, body
@@ -382,7 +516,8 @@ class ServiceServer:
         return 404, {
             "error": f"unknown path {path!r}; endpoints: "
             "POST /v1/evaluate, POST /v1/campaign, GET /v1/jobs, "
-            "GET /v1/health, GET /v1/stats"
+            "GET /v1/health, GET /v1/stats, GET /metrics, "
+            "GET /v1/trace"
         }
 
 
@@ -431,19 +566,25 @@ async def _read_request(
 async def _write_response(
     writer: asyncio.StreamWriter,
     status: int,
-    payload: Dict[str, Any],
+    payload: Any,
     *,
     keep_alive: bool,
     extra_headers: Optional[Dict[str, str]] = None,
 ) -> None:
-    blob = json.dumps(payload, default=str).encode("utf-8")
+    if isinstance(payload, str):
+        # Pre-rendered text body (GET /metrics, exposition 0.0.4).
+        blob = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        blob = json.dumps(payload, default=str).encode("utf-8")
+        content_type = "application/json"
     extra = "".join(
         f"{name}: {value}\r\n"
         for name, value in (extra_headers or {}).items()
     )
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-        "content-type: application/json\r\n"
+        f"content-type: {content_type}\r\n"
         f"content-length: {len(blob)}\r\n"
         f"connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         f"{extra}"
@@ -466,6 +607,18 @@ async def start_service(
         else None
     )
     cache = TieredCache(LRUCache(config.mem_entries), disk)
+    obs: Optional[Observability] = None
+    if config.observability:
+        obs = Observability(
+            trace_buffer=config.trace_buffer,
+            log_json=config.log_json,
+            slow_request_s=(
+                config.slow_request_ms / 1e3
+                if config.slow_request_ms is not None
+                else None
+            ),
+            record_trace_path=config.record_trace,
+        )
     fault_spec = (
         config.faults
         if config.faults is not None
@@ -484,6 +637,7 @@ async def start_service(
             config.eval_procs,
             pack_rows=config.pack_rows,
             injector=injector,
+            obs=obs,
         )
     evaluate = fleet.evaluate if fleet is not None else None
     fallback = None
@@ -502,6 +656,7 @@ async def start_service(
         eval_workers=config.eval_workers,
         evaluate=evaluate,
         fallback_evaluate=fallback,
+        obs=obs,
     )
     await scheduler.start()
     store = (
@@ -514,6 +669,7 @@ async def start_service(
         store,
         max_inflight=config.job_inflight,
         job_ttl_days=config.job_ttl_days,
+        obs=obs,
     )
     await manager.start()
     admission: Optional[AdmissionController] = None
@@ -528,7 +684,8 @@ async def start_service(
                 rate_rows_per_s=config.rate_rows_per_s,
                 burst_rows=burst,
                 queue_rows=config.queue_rows,
-            )
+            ),
+            obs=obs,
         )
     autotune: Optional[AutotuneRunner] = None
     if config.autotune:
@@ -573,6 +730,7 @@ async def start_service(
         admission=admission,
         fleet=fleet,
         injector=injector,
+        obs=obs,
     )
     await server.start()
     if config.port_file:
@@ -645,6 +803,10 @@ async def _serve_async(
             # After the scheduler: its in-flight batches are the
             # fleet's last callers.
             server.fleet.close()
+        if server.obs is not None:
+            # Last: flushes and closes the arrival recorder after the
+            # final admitted request has been journalled.
+            server.obs.close()
         _remove_port_file(config.port_file)
 
 
@@ -695,6 +857,7 @@ class BackgroundService:
         self.autotune: Optional[AutotuneRunner] = None
         self.fleet: Optional[EvalFleet] = None
         self.admission: Optional[AdmissionController] = None
+        self.obs: Optional[Observability] = None
         self.server: Optional[ServiceServer] = None
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -754,6 +917,7 @@ class BackgroundService:
             self.autotune = server.autotune
             self.fleet = server.fleet
             self.admission = server.admission
+            self.obs = server.obs
             self.server = server
             self.host, self.port = server.host, server.port
             self._ready.set()

@@ -1,0 +1,216 @@
+"""Prometheus text exposition format conformance for ``GET /metrics``.
+
+A scraper is unforgiving: one malformed line and the whole scrape is
+dropped.  These tests parse every rendered line against the 0.0.4
+grammar, check HELP/TYPE ordering, histogram bucket monotonicity, and
+label escaping under hostile client names.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.service.obs import (
+    Histogram,
+    Observability,
+    escape_label_value,
+    render_prometheus,
+)
+
+#: One metric sample: name, optional {labels}, value.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>-?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|\+?Inf|NaN))$"
+)
+#: One label pair inside {...}; values are quoted with \\, \" and \n
+#: as the only escapes.
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\["\\n])*)"'
+)
+_HELP_RE = re.compile(r"^# HELP (?P<name>\S+) .*$")
+_TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>\S+) (?:counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def _parse_labels(raw):
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_RE.match(raw, pos)
+        assert match is not None, f"malformed labels at {raw[pos:]!r}"
+        labels[match.group("key")] = match.group("value")
+        pos = match.end()
+        if pos < len(raw):
+            assert raw[pos] == ",", f"expected ',' at {raw[pos:]!r}"
+            pos += 1
+    return labels
+
+
+def _hostile_stats():
+    """A stats payload with every label-hostile client name we accept."""
+    return {
+        "uptime_s": 12.5,
+        "config": {"batch_window_ms": 5.0, "pack_rows": 1_000_000},
+        "counters": {"requests": 7, "cache_hits": 3},
+        "degraded": False,
+        "queued": 0,
+        "cache": {"memory": {"entries": 3}, "disk": None},
+        "admission": {
+            "outstanding_rows": 2,
+            "counters": {"admitted": 5, "shed_503": 1},
+            "clients": {
+                'evil"quote': {"admitted": 1, "rows_admitted": 10},
+                "back\\slash": {"admitted": 2, "rows_admitted": 20},
+                "new\nline": {"admitted": 3, "rows_admitted": 30},
+                "plain": {"admitted": 4, "rows_admitted": 40},
+            },
+        },
+        "note": "strings are not metrics",  # must be skipped, not break
+    }
+
+
+@pytest.fixture
+def rendered():
+    obs = Observability()
+    obs.h_request_latency.observe(0.004)
+    obs.h_request_latency.observe(0.9)
+    obs.h_request_latency.observe(120.0)  # lands in +Inf
+    obs.h_batch_points.observe(3)
+    return obs.render_metrics(_hostile_stats())
+
+
+class TestExpositionGrammar:
+    def test_every_line_parses(self, rendered):
+        assert rendered.endswith("\n")
+        for line in rendered.splitlines():
+            assert line, "blank lines are not emitted"
+            if line.startswith("# HELP"):
+                assert _HELP_RE.match(line), line
+            elif line.startswith("# TYPE"):
+                assert _TYPE_RE.match(line), line
+            else:
+                match = _SAMPLE_RE.match(line)
+                assert match is not None, f"malformed sample: {line!r}"
+                if match.group("labels"):
+                    _parse_labels(match.group("labels"))
+
+    def test_help_and_type_precede_first_sample(self, rendered):
+        seen_headers = set()
+        for line in rendered.splitlines():
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                seen_headers.add(line.split()[2])
+                continue
+            name = _SAMPLE_RE.match(line).group("name")
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert name in seen_headers or base in seen_headers, (
+                f"sample {name} has no preceding HELP/TYPE"
+            )
+
+    def test_headers_never_repeat(self, rendered):
+        headers = [
+            line
+            for line in rendered.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert len(headers) == len(set(headers))
+
+    def test_counters_are_counters_with_total_suffix(self, rendered):
+        assert (
+            "# TYPE repro_counters_requests_total counter" in rendered
+        )
+        assert "repro_counters_requests_total 7" in rendered
+        # Non-counter numerics render as gauges, bools as 0/1.
+        assert "# TYPE repro_uptime_s gauge" in rendered
+        assert "repro_degraded 0" in rendered
+        # String leaves are silently skipped.
+        assert "repro_note" not in rendered
+
+
+class TestHistogramExposition:
+    def _series(self, rendered, name):
+        buckets = []
+        total = total_count = None
+        for line in rendered.splitlines():
+            match = _SAMPLE_RE.match(line) if not line.startswith("#") \
+                else None
+            if match is None:
+                continue
+            if match.group("name") == f"{name}_bucket":
+                labels = _parse_labels(match.group("labels"))
+                buckets.append(
+                    (labels["le"], float(match.group("value")))
+                )
+            elif match.group("name") == f"{name}_sum":
+                total = float(match.group("value"))
+            elif match.group("name") == f"{name}_count":
+                total_count = float(match.group("value"))
+        return buckets, total, total_count
+
+    def test_buckets_cumulative_monotone_with_inf(self, rendered):
+        buckets, total, count = self._series(
+            rendered, "repro_request_latency_seconds"
+        )
+        assert buckets[-1][0] == "+Inf"
+        edges = [
+            float("inf") if le == "+Inf" else float(le)
+            for le, _ in buckets
+        ]
+        assert edges == sorted(edges)
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts), "bucket counts must cumulate"
+        assert counts[-1] == count == 3
+        assert total == pytest.approx(0.004 + 0.9 + 120.0)
+
+    def test_observation_on_upper_edge_counts_inside(self):
+        h = Histogram("edge", "upper-edge inclusivity", [1.0, 2.0])
+        h.observe(1.0)
+        cumulative, _, _ = h.snapshot()
+        assert cumulative[0] == 1  # le="1.0" includes 1.0
+
+    def test_type_histogram_declared(self, rendered):
+        assert (
+            "# TYPE repro_request_latency_seconds histogram" in rendered
+        )
+
+
+class TestLabelEscaping:
+    def test_hostile_client_names_escaped(self, rendered):
+        assert 'client="evil\\"quote"' in rendered
+        assert 'client="back\\\\slash"' in rendered
+        assert 'client="new\\nline"' in rendered
+        assert 'client="plain"' in rendered
+        # Raw (unescaped) forms must never appear.
+        assert 'client="evil"quote"' not in rendered
+        assert "new\nline\"" not in rendered
+
+    def test_per_client_series_carry_values(self, rendered):
+        assert (
+            'repro_admission_client_rows_admitted_total{client="plain"}'
+            " 40" in rendered
+        )
+
+    def test_escape_roundtrip(self):
+        hostile = 'a\\b"c\nd'
+        escaped = escape_label_value(hostile)
+        unescaped = (
+            escaped.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        assert unescaped == hostile
+
+
+class TestValueFormatting:
+    def test_inf_and_nan_render_as_exposition_tokens(self):
+        from repro.service.obs import _format_value
+
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.25) == "0.25"
+        assert not math.isnan(float("0.25"))
